@@ -1,0 +1,136 @@
+// Benchmarks: one testing.B per paper artifact, regenerating each table
+// and figure at a reduced event budget. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Per-op metrics report events/op so throughput is comparable across
+// artifacts. For the full-size artifacts use cmd/vpredict.
+package repro_test
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/seqclass"
+	"repro/internal/sim"
+)
+
+// benchEvents is the per-benchmark event budget used by the testing.B
+// harness; small enough for iteration, large enough to keep shapes.
+const benchEvents = 100_000
+
+func runExperiment(b *testing.B, id string, benchmarks ...string) {
+	b.Helper()
+	cfg := experiments.Config{Events: benchEvents, Benchmarks: benchmarks}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RunOne(io.Discard, id, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// fastSubset keeps the per-iteration cost of suite-backed benchmarks
+// manageable: one loop-heavy and one irregular workload.
+var fastSubset = []string{"compress", "m88ksim"}
+
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+func BenchmarkFig1(b *testing.B)   { runExperiment(b, "fig1") }
+func BenchmarkFig2(b *testing.B)   { runExperiment(b, "fig2") }
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2", fastSubset...) }
+func BenchmarkTable4(b *testing.B) { runExperiment(b, "table4", fastSubset...) }
+func BenchmarkTable5(b *testing.B) { runExperiment(b, "table5", fastSubset...) }
+func BenchmarkFig3(b *testing.B)   { runExperiment(b, "fig3", fastSubset...) }
+func BenchmarkFig4(b *testing.B)   { runExperiment(b, "fig4", fastSubset...) }
+func BenchmarkFig5(b *testing.B)   { runExperiment(b, "fig5", fastSubset...) }
+func BenchmarkFig6(b *testing.B)   { runExperiment(b, "fig6", fastSubset...) }
+func BenchmarkFig7(b *testing.B)   { runExperiment(b, "fig7", fastSubset...) }
+func BenchmarkFig8(b *testing.B)   { runExperiment(b, "fig8", fastSubset...) }
+func BenchmarkFig9(b *testing.B)   { runExperiment(b, "fig9", fastSubset...) }
+func BenchmarkFig10(b *testing.B)  { runExperiment(b, "fig10", fastSubset...) }
+func BenchmarkTable6(b *testing.B) { runExperiment(b, "table6") }
+func BenchmarkTable7(b *testing.B) { runExperiment(b, "table7") }
+func BenchmarkFig11(b *testing.B)  { runExperiment(b, "fig11") }
+
+// --- component micro-benchmarks -------------------------------------------------
+
+// benchPredictor measures raw predictor throughput on a mixed stream.
+func benchPredictor(b *testing.B, p core.Predictor) {
+	b.Helper()
+	// 64 static instructions: strides, constants and period-4 repeats.
+	rns := seqclass.NonStridePeriod(5, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc := uint64(i % 64)
+		var v uint64
+		switch pc % 3 {
+		case 0:
+			v = uint64(i) * 8
+		case 1:
+			v = 42
+		default:
+			v = rns[i%4]
+		}
+		pred, ok := p.Predict(pc)
+		_ = pred
+		_ = ok
+		p.Update(pc, v)
+	}
+}
+
+func BenchmarkPredictLastValue(b *testing.B) { benchPredictor(b, core.NewLastValue()) }
+func BenchmarkPredictStride2D(b *testing.B)  { benchPredictor(b, core.NewStride2Delta()) }
+func BenchmarkPredictFCM1(b *testing.B)      { benchPredictor(b, core.NewFCM(1)) }
+func BenchmarkPredictFCM3(b *testing.B)      { benchPredictor(b, core.NewFCM(3)) }
+func BenchmarkPredictHybrid(b *testing.B)    { benchPredictor(b, core.NewStrideFCMHybrid(3)) }
+
+// BenchmarkSimulator measures raw simulation speed (instructions/op).
+func BenchmarkSimulator(b *testing.B) {
+	w := bench.Compress()
+	prog, err := w.Compile(bench.RefOpt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := w.Input(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var instr uint64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(prog, input, sim.Config{MaxInstr: 2_000_000})
+		if err != nil && res == nil {
+			b.Fatal(err)
+		}
+		instr += res.Instructions
+	}
+	b.ReportMetric(float64(instr)/float64(b.N), "instrs/op")
+}
+
+// BenchmarkCompiler measures end-to-end MiniC compile time for the
+// largest workload source.
+func BenchmarkCompiler(b *testing.B) {
+	w := bench.Xlisp()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Compile(2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullPass measures the all-collector analysis pass used by the
+// suite experiments (events/op).
+func BenchmarkFullPass(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := analysis.RunBenchmark(bench.M88ksim(), analysis.Config{Events: benchEvents})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(benchEvents, "events/op")
+}

@@ -1,0 +1,73 @@
+// Command vpasm assembles, disassembles and runs VISA-64 assembly files.
+//
+// Usage:
+//
+//	vpasm -run prog.s            # assemble and execute
+//	vpasm -dis prog.s            # assemble and print the disassembly
+//	vpasm -run -in data.txt prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		run    = flag.Bool("run", false, "execute the program")
+		dis    = flag.Bool("dis", false, "print disassembly")
+		inFile = flag.String("in", "", "input file (simulated stdin)")
+		max    = flag.Uint64("max", 0, "dynamic instruction budget (0 = unlimited)")
+		stats  = flag.Bool("stats", false, "print execution statistics")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vpasm [flags] prog.s")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Assemble(flag.Arg(0), string(src))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "%d instructions, %d data bytes, entry 0x%x\n",
+		len(prog.Text), len(prog.Data), prog.Entry)
+
+	if *dis {
+		fmt.Print(asm.Disassemble(prog))
+	}
+	if !*run {
+		return
+	}
+	var input []byte
+	if *inFile != "" {
+		input, err = os.ReadFile(*inFile)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	res, err := sim.Run(prog, input, sim.Config{MaxInstr: *max})
+	if res != nil {
+		os.Stdout.Write(res.Output)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "instructions=%d predicted=%d exit=%d halted=%v\n",
+			res.Instructions, res.Events, res.ExitCode, res.Halted)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vpasm:", err)
+	os.Exit(1)
+}

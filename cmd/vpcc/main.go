@@ -1,0 +1,95 @@
+// Command vpcc compiles and optionally runs MiniC programs.
+//
+// Usage:
+//
+//	vpcc prog.mc                 # compile to prog.s
+//	vpcc -O 2 -run prog.mc       # compile and execute on the simulator
+//	vpcc -run -in input.txt prog.mc
+//	vpcc -ir prog.mc             # dump the optimizer's final IR
+//
+// The MiniC language and its -O0..-O3 levels are documented in
+// internal/minic; vpcc is the gcc stand-in of the reproduction.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/minic"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		opt    = flag.Int("O", 2, "optimization level 0..3")
+		run    = flag.Bool("run", false, "execute after compiling")
+		inFile = flag.String("in", "", "input file for -run (stdin of the simulated program)")
+		out    = flag.String("o", "", "output .s path (default: source with .s suffix)")
+		dumpIR = flag.Bool("ir", false, "dump final IR to stderr")
+		stats  = flag.Bool("stats", false, "print execution statistics")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vpcc [flags] prog.mc")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	srcPath := flag.Arg(0)
+	src, err := os.ReadFile(srcPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := minic.Options{Opt: *opt}
+	if *dumpIR {
+		opts.DumpIR = func(f *minic.IRFunc) { fmt.Fprint(os.Stderr, f.Dump()) }
+	}
+	asmText, err := minic.Compile([]minic.Source{{Name: srcPath, Text: string(src)}}, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	if !*run {
+		dst := *out
+		if dst == "" {
+			dst = strings.TrimSuffix(srcPath, ".mc") + ".s"
+		}
+		if err := os.WriteFile(dst, []byte(asmText), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d lines)\n", dst, strings.Count(asmText, "\n"))
+		return
+	}
+
+	prog, err := asm.Assemble(srcPath, asmText)
+	if err != nil {
+		fatal(err)
+	}
+	var input []byte
+	if *inFile != "" {
+		input, err = os.ReadFile(*inFile)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	res, err := sim.Run(prog, input, sim.Config{})
+	if res != nil {
+		os.Stdout.Write(res.Output)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "instructions=%d predicted=%d exit=%d\n",
+			res.Instructions, res.Events, res.ExitCode)
+	}
+	os.Exit(int(res.ExitCode & 0x7F))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vpcc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// Command vpredict regenerates the tables and figures of "The
+// Predictability of Data Values" (Sazeides & Smith, MICRO-30, 1997).
+//
+// Usage:
+//
+//	vpredict -list                 # show all experiments
+//	vpredict -exp fig3             # one experiment
+//	vpredict -exp all              # everything (one shared benchmark pass)
+//	vpredict -exp fig3 -events 2000000 -bench compress,gcc
+//
+// Events default to 500k predicted instructions per benchmark; raise for
+// tighter numbers, lower for quick looks. Results are deterministic for a
+// given (events, scale) configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id or 'all'")
+		events  = flag.Uint64("events", 500_000, "max predicted instructions per benchmark run (0 = to completion)")
+		scale   = flag.Int("scale", 1, "workload input scale factor")
+		benches = flag.String("bench", "", "comma-separated benchmark subset (default all seven)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{
+		Events: *events,
+		Scale:  *scale,
+	}
+	if *benches != "" {
+		cfg.Benchmarks = strings.Split(*benches, ",")
+	}
+	if !*quiet {
+		cfg.Progress = func(name string) {
+			fmt.Fprintf(os.Stderr, "running %s...\n", name)
+		}
+	}
+
+	var err error
+	if *exp == "all" {
+		err = experiments.RunAll(os.Stdout, cfg)
+	} else {
+		err = experiments.RunOne(os.Stdout, *exp, cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpredict:", err)
+		os.Exit(1)
+	}
+}

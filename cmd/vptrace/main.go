@@ -1,0 +1,185 @@
+// Command vptrace captures, inspects and replays value traces.
+//
+// Usage:
+//
+//	vptrace capture -bench gcc -events 1000000 -o gcc.vpt
+//	vptrace info gcc.vpt
+//	vptrace replay -pred fcm3,s2,l gcc.vpt
+//
+// Capture once, then replay the identical event stream against any
+// predictor configuration — the decoupling the paper's trace-driven
+// methodology relies on.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "capture":
+		capture(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  vptrace capture -bench NAME [-opt N] [-scale N] [-events N] -o FILE
+  vptrace info FILE
+  vptrace replay [-pred l,s2,fcm1,fcm2,fcm3] FILE`)
+	os.Exit(2)
+}
+
+func capture(args []string) {
+	fs := flag.NewFlagSet("capture", flag.ExitOnError)
+	name := fs.String("bench", "", "workload name (compress, gcc, go, ijpeg, m88ksim, perl, xlisp)")
+	opt := fs.Int("opt", bench.RefOpt, "compiler optimization level")
+	scale := fs.Int("scale", 1, "input scale factor")
+	events := fs.Uint64("events", 0, "event cap (0 = run to completion)")
+	out := fs.String("o", "", "output trace file")
+	fs.Parse(args)
+	w := bench.ByName(*name)
+	if w == nil || *out == "" {
+		usage()
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tw, err := trace.NewWriter(f, trace.Header{Benchmark: *name, Opt: *opt, Scale: *scale})
+	if err != nil {
+		fatal(err)
+	}
+	_, err = w.Run(bench.RunConfig{
+		Opt:       *opt,
+		Scale:     *scale,
+		MaxEvents: *events,
+		OnValue: func(ev sim.ValueEvent) {
+			if err := tw.Write(trace.FromSim(ev)); err != nil {
+				fatal(err)
+			}
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		fatal(err)
+	}
+	st, _ := f.Stat()
+	fmt.Fprintf(os.Stderr, "captured %d events to %s (%d bytes)\n", tw.Count(), *out, st.Size())
+}
+
+func openTrace(path string) (*os.File, *trace.Reader) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	r, err := trace.NewReader(f)
+	if err != nil {
+		fatal(err)
+	}
+	return f, r
+}
+
+func info(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	f, r := openTrace(args[0])
+	defer f.Close()
+	var total uint64
+	var perCat [isa.NumCategories]uint64
+	pcs := make(map[uint64]bool)
+	err := r.ForEach(func(ev trace.Event) error {
+		total++
+		perCat[ev.Cat]++
+		pcs[ev.PC] = true
+		return nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchmark: %s (opt %d, scale %d)\n", r.Header.Benchmark, r.Header.Opt, r.Header.Scale)
+	fmt.Printf("events:    %d from %d static instructions\n", total, len(pcs))
+	for _, cat := range isa.PredictedCategories() {
+		if perCat[cat] > 0 {
+			fmt.Printf("  %-8s %10d  (%.1f%%)\n", cat, perCat[cat], 100*float64(perCat[cat])/float64(total))
+		}
+	}
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	preds := fs.String("pred", "l,s2,fcm1,fcm2,fcm3", "comma-separated predictors")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	f, r := openTrace(fs.Arg(0))
+	defer f.Close()
+
+	known := map[string]func() core.Predictor{
+		"l":     func() core.Predictor { return core.NewLastValue() },
+		"lc":    func() core.Predictor { return core.NewLastValueCounter(3, 1) },
+		"s":     func() core.Predictor { return core.NewStrideSimple() },
+		"s2":    func() core.Predictor { return core.NewStride2Delta() },
+		"sc":    func() core.Predictor { return core.NewStrideCounter(3, 1) },
+		"fcm1":  func() core.Predictor { return core.NewFCM(1) },
+		"fcm2":  func() core.Predictor { return core.NewFCM(2) },
+		"fcm3":  func() core.Predictor { return core.NewFCM(3) },
+		"hyb":   func() core.Predictor { return core.NewStrideFCMHybrid(3) },
+		"bfcm3": func() core.Predictor { return core.NewBoundedFCM(3, 12, 18) },
+	}
+	var ps []core.Predictor
+	var accs []*core.Accuracy
+	for _, name := range strings.Split(*preds, ",") {
+		mk, ok := known[strings.TrimSpace(name)]
+		if !ok {
+			fatal(fmt.Errorf("unknown predictor %q", name))
+		}
+		ps = append(ps, mk())
+		accs = append(accs, &core.Accuracy{})
+	}
+	var total uint64
+	err := r.ForEach(func(ev trace.Event) error {
+		total++
+		for i, p := range ps {
+			pred, ok := p.Predict(ev.PC)
+			accs[i].Observe(ok && pred == ev.Value)
+			p.Update(ev.PC, ev.Value)
+		}
+		return nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d events\n", r.Header.Benchmark, total)
+	for i, p := range ps {
+		fmt.Printf("  %-6s %6.2f%%\n", p.Name(), accs[i].Percent())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vptrace:", err)
+	os.Exit(1)
+}

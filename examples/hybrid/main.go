@@ -1,0 +1,72 @@
+// Hybrid: build custom hybrid predictors and measure how they divide up a
+// real workload's value stream, reproducing the Section 4.2 argument that
+// a stride+fcm hybrid with a chooser approaches pure fcm accuracy.
+//
+// Run with: go run ./examples/hybrid
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func main() {
+	workload := bench.M88ksim()
+	fmt.Printf("workload: %s (%s)\n\n", workload.Name, workload.Description)
+
+	// Candidates: the paper's components, the suggested chooser hybrid,
+	// and a per-instruction-type router (Section 4.1's suggestion).
+	candidates := []core.Predictor{
+		core.NewStride2Delta(),
+		core.NewFCM(3),
+		core.NewStrideFCMHybrid(3),
+	}
+	perType := core.NewClassifiedPredictor("bytype", func(class uint8) core.Predictor {
+		// Stride for the arithmetic classes it models well; fcm elsewhere.
+		if class == 0 { // isa.CatAddSub
+			return core.NewStride2Delta()
+		}
+		return core.NewFCM(3)
+	})
+
+	accs := make([]core.Accuracy, len(candidates))
+	var perTypeAcc core.Accuracy
+	var setTracker *core.SetTracker
+	setTracker = core.NewSetTracker(core.NewStride2Delta(), core.NewFCM(3))
+
+	_, err := workload.Run(bench.RunConfig{
+		Opt:       bench.RefOpt,
+		MaxEvents: 300_000,
+		OnValue: func(ev sim.ValueEvent) {
+			for i, p := range candidates {
+				pred, ok := p.Predict(ev.PC)
+				accs[i].Observe(ok && pred == ev.Value)
+				p.Update(ev.PC, ev.Value)
+			}
+			pred, ok := perType.PredictClass(uint8(ev.Cat), ev.PC)
+			perTypeAcc.Observe(ok && pred == ev.Value)
+			perType.UpdateClass(uint8(ev.Cat), ev.PC, ev.Value)
+			setTracker.Observe(ev.PC, ev.Value)
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("predictor        accuracy")
+	for i, p := range candidates {
+		fmt.Printf("%-15s  %6.2f%%\n", p.Name(), accs[i].Percent())
+	}
+	fmt.Printf("%-15s  %6.2f%%\n\n", "per-type router", perTypeAcc.Percent())
+
+	fmt.Println("overlap of the two components (fraction of all predictions):")
+	labels := []string{"neither", "s2 only", "fcm3 only", "both"}
+	for mask := uint64(0); mask < 4; mask++ {
+		fmt.Printf("  %-9s %6.2f%%\n", labels[mask], 100*setTracker.Fraction(mask))
+	}
+	fmt.Println("\nThe hybrid should sit at or above max(s2, fcm3): the chooser routes")
+	fmt.Println("each static instruction to whichever component predicts it better.")
+}

@@ -1,0 +1,279 @@
+// Package analysis runs workloads under the paper's methodology and
+// collects every statistic the evaluation section reports: per-predictor
+// per-category accuracy (Figs 3-7), predictor-set correlation (Fig 8),
+// per-static-instruction improvement of context over stride prediction
+// (Fig 9), unique-value characteristics (Fig 10), and the sensitivity
+// sweeps (Tables 6-7, Fig 11).
+//
+// A single simulation pass per benchmark feeds all predictors and
+// collectors simultaneously, so cross-predictor comparisons are exact:
+// every predictor sees the identical event stream with immediate updates,
+// unbounded per-PC tables and no aliasing — the paper's idealization.
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// Config parameterizes a suite run.
+type Config struct {
+	// Events caps the number of predicted instructions traced per
+	// benchmark (0 = run each workload to completion).
+	Events uint64
+	// Scale is the input scale factor (default 1).
+	Scale int
+	// Opt is the compiler optimization level (default bench.RefOpt).
+	Opt int
+	// Benchmarks restricts the run (nil = all).
+	Benchmarks []string
+	// UniqueValueCap bounds per-instruction unique-value tracking
+	// (default 65537, one past the paper's largest bucket).
+	UniqueValueCap int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Opt == 0 {
+		c.Opt = bench.RefOpt
+	}
+	if c.UniqueValueCap == 0 {
+		c.UniqueValueCap = 65537
+	}
+	return c
+}
+
+// PredictorNames is the reporting order of the standard predictors.
+var PredictorNames = []string{"l", "s2", "fcm1", "fcm2", "fcm3"}
+
+// Set masks for the Figure 8 analysis: bit 0 = last value, bit 1 = stride,
+// bit 2 = fcm. MaskLabels follows the paper's legend.
+const NumMasks = 8
+
+// MaskLabels names each subset in the paper's notation (np = none
+// predicted correctly; lsf = all three correct).
+var MaskLabels = [NumMasks]string{"np", "l", "s", "ls", "f", "lf", "sf", "lsf"}
+
+// CatAccuracy tallies accuracy per instruction category plus overall.
+type CatAccuracy struct {
+	PerCat  [isa.NumCategories]core.Accuracy
+	Overall core.Accuracy
+}
+
+// PCStat is the per-static-instruction record backing Figs 9 and 10.
+type PCStat struct {
+	Cat        isa.Category
+	Count      uint64 // dynamic executions
+	S2Correct  uint64
+	FCMCorrect uint64
+	Unique     int  // distinct values produced (capped)
+	Overflow   bool // true when Unique hit the cap
+}
+
+// BenchResult is everything collected from one benchmark run.
+type BenchResult struct {
+	Name         string
+	Opt          int
+	Instructions uint64
+	Events       uint64
+	Halted       bool
+	DynPerCat    [isa.NumCategories]uint64
+	// Acc maps predictor name to its accuracy tallies.
+	Acc map[string]*CatAccuracy
+	// SetCounts[cat][mask] and SetAll[mask] back Figure 8.
+	SetCounts [isa.NumCategories][NumMasks]uint64
+	SetAll    [NumMasks]uint64
+	// Static maps PC -> per-instruction record.
+	Static map[uint64]*PCStat
+}
+
+// Accuracy returns the overall accuracy percentage for a predictor.
+func (r *BenchResult) Accuracy(pred string) float64 {
+	return r.Acc[pred].Overall.Percent()
+}
+
+// CatAcc returns the accuracy percentage for a predictor and category.
+func (r *BenchResult) CatAcc(pred string, cat isa.Category) float64 {
+	return r.Acc[pred].PerCat[cat].Percent()
+}
+
+// RunBenchmark executes one workload under the standard five predictors
+// and all collectors.
+func RunBenchmark(w *bench.Workload, cfg Config) (*BenchResult, error) {
+	cfg = cfg.withDefaults()
+	preds := make([]core.Predictor, len(PredictorNames))
+	for i, f := range core.StandardFactories() {
+		preds[i] = f.New()
+	}
+	res := &BenchResult{
+		Name:   w.Name,
+		Opt:    cfg.Opt,
+		Acc:    make(map[string]*CatAccuracy, len(preds)),
+		Static: make(map[uint64]*PCStat),
+	}
+	for _, name := range PredictorNames {
+		res.Acc[name] = &CatAccuracy{}
+	}
+
+	// Predictor indexes for the set analysis: l=0, s2=1, fcm3=4.
+	const li, si, fi = 0, 1, 4
+
+	onValue := func(ev sim.ValueEvent) {
+		var mask uint64
+		for i, p := range preds {
+			pred, ok := p.Predict(ev.PC)
+			correct := ok && pred == ev.Value
+			acc := res.Acc[PredictorNames[i]]
+			acc.Overall.Observe(correct)
+			acc.PerCat[ev.Cat].Observe(correct)
+			if correct {
+				switch i {
+				case li:
+					mask |= 1
+				case si:
+					mask |= 2
+				case fi:
+					mask |= 4
+				}
+			}
+			p.Update(ev.PC, ev.Value)
+		}
+		res.SetCounts[ev.Cat][mask]++
+		res.SetAll[mask]++
+
+		st := res.Static[ev.PC]
+		if st == nil {
+			st = &PCStat{Cat: ev.Cat}
+			res.Static[ev.PC] = st
+		}
+		st.Count++
+		if mask&2 != 0 {
+			st.S2Correct++
+		}
+		if mask&4 != 0 {
+			st.FCMCorrect++
+		}
+	}
+
+	// Unique-value tracking piggybacks on the same pass.
+	uniq := make(map[uint64]map[uint64]struct{})
+	trackUniq := func(ev sim.ValueEvent) {
+		vs := uniq[ev.PC]
+		if vs == nil {
+			vs = make(map[uint64]struct{})
+			uniq[ev.PC] = vs
+		}
+		if len(vs) < cfg.UniqueValueCap {
+			vs[ev.Value] = struct{}{}
+		}
+	}
+
+	simRes, err := w.Run(bench.RunConfig{
+		Opt:       cfg.Opt,
+		Scale:     cfg.Scale,
+		MaxEvents: cfg.Events,
+		OnValue: func(ev sim.ValueEvent) {
+			onValue(ev)
+			trackUniq(ev)
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", w.Name, err)
+	}
+	res.Instructions = simRes.Instructions
+	res.Events = simRes.Events
+	res.Halted = simRes.Halted
+	res.DynPerCat = simRes.DynPerCat
+	for pc, vs := range uniq {
+		st := res.Static[pc]
+		st.Unique = len(vs)
+		st.Overflow = len(vs) >= cfg.UniqueValueCap
+	}
+	return res, nil
+}
+
+// Suite is the collection of per-benchmark results for one configuration.
+type Suite struct {
+	Config  Config
+	Results []*BenchResult
+}
+
+// RunSuite runs every configured benchmark once.
+func RunSuite(cfg Config, progress func(name string)) (*Suite, error) {
+	cfg = cfg.withDefaults()
+	var workloads []*bench.Workload
+	if len(cfg.Benchmarks) == 0 {
+		workloads = bench.Registry()
+	} else {
+		for _, name := range cfg.Benchmarks {
+			w := bench.ByName(name)
+			if w == nil {
+				return nil, fmt.Errorf("analysis: unknown benchmark %q", name)
+			}
+			workloads = append(workloads, w)
+		}
+	}
+	suite := &Suite{Config: cfg}
+	for _, w := range workloads {
+		if progress != nil {
+			progress(w.Name)
+		}
+		r, err := RunBenchmark(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		suite.Results = append(suite.Results, r)
+	}
+	return suite, nil
+}
+
+// MeanAccuracy returns the arithmetic mean accuracy of a predictor across
+// benchmarks, matching the paper's averaging ("each benchmark effectively
+// contributes the same number of total predictions").
+func (s *Suite) MeanAccuracy(pred string) float64 {
+	if len(s.Results) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range s.Results {
+		sum += r.Accuracy(pred)
+	}
+	return sum / float64(len(s.Results))
+}
+
+// MeanSetFractions averages the Figure 8 subset fractions over benchmarks
+// for one category (or overall when cat < 0).
+func (s *Suite) MeanSetFractions(cat int) [NumMasks]float64 {
+	var out [NumMasks]float64
+	if len(s.Results) == 0 {
+		return out
+	}
+	for _, r := range s.Results {
+		var counts [NumMasks]uint64
+		var total uint64
+		if cat < 0 {
+			counts = r.SetAll
+		} else {
+			counts = r.SetCounts[cat]
+		}
+		for _, c := range counts {
+			total += c
+		}
+		if total == 0 {
+			continue
+		}
+		for m, c := range counts {
+			out[m] += float64(c) / float64(total)
+		}
+	}
+	for m := range out {
+		out[m] /= float64(len(s.Results))
+	}
+	return out
+}

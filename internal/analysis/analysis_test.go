@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// smallSuite runs two benchmarks with a tight event budget; shared across
+// tests via sync-once-style caching.
+var cachedSuite *Suite
+
+func smallSuite(t *testing.T) *Suite {
+	t.Helper()
+	if cachedSuite != nil {
+		return cachedSuite
+	}
+	s, err := RunSuite(Config{
+		Events:     60_000,
+		Benchmarks: []string{"compress", "m88ksim"},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedSuite = s
+	return s
+}
+
+func TestRunBenchmarkCollectsEverything(t *testing.T) {
+	s := smallSuite(t)
+	if len(s.Results) != 2 {
+		t.Fatalf("got %d results", len(s.Results))
+	}
+	for _, r := range s.Results {
+		if r.Events == 0 || r.Instructions == 0 {
+			t.Fatalf("%s: empty run", r.Name)
+		}
+		for _, p := range PredictorNames {
+			if r.Acc[p] == nil || r.Acc[p].Overall.Total != r.Events {
+				t.Fatalf("%s/%s: accuracy totals do not match events", r.Name, p)
+			}
+		}
+		var setSum uint64
+		for _, c := range r.SetAll {
+			setSum += c
+		}
+		if setSum != r.Events {
+			t.Fatalf("%s: set counts sum %d != events %d", r.Name, setSum, r.Events)
+		}
+		var dynSum, staticDyn uint64
+		for _, c := range r.DynPerCat {
+			dynSum += c
+		}
+		if dynSum != r.Events {
+			t.Fatalf("%s: per-category dynamic sum mismatch", r.Name)
+		}
+		for _, st := range r.Static {
+			staticDyn += st.Count
+			if st.Unique == 0 {
+				t.Fatalf("%s: static record with zero unique values", r.Name)
+			}
+			if st.FCMCorrect > st.Count || st.S2Correct > st.Count {
+				t.Fatalf("%s: correct counts exceed executions", r.Name)
+			}
+		}
+		if staticDyn != r.Events {
+			t.Fatalf("%s: static records cover %d of %d events", r.Name, staticDyn, r.Events)
+		}
+	}
+}
+
+func TestAccuracyOrderingHolds(t *testing.T) {
+	// The paper's headline ordering: mean L < mean S2 < mean FCM3, and
+	// FCM accuracy non-decreasing in order.
+	s := smallSuite(t)
+	l, s2 := s.MeanAccuracy("l"), s.MeanAccuracy("s2")
+	f1, f2, f3 := s.MeanAccuracy("fcm1"), s.MeanAccuracy("fcm2"), s.MeanAccuracy("fcm3")
+	if !(l < s2) {
+		t.Errorf("want l < s2, got %.1f vs %.1f", l, s2)
+	}
+	if !(f1 <= f2 && f2 <= f3) {
+		t.Errorf("fcm order not monotone: %.1f %.1f %.1f", f1, f2, f3)
+	}
+	if !(s2 < f3+30) { // sanity bound, not a strict claim on tiny runs
+		t.Errorf("implausible accuracies: s2=%.1f fcm3=%.1f", s2, f3)
+	}
+}
+
+func TestMeanSetFractionsSumToOne(t *testing.T) {
+	s := smallSuite(t)
+	fr := s.MeanSetFractions(-1)
+	sum := 0.0
+	for _, f := range fr {
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("fractions sum to %f", sum)
+	}
+	frCat := s.MeanSetFractions(int(isa.CatAddSub))
+	sum = 0
+	for _, f := range frCat {
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("AddSub fractions sum to %f", sum)
+	}
+}
+
+func TestImprovementCurveProperties(t *testing.T) {
+	s := smallSuite(t)
+	pts := ImprovementCurve(s.Results, -1)
+	if len(pts) == 0 {
+		t.Fatal("no improvement curve (fcm should beat stride somewhere)")
+	}
+	last := ImprovementPoint{}
+	for _, p := range pts {
+		if p.PctStatic < last.PctStatic || p.PctImprovement < last.PctImprovement-1e-9 {
+			t.Fatalf("curve not monotone at %+v after %+v", p, last)
+		}
+		last = p
+	}
+	if last.PctImprovement < 99.9 {
+		t.Fatalf("curve should reach 100%%, got %.2f", last.PctImprovement)
+	}
+	// The curve must be concave-ish: covering half the instructions
+	// covers well over half the improvement (few statics dominate).
+	for _, p := range pts {
+		if p.PctStatic >= 49.9 && p.PctStatic <= 50.1 && p.PctImprovement < 50 {
+			t.Fatalf("improvement not concentrated: %+v", p)
+		}
+	}
+}
+
+func TestUniqueValueHistogram(t *testing.T) {
+	s := smallSuite(t)
+	for _, dynamic := range []bool{false, true} {
+		h := UniqueValueHistogram(s.Results, -1, dynamic)
+		sum := h.Over
+		for _, b := range h.Buckets {
+			sum += b
+		}
+		if sum < 99.9 || sum > 100.1 {
+			t.Fatalf("histogram (dynamic=%v) sums to %.2f", dynamic, sum)
+		}
+	}
+	static := UniqueValueHistogram(s.Results, -1, false)
+	// Paper: a large share of static instructions generate one value.
+	if static.CumulativeAtMost(1) < 10 {
+		t.Errorf("only %.1f%% of statics produce one value; expected a large share",
+			static.CumulativeAtMost(1))
+	}
+	if static.CumulativeAtMost(65536)+static.Over < 99.9 {
+		t.Error("histogram lost mass")
+	}
+}
+
+func TestStaticCounts(t *testing.T) {
+	s := smallSuite(t)
+	counts := StaticCounts(s.Results[0])
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(s.Results[0].Static) {
+		t.Fatalf("per-category static counts (%d) != static map size (%d)",
+			total, len(s.Results[0].Static))
+	}
+}
+
+func TestRunSuiteUnknownBenchmark(t *testing.T) {
+	_, err := RunSuite(Config{Benchmarks: []string{"nope"}}, nil)
+	if err == nil || !strings.Contains(err.Error(), "unknown benchmark") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("demo", "a", "bb", "ccc")
+	tab.AddRow("x", 1, 2.5)
+	tab.AddRow("longer", "v", "w")
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"demo", "a", "bb", "ccc", "longer", "2.5", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

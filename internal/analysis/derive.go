@@ -1,0 +1,147 @@
+package analysis
+
+import "sort"
+
+// This file derives the paper's Figure 9 and Figure 10 series from the
+// per-static-instruction records.
+
+// ImprovementPoint is one point of the Figure 9 cumulative curve.
+type ImprovementPoint struct {
+	PctStatic      float64 // x: % of improving static instructions included
+	PctImprovement float64 // y: % of total FCM-over-stride improvement covered
+}
+
+// ImprovementCurve computes, for the given category (or all when cat < 0),
+// the cumulative share of the total FCM3-over-S2 improvement contributed
+// by static instructions sorted by decreasing improvement — the paper's
+// Figure 9. Points are emitted at every 5% of static instructions.
+func ImprovementCurve(results []*BenchResult, cat int) []ImprovementPoint {
+	var gains []int64
+	var total int64
+	for _, r := range results {
+		for _, st := range r.Static {
+			if cat >= 0 && int(st.Cat) != cat {
+				continue
+			}
+			gain := int64(st.FCMCorrect) - int64(st.S2Correct)
+			if gain > 0 {
+				gains = append(gains, gain)
+				total += gain
+			}
+		}
+	}
+	if total == 0 || len(gains) == 0 {
+		return nil
+	}
+	sort.Slice(gains, func(i, j int) bool { return gains[i] > gains[j] })
+	points := make([]ImprovementPoint, 0, 21)
+	var cum int64
+	next := 0.05
+	points = append(points, ImprovementPoint{0, 0})
+	for i, g := range gains {
+		cum += g
+		frac := float64(i+1) / float64(len(gains))
+		for frac >= next-1e-9 && next <= 1.0+1e-9 {
+			points = append(points, ImprovementPoint{
+				PctStatic:      next * 100,
+				PctImprovement: 100 * float64(cum) / float64(total),
+			})
+			next += 0.05
+		}
+	}
+	return points
+}
+
+// ImprovementShare returns the fraction of static instructions (among
+// improving ones) needed to cover the given share of total improvement —
+// the paper's headline "about 20% of static instructions account for 97%
+// of the improvement".
+func ImprovementShare(results []*BenchResult, coverage float64) (pctStatic, pctImprovement float64) {
+	pts := ImprovementCurve(results, -1)
+	for _, p := range pts {
+		if p.PctImprovement >= coverage*100 {
+			return p.PctStatic, p.PctImprovement
+		}
+	}
+	if n := len(pts); n > 0 {
+		return pts[n-1].PctStatic, pts[n-1].PctImprovement
+	}
+	return 0, 0
+}
+
+// ValueBuckets is the Figure 10 bucket ladder of unique-value counts.
+var ValueBuckets = []int{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536}
+
+// ValueHistogram is one Figure 10 column: the share of static (or
+// dynamic) instructions whose producing instruction generated a number of
+// unique values falling in each bucket; Over is the ">65536" share.
+type ValueHistogram struct {
+	Buckets []float64 // parallel to ValueBuckets
+	Over    float64
+}
+
+// UniqueValueHistogram computes Figure 10 for a category (all when
+// cat < 0). When dynamic is true instructions are weighted by execution
+// count; otherwise each static instruction counts once.
+func UniqueValueHistogram(results []*BenchResult, cat int, dynamic bool) ValueHistogram {
+	h := ValueHistogram{Buckets: make([]float64, len(ValueBuckets))}
+	var total float64
+	for _, r := range results {
+		for _, st := range r.Static {
+			if cat >= 0 && int(st.Cat) != cat {
+				continue
+			}
+			w := 1.0
+			if dynamic {
+				w = float64(st.Count)
+			}
+			total += w
+			if st.Overflow {
+				h.Over += w
+				continue
+			}
+			placed := false
+			for i, b := range ValueBuckets {
+				if st.Unique <= b {
+					h.Buckets[i] += w
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				h.Over += w
+			}
+		}
+	}
+	if total > 0 {
+		for i := range h.Buckets {
+			h.Buckets[i] = 100 * h.Buckets[i] / total
+		}
+		h.Over = 100 * h.Over / total
+	}
+	return h
+}
+
+// CumulativeAtMost returns the percentage of instructions producing at
+// most the bucket value (inclusive), for assertions like "over 50% of
+// static instructions generate only one value".
+func (h ValueHistogram) CumulativeAtMost(bucket int) float64 {
+	sum := 0.0
+	for i, b := range ValueBuckets {
+		if b > bucket {
+			break
+		}
+		sum += h.Buckets[i]
+	}
+	return sum
+}
+
+// StaticCounts tallies executed static instructions per category for one
+// benchmark (the paper's Table 4).
+func StaticCounts(r *BenchResult) [8]int {
+	var out [8]int
+	for _, st := range r.Static {
+		out[st.Cat]++
+	}
+	return out
+}

@@ -1,0 +1,348 @@
+// Package asm implements a two-pass assembler for VISA-64 assembly, the
+// format emitted by the MiniC compiler and accepted by cmd/vpasm.
+//
+// Syntax overview:
+//
+//	        .text                  # section directives
+//	main:   addi  a0, zero, 5      # label + instruction
+//	        jal   fib              # call via label
+//	        lw    t0, 8(sp)        # memory operand imm(reg)
+//	        beq   t0, zero, done   # branch to label
+//	        li    t1, 0x12345678   # pseudo: expands to lui/ori
+//	        la    t2, buf          # pseudo: address of symbol
+//	        halt
+//	        .data
+//	buf:    .space 64
+//	msg:    .asciiz "hi\n"
+//	vals:   .word  1, -2, 0x30
+//
+// Comments run from '#' or ';' to end of line. Numbers are decimal,
+// hexadecimal (0x) or character literals ('a', '\n'). The .data segment is
+// loaded at DataBase; .word values are 64-bit and 8-byte aligned.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// DataBase is the load address of the data segment. The text segment is
+// held separately (Harvard style); PCs start at 0, so any program below
+// 256k instructions cannot collide with data addresses.
+const DataBase = 0x100000
+
+// Error describes one assembly error with its source position.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg) }
+
+// ErrorList collects all errors found during assembly.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	if len(l) == 0 {
+		return "no errors"
+	}
+	msgs := make([]string, 0, len(l))
+	for i, e := range l {
+		if i == 8 {
+			msgs = append(msgs, fmt.Sprintf("... and %d more errors", len(l)-8))
+			break
+		}
+		msgs = append(msgs, e.Error())
+	}
+	return strings.Join(msgs, "\n")
+}
+
+// assembler holds the state of one assembly run.
+type assembler struct {
+	file    string
+	errs    ErrorList
+	text    []isa.Inst
+	textSrc []int // source line per emitted instruction (for disassembly)
+	data    []byte
+	symbols map[string]uint64
+	// fixups are instruction operands referencing symbols, patched after
+	// pass 1 establishes all addresses.
+	fixups []fixup
+	// dataFixups are .word directives referencing symbols: the 8 bytes at
+	// the recorded data offset receive the symbol's address.
+	dataFixups []dataFixup
+	inData     bool
+}
+
+// dataFixup records a symbol-valued .word in the data segment.
+type dataFixup struct {
+	off  int
+	sym  string
+	line int
+}
+
+// fixup records a symbol reference in the instruction stream.
+type fixup struct {
+	index int    // instruction index in text
+	sym   string // referenced symbol
+	line  int
+	kind  fixKind
+}
+
+type fixKind uint8
+
+const (
+	fixBranch fixKind = iota // Imm <- symbol PC (branch/jump target)
+	fixHi                    // Imm <- bits 31..16 of symbol address (lui)
+	fixLo                    // Imm <- bits 15..0 of symbol address (ori)
+)
+
+// Assemble translates one assembly source into a loadable program. The
+// file name is used in error messages only.
+func Assemble(file, src string) (*isa.Program, error) {
+	a := &assembler{file: file, symbols: make(map[string]uint64)}
+	a.run(src)
+	if len(a.errs) > 0 {
+		return nil, a.errs
+	}
+	entry := uint64(0)
+	if pc, ok := a.symbols["_start"]; ok {
+		entry = pc
+	} else if pc, ok := a.symbols["main"]; ok {
+		entry = pc
+	}
+	return &isa.Program{
+		Text:     a.text,
+		Data:     a.data,
+		DataBase: DataBase,
+		Entry:    entry,
+		Symbols:  a.symbols,
+	}, nil
+}
+
+func (a *assembler) errorf(line int, format string, args ...any) {
+	a.errs = append(a.errs, &Error{File: a.file, Line: line, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (a *assembler) run(src string) {
+	lines := strings.Split(src, "\n")
+	for i, raw := range lines {
+		a.line(i+1, raw)
+	}
+	a.patch()
+}
+
+// line assembles a single source line.
+func (a *assembler) line(ln int, raw string) {
+	s := stripComment(raw)
+	s = strings.TrimSpace(s)
+	for s != "" {
+		// Leading labels, possibly several per line.
+		colon := strings.IndexByte(s, ':')
+		if colon >= 0 && isIdent(strings.TrimSpace(s[:colon])) {
+			label := strings.TrimSpace(s[:colon])
+			if _, dup := a.symbols[label]; dup {
+				a.errorf(ln, "duplicate label %q", label)
+			}
+			if a.inData {
+				a.symbols[label] = DataBase + uint64(len(a.data))
+			} else {
+				a.symbols[label] = isa.IndexToPC(uint64(len(a.text)))
+			}
+			s = strings.TrimSpace(s[colon+1:])
+			continue
+		}
+		break
+	}
+	if s == "" {
+		return
+	}
+	if s[0] == '.' {
+		a.directive(ln, s)
+		return
+	}
+	a.instruction(ln, s)
+}
+
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '"' && (i == 0 || s[i-1] != '\\'):
+			inStr = !inStr
+		case !inStr && (s[i] == '#' || s[i] == ';'):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == '.' || c == '$' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// directive handles .text/.data/.word/.byte/.asciiz/.space/.align/.global.
+func (a *assembler) directive(ln int, s string) {
+	name, rest, _ := strings.Cut(s, " ")
+	rest = strings.TrimSpace(rest)
+	switch name {
+	case ".text":
+		a.inData = false
+	case ".data":
+		a.inData = true
+	case ".global", ".globl":
+		// Accepted for compatibility; entry resolution uses _start/main.
+	case ".align":
+		n, err := parseInt(rest)
+		if err != nil || n < 0 || n > 12 {
+			a.errorf(ln, "bad .align operand %q", rest)
+			return
+		}
+		a.alignData(1 << uint(n))
+	case ".space":
+		if !a.inData {
+			a.errorf(ln, ".space outside .data")
+			return
+		}
+		n, err := parseInt(rest)
+		if err != nil || n < 0 || n > 1<<30 {
+			a.errorf(ln, "bad .space size %q", rest)
+			return
+		}
+		a.data = append(a.data, make([]byte, n)...)
+	case ".word":
+		if !a.inData {
+			a.errorf(ln, ".word outside .data")
+			return
+		}
+		a.alignData(8)
+		for _, f := range splitOperands(rest) {
+			v, err := parseInt(f)
+			if err != nil {
+				if isIdent(f) {
+					a.dataFixups = append(a.dataFixups, dataFixup{off: len(a.data), sym: f, line: ln})
+					v = 0
+				} else {
+					a.errorf(ln, "bad .word value %q", f)
+					continue
+				}
+			}
+			var b [8]byte
+			putUint64(b[:], uint64(v))
+			a.data = append(a.data, b[:]...)
+		}
+	case ".byte":
+		if !a.inData {
+			a.errorf(ln, ".byte outside .data")
+			return
+		}
+		for _, f := range splitOperands(rest) {
+			v, err := parseInt(f)
+			if err != nil || v < -128 || v > 255 {
+				a.errorf(ln, "bad .byte value %q", f)
+				continue
+			}
+			a.data = append(a.data, byte(v))
+		}
+	case ".asciiz", ".string":
+		if !a.inData {
+			a.errorf(ln, "%s outside .data", name)
+			return
+		}
+		str, err := strconv.Unquote(rest)
+		if err != nil {
+			a.errorf(ln, "bad string literal %s", rest)
+			return
+		}
+		a.data = append(a.data, str...)
+		a.data = append(a.data, 0)
+	default:
+		a.errorf(ln, "unknown directive %s", name)
+	}
+}
+
+func (a *assembler) alignData(n int) {
+	for len(a.data)%n != 0 {
+		a.data = append(a.data, 0)
+	}
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// splitOperands splits on commas outside string/char literals.
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	inCh := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '\'' && (i == 0 || s[i-1] != '\\'):
+			inCh = !inCh
+		case inCh:
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+		case c == ',' && depth == 0:
+			out = append(out, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	last := strings.TrimSpace(s[start:])
+	if last != "" {
+		out = append(out, last)
+	}
+	return out
+}
+
+// parseInt accepts decimal, hex (0x) and character literals.
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if len(s) >= 2 && s[0] == '\'' {
+		str, err := strconv.Unquote(s)
+		if err != nil || len(str) != 1 {
+			return 0, fmt.Errorf("bad char literal %q", s)
+		}
+		return int64(str[0]), nil
+	}
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	var v uint64
+	var err error
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		v, err = strconv.ParseUint(s[2:], 16, 64)
+	} else {
+		v, err = strconv.ParseUint(s, 10, 64)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}

@@ -1,0 +1,255 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := Assemble("test.s", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func TestBasicInstructions(t *testing.T) {
+	p := mustAssemble(t, `
+		.text
+	main:
+		addi t0, zero, 5
+		add  t1, t0, t0
+		sub  t2, t1, t0
+		halt
+	`)
+	if len(p.Text) != 4 {
+		t.Fatalf("got %d instructions, want 4", len(p.Text))
+	}
+	i0 := p.Text[0]
+	if i0.Op != isa.OpADDI || i0.Rd != isa.RegT0 || i0.Imm != 5 {
+		t.Fatalf("inst 0 = %+v", i0)
+	}
+	if p.Text[3].Op != isa.OpHALT {
+		t.Fatalf("inst 3 = %+v", p.Text[3])
+	}
+	if p.Entry != 0 {
+		t.Fatalf("entry = %d, want 0 (main)", p.Entry)
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	p := mustAssemble(t, `
+	main:	addi t0, zero, 3
+	loop:	addi t0, t0, -1
+		bne  t0, zero, loop
+		beqz t0, done
+		nop
+	done:	halt
+	`)
+	// loop is the second instruction, PC 4.
+	bne := p.Text[2]
+	if bne.Op != isa.OpBNE || uint64(bne.Imm) != 4 {
+		t.Fatalf("bne = %+v, want target 4", bne)
+	}
+	beqz := p.Text[3]
+	if beqz.Op != isa.OpBEQ || beqz.Rs2 != isa.RegZero || uint64(beqz.Imm) != 20 {
+		t.Fatalf("beqz = %+v, want beq to 20", beqz)
+	}
+}
+
+func TestPseudoExpansion(t *testing.T) {
+	p := mustAssemble(t, `
+	main:	li t0, 7
+		li t1, 0x12345
+		li t2, -40000
+		mov a0, t0
+		neg a1, t0
+		not a2, t0
+		ret
+	`)
+	// li 7 -> 1 inst; li 0x12345 -> lui+ori; li -40000 -> lui+ori.
+	ops := []isa.Opcode{}
+	for _, in := range p.Text {
+		ops = append(ops, in.Op)
+	}
+	want := []isa.Opcode{
+		isa.OpADDI,
+		isa.OpLUI, isa.OpORI,
+		isa.OpLUI, isa.OpORI,
+		isa.OpADDI, // mov
+		isa.OpSUB,  // neg
+		isa.OpNOR,  // not
+		isa.OpJR,   // ret
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("got %d instructions %v, want %d", len(ops), ops, len(want))
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("inst %d = %v, want %v", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	p := mustAssemble(t, `
+		.data
+	a:	.word 1, 2, -3
+	s:	.asciiz "hi"
+	b:	.byte 0x41, 66
+	sp:	.space 5
+		.align 3
+	c:	.word 9
+		.text
+	main:	la t0, s
+		halt
+	`)
+	if p.Symbols["a"] != DataBase {
+		t.Fatalf("a at 0x%x", p.Symbols["a"])
+	}
+	if p.Symbols["s"] != DataBase+24 {
+		t.Fatalf("s at 0x%x, want base+24", p.Symbols["s"])
+	}
+	// "hi\0" = 3 bytes, then 2 bytes, then 5 spaces = offset 34, align 8 -> 40.
+	if p.Symbols["c"] != DataBase+40 {
+		t.Fatalf("c at 0x%x, want base+40", p.Symbols["c"])
+	}
+	// .word -3 little-endian (third word, offsets 16..23)
+	if p.Data[16] != 0xFD || p.Data[23] != 0xFF {
+		t.Fatalf("word -3 encoded wrong: % x", p.Data[16:24])
+	}
+	if string(p.Data[24:27]) != "hi\x00" {
+		t.Fatalf("asciiz wrong: %q", p.Data[24:27])
+	}
+	// la expands to lui+ori of the address of s.
+	lui, ori := p.Text[0], p.Text[1]
+	addr := uint64(lui.Imm)<<16 | uint64(ori.Imm)
+	if addr != p.Symbols["s"] {
+		t.Fatalf("la resolved to 0x%x, want 0x%x", addr, p.Symbols["s"])
+	}
+}
+
+func TestMemoryOperands(t *testing.T) {
+	p := mustAssemble(t, `
+	main:	lw  t0, 16(sp)
+		sw  t0, -8(fp)
+		lb  t1, 0(t0)
+		sb  t1, 3(t0)
+		lbu t2, (t0)
+		halt
+	`)
+	lw := p.Text[0]
+	if lw.Op != isa.OpLW || lw.Rd != isa.RegT0 || lw.Rs1 != isa.RegSP || lw.Imm != 16 {
+		t.Fatalf("lw = %+v", lw)
+	}
+	sw := p.Text[1]
+	if sw.Op != isa.OpSW || sw.Rs2 != isa.RegT0 || sw.Rs1 != isa.RegFP || sw.Imm != -8 {
+		t.Fatalf("sw = %+v", sw)
+	}
+	if p.Text[4].Imm != 0 {
+		t.Fatalf("bare (reg) operand: %+v", p.Text[4])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"main: frob t0, t1", "unknown mnemonic"},
+		{"main: addi t0, zero, 99999", "out of signed 16-bit range"},
+		{"main: andi t0, t1, -1", "logical immediate"},
+		{"main: slli t0, t1, 64", "shift amount"},
+		{"main: addi q9, zero, 1", "unknown register"},
+		{"main: j nowhere", "undefined symbol"},
+		{"main: lw t0, t1", "bad memory operand"},
+		{".data\nx: .word 1\n.text\nmain: .word 2", ".word outside .data"},
+		{"main: halt\nmain: halt", "duplicate label"},
+		{"main: addi t0, zero", "want 3 operands"},
+	}
+	for _, c := range cases {
+		_, err := Assemble("t.s", c.src)
+		if err == nil {
+			t.Errorf("%q: expected error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %q does not mention %q", c.src, err.Error(), c.want)
+		}
+	}
+}
+
+func TestErrorLineNumbers(t *testing.T) {
+	_, err := Assemble("t.s", "main: halt\n\n bogus t0\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "t.s:3:") {
+		t.Fatalf("error %q lacks line info", err)
+	}
+}
+
+func TestCommentsAndCharLiterals(t *testing.T) {
+	p := mustAssemble(t, `
+	# full line comment
+	main:	addi t0, zero, 'A'   # trailing
+		addi t1, zero, '\n'  ; alt comment
+		halt
+	`)
+	if p.Text[0].Imm != 65 || p.Text[1].Imm != 10 {
+		t.Fatalf("char literals: %d %d", p.Text[0].Imm, p.Text[1].Imm)
+	}
+}
+
+func TestHashInsideStringLiteral(t *testing.T) {
+	p := mustAssemble(t, `
+		.data
+	s:	.asciiz "a#b"
+		.text
+	main:	halt
+	`)
+	if string(p.Data[:4]) != "a#b\x00" {
+		t.Fatalf("string with hash: %q", p.Data[:4])
+	}
+}
+
+func TestLoadImm64Bit(t *testing.T) {
+	p := mustAssemble(t, `
+	main:	li t0, 0x123456789ABCDEF0
+		halt
+	`)
+	// 6-instruction expansion.
+	if len(p.Text) != 7 {
+		t.Fatalf("got %d instructions, want 7", len(p.Text))
+	}
+}
+
+func TestStartPreferredOverMain(t *testing.T) {
+	p := mustAssemble(t, `
+	main:	halt
+	_start:	j main
+	`)
+	if p.Entry != 4 {
+		t.Fatalf("entry = %d, want 4 (_start)", p.Entry)
+	}
+}
+
+func TestDisassembleRoundTrips(t *testing.T) {
+	p := mustAssemble(t, `
+	main:	addi t0, zero, 5
+	loop:	addi t0, t0, -1
+		bne t0, zero, loop
+		lw a0, 8(sp)
+		sw a0, 0(sp)
+		halt
+	`)
+	dis := Disassemble(p)
+	for _, want := range []string{"main:", "loop:", "addi t0, zero, 5", "bne t0, zero, 0x4", "lw a0, 8(sp)", "halt"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}

@@ -1,0 +1,362 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Immediate ranges, MIPS-style: arithmetic immediates are signed 16-bit,
+// logical immediates are zero-extended 16-bit, shift amounts are 0..63.
+const (
+	minSImm = -32768
+	maxSImm = 32767
+	maxUImm = 65535
+	maxShft = 63
+)
+
+// instruction assembles one instruction or pseudo-instruction.
+func (a *assembler) instruction(ln int, s string) {
+	if a.inData {
+		a.errorf(ln, "instruction in .data section")
+		return
+	}
+	mnem, rest, _ := strings.Cut(s, " ")
+	mnem = strings.ToLower(strings.TrimSpace(mnem))
+	ops := splitOperands(strings.TrimSpace(rest))
+
+	if a.pseudo(ln, mnem, ops) {
+		return
+	}
+
+	op, ok := isa.OpByName(mnem)
+	if !ok {
+		a.errorf(ln, "unknown mnemonic %q", mnem)
+		return
+	}
+	switch {
+	case op == isa.OpHALT:
+		a.need(ln, ops, 0) // halt
+		a.emit(ln, isa.Inst{Op: op})
+	case op == isa.OpSYS:
+		if !a.need(ln, ops, 1) {
+			return
+		}
+		n, err := parseInt(ops[0])
+		if err != nil {
+			a.errorf(ln, "bad syscall number %q", ops[0])
+			return
+		}
+		a.emit(ln, isa.Inst{Op: op, Rd: isa.RegA0, Rs1: isa.RegA0, Imm: n})
+	case op == isa.OpJ || op == isa.OpJAL:
+		if !a.need(ln, ops, 1) {
+			return
+		}
+		a.emitTarget(ln, isa.Inst{Op: op, Rd: ra(op)}, ops[0])
+	case op == isa.OpJR:
+		if !a.need(ln, ops, 1) {
+			return
+		}
+		a.emit(ln, isa.Inst{Op: op, Rs1: a.reg(ln, ops[0])})
+	case op == isa.OpJALR:
+		if !a.need(ln, ops, 1) {
+			return
+		}
+		a.emit(ln, isa.Inst{Op: op, Rd: isa.RegRA, Rs1: a.reg(ln, ops[0])})
+	case op.IsBranch():
+		if !a.need(ln, ops, 3) {
+			return
+		}
+		inst := isa.Inst{Op: op, Rs1: a.reg(ln, ops[0]), Rs2: a.reg(ln, ops[1])}
+		a.emitTarget(ln, inst, ops[2])
+	case op == isa.OpLUI:
+		if !a.need(ln, ops, 2) {
+			return
+		}
+		imm, err := parseInt(ops[1])
+		if err != nil || imm < minSImm || imm > maxSImm {
+			a.errorf(ln, "lui immediate out of range: %q", ops[1])
+			return
+		}
+		a.emit(ln, isa.Inst{Op: op, Rd: a.reg(ln, ops[0]), Imm: imm})
+	case op.IsMem():
+		if !a.need(ln, ops, 2) {
+			return
+		}
+		base, off, ok := a.memOperand(ln, ops[1])
+		if !ok {
+			return
+		}
+		r := a.reg(ln, ops[0])
+		if op == isa.OpSW || op == isa.OpSB {
+			a.emit(ln, isa.Inst{Op: op, Rs1: base, Rs2: r, Imm: off})
+		} else {
+			a.emit(ln, isa.Inst{Op: op, Rd: r, Rs1: base, Imm: off})
+		}
+	case op.HasImm():
+		if !a.need(ln, ops, 3) {
+			return
+		}
+		imm, err := parseInt(ops[2])
+		if err != nil {
+			a.errorf(ln, "bad immediate %q", ops[2])
+			return
+		}
+		if !a.immInRange(ln, op, imm) {
+			return
+		}
+		a.emit(ln, isa.Inst{Op: op, Rd: a.reg(ln, ops[0]), Rs1: a.reg(ln, ops[1]), Imm: imm})
+	default: // three-register form
+		if !a.need(ln, ops, 3) {
+			return
+		}
+		a.emit(ln, isa.Inst{
+			Op: op, Rd: a.reg(ln, ops[0]),
+			Rs1: a.reg(ln, ops[1]), Rs2: a.reg(ln, ops[2]),
+		})
+	}
+}
+
+func ra(op isa.Opcode) uint8 {
+	if op == isa.OpJAL {
+		return isa.RegRA
+	}
+	return 0
+}
+
+func (a *assembler) immInRange(ln int, op isa.Opcode, imm int64) bool {
+	switch op {
+	case isa.OpANDI, isa.OpORI, isa.OpXORI:
+		if imm < 0 || imm > maxUImm {
+			a.errorf(ln, "logical immediate %d out of range 0..%d", imm, maxUImm)
+			return false
+		}
+	case isa.OpSLLI, isa.OpSRLI, isa.OpSRAI:
+		if imm < 0 || imm > maxShft {
+			a.errorf(ln, "shift amount %d out of range 0..%d", imm, maxShft)
+			return false
+		}
+	default:
+		if imm < minSImm || imm > maxSImm {
+			a.errorf(ln, "immediate %d out of signed 16-bit range", imm)
+			return false
+		}
+	}
+	return true
+}
+
+// pseudo expands pseudo-instructions; it returns false when mnem is not a
+// pseudo so the caller tries real opcodes.
+func (a *assembler) pseudo(ln int, mnem string, ops []string) bool {
+	switch mnem {
+	case "nop":
+		a.emit(ln, isa.Inst{Op: isa.OpADDI}) // addi zero, zero, 0
+	case "mov", "move":
+		if !a.need(ln, ops, 2) {
+			return true
+		}
+		a.emit(ln, isa.Inst{Op: isa.OpADDI, Rd: a.reg(ln, ops[0]), Rs1: a.reg(ln, ops[1])})
+	case "neg":
+		if !a.need(ln, ops, 2) {
+			return true
+		}
+		a.emit(ln, isa.Inst{Op: isa.OpSUB, Rd: a.reg(ln, ops[0]), Rs2: a.reg(ln, ops[1])})
+	case "not":
+		if !a.need(ln, ops, 2) {
+			return true
+		}
+		a.emit(ln, isa.Inst{Op: isa.OpNOR, Rd: a.reg(ln, ops[0]), Rs1: a.reg(ln, ops[1])})
+	case "li":
+		if !a.need(ln, ops, 2) {
+			return true
+		}
+		imm, err := parseInt(ops[1])
+		if err != nil {
+			a.errorf(ln, "bad li immediate %q", ops[1])
+			return true
+		}
+		a.loadImm(ln, a.reg(ln, ops[0]), imm)
+	case "la":
+		if !a.need(ln, ops, 2) {
+			return true
+		}
+		rd := a.reg(ln, ops[0])
+		// Always two instructions so pass-1 sizing is stable: lui+ori with
+		// hi/lo fixups (addresses fit in 31 bits).
+		a.fixups = append(a.fixups, fixup{index: len(a.text), sym: ops[1], line: ln, kind: fixHi})
+		a.emit(ln, isa.Inst{Op: isa.OpLUI, Rd: rd})
+		a.fixups = append(a.fixups, fixup{index: len(a.text), sym: ops[1], line: ln, kind: fixLo})
+		a.emit(ln, isa.Inst{Op: isa.OpORI, Rd: rd, Rs1: rd})
+	case "ble":
+		a.swapBranch(ln, ops, isa.OpBGE)
+	case "bgt":
+		a.swapBranch(ln, ops, isa.OpBLT)
+	case "beqz":
+		if !a.need(ln, ops, 2) {
+			return true
+		}
+		a.emitTarget(ln, isa.Inst{Op: isa.OpBEQ, Rs1: a.reg(ln, ops[0])}, ops[1])
+	case "bnez":
+		if !a.need(ln, ops, 2) {
+			return true
+		}
+		a.emitTarget(ln, isa.Inst{Op: isa.OpBNE, Rs1: a.reg(ln, ops[0])}, ops[1])
+	case "call":
+		if !a.need(ln, ops, 1) {
+			return true
+		}
+		a.emitTarget(ln, isa.Inst{Op: isa.OpJAL, Rd: isa.RegRA}, ops[0])
+	case "ret":
+		a.emit(ln, isa.Inst{Op: isa.OpJR, Rs1: isa.RegRA})
+	default:
+		return false
+	}
+	return true
+}
+
+func (a *assembler) swapBranch(ln int, ops []string, op isa.Opcode) {
+	if !a.need(ln, ops, 3) {
+		return
+	}
+	inst := isa.Inst{Op: op, Rs1: a.reg(ln, ops[1]), Rs2: a.reg(ln, ops[0])}
+	a.emitTarget(ln, inst, ops[2])
+}
+
+// loadImm emits the shortest sequence that materializes imm into rd.
+func (a *assembler) loadImm(ln int, rd uint8, imm int64) {
+	switch {
+	case imm >= minSImm && imm <= maxSImm:
+		a.emit(ln, isa.Inst{Op: isa.OpADDI, Rd: rd, Imm: imm})
+	case imm >= -(1<<31) && imm < 1<<31:
+		hi := imm >> 16
+		lo := imm & 0xFFFF
+		a.emit(ln, isa.Inst{Op: isa.OpLUI, Rd: rd, Imm: hi})
+		if lo != 0 {
+			a.emit(ln, isa.Inst{Op: isa.OpORI, Rd: rd, Rs1: rd, Imm: lo})
+		}
+	default:
+		// Full 64-bit build: top 32 bits via lui/ori, then two
+		// shift-or steps for the lower halves.
+		c3 := (imm >> 48) & 0xFFFF
+		if c3 >= 1<<15 {
+			c3 -= 1 << 16 // lui payload is signed
+		}
+		c2 := (imm >> 32) & 0xFFFF
+		c1 := (imm >> 16) & 0xFFFF
+		c0 := imm & 0xFFFF
+		a.emit(ln, isa.Inst{Op: isa.OpLUI, Rd: rd, Imm: c3})
+		a.emit(ln, isa.Inst{Op: isa.OpORI, Rd: rd, Rs1: rd, Imm: c2})
+		a.emit(ln, isa.Inst{Op: isa.OpSLLI, Rd: rd, Rs1: rd, Imm: 16})
+		a.emit(ln, isa.Inst{Op: isa.OpORI, Rd: rd, Rs1: rd, Imm: c1})
+		a.emit(ln, isa.Inst{Op: isa.OpSLLI, Rd: rd, Rs1: rd, Imm: 16})
+		a.emit(ln, isa.Inst{Op: isa.OpORI, Rd: rd, Rs1: rd, Imm: c0})
+	}
+}
+
+// memOperand parses "imm(reg)" or "(reg)" or a bare symbol (absolute).
+func (a *assembler) memOperand(ln int, s string) (base uint8, off int64, ok bool) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		a.errorf(ln, "bad memory operand %q (want imm(reg))", s)
+		return 0, 0, false
+	}
+	offStr := strings.TrimSpace(s[:open])
+	regStr := strings.TrimSpace(s[open+1 : len(s)-1])
+	if offStr != "" {
+		v, err := parseInt(offStr)
+		if err != nil || v < minSImm || v > maxSImm {
+			a.errorf(ln, "bad memory offset %q", offStr)
+			return 0, 0, false
+		}
+		off = v
+	}
+	return a.reg(ln, regStr), off, true
+}
+
+func (a *assembler) reg(ln int, name string) uint8 {
+	r, ok := isa.RegByName(strings.TrimSpace(name))
+	if !ok {
+		a.errorf(ln, "unknown register %q", name)
+		return 0
+	}
+	return uint8(r)
+}
+
+func (a *assembler) need(ln int, ops []string, n int) bool {
+	if len(ops) != n {
+		a.errorf(ln, "want %d operands, got %d", n, len(ops))
+		return false
+	}
+	return true
+}
+
+func (a *assembler) emit(ln int, inst isa.Inst) {
+	a.text = append(a.text, inst)
+	a.textSrc = append(a.textSrc, ln)
+}
+
+// emitTarget emits an instruction whose Imm is a label or absolute PC.
+func (a *assembler) emitTarget(ln int, inst isa.Inst, target string) {
+	target = strings.TrimSpace(target)
+	if v, err := parseInt(target); err == nil {
+		inst.Imm = v
+		a.emit(ln, inst)
+		return
+	}
+	a.fixups = append(a.fixups, fixup{index: len(a.text), sym: target, line: ln, kind: fixBranch})
+	a.emit(ln, inst)
+}
+
+// patch resolves all symbol fixups after both segments are laid out.
+func (a *assembler) patch() {
+	for _, f := range a.dataFixups {
+		addr, ok := a.symbols[f.sym]
+		if !ok {
+			a.errorf(f.line, "undefined symbol %q in .word", f.sym)
+			continue
+		}
+		putUint64(a.data[f.off:], addr)
+	}
+	for _, f := range a.fixups {
+		addr, ok := a.symbols[f.sym]
+		if !ok {
+			a.errorf(f.line, "undefined symbol %q", f.sym)
+			continue
+		}
+		switch f.kind {
+		case fixBranch:
+			a.text[f.index].Imm = int64(addr)
+		case fixHi:
+			if addr >= 1<<31 {
+				a.errorf(f.line, "symbol %q address too large for la", f.sym)
+				continue
+			}
+			a.text[f.index].Imm = int64(addr >> 16)
+		case fixLo:
+			a.text[f.index].Imm = int64(addr & 0xFFFF)
+		}
+	}
+}
+
+// Disassemble renders a program's text segment with PC labels, for
+// debugging and cmd/vpasm.
+func Disassemble(p *isa.Program) string {
+	names := make(map[uint64]string)
+	for sym, addr := range p.Symbols {
+		if addr < isa.IndexToPC(uint64(len(p.Text))) {
+			if old, ok := names[addr]; !ok || sym < old {
+				names[addr] = sym
+			}
+		}
+	}
+	var b strings.Builder
+	for i, inst := range p.Text {
+		pc := isa.IndexToPC(uint64(i))
+		if sym, ok := names[pc]; ok {
+			fmt.Fprintf(&b, "%s:\n", sym)
+		}
+		fmt.Fprintf(&b, "  %06x:  %s\n", pc, inst)
+	}
+	return b.String()
+}

@@ -1,0 +1,142 @@
+// Package bench provides the seven benchmark workloads used to regenerate
+// the paper's experiments. Each workload is a MiniC program whose
+// computational character mirrors one of the integer SPEC95 benchmarks the
+// paper traces (Table 2), plus a deterministic input generator:
+//
+//	compress  LZW compression of generated text        (129.compress)
+//	gcc       mini-compiler front end over C-like code (126.gcc)
+//	go        Othello engine, alpha-beta self-play      (099.go)
+//	ijpeg     block-transform image codec               (132.ijpeg)
+//	m88ksim   toy-RISC interpreter running a program    (124.m88ksim)
+//	perl      anagram/scrabble hash-table word game     (134.perl)
+//	xlisp     lisp interpreter solving N-queens         (130.li)
+//
+// Workloads are compiled with internal/minic, assembled with internal/asm
+// and executed on internal/sim; the value-event stream feeds the
+// predictors. Every workload writes a small self-check digest to output so
+// tests can verify the whole stack end to end.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/minic"
+	"repro/internal/sim"
+)
+
+// Workload is one benchmark program plus its input generator.
+type Workload struct {
+	// Name is the benchmark identifier used in reports ("compress"...).
+	Name string
+	// Paper is the SPEC95 benchmark this workload stands in for.
+	Paper string
+	// Description summarizes the computational character.
+	Description string
+	// Source is the MiniC program text.
+	Source string
+	// Input generates the deterministic input for a scale factor;
+	// scale 1 is the default experiment size.
+	Input func(scale int) []byte
+	// SelfCheck, when non-empty, is the exact output the program must
+	// produce at scale 1 (verified by tests; guards the whole stack).
+	SelfCheck string
+}
+
+// Registry returns all workloads in the paper's reporting order.
+func Registry() []*Workload {
+	return []*Workload{
+		Compress(), Gcc(), Go(), Ijpeg(), M88ksim(), Perl(), Xlisp(),
+	}
+}
+
+// ByName returns the named workload or nil.
+func ByName(name string) *Workload {
+	for _, w := range Registry() {
+		if w.Name == name {
+			return w
+		}
+	}
+	return nil
+}
+
+// Compile builds the workload at the given optimization level.
+func (w *Workload) Compile(opt int) (*isa.Program, error) {
+	asmText, err := minic.Compile(
+		[]minic.Source{{Name: w.Name + ".mc", Text: w.Source}},
+		minic.Options{Opt: opt},
+	)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: compile: %w", w.Name, err)
+	}
+	prog, err := asm.Assemble(w.Name+".s", asmText)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: assemble: %w", w.Name, err)
+	}
+	return prog, nil
+}
+
+// RefOpt is the optimization level used for the paper's standard runs
+// (the analog of the SPEC "ref flags" -O3 builds).
+const RefOpt = 2
+
+// RunConfig parameterizes a workload execution. The zero value means:
+// -O0 build, scale-1 input, run to completion.
+type RunConfig struct {
+	Opt       int    // optimization level 0..3
+	Scale     int    // input scale factor (default 1)
+	MaxEvents uint64 // value-event budget (0 = run to completion)
+	Input     []byte // override input (nil = generated at Scale)
+	OnValue   func(sim.ValueEvent)
+}
+
+// Run compiles and executes the workload. Budget exhaustion is a normal
+// early stop, not an error.
+func (w *Workload) Run(cfg RunConfig) (*sim.Result, error) {
+	prog, err := w.Compile(cfg.Opt)
+	if err != nil {
+		return nil, err
+	}
+	input := cfg.Input
+	if input == nil {
+		scale := cfg.Scale
+		if scale <= 0 {
+			scale = 1
+		}
+		input = w.Input(scale)
+	}
+	res, err := sim.Run(prog, input, sim.Config{
+		MaxInstr:  1 << 62,
+		MaxEvents: cfg.MaxEvents,
+		OnValue:   cfg.OnValue,
+	})
+	if err != nil && !isBudget(err) {
+		return res, fmt.Errorf("bench %s: %w", w.Name, err)
+	}
+	return res, nil
+}
+
+func isBudget(err error) bool {
+	for e := err; e != nil; {
+		if e == sim.ErrBudget {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+// lcg is the deterministic generator used by all input builders.
+type lcg uint64
+
+func (r *lcg) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r >> 33)
+}
+
+func (r *lcg) intn(n int) int { return int(r.next() % uint64(n)) }

@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// TestWorkloadsCompileAllLevels ensures every workload builds at -O0..-O3.
+func TestWorkloadsCompileAllLevels(t *testing.T) {
+	for _, w := range Registry() {
+		for opt := 0; opt <= 3; opt++ {
+			if _, err := w.Compile(opt); err != nil {
+				t.Errorf("%s -O%d: %v", w.Name, opt, err)
+			}
+		}
+	}
+}
+
+// TestWorkloadsSelfCheck runs each workload to completion at scale 1 and
+// verifies the output digest against the recorded golden value, at both
+// -O0 and the reference level; a mismatch indicates a compiler, simulator
+// or workload bug.
+func TestWorkloadsSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload runs in -short mode")
+	}
+	for _, w := range Registry() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			var outRef string
+			for _, opt := range []int{0, RefOpt} {
+				res, err := w.Run(RunConfig{Opt: opt})
+				if err != nil {
+					t.Fatalf("-O%d: %v", opt, err)
+				}
+				if !res.Halted {
+					t.Fatalf("-O%d: did not halt", opt)
+				}
+				if res.ExitCode != 0 {
+					t.Fatalf("-O%d: exit %d, output %q", opt, res.ExitCode, res.Output)
+				}
+				if outRef == "" {
+					outRef = string(res.Output)
+				} else if string(res.Output) != outRef {
+					t.Fatalf("output differs across opt levels:\n-O0:  %q\n-O%d: %q",
+						outRef, opt, res.Output)
+				}
+			}
+			t.Logf("%s output: %s", w.Name, strings.TrimSpace(outRef))
+			if w.SelfCheck != "" && outRef != w.SelfCheck {
+				t.Errorf("self-check mismatch:\n got  %q\n want %q", outRef, w.SelfCheck)
+			}
+		})
+	}
+}
+
+// TestWorkloadsProduceEvents verifies each workload generates a healthy
+// value-event stream with the category spread the analyses rely on.
+func TestWorkloadsProduceEvents(t *testing.T) {
+	for _, w := range Registry() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			var perCat [isa.NumCategories]uint64
+			res, err := w.Run(RunConfig{
+				Opt:       RefOpt,
+				MaxEvents: 300_000,
+				OnValue:   func(ev sim.ValueEvent) { perCat[ev.Cat]++ },
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Events < 100_000 {
+				t.Fatalf("only %d events", res.Events)
+			}
+			if perCat[isa.CatAddSub] == 0 || perCat[isa.CatLoads] == 0 {
+				t.Fatalf("missing core categories: %v", perCat)
+			}
+		})
+	}
+}
+
+// TestXlispCountsQueens checks the lisp program actually solves 7-queens.
+func TestXlispCountsQueens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload runs in -short mode")
+	}
+	w := Xlisp()
+	res, err := w.Run(RunConfig{Opt: RefOpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(res.Output), "40\n") {
+		t.Fatalf("7-queens solutions: output %q, want prefix \"40\\n\"", res.Output)
+	}
+}
+
+// TestInputDeterminism guards the experiment reproducibility contract.
+func TestInputDeterminism(t *testing.T) {
+	for _, w := range Registry() {
+		a := w.Input(1)
+		b := w.Input(1)
+		if string(a) != string(b) {
+			t.Errorf("%s: input generation is non-deterministic", w.Name)
+		}
+		if len(a) == 0 {
+			t.Errorf("%s: empty input", w.Name)
+		}
+	}
+}
+
+// TestGccInputProfilesDiffer ensures the Table 6 input files are actually
+// different workloads.
+func TestGccInputProfilesDiffer(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range GccInputFiles {
+		in := string(GccInput(f, 1))
+		if seen[in] {
+			t.Errorf("%s: duplicate input content", f)
+		}
+		seen[in] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("compress") == nil || ByName("nope") != nil {
+		t.Fatal("ByName lookup broken")
+	}
+}

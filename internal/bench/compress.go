@@ -1,0 +1,123 @@
+package bench
+
+import "strings"
+
+// Compress returns the 129.compress analog: LZW compression with an
+// open-addressed dictionary hash, the classic compress(1) inner loop.
+// Value sequences: constant hash parameters, stride-ish code assignment,
+// and data-dependent hash probes.
+func Compress() *Workload {
+	return &Workload{
+		Name:        "compress",
+		Paper:       "129.compress",
+		Description: "LZW compression of generated text (hash-probe inner loop)",
+		Source:      compressSrc,
+		Input:       textInput,
+		SelfCheck:   "codes 9045 sum 6853629 in 65536\n",
+	}
+}
+
+const compressSrc = `
+// LZW compression, 129.compress analog.
+// Dictionary: open-addressed hash of (prefix code, next char) -> code.
+
+int htab[8192];     // hashed fcode, -1 = empty
+int codetab[8192];  // assigned code
+
+int outcnt;
+int cksum;
+
+void output(int code) {
+	outcnt = outcnt + 1;
+	cksum = (cksum * 31 + code) & 0xFFFFFF;
+}
+
+int main() {
+	int free_ent; int ent; int c; int i; int disp;
+	int fcode; int n; int found;
+
+	for (i = 0; i < 8192; i = i + 1) { htab[i] = -1; }
+	free_ent = 257;
+	n = 0;
+
+	ent = getc();
+	if (ent < 0) { return 1; }
+	n = 1;
+	c = getc();
+	while (c >= 0) {
+		n = n + 1;
+		fcode = (c << 13) + ent;
+		i = ((c << 5) ^ ent) & 8191;
+		found = 0;
+		if (htab[i] == fcode) {
+			ent = codetab[i];
+			found = 1;
+		}
+		if (!found && htab[i] >= 0) {
+			// secondary probe chain
+			disp = 8191 - i;
+			if (i == 0) { disp = 1; }
+			while (!found && htab[i] >= 0) {
+				i = i - disp;
+				if (i < 0) { i = i + 8192; }
+				if (htab[i] == fcode) {
+					ent = codetab[i];
+					found = 1;
+				}
+			}
+		}
+		if (!found) {
+			output(ent);
+			ent = c;
+			if (free_ent < 4096) {
+				codetab[i] = free_ent;
+				htab[i] = fcode;
+				free_ent = free_ent + 1;
+			} else {
+				// dictionary full: clear, like compress block mode
+				for (i = 0; i < 8192; i = i + 1) { htab[i] = -1; }
+				free_ent = 257;
+			}
+		}
+		c = getc();
+	}
+	output(ent);
+
+	print_str("codes ");
+	print_int(outcnt);
+	print_str(" sum ");
+	print_int(cksum);
+	print_str(" in ");
+	print_int(n);
+	putc(10);
+	return 0;
+}
+`
+
+// textInput builds a deterministic pseudo-English corpus: Markov-ish word
+// soup with repeated phrases, giving LZW realistic dictionary behaviour.
+func textInput(scale int) []byte {
+	words := []string{
+		"the", "of", "and", "to", "in", "a", "is", "that", "for", "it",
+		"data", "value", "predict", "table", "cache", "branch", "loop",
+		"stride", "context", "order", "model", "trace", "instruction",
+		"register", "result", "program", "pattern", "sequence", "history",
+	}
+	var b strings.Builder
+	r := lcg(42)
+	n := 64 * 1024 * scale
+	for b.Len() < n {
+		// Occasionally repeat a canned phrase so the dictionary pays off.
+		if r.intn(8) == 0 {
+			b.WriteString("the value of the data is in the table ")
+			continue
+		}
+		b.WriteString(words[r.intn(len(words))])
+		if r.intn(12) == 0 {
+			b.WriteString(".\n")
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	return []byte(b.String()[:n])
+}

@@ -1,0 +1,339 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Gcc returns the 126.gcc analog: a compiler front end written in MiniC.
+// It tokenizes a C-like source from its input, builds ASTs in an arena
+// (one function at a time, like gcc), constant-folds them, and emits stack
+// code, reporting instruction counts. Value sequences: pointer-ish arena
+// indices, token-kind repetition, branchy recursive descent.
+func Gcc() *Workload {
+	return &Workload{
+		Name:        "gcc",
+		Paper:       "126.gcc",
+		Description: "mini-compiler front end (tokenize, parse, fold, emit) over generated source",
+		Source:      gccSrc,
+		Input:       func(scale int) []byte { return GccInput("gcc.i", scale) },
+		SelfCheck:   "funcs 140 emitted 15585 folded 1032 sum 9201253\n",
+	}
+}
+
+// GccInputFiles lists the synthetic source files standing in for the
+// paper's Table 6 gcc inputs.
+var GccInputFiles = []string{"jump.i", "emit-rtl.i", "gcc.i", "recog.i", "stmt.i"}
+
+const gccSrc = `
+// Mini-compiler front end, 126.gcc analog.
+//
+// Input language:
+//   func NAME { stmt* }
+//   stmt: id = expr ; | if (expr) { stmt* } | while (expr) { stmt* }
+//         | print expr ;
+//   expr: the usual + - * / % ( ) < == operators over ints and ids
+//
+// The compiler parses one function at a time into an arena, folds
+// constants, emits stack machine code, and accumulates statistics.
+
+// token kinds
+int T_EOF; int cur; int curval;
+char curid[64];
+
+// arena AST: node = (op, a, b); op: '0'=num, 'v'=var, else operator char
+int nop[32768];
+int na[32768];
+int nb[32768];
+int nn;
+
+// emitted code statistics
+int emitted;
+int folded;
+int funcs;
+int cksum;
+
+int nextc;
+
+int peekc() { return nextc; }
+int advc() { int c; c = nextc; nextc = getc(); return c; }
+
+int isspacec(int c) { return c == 32 || c == 10 || c == 9 || c == 13; }
+int isdigitc(int c) { return c >= '0' && c <= '9'; }
+int isalphac(int c) { return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_'; }
+
+// token kinds: 0 eof, 1 num, 2 id, else the character itself
+void lex() {
+	int c; int i;
+	while (isspacec(peekc())) { advc(); }
+	c = peekc();
+	if (c < 0) { cur = 0; return; }
+	if (isdigitc(c)) {
+		curval = 0;
+		while (isdigitc(peekc())) { curval = curval * 10 + (advc() - '0'); }
+		cur = 1;
+		return;
+	}
+	if (isalphac(c)) {
+		i = 0;
+		while (isalphac(peekc()) || isdigitc(peekc())) {
+			if (i < 63) { curid[i] = advc(); i = i + 1; } else { advc(); }
+		}
+		curid[i] = 0;
+		cur = 2;
+		return;
+	}
+	advc();
+	if (c == '=' && peekc() == '=') { advc(); cur = 'E'; return; }
+	cur = c;
+}
+
+int node(int op, int a, int b) {
+	int id;
+	if (nn >= 32768) { print_str("arena overflow\n"); exit(2); }
+	id = nn;
+	nop[id] = op; na[id] = a; nb[id] = b;
+	nn = nn + 1;
+	return id;
+}
+
+int parse_expr();
+
+int parse_prim() {
+	int id;
+	if (cur == 1) { id = node('0', curval, 0); lex(); return id; }
+	if (cur == 2) {
+		// hash the identifier into a symbol slot
+		int h; int i;
+		h = 0;
+		for (i = 0; curid[i]; i = i + 1) { h = (h * 31 + curid[i]) & 1023; }
+		id = node('v', h, 0);
+		lex();
+		return id;
+	}
+	if (cur == '(') {
+		lex();
+		id = parse_expr();
+		if (cur == ')') { lex(); }
+		return id;
+	}
+	lex();
+	return node('0', 0, 0);
+}
+
+int parse_mul() {
+	int l; int op;
+	l = parse_prim();
+	while (cur == '*' || cur == '/' || cur == '%') {
+		op = cur;
+		lex();
+		l = node(op, l, parse_prim());
+	}
+	return l;
+}
+
+int parse_add() {
+	int l; int op;
+	l = parse_mul();
+	while (cur == '+' || cur == '-') {
+		op = cur;
+		lex();
+		l = node(op, l, parse_mul());
+	}
+	return l;
+}
+
+int parse_expr() {
+	int l; int op;
+	l = parse_add();
+	while (cur == '<' || cur == 'E') {
+		op = cur;
+		lex();
+		l = node(op, l, parse_add());
+	}
+	return l;
+}
+
+// constant folding: returns (possibly new) node id
+int fold(int id) {
+	int op; int a; int b;
+	op = nop[id];
+	if (op == '0' || op == 'v') { return id; }
+	a = fold(na[id]);
+	b = fold(nb[id]);
+	na[id] = a;
+	nb[id] = b;
+	if (nop[a] == '0' && nop[b] == '0') {
+		int x; int y; int r;
+		x = na[a]; y = na[b];
+		r = 0;
+		if (op == '+') { r = x + y; }
+		if (op == '-') { r = x - y; }
+		if (op == '*') { r = x * y; }
+		if (op == '/') { if (y) { r = x / y; } }
+		if (op == '%') { if (y) { r = x % y; } }
+		if (op == '<') { r = x < y; }
+		if (op == 'E') { r = x == y; }
+		folded = folded + 1;
+		return node('0', r, 0);
+	}
+	return id;
+}
+
+// emit stack code: one "instruction" per node, post-order
+void emit(int id) {
+	int op;
+	op = nop[id];
+	if (op == '0') { cksum = (cksum * 33 + na[id]) & 0xFFFFFF; emitted = emitted + 1; return; }
+	if (op == 'v') { cksum = (cksum * 37 + na[id]) & 0xFFFFFF; emitted = emitted + 1; return; }
+	emit(na[id]);
+	emit(nb[id]);
+	cksum = (cksum * 41 + op) & 0xFFFFFF;
+	emitted = emitted + 1;
+}
+
+void parse_stmts();
+
+void parse_stmt() {
+	int e;
+	if (cur == 2) {
+		// could be "if"/"while"/"print"/assignment; compare names
+		if (strcmp(curid, "if") == 0) {
+			lex();
+			if (cur == '(') { lex(); }
+			e = fold(parse_expr());
+			if (cur == ')') { lex(); }
+			emit(e);
+			emitted = emitted + 1;  // branch
+			if (cur == '{') { lex(); parse_stmts(); if (cur == '}') { lex(); } }
+			return;
+		}
+		if (strcmp(curid, "while") == 0) {
+			lex();
+			if (cur == '(') { lex(); }
+			e = fold(parse_expr());
+			if (cur == ')') { lex(); }
+			emit(e);
+			emitted = emitted + 2;  // branch + backedge
+			if (cur == '{') { lex(); parse_stmts(); if (cur == '}') { lex(); } }
+			return;
+		}
+		if (strcmp(curid, "print") == 0) {
+			lex();
+			e = fold(parse_expr());
+			emit(e);
+			emitted = emitted + 1;
+			if (cur == ';') { lex(); }
+			return;
+		}
+		// assignment: id = expr ;
+		lex();
+		if (cur == '=') { lex(); }
+		e = fold(parse_expr());
+		emit(e);
+		emitted = emitted + 1;  // store
+		if (cur == ';') { lex(); }
+		return;
+	}
+	lex();
+}
+
+void parse_stmts() {
+	while (cur != 0 && cur != '}') { parse_stmt(); }
+}
+
+int main() {
+	nextc = getc();
+	lex();
+	while (cur != 0) {
+		// func NAME { stmts }
+		if (cur == 2 && strcmp(curid, "func") == 0) {
+			lex();       // name
+			if (cur == 2) { lex(); }
+			if (cur == '{') { lex(); }
+			nn = 0;      // reset the arena per function, like gcc
+			parse_stmts();
+			if (cur == '}') { lex(); }
+			funcs = funcs + 1;
+		} else {
+			lex();
+		}
+	}
+	print_str("funcs ");
+	print_int(funcs);
+	print_str(" emitted ");
+	print_int(emitted);
+	print_str(" folded ");
+	print_int(folded);
+	print_str(" sum ");
+	print_int(cksum);
+	putc(10);
+	return 0;
+}
+`
+
+// GccInput generates a synthetic C-like source file. Each named file uses
+// a different seed and statement mix, standing in for the paper's
+// different gcc inputs (Table 6). Scale multiplies the function count.
+func GccInput(file string, scale int) []byte {
+	profile := map[string]struct {
+		seed  uint64
+		funcs int
+		exprD int // expression depth bias
+		loops int // while-density percent
+	}{
+		"jump.i":     {seed: 11, funcs: 110, exprD: 2, loops: 30},
+		"emit-rtl.i": {seed: 22, funcs: 120, exprD: 3, loops: 10},
+		"gcc.i":      {seed: 33, funcs: 140, exprD: 3, loops: 20},
+		"recog.i":    {seed: 44, funcs: 200, exprD: 4, loops: 15},
+		"stmt.i":     {seed: 55, funcs: 380, exprD: 3, loops: 40},
+	}
+	p, ok := profile[file]
+	if !ok {
+		p = profile["gcc.i"]
+	}
+	r := lcg(p.seed)
+	var b strings.Builder
+	ids := []string{"i", "j", "k", "n", "tmp", "acc", "ptr", "len", "idx", "val"}
+	var expr func(d int) string
+	expr = func(d int) string {
+		if d <= 0 {
+			if r.intn(2) == 0 {
+				return fmt.Sprint(r.intn(1000))
+			}
+			return ids[r.intn(len(ids))]
+		}
+		ops := []string{"+", "-", "*", "/", "%", "<", "=="}
+		op := ops[r.intn(len(ops))]
+		l, rr := expr(d-1-r.intn(2)), expr(d-1-r.intn(2))
+		if r.intn(3) == 0 {
+			return "(" + l + " " + op + " " + rr + ")"
+		}
+		return l + " " + op + " " + rr
+	}
+	var stmts func(depth, n int)
+	stmts = func(depth, n int) {
+		for s := 0; s < n; s++ {
+			switch {
+			case depth < 2 && r.intn(100) < p.loops:
+				fmt.Fprintf(&b, "while (%s) {\n", expr(1))
+				stmts(depth+1, 1+r.intn(3))
+				b.WriteString("}\n")
+			case depth < 2 && r.intn(100) < 25:
+				fmt.Fprintf(&b, "if (%s) {\n", expr(p.exprD-1))
+				stmts(depth+1, 1+r.intn(2))
+				b.WriteString("}\n")
+			case r.intn(100) < 10:
+				fmt.Fprintf(&b, "print %s;\n", expr(p.exprD))
+			default:
+				fmt.Fprintf(&b, "%s = %s;\n", ids[r.intn(len(ids))], expr(p.exprD))
+			}
+		}
+	}
+	for f := 0; f < p.funcs*scale; f++ {
+		fmt.Fprintf(&b, "func f%d {\n", f)
+		stmts(0, 3+r.intn(8))
+		b.WriteString("}\n")
+	}
+	return []byte(b.String())
+}

@@ -1,0 +1,205 @@
+package bench
+
+import "fmt"
+
+// Go returns the 099.go analog: a board-game engine playing against
+// itself — Othello with alpha-beta search and a positional evaluation,
+// matching SPEC go's character (branchy search over board state, pattern
+// tables, no floating point).
+func Go() *Workload {
+	return &Workload{
+		Name:        "go",
+		Paper:       "099.go",
+		Description: "Othello engine, alpha-beta depth-3 self-play",
+		Source:      goSrc,
+		Input:       goInput,
+		SelfCheck:   "games 3 diff 58 nodes 67893 moves 11832272\n",
+	}
+}
+
+// goInput encodes the number of self-play games.
+func goInput(scale int) []byte {
+	return []byte(fmt.Sprintf("%d\n", 3*scale))
+}
+
+const goSrc = `
+// Othello engine, 099.go analog. Board: 0 empty, 1 black, 2 white.
+
+int board[64];
+int dr[8] = {-1, -1, -1, 0, 0, 1, 1, 1};
+int dc[8] = {-1, 0, 1, -1, 1, -1, 0, 1};
+
+// positional weights: corners gold, X-squares poison
+int weight[64] = {
+	100, -20, 10, 5, 5, 10, -20, 100,
+	-20, -40, 1, 1, 1, 1, -40, -20,
+	10, 1, 3, 2, 2, 3, 1, 10,
+	5, 1, 2, 1, 1, 2, 1, 5,
+	5, 1, 2, 1, 1, 2, 1, 5,
+	10, 1, 3, 2, 2, 3, 1, 10,
+	-20, -40, 1, 1, 1, 1, -40, -20,
+	100, -20, 10, 5, 5, 10, -20, 100
+};
+
+int nodes;
+int movesum;
+
+int opponent(int p) { return 3 - p; }
+
+// flips in one direction from (r,c); returns count (0 = not bracketed)
+int flips_dir(int r, int c, int d, int p) {
+	int rr; int cc; int n; int opp;
+	opp = opponent(p);
+	rr = r + dr[d];
+	cc = c + dc[d];
+	n = 0;
+	while (rr >= 0 && rr < 8 && cc >= 0 && cc < 8 && board[rr * 8 + cc] == opp) {
+		n = n + 1;
+		rr = rr + dr[d];
+		cc = cc + dc[d];
+	}
+	if (n == 0) { return 0; }
+	if (rr < 0 || rr >= 8 || cc < 0 || cc >= 8) { return 0; }
+	if (board[rr * 8 + cc] != p) { return 0; }
+	return n;
+}
+
+int legal(int pos, int p) {
+	int d;
+	if (board[pos]) { return 0; }
+	for (d = 0; d < 8; d = d + 1) {
+		if (flips_dir(pos / 8, pos % 8, d, p)) { return 1; }
+	}
+	return 0;
+}
+
+// apply move, recording flipped squares into undo buffer; returns count
+int apply(int pos, int p, int *undo) {
+	int d; int n; int k; int rr; int cc; int total;
+	total = 0;
+	board[pos] = p;
+	for (d = 0; d < 8; d = d + 1) {
+		n = flips_dir(pos / 8, pos % 8, d, p);
+		rr = pos / 8;
+		cc = pos % 8;
+		for (k = 0; k < n; k = k + 1) {
+			rr = rr + dr[d];
+			cc = cc + dc[d];
+			board[rr * 8 + cc] = p;
+			undo[total] = rr * 8 + cc;
+			total = total + 1;
+		}
+	}
+	return total;
+}
+
+void unapply(int pos, int p, int *undo, int n) {
+	int k; int opp;
+	opp = opponent(p);
+	board[pos] = 0;
+	for (k = 0; k < n; k = k + 1) { board[undo[k]] = opp; }
+}
+
+int evaluate(int p) {
+	int s; int i; int opp;
+	opp = opponent(p);
+	s = 0;
+	for (i = 0; i < 64; i = i + 1) {
+		if (board[i] == p) { s = s + weight[i]; }
+		else { if (board[i] == opp) { s = s - weight[i]; } }
+	}
+	return s;
+}
+
+int alphabeta(int p, int depth, int alpha, int beta) {
+	int pos; int best; int v; int moved;
+	int undo[20];
+	int n;
+	nodes = nodes + 1;
+	if (depth == 0) { return evaluate(p); }
+	best = -1000000;
+	moved = 0;
+	for (pos = 0; pos < 64; pos = pos + 1) {
+		if (legal(pos, p)) {
+			moved = 1;
+			n = apply(pos, p, undo);
+			v = -alphabeta(opponent(p), depth - 1, -beta, -alpha);
+			unapply(pos, p, undo, n);
+			if (v > best) { best = v; }
+			if (best > alpha) { alpha = best; }
+			if (alpha >= beta) { return best; }
+		}
+	}
+	if (!moved) { return evaluate(p); }
+	return best;
+}
+
+// choose the best root move for p, or -1
+int choose(int p, int noise) {
+	int pos; int best; int bestpos; int v;
+	int undo[20];
+	int n;
+	best = -1000000;
+	bestpos = -1;
+	for (pos = 0; pos < 64; pos = pos + 1) {
+		if (legal(pos, p)) {
+			n = apply(pos, p, undo);
+			v = -alphabeta(opponent(p), 2, -1000000, 1000000);
+			unapply(pos, p, undo, n);
+			v = v * 4 + ((rand() >> 3) & noise);
+			if (v > best) { best = v; bestpos = pos; }
+		}
+	}
+	return bestpos;
+}
+
+// play one game; returns signed disc difference (black - white)
+int game() {
+	int i; int p; int passes; int mv; int diff;
+	int undo[20];
+	for (i = 0; i < 64; i = i + 1) { board[i] = 0; }
+	board[27] = 2; board[28] = 1; board[35] = 1; board[36] = 2;
+	p = 1;
+	passes = 0;
+	while (passes < 2) {
+		mv = choose(p, 7);
+		if (mv < 0) {
+			passes = passes + 1;
+		} else {
+			passes = 0;
+			apply(mv, p, undo);
+			movesum = (movesum * 31 + mv) & 0xFFFFFF;
+		}
+		p = opponent(p);
+	}
+	diff = 0;
+	for (i = 0; i < 64; i = i + 1) {
+		if (board[i] == 1) { diff = diff + 1; }
+		if (board[i] == 2) { diff = diff - 1; }
+	}
+	return diff;
+}
+
+int main() {
+	int games; int c; int g; int total;
+	games = 0;
+	c = getc();
+	while (c >= '0' && c <= '9') { games = games * 10 + (c - '0'); c = getc(); }
+	if (games < 1) { games = 1; }
+
+	srand(7);
+	total = 0;
+	for (g = 0; g < games; g = g + 1) { total = total + game(); }
+
+	print_str("games ");
+	print_int(games);
+	print_str(" diff ");
+	print_int(total);
+	print_str(" nodes ");
+	print_int(nodes);
+	print_str(" moves ");
+	print_int(movesum);
+	putc(10);
+	return 0;
+}
+`

@@ -1,0 +1,163 @@
+package bench
+
+import "fmt"
+
+// Ijpeg returns the 132.ijpeg analog: a block-transform image codec.
+// Each 8x8 block of a procedurally generated image goes through a 2-D
+// Walsh-Hadamard transform (the integer-exact stand-in for the DCT, as in
+// H.264), quantization with the JPEG luminance table, zigzag run-length
+// coding, then dequantization and inverse transform with error
+// accumulation. Value sequences: dense stride loops over block memory and
+// table lookups — the compute-bound array workload of the suite.
+func Ijpeg() *Workload {
+	return &Workload{
+		Name:        "ijpeg",
+		Paper:       "132.ijpeg",
+		Description: "block-transform image codec (WHT + quant + RLE + reconstruction)",
+		Source:      ijpegSrc,
+		Input:       ijpegInput,
+		SelfCheck:   "blocks 700 bits 30608 zeros 40735 err 248241\n",
+	}
+}
+
+// ijpegInput encodes the number of 8x8 blocks to process.
+func ijpegInput(scale int) []byte {
+	return []byte(fmt.Sprintf("%d\n", 700*scale))
+}
+
+const ijpegSrc = `
+// Block-transform image codec, 132.ijpeg analog.
+
+// JPEG luminance quantization table (quality ~50), zigzag order.
+int quant[64] = {
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99
+};
+
+int zigzag[64] = {
+	0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63
+};
+
+int block[64];
+int orig[64];
+int coef[64];
+
+int bits;     // entropy estimate
+int errsum;   // reconstruction error
+int zeros;    // zero coefficients after quantization
+
+// in-place 8-point Walsh-Hadamard butterflies at the given stride
+void wht8(int *a, int stride) {
+	int h; int i; int j; int x; int y;
+	for (h = 1; h < 8; h = h * 2) {
+		for (i = 0; i < 8; i = i + h * 2) {
+			for (j = i; j < i + h; j = j + 1) {
+				x = a[j * stride];
+				y = a[(j + h) * stride];
+				a[j * stride] = x + y;
+				a[(j + h) * stride] = x - y;
+			}
+		}
+	}
+}
+
+void forward(int *a) {
+	int r;
+	for (r = 0; r < 8; r = r + 1) { wht8(a + r * 8, 1); }
+	for (r = 0; r < 8; r = r + 1) { wht8(a + r, 8); }
+}
+
+// magnitude bit length, the crude entropy model
+int maglen(int v) {
+	int n;
+	if (v < 0) { v = -v; }
+	n = 0;
+	while (v) { v = v >> 1; n = n + 1; }
+	return n;
+}
+
+void codec_block(int bx) {
+	int i; int run; int v; int d;
+
+	// generate source block: gradient + texture + noise
+	for (i = 0; i < 64; i = i + 1) {
+		int x; int y;
+		x = i & 7;
+		y = i >> 3;
+		v = 128 + (x * 5 - y * 3) + ((bx * 7 + x * y) & 15) + (rand() & 7);
+		orig[i] = v;
+		block[i] = v - 128;
+	}
+
+	forward(block);
+
+	// quantize in zigzag order, run-length coding zeros
+	run = 0;
+	for (i = 0; i < 64; i = i + 1) {
+		v = block[zigzag[i]] / (quant[i] << 3);
+		coef[zigzag[i]] = v;
+		if (v == 0) {
+			run = run + 1;
+			zeros = zeros + 1;
+		} else {
+			bits = bits + 4 + maglen(run) + maglen(v);
+			run = 0;
+		}
+	}
+	if (run) { bits = bits + 4; }
+
+	// dequantize + inverse transform (WHT is self-inverse up to 1/64)
+	for (i = 0; i < 64; i = i + 1) { block[i] = coef[i] * (quant[zigzagindex(i)] << 3); }
+	forward(block);
+	for (i = 0; i < 64; i = i + 1) {
+		v = block[i] / 64 + 128;
+		d = v - orig[i];
+		if (d < 0) { d = -d; }
+		errsum = errsum + d;
+	}
+}
+
+// zigzag position of a raster index (inverse table, computed on demand)
+int zz_inv[64];
+int zz_ready;
+
+int zigzagindex(int raster) {
+	int i;
+	if (!zz_ready) {
+		for (i = 0; i < 64; i = i + 1) { zz_inv[zigzag[i]] = i; }
+		zz_ready = 1;
+	}
+	return zz_inv[raster];
+}
+
+int main() {
+	int nblocks; int c; int b;
+	nblocks = 0;
+	c = getc();
+	while (c >= '0' && c <= '9') { nblocks = nblocks * 10 + (c - '0'); c = getc(); }
+	if (nblocks < 1) { nblocks = 1; }
+
+	srand(2026);
+	for (b = 0; b < nblocks; b = b + 1) { codec_block(b); }
+
+	print_str("blocks ");
+	print_int(nblocks);
+	print_str(" bits ");
+	print_int(bits);
+	print_str(" zeros ");
+	print_int(zeros);
+	print_str(" err ");
+	print_int(errsum);
+	putc(10);
+	return 0;
+}
+`

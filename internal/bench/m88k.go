@@ -1,0 +1,148 @@
+package bench
+
+import "fmt"
+
+// M88ksim returns the 124.m88ksim analog: an instruction-set interpreter
+// written in MiniC (a simulator inside the simulator, exactly the paper's
+// workload class). It executes an embedded toy-RISC ("M8") guest program —
+// a prime counter plus a memory-walking loop — for an input-selected
+// number of outer iterations. Value sequences: interpreter dispatch
+// produces highly repetitive (pc, opcode, operand) streams, the classic
+// FCM-friendly case the paper highlights.
+func M88ksim() *Workload {
+	return &Workload{
+		Name:        "m88ksim",
+		Paper:       "124.m88ksim",
+		Description: "toy-RISC interpreter running a prime-counting guest program",
+		Source:      m88kSrc,
+		Input:       m88kInput,
+		SelfCheck:   "steps 502145 outs 120 sum 12520986\n",
+	}
+}
+
+// m88kInput encodes the outer iteration count as decimal text.
+func m88kInput(scale int) []byte {
+	return []byte(fmt.Sprintf("%d\n", 60*scale))
+}
+
+// The M8 guest ISA, one int per instruction:
+//
+//	bits 24..31 opcode, 16..23 rd (or branch target), 8..15 rs, 0..7 rt/imm8
+//
+//	1 ADDI  2 ADD  3 SUB  4 MUL  5 DIV  6 REM  7 LD  8 ST
+//	9 BEQ  10 BNE  11 BLT  12 JMP(imm24)  13 OUT  14 HALT  15 SLT  17 AND
+const m88kSrc = `
+// Toy-RISC ("M8") interpreter, 124.m88ksim analog.
+//
+// Guest program (r1 = prime limit, set by the host per run):
+//   0..16  count primes below r1 by trial division -> r3
+//   17..29 OUT count, then walk guest memory with stride 7 mod 128
+//
+// Encoding: op<<24 | rd<<16 | rs<<8 | rt  (branch target in rd field).
+
+int code[30] = {
+	(1<<24)+(2<<16)+(0<<8)+2,    //  0: addi r2, r0, 2      n = 2
+	(1<<24)+(3<<16)+(0<<8)+0,    //  1: addi r3, r0, 0      count = 0
+	(15<<24)+(4<<16)+(2<<8)+1,   //  2: slt  r4, r2, r1     n < limit ?
+	(9<<24)+(17<<16)+(4<<8)+0,   //  3: beq  r4, r0 -> 17   done
+	(1<<24)+(5<<16)+(0<<8)+2,    //  4: addi r5, r0, 2      d = 2
+	(1<<24)+(6<<16)+(0<<8)+1,    //  5: addi r6, r0, 1      isprime = 1
+	(4<<24)+(7<<16)+(5<<8)+5,    //  6: mul  r7, r5, r5
+	(15<<24)+(8<<16)+(2<<8)+7,   //  7: slt  r8, r2, r7     n < d*d ?
+	(10<<24)+(14<<16)+(8<<8)+0,  //  8: bne  r8, r0 -> 14   prime confirmed
+	(6<<24)+(9<<16)+(2<<8)+5,    //  9: rem  r9, r2, r5
+	(9<<24)+(13<<16)+(9<<8)+0,   // 10: beq  r9, r0 -> 13   divisible
+	(1<<24)+(5<<16)+(5<<8)+1,    // 11: addi r5, r5, 1
+	(12<<24)+6,                  // 12: jmp  6
+	(1<<24)+(6<<16)+(0<<8)+0,    // 13: addi r6, r0, 0      isprime = 0
+	(2<<24)+(3<<16)+(3<<8)+6,    // 14: add  r3, r3, r6
+	(1<<24)+(2<<16)+(2<<8)+1,    // 15: addi r2, r2, 1
+	(12<<24)+2,                  // 16: jmp  2
+	(13<<24)+(0<<16)+(3<<8)+0,   // 17: out  r3
+	(1<<24)+(10<<16)+(0<<8)+0,   // 18: addi r10, r0, 0     idx = 0
+	(1<<24)+(11<<16)+(0<<8)+0,   // 19: addi r11, r0, 0     sum = 0
+	(1<<24)+(13<<16)+(0<<8)+64,  // 20: addi r13, r0, 64    counter
+	(7<<24)+(12<<16)+(10<<8)+0,  // 21: ld   r12, [r10]
+	(2<<24)+(11<<16)+(11<<8)+12, // 22: add  r11, r11, r12
+	(1<<24)+(10<<16)+(10<<8)+7,  // 23: addi r10, r10, 7
+	(1<<24)+(14<<16)+(0<<8)+127, // 24: addi r14, r0, 127
+	(17<<24)+(10<<16)+(10<<8)+14,// 25: and  r10, r10, r14
+	(1<<24)+(13<<16)+(13<<8)+255,// 26: addi r13, r13, -1
+	(10<<24)+(21<<16)+(13<<8)+0, // 27: bne  r13, r0 -> 21
+	(13<<24)+(0<<16)+(11<<8)+0,  // 28: out  r11
+	(14<<24)                     // 29: halt
+};
+
+int gmem[128];
+int regs[16];
+int out_sum;
+int out_cnt;
+
+int sext8(int v) {
+	if (v >= 128) { return v - 256; }
+	return v;
+}
+
+// run the guest until halt or step budget; returns steps or -1 on a bad
+// opcode
+int interp(int max_steps) {
+	int pc; int inst; int op; int rd; int rs; int rt; int steps;
+	pc = 0;
+	steps = 0;
+	while (steps < max_steps) {
+		steps = steps + 1;
+		inst = code[pc];
+		op = (inst >> 24) & 0xFF;
+		rd = (inst >> 16) & 0xFF;
+		rs = (inst >> 8) & 0xFF;
+		rt = inst & 0xFF;
+		pc = pc + 1;
+		if (op == 1) { regs[rd] = regs[rs] + sext8(rt); }
+		else { if (op == 2) { regs[rd] = regs[rs] + regs[rt]; }
+		else { if (op == 3) { regs[rd] = regs[rs] - regs[rt]; }
+		else { if (op == 4) { regs[rd] = regs[rs] * regs[rt]; }
+		else { if (op == 5) { if (regs[rt]) { regs[rd] = regs[rs] / regs[rt]; } }
+		else { if (op == 6) { if (regs[rt]) { regs[rd] = regs[rs] % regs[rt]; } }
+		else { if (op == 7) { regs[rd] = gmem[regs[rs] & 127]; }
+		else { if (op == 8) { gmem[regs[rs] & 127] = regs[rt]; }
+		else { if (op == 9) { if (regs[rs] == regs[rt]) { pc = rd; } }
+		else { if (op == 10) { if (regs[rs] != regs[rt]) { pc = rd; } }
+		else { if (op == 11) { if (regs[rs] < regs[rt]) { pc = rd; } }
+		else { if (op == 12) { pc = inst & 0xFFFFFF; }
+		else { if (op == 13) { out_sum = (out_sum * 31 + regs[rs]) & 0xFFFFFF; out_cnt = out_cnt + 1; }
+		else { if (op == 14) { return steps; }
+		else { if (op == 15) { regs[rd] = regs[rs] < regs[rt]; }
+		else { if (op == 17) { regs[rd] = regs[rs] & regs[rt]; }
+		else { return -1; } } } } } } } } } } } } } } } }
+		regs[0] = 0;
+	}
+	return steps;
+}
+
+int main() {
+	int iters; int c; int i; int total;
+	iters = 0;
+	c = getc();
+	while (c >= '0' && c <= '9') { iters = iters * 10 + (c - '0'); c = getc(); }
+	if (iters < 1) { iters = 1; }
+
+	for (i = 0; i < 128; i = i + 1) { gmem[i] = i * 3 + 1; }
+
+	total = 0;
+	for (i = 0; i < iters; i = i + 1) {
+		int r;
+		regs[1] = 200 + (i % 17) * 8;   // guest prime limit varies per run
+		r = interp(500000);
+		if (r < 0) { print_str("bad opcode\n"); return 2; }
+		total = total + r;
+	}
+	print_str("steps ");
+	print_int(total);
+	print_str(" outs ");
+	print_int(out_cnt);
+	print_str(" sum ");
+	print_int(out_sum);
+	putc(10);
+	return 0;
+}
+`

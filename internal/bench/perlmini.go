@@ -1,0 +1,206 @@
+package bench
+
+import "strings"
+
+// Perl returns the 134.perl analog (scrabbl.pl input): an anagram/word
+// scoring game over a hash table of dictionary words with malloc'd chain
+// nodes. Value sequences: pointer chasing through heap chains, string
+// loops, hash mixing — the irregular, allocation-heavy member of the
+// suite.
+func Perl() *Workload {
+	return &Workload{
+		Name:        "perl",
+		Paper:       "134.perl",
+		Description: "anagram/scrabble word game over a chained hash table",
+		Source:      perlSrc,
+		Input:       perlInput,
+		SelfCheck:   "dict 1500 queries 9000 found 11752 score 147338\n",
+	}
+}
+
+const perlSrc = `
+// Anagram word game, 134.perl (scrabbl) analog.
+//
+// Input: dictionary words, one per line, then a line ".", then query
+// words. For each query: canonicalize letters, look up all dictionary
+// anagrams, score them with scrabble letter values.
+
+struct ent {
+	char word[24];
+	char sig[24];
+	int score;
+	struct ent *next;
+};
+
+struct ent *buckets[1024];
+
+int letterscore[26] = {
+	1, 3, 3, 2, 1, 4, 2, 4, 1, 8, 5, 1, 3,
+	1, 1, 3, 10, 1, 1, 1, 1, 4, 4, 8, 4, 10
+};
+
+int dictwords;
+int queries;
+int found;
+int totalscore;
+
+// read one word into buf; returns length, 0 at blank line, -1 at EOF
+int readword(char *buf) {
+	int c; int n;
+	n = 0;
+	c = getc();
+	while (c == 10 || c == 13 || c == 32) { c = getc(); }
+	if (c < 0) { return -1; }
+	while (c > 32) {
+		if (n < 23) { buf[n] = c; n = n + 1; }
+		c = getc();
+	}
+	buf[n] = 0;
+	return n;
+}
+
+// canonical signature: letters sorted (insertion sort)
+void makesig(char *word, char *sig) {
+	int i; int j; int n;
+	char c;
+	n = strlen(word);
+	for (i = 0; i < n; i = i + 1) { sig[i] = word[i]; }
+	sig[n] = 0;
+	for (i = 1; i < n; i = i + 1) {
+		c = sig[i];
+		j = i - 1;
+		while (j >= 0 && sig[j] > c) {
+			sig[j + 1] = sig[j];
+			j = j - 1;
+		}
+		sig[j + 1] = c;
+	}
+}
+
+int hashsig(char *sig) {
+	int h; int i;
+	h = 5381;
+	for (i = 0; sig[i]; i = i + 1) { h = (h * 33 + sig[i]) & 0xFFFFF; }
+	return h & 1023;
+}
+
+int wordscore(char *w) {
+	int s; int i; int c;
+	s = 0;
+	for (i = 0; w[i]; i = i + 1) {
+		c = w[i] - 'a';
+		if (c >= 0 && c < 26) { s = s + letterscore[c]; }
+	}
+	return s;
+}
+
+void insert(char *word) {
+	struct ent *e;
+	int h;
+	e = malloc(sizeof(struct ent));
+	strcpy(e->word, word);
+	makesig(word, e->sig);
+	e->score = wordscore(word);
+	h = hashsig(e->sig);
+	e->next = buckets[h];
+	buckets[h] = e;
+	dictwords = dictwords + 1;
+}
+
+int lookup(char *word) {
+	struct ent *e;
+	char sig[24];
+	int h; int s;
+	makesig(word, sig);
+	h = hashsig(sig);
+	s = 0;
+	e = buckets[h];
+	while (e) {
+		if (strcmp(e->sig, sig) == 0) {
+			s = s + e->score;
+			found = found + 1;
+		}
+		e = e->next;
+	}
+	return s;
+}
+
+int main() {
+	char buf[24];
+	int n;
+
+	// dictionary section, terminated by "."
+	n = readword(buf);
+	while (n > 0 && !(n == 1 && buf[0] == '.')) {
+		insert(buf);
+		n = readword(buf);
+	}
+
+	// query section
+	n = readword(buf);
+	while (n > 0) {
+		totalscore = totalscore + lookup(buf);
+		queries = queries + 1;
+		n = readword(buf);
+	}
+
+	print_str("dict ");
+	print_int(dictwords);
+	print_str(" queries ");
+	print_int(queries);
+	print_str(" found ");
+	print_int(found);
+	print_str(" score ");
+	print_int(totalscore);
+	putc(10);
+	return 0;
+}
+`
+
+// perlInput builds a dictionary of pseudo-words and a query stream where
+// roughly a third of the queries are permutations (anagram hits).
+func perlInput(scale int) []byte {
+	r := lcg(99)
+	syll := []string{"ba", "re", "to", "ka", "li", "mo", "zu", "ne", "pi", "sa", "ta", "vo", "we", "xi", "yo", "da"}
+	makeWord := func() string {
+		n := 2 + r.intn(3)
+		var w strings.Builder
+		for i := 0; i < n; i++ {
+			w.WriteString(syll[r.intn(len(syll))])
+		}
+		return w.String()
+	}
+	dict := make([]string, 0, 1500)
+	seen := map[string]bool{}
+	for len(dict) < 1500 {
+		w := makeWord()
+		if !seen[w] {
+			seen[w] = true
+			dict = append(dict, w)
+		}
+	}
+	var b strings.Builder
+	for _, w := range dict {
+		b.WriteString(w)
+		b.WriteByte('\n')
+	}
+	b.WriteString(".\n")
+	nq := 9000 * scale
+	for q := 0; q < nq; q++ {
+		switch r.intn(3) {
+		case 0: // exact dictionary word
+			b.WriteString(dict[r.intn(len(dict))])
+		case 1: // permutation of a dictionary word (anagram hit)
+			w := []byte(dict[r.intn(len(dict))])
+			for i := len(w) - 1; i > 0; i-- {
+				j := r.intn(i + 1)
+				w[i], w[j] = w[j], w[i]
+			}
+			b.Write(w)
+		default: // likely miss
+			b.WriteString(makeWord())
+		}
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}

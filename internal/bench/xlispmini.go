@@ -1,0 +1,321 @@
+package bench
+
+import "fmt"
+
+// Xlisp returns the 130.li analog: a lisp interpreter written in MiniC
+// evaluating an N-queens program — the same workload the paper uses
+// ("xlisp, 7 queens"). Value sequences: cons-cell indices (heap-ish
+// strides), deep recursive eval with assoc-list environment chasing.
+func Xlisp() *Workload {
+	return &Workload{
+		Name:        "xlisp",
+		Paper:       "130.li",
+		Description: "lisp interpreter solving N-queens",
+		Source:      xlispSrc,
+		Input:       xlispInput,
+		SelfCheck:   "40\nforms 6 evals 410280 conses 98659\n",
+	}
+}
+
+// xlispInput returns the lisp program. Scale raises the board size
+// (7 queens at scale 1, as in the paper; capped at 8 to bound the cell
+// arena).
+func xlispInput(scale int) []byte {
+	n := 6 + scale
+	if n > 8 {
+		n = 8
+	}
+	return []byte(fmt.Sprintf(lispProgram, n))
+}
+
+// The guest lisp program: count N-queens solutions with lists.
+// 7 queens has 40 solutions, 8 queens 92.
+const lispProgram = `
+(define abs2 (lambda (x) (if (< x 0) (- 0 x) x)))
+(define len2 (lambda (l) (if (nullp l) 0 (+ 1 (len2 (cdr l))))))
+(define safe (lambda (row queens d)
+  (if (nullp queens) 1
+    (if (= (car queens) row) 0
+      (if (= (abs2 (- (car queens) row)) d) 0
+        (safe row (cdr queens) (+ d 1)))))))
+(define tryrow (lambda (n row queens)
+  (if (= row n) 0
+    (+ (if (= (safe row queens 1) 1) (place n (cons row queens)) 0)
+       (tryrow n (+ row 1) queens)))))
+(define place (lambda (n queens)
+  (if (= (len2 queens) n) 1 (tryrow n 0 queens))))
+(print (place %d (quote ())))
+`
+
+const xlispSrc = `
+// Tiny lisp interpreter, 130.li analog.
+//
+// Cells live in parallel arrays; tags: 1 int, 2 symbol, 3 cons,
+// 4 builtin, 5 lambda. Cell 0 is nil. Small integers are interned so
+// arithmetic does not exhaust the arena; there is no garbage collector
+// (the arena is sized for the workload, like early xlisp with a large
+// heap).
+
+int tag[1000000];
+int car_[1000000];
+int cdr_[1000000];
+int ncells;
+
+// interned small ints -128..1023 (0 means "not yet created")
+int smallint[1152];
+
+// symbol interning
+char names[8192];
+int nameoff[512];
+int nsyms;
+
+int genv;      // global environment: assoc list of (sym . val)
+int evals;     // eval invocation count
+int conses;    // cons allocations
+
+int nextch;
+
+int cell(int t, int a, int d) {
+	int id;
+	if (ncells >= 1000000) { print_str("heap exhausted\n"); exit(3); }
+	id = ncells;
+	tag[id] = t; car_[id] = a; cdr_[id] = d;
+	ncells = ncells + 1;
+	return id;
+}
+
+int cons(int a, int d) { conses = conses + 1; return cell(3, a, d); }
+
+int mkint(int v) {
+	int idx;
+	if (v >= -128 && v < 1024) {
+		idx = v + 128;
+		if (smallint[idx] == 0) { smallint[idx] = cell(1, v, 0); }
+		return smallint[idx];
+	}
+	return cell(1, v, 0);
+}
+
+char symbuf[64];
+
+int intern() {
+	int i; int off;
+	for (i = 0; i < nsyms; i = i + 1) {
+		if (strcmp(names + nameoff[i], symbuf) == 0) { return cell(2, i, 0); }
+	}
+	if (nsyms >= 512) { print_str("too many symbols\n"); exit(6); }
+	off = 0;
+	if (nsyms > 0) {
+		off = nameoff[nsyms - 1] + strlen(names + nameoff[nsyms - 1]) + 1;
+	}
+	nameoff[nsyms] = off;
+	strcpy(names + off, symbuf);
+	nsyms = nsyms + 1;
+	return cell(2, nsyms - 1, 0);
+}
+
+// --- reader ---
+
+int rpeek() { return nextch; }
+int radv() { int c; c = nextch; nextch = getc(); return c; }
+
+void rskip() {
+	while (rpeek() == 32 || rpeek() == 10 || rpeek() == 13 || rpeek() == 9) { radv(); }
+}
+
+int readexpr() {
+	int c; int i; int v; int neg;
+	rskip();
+	c = rpeek();
+	if (c < 0) { return 0; }
+	if (c == '(') {
+		int head; int tl; int e;
+		radv();
+		rskip();
+		if (rpeek() == ')') { radv(); return 0; }  // ()
+		e = readexpr();
+		head = cons(e, 0);
+		tl = head;
+		rskip();
+		while (rpeek() != ')' && rpeek() >= 0) {
+			e = readexpr();
+			cdr_[tl] = cons(e, 0);
+			tl = cdr_[tl];
+			rskip();
+		}
+		radv();  // ')'
+		return head;
+	}
+	neg = 0;
+	if (c == '-') {
+		radv();
+		if (rpeek() >= '0' && rpeek() <= '9') {
+			neg = 1;
+		} else {
+			symbuf[0] = '-';
+			symbuf[1] = 0;
+			return intern();
+		}
+	}
+	if (rpeek() >= '0' && rpeek() <= '9') {
+		v = 0;
+		while (rpeek() >= '0' && rpeek() <= '9') { v = v * 10 + (radv() - '0'); }
+		if (neg) { v = -v; }
+		return mkint(v);
+	}
+	i = 0;
+	while (rpeek() > 32 && rpeek() != '(' && rpeek() != ')') {
+		if (i < 63) { symbuf[i] = radv(); i = i + 1; } else { radv(); }
+	}
+	symbuf[i] = 0;
+	return intern();
+}
+
+// --- environment ---
+
+// lookup walks the lexical chain, then the global environment, so
+// top-level definitions may reference later ones (as in xlisp).
+int lookup(int symid, int env) {
+	int pair; int scan; int round;
+	for (round = 0; round < 2; round = round + 1) {
+		scan = env;
+		if (round == 1) { scan = genv; }
+		while (scan) {
+			pair = car_[scan];
+			if (car_[car_[pair]] == symid) { return cdr_[pair]; }
+			scan = cdr_[scan];
+		}
+	}
+	print_str("unbound: ");
+	print_str(names + nameoff[symid]);
+	putc(10);
+	exit(4);
+	return 0;
+}
+
+int bind(int symcell, int val, int env) {
+	return cons(cons(symcell, val), env);
+}
+
+int symis(int symcell, char *s) {
+	return tag[symcell] == 2 && strcmp(names + nameoff[car_[symcell]], s) == 0;
+}
+
+// --- eval ---
+
+int eval(int e, int env);
+
+int apply(int fn, int args, int env) {
+	int vals[8];
+	int n; int a;
+	n = 0;
+	a = args;
+	while (a && n < 8) {
+		vals[n] = eval(car_[a], env);
+		n = n + 1;
+		a = cdr_[a];
+	}
+	if (tag[fn] == 5) {
+		int params; int body; int lenv; int i;
+		params = car_[fn];
+		body = car_[cdr_[fn]];
+		lenv = cdr_[cdr_[fn]];
+		i = 0;
+		while (params && i < n) {
+			lenv = bind(car_[params], vals[i], lenv);
+			params = cdr_[params];
+			i = i + 1;
+		}
+		return eval(body, lenv);
+	}
+	if (tag[fn] == 4) {
+		int b;
+		b = car_[fn];
+		if (b == 1) { return mkint(car_[vals[0]] + car_[vals[1]]); }
+		if (b == 2) { return mkint(car_[vals[0]] - car_[vals[1]]); }
+		if (b == 3) { return mkint(car_[vals[0]] * car_[vals[1]]); }
+		if (b == 4) { return mkint(car_[vals[0]] < car_[vals[1]]); }
+		if (b == 5) { return mkint(car_[vals[0]] == car_[vals[1]]); }
+		if (b == 6) { return cons(vals[0], vals[1]); }
+		if (b == 7) { return car_[vals[0]]; }
+		if (b == 8) { return cdr_[vals[0]]; }
+		if (b == 9) { return mkint(vals[0] == 0); }
+		if (b == 10) { print_int(car_[vals[0]]); putc(10); return vals[0]; }
+	}
+	print_str("not a function\n");
+	exit(5);
+	return 0;
+}
+
+int eval(int e, int env) {
+	int head;
+	evals = evals + 1;
+	if (e == 0) { return 0; }
+	if (tag[e] == 1) { return e; }
+	if (tag[e] == 2) { return lookup(car_[e], env); }
+	head = car_[e];
+	if (tag[head] == 2) {
+		if (symis(head, "quote")) { return car_[cdr_[e]]; }
+		if (symis(head, "if")) {
+			int c;
+			c = eval(car_[cdr_[e]], env);
+			if (c != 0 && !(tag[c] == 1 && car_[c] == 0)) {
+				return eval(car_[cdr_[cdr_[e]]], env);
+			}
+			return eval(car_[cdr_[cdr_[cdr_[e]]]], env);
+		}
+		if (symis(head, "lambda")) {
+			return cell(5, car_[cdr_[e]], cons(car_[cdr_[cdr_[e]]], env));
+		}
+		if (symis(head, "define")) {
+			int val;
+			val = eval(car_[cdr_[cdr_[e]]], genv);
+			genv = bind(car_[cdr_[e]], val, genv);
+			return val;
+		}
+	}
+	return apply(eval(head, env), cdr_[e], env);
+}
+
+void defbuiltin(char *name, int id) {
+	int symcell;
+	strcpy(symbuf, name);
+	symcell = intern();
+	genv = bind(symcell, cell(4, id, 0), genv);
+}
+
+int main() {
+	int e; int count;
+	ncells = 1;  // cell 0 is nil
+
+	defbuiltin("+", 1);
+	defbuiltin("-", 2);
+	defbuiltin("*", 3);
+	defbuiltin("<", 4);
+	defbuiltin("=", 5);
+	defbuiltin("cons", 6);
+	defbuiltin("car", 7);
+	defbuiltin("cdr", 8);
+	defbuiltin("nullp", 9);
+	defbuiltin("print", 10);
+
+	nextch = getc();
+	count = 0;
+	rskip();
+	while (rpeek() >= 0) {
+		e = readexpr();
+		eval(e, genv);
+		count = count + 1;
+		rskip();
+	}
+
+	print_str("forms ");
+	print_int(count);
+	print_str(" evals ");
+	print_int(evals);
+	print_str(" conses ");
+	print_int(conses);
+	putc(10);
+	return 0;
+}
+`

@@ -1,0 +1,155 @@
+package core
+
+import "encoding/binary"
+
+// BoundedFCM is a fixed-capacity, hashed variant of the FCM — the step
+// from the paper's unbounded idealization (§4.3 notes "when real
+// implementations are considered, of course this will not be possible")
+// toward a realizable two-level table, as later built by the
+// Sazeides/Smith follow-up work and the CVP championship predictors.
+//
+// Level 1 (per-PC) is a direct-mapped table of 2^pcBits entries holding
+// the value history. Level 2 maps a hashed (pc, context) to a single
+// predicted value with a 2-bit confidence counter. Unlike FCM, both
+// levels alias: different instructions or contexts may collide, trading
+// accuracy for bounded storage — exactly the effect the paper's
+// methodology deliberately excludes, made measurable here.
+type BoundedFCM struct {
+	order   int
+	l1Mask  uint64
+	l2Mask  uint64
+	l1      []boundedHist
+	l2      []boundedEntry
+	updates uint64
+}
+
+type boundedHist struct {
+	tag  uint64
+	hist [MaxFCMOrder]uint64
+	n    int
+}
+
+type boundedEntry struct {
+	tag   uint64
+	value uint64
+	conf  int8
+}
+
+// NewBoundedFCM builds an order-k bounded FCM with 2^pcBits level-1
+// entries and 2^tableBits level-2 entries (e.g. order 3, 10, 16).
+func NewBoundedFCM(order, pcBits, tableBits int) *BoundedFCM {
+	if order < 1 {
+		order = 1
+	}
+	if order > MaxFCMOrder {
+		order = MaxFCMOrder
+	}
+	if pcBits < 1 {
+		pcBits = 1
+	}
+	if tableBits < 1 {
+		tableBits = 1
+	}
+	return &BoundedFCM{
+		order:  order,
+		l1Mask: (1 << pcBits) - 1,
+		l2Mask: (1 << tableBits) - 1,
+		l1:     make([]boundedHist, 1<<pcBits),
+		l2:     make([]boundedEntry, 1<<tableBits),
+	}
+}
+
+// Name implements Predictor.
+func (p *BoundedFCM) Name() string { return "bfcm" + itoa(p.order) }
+
+// slot1 returns the (possibly aliased) level-1 entry for pc. A tag
+// mismatch means another instruction evicted this slot; its history is
+// reused as-is, modelling destructive aliasing.
+func (p *BoundedFCM) slot1(pc uint64) *boundedHist {
+	return &p.l1[(pc>>2)&p.l1Mask]
+}
+
+// hashCtx folds pc and the value history into a level-2 index.
+func (p *BoundedFCM) hashCtx(pc uint64, h *boundedHist) uint64 {
+	var buf [8]byte
+	acc := pc * 0x9E3779B97F4A7C15
+	for i := 0; i < h.n; i++ {
+		binary.LittleEndian.PutUint64(buf[:], h.hist[i])
+		for _, b := range buf {
+			acc = (acc ^ uint64(b)) * 0x100000001B3
+		}
+	}
+	return acc
+}
+
+// Predict implements Predictor: predict only with full history and
+// matching level-2 tag plus non-zero confidence.
+func (p *BoundedFCM) Predict(pc uint64) (uint64, bool) {
+	h := p.slot1(pc)
+	if h.tag != pc || h.n < p.order {
+		return 0, false
+	}
+	hash := p.hashCtx(pc, h)
+	e := &p.l2[hash&p.l2Mask]
+	if e.tag != hash>>32 || e.conf <= 0 {
+		return 0, false
+	}
+	return e.value, true
+}
+
+// Update implements Predictor.
+func (p *BoundedFCM) Update(pc uint64, value uint64) {
+	h := p.slot1(pc)
+	if h.tag != pc {
+		// Eviction: a different instruction owns the slot now.
+		h.tag = pc
+		h.n = 0
+	}
+	if h.n >= p.order {
+		hash := p.hashCtx(pc, h)
+		e := &p.l2[hash&p.l2Mask]
+		tag := hash >> 32
+		switch {
+		case e.tag == tag && e.value == value:
+			if e.conf < 3 {
+				e.conf++
+			}
+		case e.tag == tag:
+			e.conf--
+			if e.conf <= 0 {
+				e.value = value
+				e.conf = 1
+			}
+		default:
+			// Level-2 collision with another (pc, context): replace only
+			// when the incumbent has no confidence left.
+			e.conf--
+			if e.conf <= 0 {
+				e.tag = tag
+				e.value = value
+				e.conf = 1
+			}
+		}
+	}
+	// Shift the value history.
+	if h.n < p.order {
+		h.hist[h.n] = value
+		h.n++
+		return
+	}
+	copy(h.hist[:p.order-1], h.hist[1:p.order])
+	h.hist[p.order-1] = value
+	p.updates++
+}
+
+// Reset implements Resetter.
+func (p *BoundedFCM) Reset() {
+	clear(p.l1)
+	clear(p.l2)
+	p.updates = 0
+}
+
+// TableEntries implements Sized: fixed capacities.
+func (p *BoundedFCM) TableEntries() (static, total int) {
+	return len(p.l1), len(p.l1) + len(p.l2)
+}

@@ -1,0 +1,101 @@
+package core
+
+import "testing"
+
+func TestBoundedFCMLearnsRepeatingSequence(t *testing.T) {
+	p := NewBoundedFCM(3, 10, 16)
+	seq := []uint64{10, 20, 30, 40}
+	misses := 0
+	for rep := 0; rep < 20; rep++ {
+		for _, v := range seq {
+			pred, ok := p.Predict(0x400)
+			if rep >= 4 && (!ok || pred != v) {
+				misses++
+			}
+			p.Update(0x400, v)
+		}
+	}
+	if misses != 0 {
+		t.Fatalf("bounded fcm: %d steady-state misses on RS, want 0", misses)
+	}
+}
+
+func TestBoundedFCMDestructiveAliasing(t *testing.T) {
+	// Two PCs mapping to the same level-1 slot must evict each other;
+	// with only 2 L1 entries, pc and pc+8*(1<<1) collide.
+	p := NewBoundedFCM(2, 1, 12)
+	pcA, pcB := uint64(0x00), uint64(0x10) // both index slot 0 with 1-bit mask... pcA>>2=0, pcB>>2=4 -> &1 = 0
+	for i := 0; i < 50; i++ {
+		p.Update(pcA, 7)
+		p.Update(pcB, 9) // evicts pcA's history every time
+	}
+	// After interleaved eviction neither PC can accumulate full history,
+	// so no prediction is possible: destructive aliasing in action.
+	if _, ok := p.Predict(pcA); ok {
+		t.Fatal("expected aliasing to prevent prediction for pcA")
+	}
+}
+
+func TestBoundedFCMUnboundedComparison(t *testing.T) {
+	// On a stream of many static instructions with repeating patterns, a
+	// tiny bounded FCM must do strictly worse than the unbounded FCM,
+	// and a generously sized one should approach it.
+	gen := func(p Predictor) float64 {
+		var acc Accuracy
+		patterns := [][]uint64{
+			{1, 2, 3}, {9, 9, 5}, {100, 50, 100, 75}, {42},
+		}
+		for i := 0; i < 30_000; i++ {
+			pc := uint64(i%997) * 4
+			pat := patterns[pc%uint64(len(patterns))]
+			v := pat[i%len(pat)]
+			pred, ok := p.Predict(pc)
+			acc.Observe(ok && pred == v)
+			p.Update(pc, v)
+		}
+		return acc.Rate()
+	}
+	unbounded := gen(NewFCM(3))
+	big := gen(NewBoundedFCM(3, 12, 18))
+	tiny := gen(NewBoundedFCM(3, 4, 8))
+	if !(tiny < big) {
+		t.Fatalf("tiny bounded (%.3f) should underperform big bounded (%.3f)", tiny, big)
+	}
+	if !(big <= unbounded+0.02) {
+		t.Fatalf("bounded (%.3f) should not beat unbounded (%.3f)", big, unbounded)
+	}
+	if big < unbounded-0.25 {
+		t.Fatalf("generous bounded (%.3f) too far below unbounded (%.3f)", big, unbounded)
+	}
+}
+
+func TestBoundedFCMReset(t *testing.T) {
+	p := NewBoundedFCM(2, 8, 12)
+	for i := 0; i < 100; i++ {
+		p.Update(4, uint64(i%3))
+	}
+	p.Reset()
+	if _, ok := p.Predict(4); ok {
+		t.Fatal("reset bounded fcm must not predict")
+	}
+	static, total := p.TableEntries()
+	if static != 1<<8 || total != (1<<8)+(1<<12) {
+		t.Fatalf("capacities: static=%d total=%d", static, total)
+	}
+}
+
+func TestBoundedFCMConfidenceResistsNoise(t *testing.T) {
+	p := NewBoundedFCM(1, 8, 12)
+	// Train context 5 -> 7 strongly.
+	for i := 0; i < 20; i++ {
+		p.Update(8, 5)
+		p.Update(8, 7)
+	}
+	// One noisy occurrence must not flip the high-confidence entry.
+	p.Update(8, 5)
+	p.Update(8, 99)
+	p.Update(8, 5)
+	if v, ok := p.Predict(8); !ok || v != 7 {
+		t.Fatalf("confidence lost to single noise event: got (%d,%v)", v, ok)
+	}
+}

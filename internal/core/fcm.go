@@ -1,0 +1,290 @@
+package core
+
+import "encoding/binary"
+
+// MaxFCMOrder bounds the context length supported by FCM predictors. The
+// paper sweeps orders 1..8 in Figure 11.
+const MaxFCMOrder = 16
+
+// FCM is the finite context method predictor of Section 2.2 as simulated
+// in the paper: per static instruction it keeps, for every context (an
+// ordered sequence of the most recent k values), exact occurrence counts
+// of each value that followed that context. The predicted value is the one
+// with the maximum count (most recently observed wins ties).
+//
+// An order-k FCM internally blends orders k..0 ("n different fcm
+// predictors of orders 0 to n-1"): the prediction comes from the highest
+// order whose context has been observed before, and updates follow the
+// lazy-exclusion rule — only the matched order and all higher orders have
+// their counts updated. Contexts are full concatenations of history
+// values, so there is no aliasing when matching contexts.
+type FCM struct {
+	order int
+	blend bool
+	table map[uint64]*fcmPC
+}
+
+// fcmPC is the per-static-instruction state of an FCM.
+type fcmPC struct {
+	hist    [MaxFCMOrder]uint64 // most recent values, hist[0] oldest kept
+	n       int                 // how many history values are valid (<= order)
+	ctxs    []map[string]*fcmCtx
+	updates uint64 // total updates at this PC (for reporting)
+}
+
+// fcmCtx holds the exact value counts observed after one context.
+type fcmCtx struct {
+	vals []fcmVal
+	best int // index into vals of the current prediction
+}
+
+// fcmVal is one (value, count) pair; contexts typically see very few
+// distinct values, so a small linear-scanned slice beats a map.
+type fcmVal struct {
+	value uint64
+	count uint32
+}
+
+// NewFCM returns an order-k FCM with blending and lazy exclusion, the
+// configuration the paper simulates as fcm1/fcm2/fcm3.
+func NewFCM(order int) *FCM {
+	if order < 0 {
+		order = 0
+	}
+	if order > MaxFCMOrder {
+		order = MaxFCMOrder
+	}
+	return &FCM{order: order, blend: true, table: make(map[uint64]*fcmPC)}
+}
+
+// NewFCMNoBlend returns an order-k FCM without blending: it predicts only
+// on an exact order-k context match and updates only the order-k table.
+// Used for the blending ablation.
+func NewFCMNoBlend(order int) *FCM {
+	p := NewFCM(order)
+	p.blend = false
+	return p
+}
+
+// Name implements Predictor.
+func (p *FCM) Name() string {
+	if !p.blend {
+		return "fcm" + itoa(p.order) + "nb"
+	}
+	return "fcm" + itoa(p.order)
+}
+
+// Order returns the maximum context length of this FCM.
+func (p *FCM) Order() int { return p.order }
+
+// itoa converts a small non-negative int without importing strconv.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// ctxKey encodes the most recent o values of s as a map key. Order-0 uses
+// the empty key. Full concatenation guarantees no aliasing.
+func (s *fcmPC) ctxKey(o int) string {
+	if o == 0 {
+		return ""
+	}
+	var buf [8 * MaxFCMOrder]byte
+	for i := 0; i < o; i++ {
+		binary.LittleEndian.PutUint64(buf[i*8:], s.hist[s.n-o+i])
+	}
+	return string(buf[: 8*o : 8*o])
+}
+
+// Predict implements Predictor. With blending, the highest order whose
+// context has been seen makes the prediction; without, only the full
+// order is consulted.
+func (p *FCM) Predict(pc uint64) (uint64, bool) {
+	s, ok := p.table[pc]
+	if !ok {
+		return 0, false
+	}
+	v, _, ok := p.lookup(s)
+	return v, ok
+}
+
+// lookup returns the predicted value and the order that matched.
+func (p *FCM) lookup(s *fcmPC) (value uint64, matched int, ok bool) {
+	lowest := p.order
+	if p.blend {
+		lowest = 0
+	}
+	for o := p.order; o >= lowest; o-- {
+		if o > s.n {
+			continue
+		}
+		t := s.ctxs[o]
+		if t == nil {
+			continue
+		}
+		if c, hit := t[s.ctxKey(o)]; hit && len(c.vals) > 0 {
+			return c.vals[c.best].value, o, true
+		}
+	}
+	return 0, -1, false
+}
+
+// Update implements Predictor, applying lazy exclusion: the matched order
+// and all higher orders are updated; lower orders are left untouched.
+func (p *FCM) Update(pc uint64, value uint64) {
+	s, ok := p.table[pc]
+	if !ok {
+		s = &fcmPC{ctxs: make([]map[string]*fcmCtx, p.order+1)}
+		p.table[pc] = s
+	}
+	_, matched, hit := p.lookup(s)
+	low := 0
+	if hit && p.blend {
+		low = matched
+	}
+	if !p.blend {
+		low = p.order
+	}
+	for o := p.order; o >= low; o-- {
+		if o > s.n {
+			continue
+		}
+		t := s.ctxs[o]
+		if t == nil {
+			t = make(map[string]*fcmCtx)
+			s.ctxs[o] = t
+		}
+		key := s.ctxKey(o)
+		c := t[key]
+		if c == nil {
+			c = &fcmCtx{}
+			t[key] = c
+		}
+		c.add(value)
+	}
+	s.push(value, p.order)
+	s.updates++
+}
+
+// add increments the count for v and maintains the max-count prediction;
+// a just-updated value wins ties, giving most-recently-seen tie-breaks.
+func (c *fcmCtx) add(v uint64) {
+	for i := range c.vals {
+		if c.vals[i].value == v {
+			c.vals[i].count++
+			if c.vals[i].count >= c.vals[c.best].count {
+				c.best = i
+			}
+			return
+		}
+	}
+	c.vals = append(c.vals, fcmVal{value: v, count: 1})
+	if len(c.vals) == 1 || c.vals[c.best].count <= 1 {
+		c.best = len(c.vals) - 1
+	}
+}
+
+// push appends v to the value history, keeping at most order values.
+func (s *fcmPC) push(v uint64, order int) {
+	if order == 0 {
+		return
+	}
+	if s.n < order {
+		s.hist[s.n] = v
+		s.n++
+		return
+	}
+	copy(s.hist[:order-1], s.hist[1:order])
+	s.hist[order-1] = v
+}
+
+// Reset implements Resetter.
+func (p *FCM) Reset() { clear(p.table) }
+
+// TableEntries implements Sized: static PCs tracked and total contexts
+// across all orders.
+func (p *FCM) TableEntries() (static, total int) {
+	static = len(p.table)
+	for _, s := range p.table {
+		for _, t := range s.ctxs {
+			total += len(t)
+		}
+	}
+	return static, total
+}
+
+// CountTable is a standalone order-k finite context model over an
+// arbitrary symbol sequence, mirroring the frequency tables of the paper's
+// Figure 1. It is independent of the Predictor machinery and is used by
+// the fig1 experiment, tests and examples.
+type CountTable struct {
+	order  int
+	counts map[string]map[string]int
+}
+
+// NewCountTable returns an empty order-k context model for symbols.
+func NewCountTable(order int) *CountTable {
+	if order < 0 {
+		order = 0
+	}
+	return &CountTable{order: order, counts: make(map[string]map[string]int)}
+}
+
+// Train observes the sequence, counting for each length-k context the
+// symbols that immediately follow it.
+func (m *CountTable) Train(symbols []string) {
+	for i := m.order; i < len(symbols); i++ {
+		ctx := join(symbols[i-m.order : i])
+		row := m.counts[ctx]
+		if row == nil {
+			row = make(map[string]int)
+			m.counts[ctx] = row
+		}
+		row[symbols[i]]++
+	}
+}
+
+// Predict returns the max-count symbol following the sequence's final
+// context, and whether that context has been observed.
+func (m *CountTable) Predict(symbols []string) (string, bool) {
+	if len(symbols) < m.order {
+		return "", false
+	}
+	ctx := join(symbols[len(symbols)-m.order:])
+	row, ok := m.counts[ctx]
+	if !ok || len(row) == 0 {
+		return "", false
+	}
+	best, bestN := "", -1
+	for s, n := range row {
+		if n > bestN || (n == bestN && s < best) {
+			best, bestN = s, n
+		}
+	}
+	return best, true
+}
+
+// Count returns the observation count for symbol following context.
+func (m *CountTable) Count(context []string, symbol string) int {
+	return m.counts[join(context)][symbol]
+}
+
+// Contexts returns the number of distinct contexts observed.
+func (m *CountTable) Contexts() int { return len(m.counts) }
+
+func join(ss []string) string {
+	out := ""
+	for _, s := range ss {
+		out += s + "\x00"
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package core
+
+// Hybrid combines component predictors with a per-PC chooser, the scheme
+// Section 4.2 argues for ("a hybrid fcm-stride predictor with choosing
+// seems to be a good approach"), analogous to McFarling's combining branch
+// predictors. For every static instruction it keeps one saturating counter
+// per component; the component with the highest counter makes the
+// prediction (earlier components win ties, so list the cheap predictor
+// first to mimic "use stride for most predictions").
+type Hybrid struct {
+	name       string
+	components []Predictor
+	max        int16
+	choosers   map[uint64][]int16
+}
+
+// NewHybrid builds a chooser hybrid over the given components. Counter
+// values saturate at max (e.g. 7 for 3-bit counters).
+func NewHybrid(name string, max int16, components ...Predictor) *Hybrid {
+	if max < 1 {
+		max = 1
+	}
+	return &Hybrid{
+		name:       name,
+		components: components,
+		max:        max,
+		choosers:   make(map[uint64][]int16),
+	}
+}
+
+// NewStrideFCMHybrid returns the specific hybrid the paper suggests:
+// 2-delta stride chosen against an order-k FCM.
+func NewStrideFCMHybrid(order int) *Hybrid {
+	return NewHybrid("s2+fcm"+itoa(order), 7, NewStride2Delta(), NewFCM(order))
+}
+
+// Name implements Predictor.
+func (p *Hybrid) Name() string { return p.name }
+
+// Components returns the component predictors (for inspection in reports).
+func (p *Hybrid) Components() []Predictor { return p.components }
+
+// Predict implements Predictor: the best-counter component predicts.
+func (p *Hybrid) Predict(pc uint64) (uint64, bool) {
+	counters := p.choosers[pc]
+	bestIdx, bestCount := 0, int16(-1)
+	for i := range p.components {
+		c := int16(0)
+		if counters != nil {
+			c = counters[i]
+		}
+		if c > bestCount {
+			bestIdx, bestCount = i, c
+		}
+	}
+	return p.components[bestIdx].Predict(pc)
+}
+
+// Update implements Predictor: every component's would-be prediction is
+// scored against the true value (adjusting its chooser counter), then all
+// components are updated so each keeps learning even when not chosen.
+func (p *Hybrid) Update(pc uint64, value uint64) {
+	counters := p.choosers[pc]
+	if counters == nil {
+		counters = make([]int16, len(p.components))
+		p.choosers[pc] = counters
+	}
+	for i, c := range p.components {
+		pred, ok := c.Predict(pc)
+		if ok && pred == value {
+			if counters[i] < p.max {
+				counters[i]++
+			}
+		} else if counters[i] > 0 {
+			counters[i]--
+		}
+	}
+	for _, c := range p.components {
+		c.Update(pc, value)
+	}
+}
+
+// Reset implements Resetter.
+func (p *Hybrid) Reset() {
+	clear(p.choosers)
+	for _, c := range p.components {
+		if r, ok := c.(Resetter); ok {
+			r.Reset()
+		}
+	}
+}
+
+// TableEntries implements Sized.
+func (p *Hybrid) TableEntries() (static, total int) {
+	static = len(p.choosers)
+	total = len(p.choosers) * len(p.components)
+	for _, c := range p.components {
+		if s, ok := c.(Sized); ok {
+			_, t := s.TableEntries()
+			total += t
+		}
+	}
+	return static, total
+}
+
+// ClassifiedPredictor routes events to per-class component predictors, the
+// instruction-type hybrid Section 4.1 suggests ("a hybrid predictor based
+// on instruction types"). Classes are small integers supplied by the
+// caller (e.g. isa.Category values); the component for each class is built
+// on first use.
+type ClassifiedPredictor struct {
+	name       string
+	newForCls  func(class uint8) Predictor
+	components map[uint8]Predictor
+}
+
+// NewClassifiedPredictor builds a per-class router; newForCls constructs
+// the component used for each class.
+func NewClassifiedPredictor(name string, newForCls func(class uint8) Predictor) *ClassifiedPredictor {
+	return &ClassifiedPredictor{
+		name:       name,
+		newForCls:  newForCls,
+		components: make(map[uint8]Predictor),
+	}
+}
+
+// Name returns the router's identifier.
+func (p *ClassifiedPredictor) Name() string { return p.name }
+
+// component returns (building if needed) the predictor for class.
+func (p *ClassifiedPredictor) component(class uint8) Predictor {
+	c, ok := p.components[class]
+	if !ok {
+		c = p.newForCls(class)
+		p.components[class] = c
+	}
+	return c
+}
+
+// PredictClass predicts the next value for pc within the given class.
+func (p *ClassifiedPredictor) PredictClass(class uint8, pc uint64) (uint64, bool) {
+	return p.component(class).Predict(pc)
+}
+
+// UpdateClass updates the class component with the true value.
+func (p *ClassifiedPredictor) UpdateClass(class uint8, pc uint64, value uint64) {
+	p.component(class).Update(pc, value)
+}
+
+// Reset implements Resetter.
+func (p *ClassifiedPredictor) Reset() { clear(p.components) }
+
+// SetTracker runs several predictors in lockstep over one event stream and
+// tallies, for every subset of predictors, how many predictions exactly
+// that subset got right. This regenerates the paper's Figure 8 (labels
+// like "ls" mean last-value and stride correct but fcm wrong; "np" means
+// none correct).
+type SetTracker struct {
+	preds  []Predictor
+	counts []uint64 // indexed by bitmask over preds
+	total  uint64
+}
+
+// NewSetTracker wraps the predictors (at most 16) for subset accounting.
+func NewSetTracker(preds ...Predictor) *SetTracker {
+	if len(preds) > 16 {
+		preds = preds[:16]
+	}
+	return &SetTracker{preds: preds, counts: make([]uint64, 1<<len(preds))}
+}
+
+// Observe performs predict/compare/update on all predictors for one event
+// and records which subset was correct. It returns the subset bitmask
+// (bit i set means predictor i was correct).
+func (t *SetTracker) Observe(pc uint64, value uint64) uint64 {
+	mask := uint64(0)
+	for i, p := range t.preds {
+		pred, ok := p.Predict(pc)
+		if ok && pred == value {
+			mask |= 1 << i
+		}
+	}
+	for _, p := range t.preds {
+		p.Update(pc, value)
+	}
+	t.counts[mask]++
+	t.total++
+	return mask
+}
+
+// Total returns the number of observed events.
+func (t *SetTracker) Total() uint64 { return t.total }
+
+// Fraction returns the fraction of events whose correct-set was exactly
+// mask.
+func (t *SetTracker) Fraction(mask uint64) float64 {
+	if t.total == 0 {
+		return 0
+	}
+	return float64(t.counts[mask]) / float64(t.total)
+}
+
+// Count returns the raw tally for a subset mask.
+func (t *SetTracker) Count(mask uint64) uint64 { return t.counts[mask] }
+
+// Predictors returns the tracked predictors in bit order.
+func (t *SetTracker) Predictors() []Predictor { return t.preds }

@@ -1,0 +1,171 @@
+package core
+
+// LastValue is the paper's simplest computational predictor: the identity
+// function on the previous value. This variant always updates (no
+// hysteresis), matching the "l" configuration simulated in the paper.
+type LastValue struct {
+	table map[uint64]uint64
+	seen  map[uint64]bool
+}
+
+// NewLastValue returns an empty always-update last value predictor.
+func NewLastValue() *LastValue {
+	return &LastValue{table: make(map[uint64]uint64), seen: make(map[uint64]bool)}
+}
+
+// Name implements Predictor.
+func (p *LastValue) Name() string { return "l" }
+
+// Predict implements Predictor.
+func (p *LastValue) Predict(pc uint64) (uint64, bool) {
+	v, ok := p.table[pc]
+	return v, ok
+}
+
+// Update implements Predictor.
+func (p *LastValue) Update(pc uint64, value uint64) {
+	p.table[pc] = value
+	p.seen[pc] = true
+}
+
+// Reset implements Resetter.
+func (p *LastValue) Reset() {
+	clear(p.table)
+	clear(p.seen)
+}
+
+// TableEntries implements Sized.
+func (p *LastValue) TableEntries() (static, total int) {
+	return len(p.table), len(p.table)
+}
+
+// LastValueCounter is the saturating-counter hysteresis variant described
+// in Section 2.1: a counter per entry is incremented on success and
+// decremented on failure, and the stored value is replaced only when the
+// counter is below a threshold. The counter saturates at max.
+type LastValueCounter struct {
+	table     map[uint64]*lvcEntry
+	max       int8
+	threshold int8
+}
+
+type lvcEntry struct {
+	value uint64
+	count int8
+}
+
+// NewLastValueCounter returns a hysteresis last-value predictor with the
+// given saturation maximum and replacement threshold. A common
+// configuration is max=3, threshold=1 (2-bit counter).
+func NewLastValueCounter(max, threshold int8) *LastValueCounter {
+	if max < 1 {
+		max = 1
+	}
+	if threshold < 0 {
+		threshold = 0
+	}
+	return &LastValueCounter{table: make(map[uint64]*lvcEntry), max: max, threshold: threshold}
+}
+
+// Name implements Predictor.
+func (p *LastValueCounter) Name() string { return "lc" }
+
+// Predict implements Predictor.
+func (p *LastValueCounter) Predict(pc uint64) (uint64, bool) {
+	e, ok := p.table[pc]
+	if !ok {
+		return 0, false
+	}
+	return e.value, true
+}
+
+// Update implements Predictor.
+func (p *LastValueCounter) Update(pc uint64, value uint64) {
+	e, ok := p.table[pc]
+	if !ok {
+		p.table[pc] = &lvcEntry{value: value, count: 0}
+		return
+	}
+	if e.value == value {
+		if e.count < p.max {
+			e.count++
+		}
+		return
+	}
+	if e.count > 0 {
+		e.count--
+	}
+	if e.count <= p.threshold {
+		e.value = value
+	}
+}
+
+// Reset implements Resetter.
+func (p *LastValueCounter) Reset() { clear(p.table) }
+
+// TableEntries implements Sized.
+func (p *LastValueCounter) TableEntries() (static, total int) {
+	return len(p.table), len(p.table)
+}
+
+// LastValueConsecutive is the second hysteresis flavor from Section 2.1:
+// the prediction only changes to a new value after that value has been
+// observed a fixed number of times in succession ("changes to a new
+// prediction only after it has been consistently observed").
+type LastValueConsecutive struct {
+	table    map[uint64]*lvcons
+	required int
+}
+
+type lvcons struct {
+	value     uint64 // current prediction
+	candidate uint64 // value observed but not yet adopted
+	runLength int    // consecutive observations of candidate
+}
+
+// NewLastValueConsecutive returns a predictor that adopts a new value only
+// after observing it `required` times in a row (required >= 1).
+func NewLastValueConsecutive(required int) *LastValueConsecutive {
+	if required < 1 {
+		required = 1
+	}
+	return &LastValueConsecutive{table: make(map[uint64]*lvcons), required: required}
+}
+
+// Name implements Predictor.
+func (p *LastValueConsecutive) Name() string { return "ln" }
+
+// Predict implements Predictor.
+func (p *LastValueConsecutive) Predict(pc uint64) (uint64, bool) {
+	e, ok := p.table[pc]
+	if !ok {
+		return 0, false
+	}
+	return e.value, true
+}
+
+// Update implements Predictor.
+func (p *LastValueConsecutive) Update(pc uint64, value uint64) {
+	e, ok := p.table[pc]
+	if !ok {
+		p.table[pc] = &lvcons{value: value, candidate: value, runLength: p.required}
+		return
+	}
+	if value == e.candidate {
+		e.runLength++
+	} else {
+		e.candidate = value
+		e.runLength = 1
+	}
+	if e.runLength >= p.required {
+		e.value = e.candidate
+	}
+}
+
+// Reset implements Resetter.
+func (p *LastValueConsecutive) Reset() { clear(p.table) }
+
+// TableEntries implements Sized.
+func (p *LastValueConsecutive) TableEntries() (static, total int) {
+	return len(p.table), len(p.table)
+}

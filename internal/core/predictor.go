@@ -1,0 +1,137 @@
+// Package core implements the value predictors studied in "The
+// Predictability of Data Values" (Sazeides & Smith, MICRO-30, 1997).
+//
+// Two families are provided, matching the paper's taxonomy:
+//
+//   - Computational predictors compute a function of previous values:
+//     LastValue (identity) and Stride (last value + delta), each with the
+//     hysteresis variants the paper describes (always-update, saturating
+//     counter, and the 2-delta stride of Eickemeyer & Vassiliadis).
+//
+//   - Context-based predictors learn which value follows a finite ordered
+//     sequence of previous values: FCM (finite context method) with exact
+//     occurrence counts, full-concatenation contexts (no aliasing) and
+//     blending with lazy exclusion across orders, exactly as simulated in
+//     the paper.
+//
+// All predictors follow the paper's idealization: unbounded tables with one
+// entry per static instruction (keyed by PC) and immediate update with the
+// correct value after every prediction.
+//
+// The package is substrate-free: it consumes a bare (pc, value) stream and
+// has no dependency on the ISA, simulator or benchmarks, so it can be used
+// on any value trace.
+package core
+
+// Predictor is the common interface of all value predictors.
+//
+// The protocol for each dynamic instance of a static instruction is:
+//
+//	pred, ok := p.Predict(pc)   // ok=false while the table has no basis
+//	...
+//	p.Update(pc, actual)        // immediate update with the true value
+//
+// Predict must not mutate predictor state; Update performs all learning.
+type Predictor interface {
+	// Name returns a short identifier such as "l", "s2" or "fcm3".
+	Name() string
+
+	// Predict returns the predicted next value for the static instruction
+	// at pc. ok is false when the predictor has no basis for a prediction
+	// yet (for accounting these count as mispredictions, matching the
+	// paper's accuracy definition: correct predictions / all predictions).
+	Predict(pc uint64) (value uint64, ok bool)
+
+	// Update informs the predictor of the true value produced at pc.
+	Update(pc uint64, value uint64)
+}
+
+// Resetter is implemented by predictors whose tables can be cleared in
+// place, which lets harnesses reuse allocations between runs.
+type Resetter interface {
+	Reset()
+}
+
+// Sized is implemented by predictors that can report how many table
+// entries they hold; used by the value-characteristics analysis and by
+// memory accounting in the experiment harness.
+type Sized interface {
+	// TableEntries returns the number of static instructions tracked and
+	// the total number of internal table entries (contexts, counters...).
+	TableEntries() (static, total int)
+}
+
+// Factory constructs a fresh predictor instance. Experiment runners use
+// factories so each benchmark gets untrained tables.
+type Factory struct {
+	// Name is the identifier instances will report; also used in reports.
+	Name string
+	// New returns a fresh, empty predictor.
+	New func() Predictor
+}
+
+// StandardFactories returns the predictor set the paper evaluates in
+// Figures 3-7: last value (always update), 2-delta stride, and FCM of
+// orders 1, 2 and 3.
+func StandardFactories() []Factory {
+	return []Factory{
+		{Name: "l", New: func() Predictor { return NewLastValue() }},
+		{Name: "s2", New: func() Predictor { return NewStride2Delta() }},
+		{Name: "fcm1", New: func() Predictor { return NewFCM(1) }},
+		{Name: "fcm2", New: func() Predictor { return NewFCM(2) }},
+		{Name: "fcm3", New: func() Predictor { return NewFCM(3) }},
+	}
+}
+
+// Accuracy is a simple correct/total tally helper shared by harnesses.
+type Accuracy struct {
+	Correct uint64
+	Total   uint64
+}
+
+// Observe records one prediction outcome.
+func (a *Accuracy) Observe(correct bool) {
+	a.Total++
+	if correct {
+		a.Correct++
+	}
+}
+
+// Rate returns the fraction of correct predictions, or 0 when empty.
+func (a Accuracy) Rate() float64 {
+	if a.Total == 0 {
+		return 0
+	}
+	return float64(a.Correct) / float64(a.Total)
+}
+
+// Percent returns the accuracy as a percentage in [0,100].
+func (a Accuracy) Percent() float64 { return a.Rate() * 100 }
+
+// Run drives a predictor over a value stream and returns its accuracy.
+// It applies the paper's protocol: predict, compare, then update.
+func Run(p Predictor, pcs []uint64, values []uint64) Accuracy {
+	var acc Accuracy
+	n := len(pcs)
+	if len(values) < n {
+		n = len(values)
+	}
+	for i := 0; i < n; i++ {
+		pred, ok := p.Predict(pcs[i])
+		acc.Observe(ok && pred == values[i])
+		p.Update(pcs[i], values[i])
+	}
+	return acc
+}
+
+// RunSequence drives a predictor over a single-instruction value sequence
+// (all events share one PC), the setting of the paper's Table 1 analysis.
+func RunSequence(p Predictor, values []uint64) Accuracy {
+	var acc Accuracy
+	for _, v := range values {
+		pred, ok := p.Predict(0)
+		acc.Observe(ok && pred == v)
+		p.Update(0, v)
+	}
+	return acc
+}

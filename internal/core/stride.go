@@ -1,0 +1,211 @@
+package core
+
+// StrideSimple is the basic stride predictor of Section 2.1: it predicts
+// last + (last - secondLast) with no hysteresis, so a repeated stride
+// sequence costs two mispredictions per iteration (one at the wrap, one
+// re-learning the stride).
+type StrideSimple struct {
+	table map[uint64]*strideEntry
+}
+
+type strideEntry struct {
+	last   uint64
+	stride uint64 // stored as wrapped two's-complement delta
+	// seen counts observations, saturating at 2: 0 values, 1 value,
+	// or enough (2+) to have a stride.
+	seen uint8
+}
+
+// NewStrideSimple returns an empty always-update stride predictor.
+func NewStrideSimple() *StrideSimple {
+	return &StrideSimple{table: make(map[uint64]*strideEntry)}
+}
+
+// Name implements Predictor.
+func (p *StrideSimple) Name() string { return "s" }
+
+// Predict implements Predictor.
+func (p *StrideSimple) Predict(pc uint64) (uint64, bool) {
+	e, ok := p.table[pc]
+	if !ok || e.seen == 0 {
+		return 0, false
+	}
+	// After a single observation the stride is zero, i.e. last-value
+	// behavior, which matches hardware stride tables that initialize the
+	// delta field to 0 on allocation.
+	return e.last + e.stride, true
+}
+
+// Update implements Predictor.
+func (p *StrideSimple) Update(pc uint64, value uint64) {
+	e, ok := p.table[pc]
+	if !ok {
+		p.table[pc] = &strideEntry{last: value, seen: 1}
+		return
+	}
+	e.stride = value - e.last
+	e.last = value
+	if e.seen < 2 {
+		e.seen++
+	}
+}
+
+// Reset implements Resetter.
+func (p *StrideSimple) Reset() { clear(p.table) }
+
+// TableEntries implements Sized.
+func (p *StrideSimple) TableEntries() (static, total int) {
+	return len(p.table), len(p.table)
+}
+
+// Stride2Delta is the 2-delta stride predictor of Eickemeyer &
+// Vassiliadis that the paper simulates as "s2": two strides are kept; s1
+// always tracks the difference of the two most recent values, while s2 is
+// used for predictions and is only overwritten when the same s1 occurs
+// twice in a row. Repeated stride sequences then cost one misprediction
+// per iteration and the stride changes only on consistent evidence.
+type Stride2Delta struct {
+	table map[uint64]*s2Entry
+}
+
+type s2Entry struct {
+	last uint64
+	s1   uint64 // most recent delta
+	s2   uint64 // prediction delta
+	// s1Count counts consecutive occurrences of the current s1 value,
+	// saturating at 2; when it reaches 2, s2 is set to s1.
+	s1Count uint8
+	seen    uint8 // 0: empty, 1: one value seen, 2: stride history valid
+}
+
+// NewStride2Delta returns an empty 2-delta stride predictor.
+func NewStride2Delta() *Stride2Delta {
+	return &Stride2Delta{table: make(map[uint64]*s2Entry)}
+}
+
+// Name implements Predictor.
+func (p *Stride2Delta) Name() string { return "s2" }
+
+// Predict implements Predictor. No prediction is made until two values
+// have been seen, matching the trace in the paper's Figure 2 (predictions
+// "0 0 3 4 5 2 3 4 ..." for the sequence 1 2 3 4 repeated).
+func (p *Stride2Delta) Predict(pc uint64) (uint64, bool) {
+	e, ok := p.table[pc]
+	if !ok || e.seen < 2 {
+		return 0, false
+	}
+	return e.last + e.s2, true
+}
+
+// Update implements Predictor. The first observed delta initializes both
+// strides; afterwards s2 follows s1 only when the same s1 repeats.
+func (p *Stride2Delta) Update(pc uint64, value uint64) {
+	e, ok := p.table[pc]
+	if !ok {
+		p.table[pc] = &s2Entry{last: value, seen: 1}
+		return
+	}
+	delta := value - e.last
+	switch {
+	case e.seen == 1:
+		e.s1, e.s2, e.s1Count = delta, delta, 1
+		e.seen = 2
+	case delta == e.s1:
+		if e.s1Count < 2 {
+			e.s1Count++
+		}
+		if e.s1Count >= 2 {
+			e.s2 = delta
+		}
+	default:
+		e.s1 = delta
+		e.s1Count = 1
+	}
+	e.last = value
+}
+
+// Reset implements Resetter.
+func (p *Stride2Delta) Reset() { clear(p.table) }
+
+// TableEntries implements Sized.
+func (p *Stride2Delta) TableEntries() (static, total int) {
+	return len(p.table), len(p.table)
+}
+
+// StrideCounter is the saturating-counter stride variant of Gonzalez &
+// Gonzalez referenced in Section 2.1: the stride is only changed when a
+// saturating counter (incremented on success, decremented on failure) is
+// below a threshold. This also reduces repeated-stride mispredictions to
+// one per iteration.
+type StrideCounter struct {
+	table     map[uint64]*scEntry
+	max       int8
+	threshold int8
+}
+
+type scEntry struct {
+	last   uint64
+	stride uint64
+	count  int8
+	seen   uint8
+}
+
+// NewStrideCounter returns a stride predictor guarded by a saturating
+// counter with the given maximum and replacement threshold (e.g. 3 and 1).
+func NewStrideCounter(max, threshold int8) *StrideCounter {
+	if max < 1 {
+		max = 1
+	}
+	if threshold < 0 {
+		threshold = 0
+	}
+	return &StrideCounter{table: make(map[uint64]*scEntry), max: max, threshold: threshold}
+}
+
+// Name implements Predictor.
+func (p *StrideCounter) Name() string { return "sc" }
+
+// Predict implements Predictor.
+func (p *StrideCounter) Predict(pc uint64) (uint64, bool) {
+	e, ok := p.table[pc]
+	if !ok || e.seen == 0 {
+		return 0, false
+	}
+	return e.last + e.stride, true
+}
+
+// Update implements Predictor.
+func (p *StrideCounter) Update(pc uint64, value uint64) {
+	e, ok := p.table[pc]
+	if !ok {
+		p.table[pc] = &scEntry{last: value, seen: 1}
+		return
+	}
+	predicted := e.last + e.stride
+	if e.seen >= 1 {
+		if predicted == value {
+			if e.count < p.max {
+				e.count++
+			}
+		} else {
+			if e.count > 0 {
+				e.count--
+			}
+			if e.count <= p.threshold {
+				e.stride = value - e.last
+			}
+		}
+	}
+	e.last = value
+	if e.seen < 2 {
+		e.seen++
+	}
+}
+
+// Reset implements Resetter.
+func (p *StrideCounter) Reset() { clear(p.table) }
+
+// TableEntries implements Sized.
+func (p *StrideCounter) TableEntries() (static, total int) {
+	return len(p.table), len(p.table)
+}

@@ -1,0 +1,125 @@
+// Package experiments maps every table and figure of the paper's
+// evaluation to a runnable experiment. Each experiment regenerates the
+// corresponding artifact as an ASCII table or series; EXPERIMENTS.md in
+// the repository root records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/analysis"
+)
+
+// Config parameterizes experiment runs.
+type Config struct {
+	// Events caps traced predicted instructions per benchmark run
+	// (0 = to completion). The paper traces full benchmarks; scaled-down
+	// runs preserve the qualitative results (see EXPERIMENTS.md).
+	Events uint64
+	// Scale is the workload input scale factor.
+	Scale int
+	// Benchmarks restricts suite experiments (nil = all seven).
+	Benchmarks []string
+	// Verbose enables progress lines on stderr.
+	Progress func(string)
+}
+
+// Experiment is one reproducible artifact from the paper.
+type Experiment struct {
+	ID    string // "fig3", "table6", ...
+	Title string // the paper's caption
+	// NeedsSuite marks experiments that consume the shared all-benchmark
+	// pass (the driver runs it once for all of them).
+	NeedsSuite bool
+	// Run renders the artifact. suite is non-nil iff NeedsSuite.
+	Run func(w io.Writer, cfg Config, suite *analysis.Suite) error
+}
+
+// Registry returns all experiments in paper order.
+func Registry() []*Experiment {
+	return []*Experiment{
+		{ID: "table1", Title: "Table 1: Behavior of prediction models on basic value sequences", Run: runTable1},
+		{ID: "fig1", Title: "Figure 1: Finite context models of order 0-3", Run: runFig1},
+		{ID: "fig2", Title: "Figure 2: Computational vs context based prediction", Run: runFig2},
+		{ID: "table2", Title: "Table 2: Benchmark characteristics", NeedsSuite: true, Run: runTable2},
+		{ID: "table4", Title: "Table 4: Predicted instructions - static count", NeedsSuite: true, Run: runTable4},
+		{ID: "table5", Title: "Table 5: Predicted instructions - dynamic (%)", NeedsSuite: true, Run: runTable5},
+		{ID: "fig3", Title: "Figure 3: Prediction success for all instructions", NeedsSuite: true, Run: runFig3},
+		{ID: "fig4", Title: "Figure 4: Prediction success for add/subtract instructions", NeedsSuite: true, Run: catFig(0)},
+		{ID: "fig5", Title: "Figure 5: Prediction success for load instructions", NeedsSuite: true, Run: catFig(1)},
+		{ID: "fig6", Title: "Figure 6: Prediction success for logic instructions", NeedsSuite: true, Run: catFig(2)},
+		{ID: "fig7", Title: "Figure 7: Prediction success for shift instructions", NeedsSuite: true, Run: catFig(3)},
+		{ID: "fig8", Title: "Figure 8: Contribution of different predictors", NeedsSuite: true, Run: runFig8},
+		{ID: "fig9", Title: "Figure 9: Cumulative improvement of FCM over stride", NeedsSuite: true, Run: runFig9},
+		{ID: "fig10", Title: "Figure 10: Values and instruction behavior", NeedsSuite: true, Run: runFig10},
+		{ID: "table6", Title: "Table 6: Sensitivity of gcc to different input files", Run: runTable6},
+		{ID: "table7", Title: "Table 7: Sensitivity of gcc to input flags", Run: runTable7},
+		{ID: "fig11", Title: "Figure 11: Sensitivity of gcc to the fcm order", Run: runFig11},
+	}
+}
+
+// ByID returns the experiment or nil.
+func ByID(id string) *Experiment {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e
+		}
+	}
+	return nil
+}
+
+// IDs returns all experiment ids in order.
+func IDs() []string {
+	var out []string
+	for _, e := range Registry() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// RunAll executes every experiment, sharing one suite pass among those
+// that need it.
+func RunAll(w io.Writer, cfg Config) error {
+	suite, err := suiteFor(cfg)
+	if err != nil {
+		return err
+	}
+	for _, e := range Registry() {
+		fmt.Fprintf(w, "=== %s: %s ===\n\n", e.ID, e.Title)
+		var s *analysis.Suite
+		if e.NeedsSuite {
+			s = suite
+		}
+		if err := e.Run(w, cfg, s); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	return nil
+}
+
+// RunOne executes a single experiment by id.
+func RunOne(w io.Writer, id string, cfg Config) error {
+	e := ByID(id)
+	if e == nil {
+		return fmt.Errorf("unknown experiment %q (have %v)", id, IDs())
+	}
+	var suite *analysis.Suite
+	if e.NeedsSuite {
+		var err error
+		suite, err = suiteFor(cfg)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "=== %s: %s ===\n\n", e.ID, e.Title)
+	return e.Run(w, cfg, suite)
+}
+
+func suiteFor(cfg Config) (*analysis.Suite, error) {
+	return analysis.RunSuite(analysis.Config{
+		Events:     cfg.Events,
+		Scale:      cfg.Scale,
+		Benchmarks: cfg.Benchmarks,
+	}, cfg.Progress)
+}

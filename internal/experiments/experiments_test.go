@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func smallCfg() Config {
+	return Config{Events: 40_000, Benchmarks: []string{"compress", "m88ksim"}}
+}
+
+func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
+	want := []string{
+		"table1", "fig1", "fig2", "table2", "table4", "table5",
+		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"table6", "table7", "fig11",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("experiment %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+	for _, id := range want {
+		e := ByID(id)
+		if e == nil || e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", id)
+		}
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if ByID("fig99") != nil {
+		t.Fatal("expected nil for unknown id")
+	}
+	var sb strings.Builder
+	if err := RunOne(&sb, "fig99", smallCfg()); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+// TestAnalyticExperimentsRender checks the synthetic-sequence experiments
+// against their known-exact content.
+func TestAnalyticExperimentsRender(t *testing.T) {
+	cases := []struct {
+		id   string
+		want []string
+	}{
+		{"table1", []string{"RNS", "100", "Sequence"}},
+		{"fig1", []string{"order 3 model", "prediction: b", "count(b | [a a a]) = 2"}},
+		{"fig2", []string{"[0 0 3 4 5 2 3 4 5 2 3 4]", "[0 0 0 0 0 0 3 4 1 2 3 4]"}},
+	}
+	for _, c := range cases {
+		var sb strings.Builder
+		if err := RunOne(&sb, c.id, smallCfg()); err != nil {
+			t.Fatalf("%s: %v", c.id, err)
+		}
+		for _, w := range c.want {
+			if !strings.Contains(sb.String(), w) {
+				t.Errorf("%s output missing %q:\n%s", c.id, w, sb.String())
+			}
+		}
+	}
+}
+
+// TestSuiteExperimentsRender smoke-tests every suite-backed experiment on
+// a small budget and checks structural content.
+func TestSuiteExperimentsRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite experiments in -short mode")
+	}
+	suite, err := suiteFor(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		id   string
+		want []string
+	}{
+		{"table2", []string{"compress", "m88ksim", "Predicted %"}},
+		{"table4", []string{"AddSub", "Loads", "Shift"}},
+		{"table5", []string{"AddSub", "Lui"}},
+		{"fig3", []string{"fcm3", "mean"}},
+		{"fig4", []string{"AddSub instructions"}},
+		{"fig5", []string{"Loads instructions"}},
+		{"fig6", []string{"Logic instructions"}},
+		{"fig7", []string{"Shift instructions"}},
+		{"fig8", []string{"np", "lsf", "sf"}},
+		{"fig9", []string{"% static instrs", "100"}},
+		{"fig10", []string{">65536", "unique values"}},
+	}
+	for _, c := range cases {
+		e := ByID(c.id)
+		var sb strings.Builder
+		if err := e.Run(&sb, smallCfg(), suite); err != nil {
+			t.Fatalf("%s: %v", c.id, err)
+		}
+		for _, w := range c.want {
+			if !strings.Contains(sb.String(), w) {
+				t.Errorf("%s output missing %q:\n%s", c.id, w, sb.String())
+			}
+		}
+	}
+}
+
+// TestSensitivityExperiments runs the gcc-specific experiments on small
+// budgets.
+func TestSensitivityExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sensitivity experiments in -short mode")
+	}
+	cfg := Config{Events: 30_000}
+	for _, id := range []string{"table6", "table7", "fig11"} {
+		var sb strings.Builder
+		if err := RunOne(&sb, id, cfg); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(sb.String(), "Correct (%)") {
+			t.Errorf("%s output lacks accuracy column:\n%s", id, sb.String())
+		}
+	}
+}

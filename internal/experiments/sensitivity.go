@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/minic"
+	"repro/internal/sim"
+)
+
+// This file implements the gcc sensitivity experiments (Tables 6-7 and
+// Figure 11): order-2 FCM accuracy under different inputs and compiler
+// flags, and the order sweep.
+
+// runGccFCM runs the gcc workload with a single FCM of the given order
+// and returns (predicted events, accuracy%).
+func runGccFCM(order int, opt int, input []byte, events uint64) (uint64, float64, error) {
+	w := bench.Gcc()
+	fcm := core.NewFCM(order)
+	var acc core.Accuracy
+	res, err := w.Run(bench.RunConfig{
+		Opt:       opt,
+		Input:     input,
+		MaxEvents: events,
+		OnValue: func(ev sim.ValueEvent) {
+			pred, ok := fcm.Predict(ev.PC)
+			acc.Observe(ok && pred == ev.Value)
+			fcm.Update(ev.PC, ev.Value)
+		},
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Events, acc.Percent(), nil
+}
+
+// runTable6 varies the gcc input file with an order-2 FCM.
+func runTable6(w io.Writer, cfg Config, _ *analysis.Suite) error {
+	scale := cfg.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	t := analysis.NewTable(
+		"gcc with order-2 fcm across input files",
+		"File", "Predictions (k)", "Correct (%)")
+	for _, file := range bench.GccInputFiles {
+		events, pct, err := runGccFCM(2, bench.RefOpt, bench.GccInput(file, scale), cfg.Events)
+		if err != nil {
+			return err
+		}
+		t.AddRow(file, fmt.Sprintf("%d", events/1000), fmt.Sprintf("%.1f", pct))
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "Paper: accuracy varies little across input files (76.0-78.6% over")
+	fmt.Fprintln(w, "inputs spanning 106M-372M predictions) because tables are unbounded.")
+	fmt.Fprintln(w)
+	return nil
+}
+
+// runTable7 varies the compiler optimization level with an order-2 FCM.
+func runTable7(w io.Writer, cfg Config, _ *analysis.Suite) error {
+	scale := cfg.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	input := bench.GccInput("gcc.i", scale)
+	t := analysis.NewTable(
+		"gcc (input gcc.i) with order-2 fcm across compiler flags",
+		"Flags", "Predictions (k)", "Correct (%)")
+	for opt := 0; opt <= 3; opt++ {
+		events, pct, err := runGccFCM(2, opt, input, cfg.Events)
+		if err != nil {
+			return err
+		}
+		t.AddRow(minic.OptLevelName(opt), fmt.Sprintf("%d", events/1000), fmt.Sprintf("%.1f", pct))
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "Paper: accuracy varies only 75.3-78.6% across none/-O1/-O2/ref even")
+	fmt.Fprintln(w, "though the prediction counts change 4x — predictability is a program")
+	fmt.Fprintln(w, "property, not a compiler artifact.")
+	fmt.Fprintln(w)
+	return nil
+}
+
+// runFig11 sweeps the FCM order 1..8 on gcc.
+func runFig11(w io.Writer, cfg Config, _ *analysis.Suite) error {
+	scale := cfg.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	input := bench.GccInput("gcc.i", scale)
+	t := analysis.NewTable(
+		"gcc (input gcc.i) prediction accuracy vs fcm order",
+		"Order", "Correct (%)", "Gain over previous")
+	prev := 0.0
+	for order := 1; order <= 8; order++ {
+		_, pct, err := runGccFCM(order, bench.RefOpt, input, cfg.Events)
+		if err != nil {
+			return err
+		}
+		gain := "-"
+		if order > 1 {
+			gain = fmt.Sprintf("%+.2f", pct-prev)
+		}
+		t.AddRow(fmt.Sprint(order), fmt.Sprintf("%.2f", pct), gain)
+		prev = pct
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "Paper: accuracy rises from ~74% (order 1) to ~82% (order 8) with")
+	fmt.Fprintln(w, "clearly diminishing returns — roughly halving the gain per added")
+	fmt.Fprintln(w, "context value.")
+	fmt.Fprintln(w)
+	return nil
+}

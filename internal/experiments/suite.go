@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/isa"
+)
+
+// This file renders the experiments backed by the shared all-benchmark
+// suite pass: Tables 2, 4, 5 and Figures 3-10.
+
+// runTable2 reports benchmark characteristics (paper's Table 2).
+func runTable2(w io.Writer, _ Config, suite *analysis.Suite) error {
+	t := analysis.NewTable(
+		"Dynamic instructions executed and predicted (counts in thousands)",
+		"Benchmark", "Instr (k)", "Predicted (k)", "Predicted %")
+	for _, r := range suite.Results {
+		t.AddRow(r.Name,
+			fmt.Sprintf("%d", r.Instructions/1000),
+			fmt.Sprintf("%d", r.Events/1000),
+			fmt.Sprintf("%.0f%%", 100*float64(r.Events)/float64(r.Instructions)))
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "Paper: predicted fraction ranged 62%-84% across the seven benchmarks")
+	fmt.Fprintln(w, "(absolute counts differ: scaled-down analog workloads; see EXPERIMENTS.md).")
+	fmt.Fprintln(w)
+	return nil
+}
+
+// runTable4 reports executed static instruction counts by category.
+func runTable4(w io.Writer, _ Config, suite *analysis.Suite) error {
+	headers := []string{"Type"}
+	for _, r := range suite.Results {
+		headers = append(headers, r.Name)
+	}
+	t := analysis.NewTable("Executed static predicted instructions by type", headers...)
+	var perBench [][8]int
+	for _, r := range suite.Results {
+		perBench = append(perBench, analysis.StaticCounts(r))
+	}
+	for _, cat := range isa.PredictedCategories() {
+		row := []any{cat.String()}
+		for i := range suite.Results {
+			row = append(row, perBench[i][cat])
+		}
+		t.AddRow(row...)
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "Paper: AddSub and Loads dominate the static mix in every benchmark.")
+	fmt.Fprintln(w)
+	return nil
+}
+
+// runTable5 reports the dynamic percentage of each instruction type.
+func runTable5(w io.Writer, _ Config, suite *analysis.Suite) error {
+	headers := []string{"Type"}
+	for _, r := range suite.Results {
+		headers = append(headers, r.Name)
+	}
+	t := analysis.NewTable("Dynamic predicted instructions by type (%)", headers...)
+	for _, cat := range isa.PredictedCategories() {
+		row := []any{cat.String()}
+		for _, r := range suite.Results {
+			row = append(row, fmt.Sprintf("%.1f", 100*float64(r.DynPerCat[cat])/float64(r.Events)))
+		}
+		t.AddRow(row...)
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "Paper: the majority of predicted values come from addition and load")
+	fmt.Fprintln(w, "instructions (Table 5).")
+	fmt.Fprintln(w)
+	return nil
+}
+
+// accuracyFig renders one Figure 3-7 panel: accuracy per predictor per
+// benchmark for a category filter (cat < 0 = all instructions).
+func accuracyFig(w io.Writer, suite *analysis.Suite, cat int, label string) error {
+	headers := []string{"Benchmark"}
+	for _, p := range analysis.PredictorNames {
+		headers = append(headers, p)
+	}
+	t := analysis.NewTable(fmt.Sprintf("Prediction success (%%) — %s", label), headers...)
+	means := make([]float64, len(analysis.PredictorNames))
+	counted := 0
+	for _, r := range suite.Results {
+		row := []any{r.Name}
+		skip := false
+		for i, p := range analysis.PredictorNames {
+			var acc float64
+			if cat < 0 {
+				acc = r.Accuracy(p)
+			} else {
+				a := r.Acc[p].PerCat[cat]
+				if a.Total == 0 {
+					skip = true
+					break
+				}
+				acc = a.Percent()
+			}
+			row = append(row, fmt.Sprintf("%.1f", acc))
+			means[i] += acc
+		}
+		if skip {
+			t.AddRow(r.Name, "-", "-", "-", "-", "-")
+			continue
+		}
+		counted++
+		t.AddRow(row...)
+	}
+	if counted > 0 {
+		row := []any{"mean"}
+		for _, m := range means {
+			row = append(row, fmt.Sprintf("%.1f", m/float64(counted)))
+		}
+		t.AddRow(row...)
+	}
+	t.Render(w)
+	return nil
+}
+
+func runFig3(w io.Writer, _ Config, suite *analysis.Suite) error {
+	if err := accuracyFig(w, suite, -1, "all predicted instructions"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Paper: L averages ~40% (23-61), S2 ~56% (38-80), FCM3 ~78% (56-91);")
+	fmt.Fprintln(w, "accuracy ordering L < S2 < FCM1 < FCM2 < FCM3 with diminishing returns")
+	fmt.Fprintln(w, "per added order.")
+	fmt.Fprintln(w)
+	return nil
+}
+
+// catFig builds the Run func for Figures 4-7.
+func catFig(cat isa.Category) func(io.Writer, Config, *analysis.Suite) error {
+	return func(w io.Writer, _ Config, suite *analysis.Suite) error {
+		if err := accuracyFig(w, suite, int(cat), cat.String()+" instructions"); err != nil {
+			return err
+		}
+		switch cat {
+		case isa.CatAddSub:
+			fmt.Fprintln(w, "Paper: add/subtract is the most predictable class; stride does")
+			fmt.Fprintln(w, "particularly well because the operation matches the predictor.")
+		case isa.CatLoads:
+			fmt.Fprintln(w, "Paper: loads are harder than add/subtract for all predictors.")
+		case isa.CatLogic:
+			fmt.Fprintln(w, "Paper: logic instructions are very predictable, especially by fcm.")
+		case isa.CatShift:
+			fmt.Fprintln(w, "Paper: shifts are the most difficult type to predict.")
+		}
+		fmt.Fprintln(w)
+		return nil
+	}
+}
+
+// runFig8 renders the predictor-set correlation breakdown.
+func runFig8(w io.Writer, _ Config, suite *analysis.Suite) error {
+	groups := []struct {
+		label string
+		cat   int
+	}{
+		{"All", -1},
+		{"AddSub", int(isa.CatAddSub)},
+		{"Loads", int(isa.CatLoads)},
+		{"Logic", int(isa.CatLogic)},
+		{"Shift", int(isa.CatShift)},
+		{"Set", int(isa.CatSet)},
+	}
+	headers := []string{"Set"}
+	for _, g := range groups {
+		headers = append(headers, g.label)
+	}
+	t := analysis.NewTable(
+		"Fraction of predictions (%) by exactly-correct predictor subset\n(l=last value, s=stride s2, f=fcm3; np=none correct; mean over benchmarks)",
+		headers...)
+	for mask := 0; mask < analysis.NumMasks; mask++ {
+		row := []any{analysis.MaskLabels[mask]}
+		for _, g := range groups {
+			fr := suite.MeanSetFractions(g.cat)
+			row = append(row, fmt.Sprintf("%.1f", 100*fr[mask]))
+		}
+		t.AddRow(row...)
+	}
+	t.Render(w)
+
+	fr := suite.MeanSetFractions(-1)
+	fmt.Fprintf(w, "np (none correct):            %.1f%%   (paper: ~18%%)\n", 100*fr[0])
+	fmt.Fprintf(w, "lsf (all three correct):      %.1f%%   (paper: ~40%%)\n", 100*fr[7])
+	fmt.Fprintf(w, "f only (fcm alone):           %.1f%%   (paper: >20%%)\n", 100*fr[4])
+	fmt.Fprintf(w, "l+ls (stride/fcm miss, l ok): %.1f%%   (paper: <5%% adds little)\n",
+		100*(fr[1]+fr[3]))
+	fmt.Fprintln(w)
+	return nil
+}
+
+// runFig9 renders the cumulative improvement curve of FCM3 over S2.
+func runFig9(w io.Writer, _ Config, suite *analysis.Suite) error {
+	groups := []struct {
+		label string
+		cat   int
+	}{
+		{"All", -1},
+		{"AddSub", int(isa.CatAddSub)},
+		{"Loads", int(isa.CatLoads)},
+		{"Logic", int(isa.CatLogic)},
+		{"Shift", int(isa.CatShift)},
+		{"Set", int(isa.CatSet)},
+	}
+	headers := []string{"% static instrs"}
+	for _, g := range groups {
+		headers = append(headers, g.label)
+	}
+	t := analysis.NewTable(
+		"Cumulative % of total FCM3-over-S2 improvement vs % of improving static instructions",
+		headers...)
+	curves := make([][]analysis.ImprovementPoint, len(groups))
+	for i, g := range groups {
+		curves[i] = analysis.ImprovementCurve(suite.Results, g.cat)
+	}
+	for step := 0; step <= 20; step++ {
+		pct := float64(step) * 5
+		row := []any{fmt.Sprintf("%.0f", pct)}
+		for _, curve := range curves {
+			v := "-"
+			for _, p := range curve {
+				if p.PctStatic <= pct+1e-9 {
+					v = fmt.Sprintf("%.1f", p.PctImprovement)
+				}
+			}
+			row = append(row, v)
+		}
+		t.AddRow(row...)
+	}
+	t.Render(w)
+
+	pctStatic, pctImp := analysis.ImprovementShare(suite.Results, 0.97)
+	fmt.Fprintf(w, "%.0f%% of improving static instructions cover %.1f%% of the improvement.\n",
+		pctStatic, pctImp)
+	fmt.Fprintln(w, "Paper: about 20% of static instructions account for ~97% of the total")
+	fmt.Fprintln(w, "improvement of fcm over stride, motivating a chooser-based hybrid.")
+	fmt.Fprintln(w)
+	return nil
+}
+
+// runFig10 renders the unique-value histograms.
+func runFig10(w io.Writer, _ Config, suite *analysis.Suite) error {
+	groups := []struct {
+		label string
+		cat   int
+	}{
+		{"All", -1},
+		{"AddSub", int(isa.CatAddSub)},
+		{"Loads", int(isa.CatLoads)},
+		{"Logic", int(isa.CatLogic)},
+		{"Shift", int(isa.CatShift)},
+		{"Set", int(isa.CatSet)},
+	}
+	for _, view := range []struct {
+		label   string
+		dynamic bool
+	}{
+		{"static instructions (s.)", false},
+		{"dynamic instructions (d.)", true},
+	} {
+		headers := []string{"unique values <="}
+		for _, g := range groups {
+			headers = append(headers, g.label)
+		}
+		t := analysis.NewTable(fmt.Sprintf("Share of %s by unique values produced (%%)", view.label), headers...)
+		hists := make([]analysis.ValueHistogram, len(groups))
+		for i, g := range groups {
+			hists[i] = analysis.UniqueValueHistogram(suite.Results, g.cat, view.dynamic)
+		}
+		for bi, b := range analysis.ValueBuckets {
+			row := []any{fmt.Sprint(b)}
+			for _, h := range hists {
+				row = append(row, fmt.Sprintf("%.1f", h.Buckets[bi]))
+			}
+			t.AddRow(row...)
+		}
+		row := []any{">65536"}
+		for _, h := range hists {
+			row = append(row, fmt.Sprintf("%.1f", h.Over))
+		}
+		t.AddRow(row...)
+		t.Render(w)
+	}
+
+	all := analysis.UniqueValueHistogram(suite.Results, -1, false)
+	dyn := analysis.UniqueValueHistogram(suite.Results, -1, true)
+	fmt.Fprintf(w, "static instrs producing 1 value:   %.1f%%  (paper: >50%%)\n", all.CumulativeAtMost(1))
+	fmt.Fprintf(w, "static instrs producing <=64:      %.1f%%  (paper: ~90%%)\n", all.CumulativeAtMost(64))
+	fmt.Fprintf(w, "dynamic instrs from <=64 sources:  %.1f%%  (paper: >50%%)\n", dyn.CumulativeAtMost(64))
+	fmt.Fprintf(w, "dynamic instrs from <=4096:        %.1f%%  (paper: >90%%)\n", dyn.CumulativeAtMost(4096))
+	fmt.Fprintln(w)
+	return nil
+}

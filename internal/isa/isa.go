@@ -1,0 +1,376 @@
+// Package isa defines VISA-64, the MIPS-like 64-bit RISC instruction set
+// used by the simulator, assembler and MiniC compiler.
+//
+// VISA-64 plays the role SimpleScalar's PISA plays in the paper: a simple
+// load/store architecture whose register-writing instructions fall into the
+// same categories the paper reports on (Table 3): AddSub, Loads, Logic,
+// Shift, Set, MultDiv, Lui and Other. Stores, branches and jumps do not
+// write general-purpose registers (JAL writes the link register but, as in
+// the paper, jumps are never predicted).
+package isa
+
+import "fmt"
+
+// NumRegs is the number of general-purpose registers. Register 0 is
+// hard-wired to zero, as on MIPS.
+const NumRegs = 32
+
+// Well-known registers of the VISA-64 ABI.
+const (
+	RegZero = 0  // always zero
+	RegRA   = 1  // return address
+	RegSP   = 2  // stack pointer
+	RegFP   = 3  // frame pointer
+	RegA0   = 4  // first argument / return value; a0..a7 = 4..11
+	RegA7   = 11 // last argument register
+	RegT0   = 12 // first caller-saved temporary; t0..t9 = 12..21
+	RegT9   = 21 // last caller-saved temporary
+	RegS0   = 22 // first callee-saved register; s0..s7 = 22..29
+	RegS7   = 29 // last callee-saved register
+	RegGP   = 30 // global pointer (reserved)
+	RegAT   = 31 // assembler temporary
+)
+
+// regNames holds the canonical ABI name of each register.
+var regNames = [NumRegs]string{
+	"zero", "ra", "sp", "fp",
+	"a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	"gp", "at",
+}
+
+// RegName returns the ABI name of register r ("zero", "ra", "sp", ...).
+func RegName(r int) string {
+	if r < 0 || r >= NumRegs {
+		return fmt.Sprintf("r?%d", r)
+	}
+	return regNames[r]
+}
+
+// RegByName maps an ABI register name (or the raw form "rN") to its number.
+// The second result reports whether the name was recognized.
+func RegByName(name string) (int, bool) {
+	for i, n := range regNames {
+		if n == name {
+			return i, true
+		}
+	}
+	if len(name) >= 2 && name[0] == 'r' {
+		n := 0
+		for _, c := range name[1:] {
+			if c < '0' || c > '9' {
+				return 0, false
+			}
+			n = n*10 + int(c-'0')
+		}
+		if n < NumRegs {
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+// Opcode enumerates every VISA-64 instruction.
+type Opcode uint8
+
+// Instruction opcodes, grouped by the paper's reporting categories.
+const (
+	OpInvalid Opcode = iota
+
+	// AddSub
+	OpADD  // rd = rs1 + rs2
+	OpSUB  // rd = rs1 - rs2
+	OpADDI // rd = rs1 + imm
+
+	// MultDiv
+	OpMUL // rd = rs1 * rs2
+	OpDIV // rd = rs1 / rs2 (signed; x/0 = 0)
+	OpREM // rd = rs1 % rs2 (signed; x%0 = 0)
+
+	// Logic
+	OpAND
+	OpOR
+	OpXOR
+	OpNOR
+	OpANDI
+	OpORI
+	OpXORI
+
+	// Shift (shift amounts use the low 6 bits of rs2/imm)
+	OpSLL
+	OpSRL
+	OpSRA
+	OpSLLI
+	OpSRLI
+	OpSRAI
+
+	// Set (compare-and-set, result is 0 or 1)
+	OpSLT  // rd = rs1 < rs2 (signed)
+	OpSLTU // rd = rs1 < rs2 (unsigned)
+	OpSLTI // rd = rs1 < imm (signed)
+	OpSEQ  // rd = rs1 == rs2
+	OpSNE  // rd = rs1 != rs2
+
+	// Lui
+	OpLUI // rd = imm << 16 (imm is a signed 32-bit payload)
+
+	// Loads (rd = mem[rs1+imm])
+	OpLW  // 64-bit load
+	OpLB  // sign-extended byte load
+	OpLBU // zero-extended byte load
+
+	// Stores (mem[rs1+imm] = rs2; no register write)
+	OpSW
+	OpSB
+
+	// Branches (pc-relative via label/target; no register write)
+	OpBEQ
+	OpBNE
+	OpBLT
+	OpBGE
+	OpBLTU
+	OpBGEU
+
+	// Jumps (JAL/JALR write ra but are never predicted, as in the paper)
+	OpJ
+	OpJR
+	OpJAL
+	OpJALR
+
+	// System
+	OpSYS  // syscall; number in imm, argument/result in a0 (writes a0)
+	OpHALT // stop the machine
+
+	numOpcodes
+)
+
+// Category is the paper's instruction grouping (Table 3). Predicted
+// instructions are those that write a general-purpose register; stores,
+// branches and jumps are CatNone.
+type Category uint8
+
+// Categories in the order the paper reports them.
+const (
+	CatAddSub Category = iota
+	CatLoads
+	CatLogic
+	CatShift
+	CatSet
+	CatMultDiv
+	CatLui
+	CatOther                     // misc register writers (here: syscall results)
+	CatNone                      // not predicted: stores, branches, jumps, halt
+	NumCategories = int(CatNone) // number of *predicted* categories
+)
+
+var catNames = [...]string{
+	CatAddSub:  "AddSub",
+	CatLoads:   "Loads",
+	CatLogic:   "Logic",
+	CatShift:   "Shift",
+	CatSet:     "Set",
+	CatMultDiv: "MultDiv",
+	CatLui:     "Lui",
+	CatOther:   "Other",
+	CatNone:    "None",
+}
+
+func (c Category) String() string {
+	if int(c) < len(catNames) {
+		return catNames[c]
+	}
+	return fmt.Sprintf("Category(%d)", uint8(c))
+}
+
+// PredictedCategories lists the categories of register-writing
+// instructions in the paper's reporting order.
+func PredictedCategories() []Category {
+	return []Category{CatAddSub, CatLoads, CatLogic, CatShift, CatSet, CatMultDiv, CatLui, CatOther}
+}
+
+// opInfo describes the static properties of an opcode.
+type opInfo struct {
+	name     string
+	cat      Category
+	writes   bool // writes rd (or ra for JAL/JALR, a0 for SYS)
+	hasImm   bool
+	isBranch bool
+	isJump   bool
+	isMem    bool
+}
+
+var opTable = [numOpcodes]opInfo{
+	OpInvalid: {name: "invalid", cat: CatNone},
+
+	OpADD:  {name: "add", cat: CatAddSub, writes: true},
+	OpSUB:  {name: "sub", cat: CatAddSub, writes: true},
+	OpADDI: {name: "addi", cat: CatAddSub, writes: true, hasImm: true},
+
+	OpMUL: {name: "mul", cat: CatMultDiv, writes: true},
+	OpDIV: {name: "div", cat: CatMultDiv, writes: true},
+	OpREM: {name: "rem", cat: CatMultDiv, writes: true},
+
+	OpAND:  {name: "and", cat: CatLogic, writes: true},
+	OpOR:   {name: "or", cat: CatLogic, writes: true},
+	OpXOR:  {name: "xor", cat: CatLogic, writes: true},
+	OpNOR:  {name: "nor", cat: CatLogic, writes: true},
+	OpANDI: {name: "andi", cat: CatLogic, writes: true, hasImm: true},
+	OpORI:  {name: "ori", cat: CatLogic, writes: true, hasImm: true},
+	OpXORI: {name: "xori", cat: CatLogic, writes: true, hasImm: true},
+
+	OpSLL:  {name: "sll", cat: CatShift, writes: true},
+	OpSRL:  {name: "srl", cat: CatShift, writes: true},
+	OpSRA:  {name: "sra", cat: CatShift, writes: true},
+	OpSLLI: {name: "slli", cat: CatShift, writes: true, hasImm: true},
+	OpSRLI: {name: "srli", cat: CatShift, writes: true, hasImm: true},
+	OpSRAI: {name: "srai", cat: CatShift, writes: true, hasImm: true},
+
+	OpSLT:  {name: "slt", cat: CatSet, writes: true},
+	OpSLTU: {name: "sltu", cat: CatSet, writes: true},
+	OpSLTI: {name: "slti", cat: CatSet, writes: true, hasImm: true},
+	OpSEQ:  {name: "seq", cat: CatSet, writes: true},
+	OpSNE:  {name: "sne", cat: CatSet, writes: true},
+
+	OpLUI: {name: "lui", cat: CatLui, writes: true, hasImm: true},
+
+	OpLW:  {name: "lw", cat: CatLoads, writes: true, hasImm: true, isMem: true},
+	OpLB:  {name: "lb", cat: CatLoads, writes: true, hasImm: true, isMem: true},
+	OpLBU: {name: "lbu", cat: CatLoads, writes: true, hasImm: true, isMem: true},
+
+	OpSW: {name: "sw", cat: CatNone, hasImm: true, isMem: true},
+	OpSB: {name: "sb", cat: CatNone, hasImm: true, isMem: true},
+
+	OpBEQ:  {name: "beq", cat: CatNone, hasImm: true, isBranch: true},
+	OpBNE:  {name: "bne", cat: CatNone, hasImm: true, isBranch: true},
+	OpBLT:  {name: "blt", cat: CatNone, hasImm: true, isBranch: true},
+	OpBGE:  {name: "bge", cat: CatNone, hasImm: true, isBranch: true},
+	OpBLTU: {name: "bltu", cat: CatNone, hasImm: true, isBranch: true},
+	OpBGEU: {name: "bgeu", cat: CatNone, hasImm: true, isBranch: true},
+
+	OpJ:    {name: "j", cat: CatNone, hasImm: true, isJump: true},
+	OpJR:   {name: "jr", cat: CatNone, isJump: true},
+	OpJAL:  {name: "jal", cat: CatNone, hasImm: true, isJump: true, writes: true},
+	OpJALR: {name: "jalr", cat: CatNone, isJump: true, writes: true},
+
+	OpSYS:  {name: "sys", cat: CatOther, hasImm: true, writes: true},
+	OpHALT: {name: "halt", cat: CatNone},
+}
+
+// String returns the assembler mnemonic of the opcode.
+func (op Opcode) String() string {
+	if op < numOpcodes {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("op?%d", uint8(op))
+}
+
+// Category returns the paper's reporting category for the opcode.
+// Instructions that are not predicted return CatNone.
+func (op Opcode) Category() Category {
+	if op < numOpcodes {
+		return opTable[op].cat
+	}
+	return CatNone
+}
+
+// WritesRegister reports whether the instruction architecturally writes a
+// general-purpose register (including JAL/JALR writing ra and SYS writing a0).
+func (op Opcode) WritesRegister() bool { return op < numOpcodes && opTable[op].writes }
+
+// Predicted reports whether results of this opcode are candidates for value
+// prediction under the paper's rules: it writes a register and is neither a
+// jump nor a store/branch.
+func (op Opcode) Predicted() bool {
+	if op >= numOpcodes {
+		return false
+	}
+	info := opTable[op]
+	return info.writes && !info.isJump && info.cat != CatNone
+}
+
+// IsBranch reports whether the opcode is a conditional branch.
+func (op Opcode) IsBranch() bool { return op < numOpcodes && opTable[op].isBranch }
+
+// IsJump reports whether the opcode is an unconditional control transfer.
+func (op Opcode) IsJump() bool { return op < numOpcodes && opTable[op].isJump }
+
+// IsMem reports whether the opcode accesses memory.
+func (op Opcode) IsMem() bool { return op < numOpcodes && opTable[op].isMem }
+
+// HasImm reports whether the opcode carries an immediate operand.
+func (op Opcode) HasImm() bool { return op < numOpcodes && opTable[op].hasImm }
+
+// OpByName maps a mnemonic to its opcode. The second result reports whether
+// the mnemonic names a real (non-pseudo) instruction.
+func OpByName(name string) (Opcode, bool) {
+	for op := OpInvalid + 1; op < numOpcodes; op++ {
+		if opTable[op].name == name {
+			return op, true
+		}
+	}
+	return OpInvalid, false
+}
+
+// Syscall numbers understood by the simulator (see internal/sim).
+const (
+	SysGetc = 1 // a0 = next input byte, or -1 at end of input
+	SysPutc = 2 // write low byte of a0 to the output
+	SysSbrk = 3 // grow the heap by a0 bytes; a0 = old break address
+	SysExit = 4 // stop the machine with exit code a0
+)
+
+// Inst is a single decoded VISA-64 instruction. Instructions are held in a
+// Harvard-style text segment and addressed by PC = index*4.
+type Inst struct {
+	Op  Opcode
+	Rd  uint8 // destination register
+	Rs1 uint8 // first source register
+	Rs2 uint8 // second source register
+	Imm int64 // immediate / branch or jump target (absolute PC)
+}
+
+// String disassembles the instruction.
+func (i Inst) String() string {
+	switch {
+	case i.Op == OpHALT:
+		return "halt"
+	case i.Op == OpSYS:
+		return fmt.Sprintf("sys %d", i.Imm)
+	case i.Op == OpJ, i.Op == OpJAL:
+		return fmt.Sprintf("%s 0x%x", i.Op, uint64(i.Imm))
+	case i.Op == OpJR:
+		return fmt.Sprintf("jr %s", RegName(int(i.Rs1)))
+	case i.Op == OpJALR:
+		return fmt.Sprintf("jalr %s", RegName(int(i.Rs1)))
+	case i.Op.IsBranch():
+		return fmt.Sprintf("%s %s, %s, 0x%x", i.Op, RegName(int(i.Rs1)), RegName(int(i.Rs2)), uint64(i.Imm))
+	case i.Op == OpLUI:
+		return fmt.Sprintf("lui %s, %d", RegName(int(i.Rd)), i.Imm)
+	case i.Op.IsMem():
+		if i.Op == OpSW || i.Op == OpSB {
+			return fmt.Sprintf("%s %s, %d(%s)", i.Op, RegName(int(i.Rs2)), i.Imm, RegName(int(i.Rs1)))
+		}
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, RegName(int(i.Rd)), i.Imm, RegName(int(i.Rs1)))
+	case i.Op.HasImm():
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, RegName(int(i.Rd)), RegName(int(i.Rs1)), i.Imm)
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, RegName(int(i.Rd)), RegName(int(i.Rs1)), RegName(int(i.Rs2)))
+	}
+}
+
+// Program is a loadable unit: a text segment of instructions plus an
+// initialized data image. PCs are instruction indices multiplied by 4.
+type Program struct {
+	Text     []Inst
+	Data     []byte            // initial data image, loaded at DataBase
+	DataBase uint64            // load address of Data
+	Entry    uint64            // PC of the first instruction to execute
+	Symbols  map[string]uint64 // label -> PC or data address (for tooling)
+}
+
+// PCToIndex converts a text-segment PC to an instruction index.
+func PCToIndex(pc uint64) uint64 { return pc / 4 }
+
+// IndexToPC converts an instruction index to its PC.
+func IndexToPC(i uint64) uint64 { return i * 4 }

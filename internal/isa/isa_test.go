@@ -1,0 +1,142 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegisterNamesRoundTrip(t *testing.T) {
+	for i := 0; i < NumRegs; i++ {
+		name := RegName(i)
+		got, ok := RegByName(name)
+		if !ok || got != i {
+			t.Errorf("register %d (%s): round trip gave (%d,%v)", i, name, got, ok)
+		}
+	}
+	// Raw rN aliases.
+	if r, ok := RegByName("r31"); !ok || r != 31 {
+		t.Errorf("r31 -> (%d,%v)", r, ok)
+	}
+	if _, ok := RegByName("r32"); ok {
+		t.Error("r32 must be rejected")
+	}
+	if _, ok := RegByName("bogus"); ok {
+		t.Error("bogus must be rejected")
+	}
+	if RegName(99) == "" || !strings.Contains(RegName(99), "?") {
+		t.Error("out-of-range RegName should be marked")
+	}
+}
+
+func TestWellKnownRegisters(t *testing.T) {
+	checks := map[string]int{
+		"zero": RegZero, "ra": RegRA, "sp": RegSP, "fp": RegFP,
+		"a0": RegA0, "a7": RegA7, "t0": RegT0, "t9": RegT9,
+		"s0": RegS0, "s7": RegS7, "gp": RegGP, "at": RegAT,
+	}
+	for name, want := range checks {
+		if got, ok := RegByName(name); !ok || got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestOpcodeNamesRoundTrip(t *testing.T) {
+	for op := OpInvalid + 1; op < numOpcodes; op++ {
+		name := op.String()
+		got, ok := OpByName(name)
+		if !ok || got != op {
+			t.Errorf("opcode %v: round trip gave (%v,%v)", op, got, ok)
+		}
+	}
+	if _, ok := OpByName("frobnicate"); ok {
+		t.Error("unknown mnemonic accepted")
+	}
+}
+
+func TestCategoryAssignments(t *testing.T) {
+	cases := map[Opcode]Category{
+		OpADD: CatAddSub, OpADDI: CatAddSub, OpSUB: CatAddSub,
+		OpMUL: CatMultDiv, OpDIV: CatMultDiv, OpREM: CatMultDiv,
+		OpAND: CatLogic, OpNOR: CatLogic, OpXORI: CatLogic,
+		OpSLL: CatShift, OpSRAI: CatShift,
+		OpSLT: CatSet, OpSEQ: CatSet, OpSNE: CatSet,
+		OpLUI: CatLui,
+		OpLW:  CatLoads, OpLB: CatLoads, OpLBU: CatLoads,
+		OpSW: CatNone, OpSB: CatNone,
+		OpBEQ: CatNone, OpBGEU: CatNone,
+		OpJ: CatNone, OpJAL: CatNone, OpJR: CatNone,
+		OpSYS: CatOther, OpHALT: CatNone,
+	}
+	for op, want := range cases {
+		if got := op.Category(); got != want {
+			t.Errorf("%v category = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestPredictedMatchesPaperRules(t *testing.T) {
+	// The paper predicts register writers, excluding stores, branches and
+	// jumps (even JAL, which writes ra).
+	predicted := []Opcode{OpADD, OpADDI, OpMUL, OpAND, OpSLL, OpSLT, OpLUI, OpLW, OpLBU, OpSYS}
+	notPredicted := []Opcode{OpSW, OpSB, OpBEQ, OpBNE, OpJ, OpJR, OpJAL, OpJALR, OpHALT}
+	for _, op := range predicted {
+		if !op.Predicted() {
+			t.Errorf("%v should be predicted", op)
+		}
+	}
+	for _, op := range notPredicted {
+		if op.Predicted() {
+			t.Errorf("%v must not be predicted", op)
+		}
+	}
+	if !OpJAL.WritesRegister() || !OpJALR.WritesRegister() {
+		t.Error("JAL/JALR architecturally write ra")
+	}
+}
+
+func TestPredictedCategoriesOrder(t *testing.T) {
+	cats := PredictedCategories()
+	if len(cats) != NumCategories {
+		t.Fatalf("%d categories, want %d", len(cats), NumCategories)
+	}
+	want := []string{"AddSub", "Loads", "Logic", "Shift", "Set", "MultDiv", "Lui", "Other"}
+	for i, c := range cats {
+		if c.String() != want[i] {
+			t.Errorf("category %d = %s, want %s", i, c, want[i])
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		inst Inst
+		want string
+	}{
+		{Inst{Op: OpADD, Rd: RegT0, Rs1: RegT0, Rs2: RegT0 + 1}, "add t0, t0, t1"},
+		{Inst{Op: OpADDI, Rd: RegA0, Rs1: RegZero, Imm: -5}, "addi a0, zero, -5"},
+		{Inst{Op: OpLW, Rd: RegT0, Rs1: RegSP, Imm: 16}, "lw t0, 16(sp)"},
+		{Inst{Op: OpSW, Rs1: RegSP, Rs2: RegT0, Imm: 8}, "sw t0, 8(sp)"},
+		{Inst{Op: OpBEQ, Rs1: RegT0, Rs2: RegZero, Imm: 64}, "beq t0, zero, 0x40"},
+		{Inst{Op: OpJR, Rs1: RegRA}, "jr ra"},
+		{Inst{Op: OpSYS, Imm: 4}, "sys 4"},
+		{Inst{Op: OpHALT}, "halt"},
+		{Inst{Op: OpLUI, Rd: RegT0, Imm: 3}, "lui t0, 3"},
+	}
+	for _, c := range cases {
+		if got := c.inst.String(); !strings.Contains(got, c.want) {
+			t.Errorf("String() = %q, want contains %q", got, c.want)
+		}
+	}
+}
+
+func TestPCIndexConversion(t *testing.T) {
+	f := func(idx uint32) bool {
+		pc := IndexToPC(uint64(idx))
+		return PCToIndex(pc) == uint64(idx) && pc == uint64(idx)*4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

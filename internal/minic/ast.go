@@ -1,0 +1,137 @@
+package minic
+
+// ExprKind enumerates expression node kinds.
+type ExprKind uint8
+
+// Expression kinds.
+const (
+	ENum    ExprKind = iota // integer / char literal (Num)
+	EStr                    // string literal (Str), type char*
+	EVar                    // identifier (Name, resolved to Sym)
+	EBinary                 // L Op R
+	EUnary                  // Op L  (-, !, ~, *, &)
+	EAssign                 // L = R
+	ECond                   // Cond ? L : R
+	ECall                   // Name(Args), resolved to Fn or Builtin
+	EIndex                  // L[R]
+	EField                  // L.Name or L->Name (Arrow)
+	ESizeof                 // sizeof(TypeLit)
+)
+
+// BuiltinID identifies compiler intrinsics.
+type BuiltinID uint8
+
+// Intrinsic functions lowered to SYS instructions.
+const (
+	BuiltinNone BuiltinID = iota
+	BuiltinGetc
+	BuiltinPutc
+	BuiltinSbrk
+	BuiltinExit
+)
+
+// Expr is a MiniC expression node. A single fat struct keeps the
+// tree-walking code compact; Kind determines which fields are meaningful.
+type Expr struct {
+	Kind ExprKind
+	Pos  Pos
+	Type *Type // set by the checker
+
+	Op      string  // operator spelling for EBinary/EUnary
+	L, R    *Expr   // operands
+	Cond    *Expr   // ECond condition
+	Num     int64   // ENum value
+	Str     string  // EStr value
+	Name    string  // EVar/ECall/EField identifier
+	Arrow   bool    // EField via ->
+	Args    []*Expr // ECall arguments
+	TypeLit *Type   // ESizeof operand
+
+	Sym     *VarSym   // resolved variable (EVar)
+	Fn      *FuncDecl // resolved callee (ECall)
+	Builtin BuiltinID // resolved intrinsic (ECall)
+}
+
+// StmtKind enumerates statement node kinds.
+type StmtKind uint8
+
+// Statement kinds.
+const (
+	SExpr StmtKind = iota
+	SDecl
+	SIf
+	SWhile
+	SFor
+	SReturn
+	SBreak
+	SContinue
+	SBlock
+	SGroup // multi-declarator line: like SBlock but introduces no scope
+	SEmpty
+)
+
+// Stmt is a MiniC statement node.
+type Stmt struct {
+	Kind StmtKind
+	Pos  Pos
+
+	Expr *Expr   // SExpr, SReturn value, condition for SIf/SWhile/SFor
+	Init *Stmt   // SFor initializer (SExpr or SDecl or SEmpty)
+	Post *Expr   // SFor post expression
+	Body *Stmt   // SIf then / loop body
+	Else *Stmt   // SIf else
+	List []*Stmt // SBlock
+	Decl *VarDecl
+}
+
+// VarDecl is a local variable declaration.
+type VarDecl struct {
+	Name string
+	Type *Type
+	Init *Expr
+	Pos  Pos
+	Sym  *VarSym // set by the checker
+}
+
+// VarSym is a resolved variable (global, parameter or local).
+type VarSym struct {
+	Name      string
+	Type      *Type
+	Global    bool
+	Param     bool
+	AddrTaken bool // true when & is applied or the var is array/struct
+	// Backend fields:
+	Label string // globals: data symbol
+	Slot  int    // locals: frame slot index (-1 = promoted to a vreg)
+	VReg  int    // locals: virtual register when promoted
+}
+
+// GlobalDecl is one global variable with optional initializer.
+type GlobalDecl struct {
+	Sym *VarSym
+	// Init is a scalar constant initializer; InitList initializes arrays.
+	Init     *Expr
+	InitList []*Expr
+	Pos      Pos
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    *Type
+	Params []*VarDecl
+	Body   *Stmt
+	Pos    Pos
+	// Inlinable marks single-return-expression leaf functions (-O3).
+	Inlinable bool
+}
+
+// File is a parsed translation unit (possibly several concatenated
+// sources).
+type File struct {
+	Structs map[string]*StructDef
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+	// Strings collects string literals for data emission: label -> text.
+	Strings map[string]string
+}

@@ -1,0 +1,495 @@
+package minic
+
+import "fmt"
+
+// checker resolves identifiers and annotates every expression with its
+// type. Functions and globals may be declared in any order; struct types
+// must precede their first use (handled by the parser).
+type checker struct {
+	file   *File
+	errs   *ErrorList
+	funcs  map[string]*FuncDecl
+	global map[string]*VarSym
+	scopes []map[string]*VarSym
+	fn     *FuncDecl
+	loops  int
+}
+
+func check(file *File, errs *ErrorList) {
+	c := &checker{
+		file:   file,
+		errs:   errs,
+		funcs:  make(map[string]*FuncDecl),
+		global: make(map[string]*VarSym),
+	}
+	for _, fn := range file.Funcs {
+		if _, dup := c.funcs[fn.Name]; dup {
+			c.errorf(fn.Pos, "duplicate function %q", fn.Name)
+			continue
+		}
+		c.funcs[fn.Name] = fn
+	}
+	for _, g := range file.Globals {
+		if _, dup := c.global[g.Sym.Name]; dup {
+			c.errorf(g.Pos, "duplicate global %q", g.Sym.Name)
+			continue
+		}
+		if g.Sym.Type.Kind == TVoid {
+			c.errorf(g.Pos, "global %q has void type", g.Sym.Name)
+		}
+		c.global[g.Sym.Name] = g.Sym
+		c.checkGlobalInit(g)
+	}
+	for _, fn := range file.Funcs {
+		c.checkFunc(fn)
+	}
+}
+
+func (c *checker) errorf(pos Pos, format string, args ...any) {
+	*c.errs = append(*c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (c *checker) checkGlobalInit(g *GlobalDecl) {
+	if g.Init != nil {
+		if g.Sym.Type.Kind == TArray || g.Sym.Type.Kind == TStruct {
+			c.errorf(g.Pos, "scalar initializer for aggregate %q", g.Sym.Name)
+			return
+		}
+		if g.Init.Kind == EStr {
+			if g.Sym.Type.Kind != TPtr || g.Sym.Type.Elem.Kind != TChar {
+				c.errorf(g.Pos, "string initializer requires char* type")
+			}
+			return
+		}
+		if _, ok := foldConst(g.Init); !ok {
+			c.errorf(g.Pos, "global initializer for %q is not constant", g.Sym.Name)
+		}
+		return
+	}
+	if len(g.InitList) > 0 {
+		if g.Sym.Type.Kind != TArray {
+			c.errorf(g.Pos, "brace initializer requires array type")
+			return
+		}
+		if int64(len(g.InitList)) > g.Sym.Type.Len {
+			c.errorf(g.Pos, "too many initializers for %q (%d > %d)",
+				g.Sym.Name, len(g.InitList), g.Sym.Type.Len)
+		}
+		for _, e := range g.InitList {
+			if _, ok := foldConst(e); !ok {
+				c.errorf(e.Pos, "array initializer element is not constant")
+			}
+		}
+	}
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) {
+	c.fn = fn
+	c.scopes = []map[string]*VarSym{make(map[string]*VarSym)}
+	if len(fn.Params) > 8 {
+		c.errorf(fn.Pos, "function %q has %d parameters; the ABI allows at most 8", fn.Name, len(fn.Params))
+	}
+	for _, p := range fn.Params {
+		if !p.Type.IsScalar() {
+			c.errorf(p.Pos, "parameter %q must be scalar (int, char or pointer)", p.Name)
+		}
+		p.Sym = &VarSym{Name: p.Name, Type: p.Type, Param: true, Slot: -1}
+		c.declare(p.Pos, p.Sym)
+	}
+	if fn.Ret.Kind == TArray || fn.Ret.Kind == TStruct {
+		c.errorf(fn.Pos, "function %q cannot return an aggregate", fn.Name)
+	}
+	c.stmt(fn.Body)
+	c.fn = nil
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, make(map[string]*VarSym)) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(pos Pos, sym *VarSym) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[sym.Name]; dup {
+		c.errorf(pos, "%q redeclared in this scope", sym.Name)
+	}
+	top[sym.Name] = sym
+}
+
+func (c *checker) lookup(name string) *VarSym {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return c.global[name]
+}
+
+func (c *checker) stmt(s *Stmt) {
+	if s == nil {
+		return
+	}
+	switch s.Kind {
+	case SBlock:
+		c.pushScope()
+		for _, sub := range s.List {
+			c.stmt(sub)
+		}
+		c.popScope()
+	case SGroup:
+		for _, sub := range s.List {
+			c.stmt(sub)
+		}
+	case SDecl:
+		d := s.Decl
+		if d.Type.Kind == TVoid {
+			c.errorf(d.Pos, "variable %q has void type", d.Name)
+			d.Type = typeInt
+		}
+		d.Sym = &VarSym{Name: d.Name, Type: d.Type, Slot: -1}
+		// Aggregates always live in memory.
+		if !d.Type.IsScalar() {
+			d.Sym.AddrTaken = true
+		}
+		if d.Init != nil {
+			t := c.expr(d.Init)
+			if !d.Type.IsScalar() {
+				c.errorf(d.Pos, "cannot initialize aggregate %q", d.Name)
+			} else {
+				c.assignable(d.Pos, d.Type, t)
+			}
+		}
+		// Declare after checking the initializer: `int x = x;` is an error.
+		c.declare(d.Pos, d.Sym)
+	case SExpr:
+		c.expr(s.Expr)
+	case SIf:
+		c.condition(s.Expr)
+		c.stmt(s.Body)
+		c.stmt(s.Else)
+	case SWhile:
+		c.condition(s.Expr)
+		c.loops++
+		c.stmt(s.Body)
+		c.loops--
+	case SFor:
+		c.pushScope()
+		c.stmt(s.Init)
+		if s.Expr != nil {
+			c.condition(s.Expr)
+		}
+		if s.Post != nil {
+			c.expr(s.Post)
+		}
+		c.loops++
+		c.stmt(s.Body)
+		c.loops--
+		c.popScope()
+	case SReturn:
+		if s.Expr != nil {
+			t := c.expr(s.Expr)
+			if c.fn.Ret.Kind == TVoid {
+				c.errorf(s.Pos, "return with value in void function %q", c.fn.Name)
+			} else {
+				c.assignable(s.Pos, c.fn.Ret, t)
+			}
+		} else if c.fn.Ret.Kind != TVoid {
+			c.errorf(s.Pos, "return without value in function %q returning %s", c.fn.Name, c.fn.Ret)
+		}
+	case SBreak, SContinue:
+		if c.loops == 0 {
+			c.errorf(s.Pos, "break/continue outside loop")
+		}
+	case SEmpty:
+	}
+}
+
+func (c *checker) condition(e *Expr) {
+	t := c.expr(e)
+	if t != nil && !decay(t).IsScalar() {
+		c.errorf(e.Pos, "condition has non-scalar type %s", t)
+	}
+}
+
+// decay converts array types to element pointers, the implicit conversion
+// applied in value contexts.
+func decay(t *Type) *Type {
+	if t != nil && t.Kind == TArray {
+		return PtrTo(t.Elem)
+	}
+	return t
+}
+
+// assignable checks whether a value of type src may be stored into dst.
+// All scalar types are mutually assignable (char truncates, int<->pointer
+// conversions are allowed as in early C).
+func (c *checker) assignable(pos Pos, dst, src *Type) {
+	if dst == nil || src == nil {
+		return
+	}
+	src = decay(src)
+	if dst.IsScalar() && src.IsScalar() {
+		return
+	}
+	c.errorf(pos, "cannot assign %s to %s", src, dst)
+}
+
+// expr type-checks e, annotates e.Type and returns it (nil on error).
+func (c *checker) expr(e *Expr) *Type {
+	if e == nil {
+		return nil
+	}
+	t := c.exprType(e)
+	e.Type = t
+	return t
+}
+
+func (c *checker) exprType(e *Expr) *Type {
+	switch e.Kind {
+	case ENum:
+		return typeInt
+	case EStr:
+		return PtrTo(typeChar)
+	case ESizeof:
+		return typeInt
+	case EVar:
+		sym := c.lookup(e.Name)
+		if sym == nil {
+			c.errorf(e.Pos, "undefined identifier %q", e.Name)
+			return typeInt
+		}
+		e.Sym = sym
+		return sym.Type
+	case EUnary:
+		return c.unaryType(e)
+	case EBinary:
+		return c.binaryType(e)
+	case EAssign:
+		lt := c.expr(e.L)
+		rt := c.expr(e.R)
+		if !c.isLvalue(e.L) {
+			c.errorf(e.Pos, "assignment target is not an lvalue")
+			return lt
+		}
+		if lt != nil && !lt.IsScalar() {
+			c.errorf(e.Pos, "cannot assign to aggregate of type %s", lt)
+			return lt
+		}
+		c.assignable(e.Pos, lt, rt)
+		return lt
+	case ECond:
+		c.condition(e.Cond)
+		lt := decay(c.expr(e.L))
+		rt := decay(c.expr(e.R))
+		if lt != nil && rt != nil && !lt.IsScalar() {
+			c.errorf(e.Pos, "?: arms must be scalar")
+		}
+		_ = rt
+		return lt
+	case ECall:
+		return c.callType(e)
+	case EIndex:
+		bt := decay(c.expr(e.L))
+		it := decay(c.expr(e.R))
+		if bt == nil || bt.Kind != TPtr {
+			c.errorf(e.Pos, "indexing non-pointer type %s", bt)
+			return typeInt
+		}
+		if it != nil && !it.IsInteger() {
+			c.errorf(e.Pos, "array index must be integer, got %s", it)
+		}
+		if bt.Elem.Kind == TVoid {
+			c.errorf(e.Pos, "cannot index void pointer")
+			return typeInt
+		}
+		return bt.Elem
+	case EField:
+		lt := c.expr(e.L)
+		if lt == nil {
+			return typeInt
+		}
+		st := lt
+		if e.Arrow {
+			if lt.Kind != TPtr || lt.Elem.Kind != TStruct {
+				c.errorf(e.Pos, "-> on non-struct-pointer type %s", lt)
+				return typeInt
+			}
+			st = lt.Elem
+		} else if lt.Kind != TStruct {
+			c.errorf(e.Pos, ". on non-struct type %s", lt)
+			return typeInt
+		}
+		f := st.Str.Field(e.Name)
+		if f == nil {
+			c.errorf(e.Pos, "struct %s has no field %q", st.Str.Name, e.Name)
+			return typeInt
+		}
+		return f.Type
+	default:
+		c.errorf(e.Pos, "internal: unknown expression kind %d", e.Kind)
+		return typeInt
+	}
+}
+
+func (c *checker) unaryType(e *Expr) *Type {
+	lt := c.expr(e.L)
+	switch e.Op {
+	case "-", "~":
+		if lt != nil && !decay(lt).IsScalar() {
+			c.errorf(e.Pos, "unary %s on non-scalar %s", e.Op, lt)
+		}
+		return typeInt
+	case "!":
+		if lt != nil && !decay(lt).IsScalar() {
+			c.errorf(e.Pos, "! on non-scalar %s", lt)
+		}
+		return typeInt
+	case "*":
+		dt := decay(lt)
+		if dt == nil || dt.Kind != TPtr {
+			c.errorf(e.Pos, "dereference of non-pointer type %s", lt)
+			return typeInt
+		}
+		if dt.Elem.Kind == TVoid {
+			c.errorf(e.Pos, "dereference of void pointer")
+			return typeInt
+		}
+		return dt.Elem
+	case "&":
+		if !c.isLvalue(e.L) {
+			c.errorf(e.Pos, "& of non-lvalue")
+			return PtrTo(typeInt)
+		}
+		c.markAddrTaken(e.L)
+		if lt == nil {
+			return PtrTo(typeInt)
+		}
+		if lt.Kind == TArray {
+			return PtrTo(lt.Elem)
+		}
+		return PtrTo(lt)
+	default:
+		c.errorf(e.Pos, "internal: unknown unary %q", e.Op)
+		return typeInt
+	}
+}
+
+func (c *checker) binaryType(e *Expr) *Type {
+	lt := decay(c.expr(e.L))
+	rt := decay(c.expr(e.R))
+	if lt == nil || rt == nil {
+		return typeInt
+	}
+	if !lt.IsScalar() || !rt.IsScalar() {
+		c.errorf(e.Pos, "binary %s on non-scalar operands (%s, %s)", e.Op, lt, rt)
+		return typeInt
+	}
+	switch e.Op {
+	case "+":
+		if lt.Kind == TPtr && rt.IsInteger() {
+			return lt
+		}
+		if rt.Kind == TPtr && lt.IsInteger() {
+			return rt
+		}
+		if lt.Kind == TPtr && rt.Kind == TPtr {
+			c.errorf(e.Pos, "cannot add two pointers")
+		}
+		return typeInt
+	case "-":
+		if lt.Kind == TPtr && rt.IsInteger() {
+			return lt
+		}
+		if lt.Kind == TPtr && rt.Kind == TPtr {
+			return typeInt // element difference
+		}
+		if rt.Kind == TPtr {
+			c.errorf(e.Pos, "cannot subtract pointer from integer")
+		}
+		return typeInt
+	case "==", "!=", "<", "<=", ">", ">=", "&&", "||":
+		return typeInt
+	default: // * / % & | ^ << >>
+		if lt.Kind == TPtr || rt.Kind == TPtr {
+			c.errorf(e.Pos, "arithmetic %s on pointer operand", e.Op)
+		}
+		return typeInt
+	}
+}
+
+func (c *checker) callType(e *Expr) *Type {
+	// Intrinsics first.
+	type builtinSig struct {
+		id   BuiltinID
+		args int
+		ret  *Type
+	}
+	builtins := map[string]builtinSig{
+		"getc": {BuiltinGetc, 0, typeInt},
+		"putc": {BuiltinPutc, 1, typeInt},
+		"sbrk": {BuiltinSbrk, 1, PtrTo(typeChar)},
+		"exit": {BuiltinExit, 1, typeVoid},
+	}
+	if b, ok := builtins[e.Name]; ok {
+		e.Builtin = b.id
+		if len(e.Args) != b.args {
+			c.errorf(e.Pos, "%s expects %d argument(s), got %d", e.Name, b.args, len(e.Args))
+		}
+		for _, a := range e.Args {
+			at := decay(c.expr(a))
+			if at != nil && !at.IsScalar() {
+				c.errorf(a.Pos, "intrinsic argument must be scalar")
+			}
+		}
+		return b.ret
+	}
+	fn, ok := c.funcs[e.Name]
+	if !ok {
+		c.errorf(e.Pos, "call to undefined function %q", e.Name)
+		for _, a := range e.Args {
+			c.expr(a)
+		}
+		return typeInt
+	}
+	e.Fn = fn
+	if len(e.Args) != len(fn.Params) {
+		c.errorf(e.Pos, "%q expects %d argument(s), got %d", e.Name, len(fn.Params), len(e.Args))
+	}
+	for i, a := range e.Args {
+		at := c.expr(a)
+		if i < len(fn.Params) {
+			c.assignable(a.Pos, fn.Params[i].Type, at)
+		}
+	}
+	return fn.Ret
+}
+
+// isLvalue reports whether e designates a storage location.
+func (c *checker) isLvalue(e *Expr) bool {
+	switch e.Kind {
+	case EVar, EIndex:
+		return true
+	case EField:
+		return e.Arrow || c.isLvalue(e.L)
+	case EUnary:
+		return e.Op == "*"
+	default:
+		return false
+	}
+}
+
+// markAddrTaken forces the base variable of an lvalue into memory.
+func (c *checker) markAddrTaken(e *Expr) {
+	switch e.Kind {
+	case EVar:
+		if e.Sym != nil {
+			e.Sym.AddrTaken = true
+		}
+	case EField:
+		if !e.Arrow {
+			c.markAddrTaken(e.L)
+		}
+	case EIndex:
+		// The base of an index is an array (already memory-resident) or a
+		// pointer value; neither needs further marking here. Arrays are
+		// marked at declaration.
+	}
+}

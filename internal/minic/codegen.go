@@ -1,0 +1,276 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// codegen lowers allocated IR to VISA-64 assembly text. The reserved
+// scratch registers are at (operand A / results of spilled vregs) and gp
+// (operand B); neither is allocatable, so reloads can never clobber live
+// values.
+type codegen struct {
+	b       *strings.Builder
+	f       *IRFunc
+	alloc   *allocation
+	slotOff []int64
+	frame   int64
+	raOff   int64
+	sOff    map[uint8]int64
+	errs    *ErrorList
+}
+
+const (
+	scratchA = "at"
+	scratchB = "gp"
+)
+
+// genCode emits one function.
+func genCode(b *strings.Builder, f *IRFunc, alloc *allocation, errs *ErrorList) {
+	cg := &codegen{b: b, f: f, alloc: alloc, sOff: make(map[uint8]int64), errs: errs}
+	cg.layoutFrame()
+	cg.prologue()
+	for i := range f.Insts {
+		cg.inst(&f.Insts[i])
+	}
+	cg.epilogue()
+}
+
+func (cg *codegen) emitf(format string, args ...any) {
+	fmt.Fprintf(cg.b, "\t"+format+"\n", args...)
+}
+
+func (cg *codegen) labelf(format string, args ...any) {
+	fmt.Fprintf(cg.b, format+"\n", args...)
+}
+
+// layoutFrame assigns frame offsets: [ra][saved s-regs][slots], 16-aligned.
+func (cg *codegen) layoutFrame() {
+	off := int64(0)
+	if cg.f.HasCalls {
+		cg.raOff = off
+		off += 8
+	}
+	for _, r := range cg.alloc.usedCalleeSaved {
+		cg.sOff[r] = off
+		off += 8
+	}
+	cg.slotOff = make([]int64, len(cg.f.Slots))
+	for i, s := range cg.f.Slots {
+		off = roundUp(off, s.Align)
+		cg.slotOff[i] = off
+		off += s.Size
+	}
+	cg.frame = roundUp(off, 16)
+	if cg.frame > 32000 {
+		*cg.errs = append(*cg.errs, &Error{Msg: fmt.Sprintf(
+			"function %s: frame size %d exceeds 32000 bytes; move large arrays to globals",
+			cg.f.Name, cg.frame)})
+	}
+}
+
+func (cg *codegen) prologue() {
+	cg.labelf("%s:", cg.f.Name)
+	if cg.frame > 0 {
+		cg.emitf("addi sp, sp, -%d", cg.frame)
+	}
+	if cg.f.HasCalls {
+		cg.emitf("sw ra, %d(sp)", cg.raOff)
+	}
+	for _, r := range cg.alloc.usedCalleeSaved {
+		cg.emitf("sw %s, %d(sp)", isa.RegName(int(r)), cg.sOff[r])
+	}
+}
+
+func (cg *codegen) epilogue() {
+	cg.labelf(".L_%s_ret:", cg.f.Name)
+	for _, r := range cg.alloc.usedCalleeSaved {
+		cg.emitf("lw %s, %d(sp)", isa.RegName(int(r)), cg.sOff[r])
+	}
+	if cg.f.HasCalls {
+		cg.emitf("lw ra, %d(sp)", cg.raOff)
+	}
+	if cg.frame > 0 {
+		cg.emitf("addi sp, sp, %d", cg.frame)
+	}
+	cg.emitf("ret")
+}
+
+// src returns the register holding vreg v, reloading through scratch when
+// spilled.
+func (cg *codegen) src(v VReg, scratch string) string {
+	if v == 0 {
+		return "zero"
+	}
+	a := cg.alloc.assign[v]
+	if !a.Spill {
+		return isa.RegName(int(a.Reg))
+	}
+	cg.emitf("lw %s, %d(sp)", scratch, cg.slotOff[a.Slot])
+	return scratch
+}
+
+// dst returns the register to compute vreg v into; call flush after the
+// computing instruction to store spilled results.
+func (cg *codegen) dst(v VReg) string {
+	a := cg.alloc.assign[v]
+	if !a.Spill {
+		return isa.RegName(int(a.Reg))
+	}
+	return scratchA
+}
+
+func (cg *codegen) flush(v VReg) {
+	a := cg.alloc.assign[v]
+	if a.Spill {
+		cg.emitf("sw %s, %d(sp)", scratchA, cg.slotOff[a.Slot])
+	}
+}
+
+func fitsSImm(v int64) bool { return v >= -32768 && v <= 32767 }
+func fitsUImm(v int64) bool { return v >= 0 && v <= 65535 }
+
+func (cg *codegen) inst(in *IRInst) {
+	switch in.Op {
+	case IRLabel:
+		cg.labelf(".L_%s_%d:", cg.f.Name, in.Imm)
+	case IRJmp:
+		cg.emitf("j .L_%s_%d", cg.f.Name, in.Imm)
+	case IRCJmp:
+		a := cg.src(in.A, scratchA)
+		b := cg.src(in.B, scratchB)
+		br := map[CC]string{CCEq: "beq", CCNe: "bne", CCLt: "blt", CCGe: "bge", CCLtu: "bltu", CCGeu: "bgeu"}[in.CC]
+		cg.emitf("%s %s, %s, .L_%s_%d", br, a, b, cg.f.Name, in.Imm)
+	case IRConst:
+		d := cg.dst(in.Dst)
+		cg.emitf("li %s, %d", d, in.Imm)
+		cg.flush(in.Dst)
+	case IRMov:
+		a := cg.src(in.A, scratchA)
+		d := cg.dst(in.Dst)
+		if d != a {
+			cg.emitf("mov %s, %s", d, a)
+		}
+		cg.flush(in.Dst)
+	case IRAddrG:
+		d := cg.dst(in.Dst)
+		cg.emitf("la %s, %s", d, in.Sym)
+		cg.flush(in.Dst)
+	case IRAddrL:
+		d := cg.dst(in.Dst)
+		cg.emitf("addi %s, sp, %d", d, cg.slotOff[in.Imm])
+		cg.flush(in.Dst)
+	case IRParam:
+		d := cg.dst(in.Dst)
+		cg.emitf("mov %s, %s", d, isa.RegName(isa.RegA0+int(in.Imm)))
+		cg.flush(in.Dst)
+	case IRLoad:
+		a := cg.src(in.A, scratchA)
+		d := cg.dst(in.Dst)
+		op := "lw"
+		if in.Size == 1 {
+			op = "lbu"
+		}
+		cg.emitf("%s %s, %d(%s)", op, d, in.Imm, a)
+		cg.flush(in.Dst)
+	case IRStore:
+		a := cg.src(in.A, scratchA)
+		b := cg.src(in.B, scratchB)
+		op := "sw"
+		if in.Size == 1 {
+			op = "sb"
+		}
+		cg.emitf("%s %s, %d(%s)", op, b, in.Imm, a)
+	case IRBin:
+		cg.binInst(in)
+	case IRCall:
+		for i, arg := range in.Args {
+			cg.emitf("mov %s, %s", isa.RegName(isa.RegA0+i), cg.src(arg, scratchA))
+		}
+		cg.emitf("call %s", in.Sym)
+		if in.Dst != 0 {
+			d := cg.dst(in.Dst)
+			cg.emitf("mov %s, a0", d)
+			cg.flush(in.Dst)
+		}
+	case IRSys:
+		if in.A != 0 {
+			cg.emitf("mov a0, %s", cg.src(in.A, scratchA))
+		}
+		cg.emitf("sys %d", in.Imm)
+		if in.Dst != 0 {
+			d := cg.dst(in.Dst)
+			cg.emitf("mov %s, a0", d)
+			cg.flush(in.Dst)
+		}
+	case IRRet:
+		if in.A != 0 {
+			cg.emitf("mov a0, %s", cg.src(in.A, scratchA))
+		}
+		cg.emitf("j .L_%s_ret", cg.f.Name)
+	}
+}
+
+// regBinNames maps BinOp to the three-register mnemonic.
+var regBinNames = [...]string{
+	BAdd: "add", BSub: "sub", BMul: "mul", BDiv: "div", BRem: "rem",
+	BAnd: "and", BOr: "or", BXor: "xor", BShl: "sll", BShr: "srl",
+	BSar: "sra", BSlt: "slt", BSltu: "sltu", BSeq: "seq", BSne: "sne",
+}
+
+// immBinNames maps BinOp to its immediate form, when one exists.
+var immBinNames = map[BinOp]string{
+	BAdd: "addi", BAnd: "andi", BOr: "ori", BXor: "xori",
+	BShl: "slli", BShr: "srli", BSar: "srai", BSlt: "slti",
+}
+
+func (cg *codegen) binInst(in *IRInst) {
+	a := cg.src(in.A, scratchA)
+	if !in.HasImm {
+		b := cg.src(in.B, scratchB)
+		d := cg.dst(in.Dst)
+		cg.emitf("%s %s, %s, %s", regBinNames[in.Bin], d, a, b)
+		cg.flush(in.Dst)
+		return
+	}
+	d := cg.dst(in.Dst)
+	imm := in.Imm
+	emitted := false
+	switch in.Bin {
+	case BAdd, BSlt:
+		if fitsSImm(imm) {
+			cg.emitf("%s %s, %s, %d", immBinNames[in.Bin], d, a, imm)
+			emitted = true
+		}
+	case BSub:
+		if fitsSImm(-imm) {
+			cg.emitf("addi %s, %s, %d", d, a, -imm)
+			emitted = true
+		}
+	case BAnd, BOr:
+		if fitsUImm(imm) {
+			cg.emitf("%s %s, %s, %d", immBinNames[in.Bin], d, a, imm)
+			emitted = true
+		}
+	case BXor:
+		if imm == -1 {
+			cg.emitf("nor %s, %s, zero", d, a)
+			emitted = true
+		} else if fitsUImm(imm) {
+			cg.emitf("xori %s, %s, %d", d, a, imm)
+			emitted = true
+		}
+	case BShl, BShr, BSar:
+		cg.emitf("%s %s, %s, %d", immBinNames[in.Bin], d, a, imm&63)
+		emitted = true
+	}
+	if !emitted {
+		// Materialize the immediate in the B scratch and use the register
+		// form (a may be the A scratch; they never collide).
+		cg.emitf("li %s, %d", scratchB, imm)
+		cg.emitf("%s %s, %s, %s", regBinNames[in.Bin], d, a, scratchB)
+	}
+	cg.flush(in.Dst)
+}

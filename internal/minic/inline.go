@@ -1,0 +1,180 @@
+package minic
+
+// Leaf-function expression inlining (-O3). A function is inlinable when
+// its body is a single `return expr;` whose expression has no side effects
+// other than calls to other functions, is reasonably small, and does not
+// call the function itself. A call site is inlined when every argument is
+// side-effect free or the corresponding parameter is used at most once, so
+// argument substitution preserves evaluation semantics.
+
+const maxInlineNodes = 40
+
+// inlineFile marks inlinable functions and rewrites call sites in every
+// function body. One pass only: inlined bodies may contain calls to other
+// inlinable functions, which stay as calls (bounded growth by design).
+func inlineFile(file *File) {
+	for _, fn := range file.Funcs {
+		fn.Inlinable = inlinableBody(fn) != nil
+	}
+	for _, fn := range file.Funcs {
+		inlineStmt(fn.Body, fn)
+	}
+}
+
+// inlinableBody returns the single returned expression, or nil.
+func inlinableBody(fn *FuncDecl) *Expr {
+	if fn.Ret.Kind == TVoid || fn.Body == nil {
+		return nil
+	}
+	body := fn.Body
+	if body.Kind != SBlock || len(body.List) != 1 {
+		return nil
+	}
+	ret := body.List[0]
+	if ret.Kind != SReturn || ret.Expr == nil {
+		return nil
+	}
+	e := ret.Expr
+	if countNodes(e) > maxInlineNodes || hasAssign(e) || callsSelf(e, fn.Name) {
+		return nil
+	}
+	return e
+}
+
+func countNodes(e *Expr) int {
+	if e == nil {
+		return 0
+	}
+	n := 1 + countNodes(e.L) + countNodes(e.R) + countNodes(e.Cond)
+	for _, a := range e.Args {
+		n += countNodes(a)
+	}
+	return n
+}
+
+func hasAssign(e *Expr) bool {
+	if e == nil {
+		return false
+	}
+	if e.Kind == EAssign {
+		return true
+	}
+	if hasAssign(e.L) || hasAssign(e.R) || hasAssign(e.Cond) {
+		return true
+	}
+	for _, a := range e.Args {
+		if hasAssign(a) {
+			return true
+		}
+	}
+	return false
+}
+
+func callsSelf(e *Expr, name string) bool {
+	if e == nil {
+		return false
+	}
+	if e.Kind == ECall && e.Name == name {
+		return true
+	}
+	if callsSelf(e.L, name) || callsSelf(e.R, name) || callsSelf(e.Cond, name) {
+		return true
+	}
+	for _, a := range e.Args {
+		if callsSelf(a, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// paramUses counts occurrences of each parameter symbol in the body.
+func paramUses(e *Expr, counts map[*VarSym]int) {
+	if e == nil {
+		return
+	}
+	if e.Kind == EVar && e.Sym != nil {
+		counts[e.Sym]++
+	}
+	paramUses(e.L, counts)
+	paramUses(e.R, counts)
+	paramUses(e.Cond, counts)
+	for _, a := range e.Args {
+		paramUses(a, counts)
+	}
+}
+
+func inlineStmt(s *Stmt, owner *FuncDecl) {
+	if s == nil {
+		return
+	}
+	s.Expr = inlineExpr(s.Expr, owner)
+	s.Post = inlineExpr(s.Post, owner)
+	if s.Decl != nil {
+		s.Decl.Init = inlineExpr(s.Decl.Init, owner)
+	}
+	inlineStmt(s.Init, owner)
+	inlineStmt(s.Body, owner)
+	inlineStmt(s.Else, owner)
+	for _, sub := range s.List {
+		inlineStmt(sub, owner)
+	}
+}
+
+func inlineExpr(e *Expr, owner *FuncDecl) *Expr {
+	if e == nil {
+		return nil
+	}
+	e.L = inlineExpr(e.L, owner)
+	e.R = inlineExpr(e.R, owner)
+	e.Cond = inlineExpr(e.Cond, owner)
+	for i := range e.Args {
+		e.Args[i] = inlineExpr(e.Args[i], owner)
+	}
+	if e.Kind != ECall || e.Fn == nil || !e.Fn.Inlinable || e.Fn == owner {
+		return e
+	}
+	body := inlinableBody(e.Fn)
+	if body == nil {
+		return e
+	}
+	// Substitution safety: every argument pure, or its parameter used at
+	// most once.
+	counts := make(map[*VarSym]int)
+	paramUses(body, counts)
+	sub := make(map[*VarSym]*Expr, len(e.Fn.Params))
+	for i, p := range e.Fn.Params {
+		if i >= len(e.Args) {
+			return e
+		}
+		arg := e.Args[i]
+		if !pureExpr(arg) && counts[p.Sym] > 1 {
+			return e
+		}
+		sub[p.Sym] = arg
+	}
+	return cloneExpr(body, sub)
+}
+
+// cloneExpr deep-copies an expression, replacing parameter references.
+func cloneExpr(e *Expr, sub map[*VarSym]*Expr) *Expr {
+	if e == nil {
+		return nil
+	}
+	if e.Kind == EVar && e.Sym != nil {
+		if repl, ok := sub[e.Sym]; ok {
+			return repl
+		}
+	}
+	cp := *e
+	cp.L = cloneExpr(e.L, sub)
+	cp.R = cloneExpr(e.R, sub)
+	cp.Cond = cloneExpr(e.Cond, sub)
+	if len(e.Args) > 0 {
+		cp.Args = make([]*Expr, len(e.Args))
+		for i, a := range e.Args {
+			cp.Args[i] = cloneExpr(a, sub)
+		}
+	}
+	return &cp
+}

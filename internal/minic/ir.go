@@ -1,0 +1,241 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VReg is a virtual register id; 0 is "none".
+type VReg int32
+
+// IROp enumerates three-address-code operations.
+type IROp uint8
+
+// IR operations.
+const (
+	IRConst IROp = iota // Dst = Imm
+	IRMov               // Dst = A
+	IRBin               // Dst = A <Bin> (B|Imm)
+	IRLoad              // Dst = mem[A+Imm] (Size bytes, zero-extended)
+	IRStore             // mem[A+Imm] = B (Size bytes)
+	IRAddrG             // Dst = address of global Sym
+	IRAddrL             // Dst = address of frame slot Imm
+	IRParam             // Dst = incoming argument Imm
+	IRCall              // Dst = Sym(Args...); Dst may be 0
+	IRSys               // Dst = syscall Imm with argument A (A may be 0)
+	IRRet               // return A (A may be 0 for void)
+	IRJmp               // goto label Imm
+	IRCJmp              // if A <CC> B goto label Imm
+	IRLabel             // label Imm
+)
+
+// BinOp enumerates IRBin operators, mapping 1:1 to VISA instructions.
+type BinOp uint8
+
+// Binary operators.
+const (
+	BAdd BinOp = iota
+	BSub
+	BMul
+	BDiv
+	BRem
+	BAnd
+	BOr
+	BXor
+	BShl
+	BShr // logical right
+	BSar // arithmetic right
+	BSlt
+	BSltu
+	BSeq
+	BSne
+)
+
+var binNames = [...]string{
+	BAdd: "add", BSub: "sub", BMul: "mul", BDiv: "div", BRem: "rem",
+	BAnd: "and", BOr: "or", BXor: "xor", BShl: "shl", BShr: "shr",
+	BSar: "sar", BSlt: "slt", BSltu: "sltu", BSeq: "seq", BSne: "sne",
+}
+
+// CC enumerates IRCJmp conditions, mapping 1:1 to VISA branches.
+type CC uint8
+
+// Branch conditions.
+const (
+	CCEq CC = iota
+	CCNe
+	CCLt
+	CCGe
+	CCLtu
+	CCGeu
+)
+
+var ccNames = [...]string{CCEq: "eq", CCNe: "ne", CCLt: "lt", CCGe: "ge", CCLtu: "ltu", CCGeu: "geu"}
+
+// Negate returns the opposite condition.
+func (cc CC) Negate() CC {
+	switch cc {
+	case CCEq:
+		return CCNe
+	case CCNe:
+		return CCEq
+	case CCLt:
+		return CCGe
+	case CCGe:
+		return CCLt
+	case CCLtu:
+		return CCGeu
+	default:
+		return CCLtu
+	}
+}
+
+// IRInst is one TAC instruction.
+type IRInst struct {
+	Op     IROp
+	Bin    BinOp
+	CC     CC
+	Dst    VReg
+	A, B   VReg
+	HasImm bool // IRBin: B is replaced by Imm
+	Imm    int64
+	Size   uint8 // IRLoad/IRStore: 1 or 8
+	Sym    string
+	Args   []VReg
+}
+
+// String renders the instruction for IR dumps and tests.
+func (in IRInst) String() string {
+	v := func(r VReg) string { return fmt.Sprintf("v%d", r) }
+	switch in.Op {
+	case IRConst:
+		return fmt.Sprintf("%s = %d", v(in.Dst), in.Imm)
+	case IRMov:
+		return fmt.Sprintf("%s = %s", v(in.Dst), v(in.A))
+	case IRBin:
+		rhs := v(in.B)
+		if in.HasImm {
+			rhs = fmt.Sprintf("%d", in.Imm)
+		}
+		return fmt.Sprintf("%s = %s %s, %s", v(in.Dst), binNames[in.Bin], v(in.A), rhs)
+	case IRLoad:
+		return fmt.Sprintf("%s = load%d [%s+%d]", v(in.Dst), in.Size, v(in.A), in.Imm)
+	case IRStore:
+		return fmt.Sprintf("store%d [%s+%d] = %s", in.Size, v(in.A), in.Imm, v(in.B))
+	case IRAddrG:
+		return fmt.Sprintf("%s = &%s", v(in.Dst), in.Sym)
+	case IRAddrL:
+		return fmt.Sprintf("%s = &slot%d", v(in.Dst), in.Imm)
+	case IRParam:
+		return fmt.Sprintf("%s = param%d", v(in.Dst), in.Imm)
+	case IRCall:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = v(a)
+		}
+		if in.Dst != 0 {
+			return fmt.Sprintf("%s = call %s(%s)", v(in.Dst), in.Sym, strings.Join(args, ", "))
+		}
+		return fmt.Sprintf("call %s(%s)", in.Sym, strings.Join(args, ", "))
+	case IRSys:
+		return fmt.Sprintf("%s = sys %d (%s)", v(in.Dst), in.Imm, v(in.A))
+	case IRRet:
+		if in.A != 0 {
+			return "ret " + v(in.A)
+		}
+		return "ret"
+	case IRJmp:
+		return fmt.Sprintf("jmp L%d", in.Imm)
+	case IRCJmp:
+		return fmt.Sprintf("if %s %s %s jmp L%d", v(in.A), ccNames[in.CC], v(in.B), in.Imm)
+	case IRLabel:
+		return fmt.Sprintf("L%d:", in.Imm)
+	default:
+		return "?"
+	}
+}
+
+// Slot is one frame-resident object (unpromoted local, aggregate, or
+// spill).
+type Slot struct {
+	Size  int64
+	Align int64
+	Name  string // for IR dumps
+}
+
+// IRFunc is a function lowered to TAC.
+type IRFunc struct {
+	Name     string
+	Insts    []IRInst
+	NumVRegs int // vregs are 1..NumVRegs
+	Slots    []Slot
+	NumArgs  int
+	HasCalls bool
+}
+
+// Dump renders the function's IR.
+func (f *IRFunc) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s (args=%d, vregs=%d, slots=%d)\n", f.Name, f.NumArgs, f.NumVRegs, len(f.Slots))
+	for _, in := range f.Insts {
+		if in.Op == IRLabel {
+			fmt.Fprintf(&b, "%s\n", in)
+		} else {
+			fmt.Fprintf(&b, "\t%s\n", in)
+		}
+	}
+	return b.String()
+}
+
+// uses appends the vregs read by in to buf and returns it.
+func (in *IRInst) uses(buf []VReg) []VReg {
+	switch in.Op {
+	case IRMov:
+		buf = append(buf, in.A)
+	case IRBin:
+		buf = append(buf, in.A)
+		if !in.HasImm {
+			buf = append(buf, in.B)
+		}
+	case IRLoad:
+		buf = append(buf, in.A)
+	case IRStore:
+		buf = append(buf, in.A, in.B)
+	case IRCall:
+		buf = append(buf, in.Args...)
+	case IRSys:
+		if in.A != 0 {
+			buf = append(buf, in.A)
+		}
+	case IRRet:
+		if in.A != 0 {
+			buf = append(buf, in.A)
+		}
+	case IRCJmp:
+		buf = append(buf, in.A, in.B)
+	}
+	return buf
+}
+
+// def returns the vreg written by in, or 0.
+func (in *IRInst) def() VReg {
+	switch in.Op {
+	case IRConst, IRMov, IRBin, IRLoad, IRAddrG, IRAddrL, IRParam, IRSys:
+		return in.Dst
+	case IRCall:
+		return in.Dst // may be 0
+	}
+	return 0
+}
+
+// pure reports whether the instruction can be removed if its result is
+// unused.
+func (in *IRInst) pure() bool {
+	switch in.Op {
+	case IRConst, IRMov, IRBin, IRAddrG, IRAddrL, IRParam, IRLoad:
+		// Loads are pure for DCE purposes here: MiniC has no volatile and
+		// in-bounds accesses cannot fault.
+		return true
+	}
+	return false
+}

@@ -1,0 +1,659 @@
+package minic
+
+import "fmt"
+
+// irgen lowers one checked function to TAC.
+//
+// Storage policy: at -O0 every local lives in a frame slot with loads and
+// stores around each access (classic unoptimized code). At -O1 and above,
+// scalar locals whose address is never taken are promoted to virtual
+// registers.
+type irgen struct {
+	fn      *FuncDecl
+	file    *File
+	out     *IRFunc
+	promote bool
+	nextLbl int64
+	brk     []int64 // break label stack
+	cont    []int64 // continue label stack
+	strTab  map[string]string
+}
+
+// genFunc lowers fn. strTab maps string literal text to data labels,
+// shared across all functions of the compilation.
+func genFunc(fn *FuncDecl, file *File, promote bool, strTab map[string]string) *IRFunc {
+	g := &irgen{
+		fn:      fn,
+		file:    file,
+		out:     &IRFunc{Name: fn.Name, NumArgs: len(fn.Params)},
+		promote: promote,
+		strTab:  strTab,
+	}
+	for i, p := range fn.Params {
+		g.bindVar(p.Sym)
+		if p.Sym.Slot >= 0 {
+			// Memory-resident parameter: store the incoming register.
+			tmp := g.newReg()
+			g.emit(IRInst{Op: IRParam, Dst: tmp, Imm: int64(i)})
+			addr := g.newReg()
+			g.emit(IRInst{Op: IRAddrL, Dst: addr, Imm: int64(p.Sym.Slot)})
+			g.emit(IRInst{Op: IRStore, A: addr, B: tmp, Size: sizeOf(p.Sym.Type)})
+		} else {
+			g.emit(IRInst{Op: IRParam, Dst: VReg(p.Sym.VReg), Imm: int64(i)})
+		}
+	}
+	g.stmt(fn.Body)
+	// Implicit return (value 0 for non-void, as a defined fallback).
+	if n := len(g.out.Insts); n == 0 || g.out.Insts[n-1].Op != IRRet {
+		if fn.Ret.Kind == TVoid {
+			g.emit(IRInst{Op: IRRet})
+		} else {
+			z := g.newReg()
+			g.emit(IRInst{Op: IRConst, Dst: z, Imm: 0})
+			g.emit(IRInst{Op: IRRet, A: z})
+		}
+	}
+	return g.out
+}
+
+func (g *irgen) emit(in IRInst) {
+	if in.Op == IRCall {
+		g.out.HasCalls = true
+	}
+	g.out.Insts = append(g.out.Insts, in)
+}
+
+func (g *irgen) newReg() VReg {
+	g.out.NumVRegs++
+	return VReg(g.out.NumVRegs)
+}
+
+func (g *irgen) newLabel() int64 {
+	g.nextLbl++
+	return g.nextLbl
+}
+
+func (g *irgen) label(l int64) { g.emit(IRInst{Op: IRLabel, Imm: l}) }
+func (g *irgen) jump(l int64)  { g.emit(IRInst{Op: IRJmp, Imm: l}) }
+
+// bindVar assigns storage to a local/param symbol.
+func (g *irgen) bindVar(sym *VarSym) {
+	if g.promote && sym.Type.IsScalar() && !sym.AddrTaken {
+		sym.Slot = -1
+		sym.VReg = int(g.newReg())
+		return
+	}
+	sym.Slot = len(g.out.Slots)
+	g.out.Slots = append(g.out.Slots, Slot{
+		Size:  sym.Type.Size(),
+		Align: sym.Type.Align(),
+		Name:  sym.Name,
+	})
+}
+
+// sizeOf returns the load/store width for a scalar type.
+func sizeOf(t *Type) uint8 {
+	if t.Kind == TChar {
+		return 1
+	}
+	return 8
+}
+
+// --- statements ---------------------------------------------------------------
+
+func (g *irgen) stmt(s *Stmt) {
+	if s == nil {
+		return
+	}
+	switch s.Kind {
+	case SBlock, SGroup:
+		for _, sub := range s.List {
+			g.stmt(sub)
+		}
+	case SDecl:
+		d := s.Decl
+		g.bindVar(d.Sym)
+		if d.Init != nil {
+			v := g.rvalue(d.Init)
+			g.storeVar(d.Sym, v)
+		}
+	case SExpr:
+		g.rvalue(s.Expr)
+	case SIf:
+		elseL, endL := g.newLabel(), g.newLabel()
+		g.cond(s.Expr, elseL, false)
+		g.stmt(s.Body)
+		if s.Else != nil {
+			g.jump(endL)
+			g.label(elseL)
+			g.stmt(s.Else)
+			g.label(endL)
+		} else {
+			g.label(elseL)
+		}
+	case SWhile:
+		headL, endL := g.newLabel(), g.newLabel()
+		g.label(headL)
+		g.cond(s.Expr, endL, false)
+		g.brk = append(g.brk, endL)
+		g.cont = append(g.cont, headL)
+		g.stmt(s.Body)
+		g.brk = g.brk[:len(g.brk)-1]
+		g.cont = g.cont[:len(g.cont)-1]
+		g.jump(headL)
+		g.label(endL)
+	case SFor:
+		headL, postL, endL := g.newLabel(), g.newLabel(), g.newLabel()
+		g.stmt(s.Init)
+		g.label(headL)
+		if s.Expr != nil {
+			g.cond(s.Expr, endL, false)
+		}
+		g.brk = append(g.brk, endL)
+		g.cont = append(g.cont, postL)
+		g.stmt(s.Body)
+		g.brk = g.brk[:len(g.brk)-1]
+		g.cont = g.cont[:len(g.cont)-1]
+		g.label(postL)
+		if s.Post != nil {
+			g.rvalue(s.Post)
+		}
+		g.jump(headL)
+		g.label(endL)
+	case SReturn:
+		if s.Expr != nil {
+			v := g.rvalue(s.Expr)
+			g.emit(IRInst{Op: IRRet, A: v})
+		} else {
+			g.emit(IRInst{Op: IRRet})
+		}
+	case SBreak:
+		g.jump(g.brk[len(g.brk)-1])
+	case SContinue:
+		g.jump(g.cont[len(g.cont)-1])
+	case SEmpty:
+	}
+}
+
+// cond emits a branch to target when the condition is false (jumpIfTrue
+// false) or true (jumpIfTrue true), applying short-circuit evaluation and
+// compare/branch fusion.
+func (g *irgen) cond(e *Expr, target int64, jumpIfTrue bool) {
+	switch {
+	case e.Kind == EUnary && e.Op == "!":
+		g.cond(e.L, target, !jumpIfTrue)
+		return
+	case e.Kind == EBinary && e.Op == "&&":
+		if jumpIfTrue {
+			skip := g.newLabel()
+			g.cond(e.L, skip, false)
+			g.cond(e.R, target, true)
+			g.label(skip)
+		} else {
+			g.cond(e.L, target, false)
+			g.cond(e.R, target, false)
+		}
+		return
+	case e.Kind == EBinary && e.Op == "||":
+		if jumpIfTrue {
+			g.cond(e.L, target, true)
+			g.cond(e.R, target, true)
+		} else {
+			skip := g.newLabel()
+			g.cond(e.L, skip, true)
+			g.cond(e.R, target, false)
+			g.label(skip)
+		}
+		return
+	case e.Kind == EBinary && (e.Op == "==" || e.Op == "!="):
+		// MIPS-style: beq/bne compare two registers directly.
+		cc := CCEq
+		if e.Op == "!=" {
+			cc = CCNe
+		}
+		a := g.rvalue(e.L)
+		b := g.rvalue(e.R)
+		if !jumpIfTrue {
+			cc = cc.Negate()
+		}
+		g.emit(IRInst{Op: IRCJmp, CC: cc, A: a, B: b, Imm: target})
+		return
+	case e.Kind == EBinary && comparisonCC(e.Op) != nil:
+		// MIPS-style ordered comparison: materialize the condition with
+		// slt (a Set-category instruction, as the paper's traces show),
+		// then branch on zero/non-zero. For <= and >= the slt computes
+		// the negated condition and the branch polarity flips.
+		a := g.rvalue(e.L)
+		b := g.rvalue(e.R)
+		slt := g.newReg()
+		truthy := jumpIfTrue
+		switch e.Op {
+		case "<":
+			g.emit(IRInst{Op: IRBin, Bin: BSlt, Dst: slt, A: a, B: b})
+		case ">":
+			g.emit(IRInst{Op: IRBin, Bin: BSlt, Dst: slt, A: b, B: a})
+		case "<=": // !(b < a)
+			g.emit(IRInst{Op: IRBin, Bin: BSlt, Dst: slt, A: b, B: a})
+			truthy = !truthy
+		case ">=": // !(a < b)
+			g.emit(IRInst{Op: IRBin, Bin: BSlt, Dst: slt, A: a, B: b})
+			truthy = !truthy
+		}
+		z := g.newReg()
+		g.emit(IRInst{Op: IRConst, Dst: z, Imm: 0})
+		cc := CCEq
+		if truthy {
+			cc = CCNe
+		}
+		g.emit(IRInst{Op: IRCJmp, CC: cc, A: slt, B: z, Imm: target})
+		return
+	}
+	// General scalar condition: compare with zero.
+	v := g.rvalue(e)
+	z := g.newReg()
+	g.emit(IRInst{Op: IRConst, Dst: z, Imm: 0})
+	cc := CCNe
+	if !jumpIfTrue {
+		cc = CCEq
+	}
+	g.emit(IRInst{Op: IRCJmp, CC: cc, A: v, B: z, Imm: target})
+}
+
+// comparisonCC reports whether op is an ordered comparison lowered via
+// slt (the ==/!= cases branch directly and are handled earlier).
+func comparisonCC(op string) *CC {
+	switch op {
+	case "<", ">", "<=", ">=":
+		cc := CCLt
+		return &cc
+	default:
+		return nil
+	}
+}
+
+// --- lvalues ------------------------------------------------------------------
+
+// lval describes a storage location: either a promoted vreg or a memory
+// address with constant offset and access size.
+type lval struct {
+	reg  VReg  // non-zero: promoted scalar
+	addr VReg  // memory: base address
+	off  int64 // memory: constant byte offset
+	size uint8 // memory: access width
+}
+
+// lvalue lowers an lvalue expression to a location.
+func (g *irgen) lvalue(e *Expr) lval {
+	switch e.Kind {
+	case EVar:
+		sym := e.Sym
+		if sym.Global {
+			a := g.newReg()
+			g.emit(IRInst{Op: IRAddrG, Dst: a, Sym: sym.Label})
+			return lval{addr: a, size: sizeOf(sym.Type)}
+		}
+		if sym.Slot < 0 {
+			return lval{reg: VReg(sym.VReg)}
+		}
+		a := g.newReg()
+		g.emit(IRInst{Op: IRAddrL, Dst: a, Imm: int64(sym.Slot)})
+		return lval{addr: a, size: sizeOf(sym.Type)}
+	case EUnary: // *p
+		p := g.rvalue(e.L)
+		return lval{addr: p, size: sizeOf(e.Type)}
+	case EIndex:
+		base := g.arrayBase(e.L)
+		elem := e.Type
+		idx := g.rvalue(e.R)
+		addr := g.scaledAdd(base, idx, elem.Size())
+		return lval{addr: addr, size: sizeOf(elem)}
+	case EField:
+		var base VReg
+		var off int64
+		if e.Arrow {
+			base = g.rvalue(e.L)
+		} else {
+			loc := g.lvalue(e.L)
+			base = loc.addr
+			off = loc.off
+		}
+		st := e.L.Type
+		if e.Arrow {
+			st = e.L.Type.Elem
+		}
+		f := st.Str.Field(e.Name)
+		return lval{addr: base, off: off + f.Offset, size: sizeOf(e.Type)}
+	default:
+		panic(fmt.Sprintf("irgen: not an lvalue: kind %d at %s", e.Kind, e.Pos))
+	}
+}
+
+// arrayBase produces the base address for an indexing operation: the
+// decayed array address or the pointer value.
+func (g *irgen) arrayBase(e *Expr) VReg {
+	if e.Type != nil && e.Type.Kind == TArray {
+		loc := g.lvalue(e)
+		if loc.off != 0 {
+			r := g.newReg()
+			g.emit(IRInst{Op: IRBin, Bin: BAdd, Dst: r, A: loc.addr, HasImm: true, Imm: loc.off})
+			return r
+		}
+		return loc.addr
+	}
+	return g.rvalue(e)
+}
+
+// scaledAdd computes base + idx*size, using shifts for power-of-two
+// element sizes (as real compilers do at every optimization level).
+func (g *irgen) scaledAdd(base, idx VReg, size int64) VReg {
+	scaled := idx
+	switch {
+	case size == 1:
+	case size&(size-1) == 0:
+		sh := g.newReg()
+		g.emit(IRInst{Op: IRBin, Bin: BShl, Dst: sh, A: idx, HasImm: true, Imm: log2(size)})
+		scaled = sh
+	default:
+		m := g.newReg()
+		g.emit(IRInst{Op: IRBin, Bin: BMul, Dst: m, A: idx, HasImm: true, Imm: size})
+		scaled = m
+	}
+	r := g.newReg()
+	g.emit(IRInst{Op: IRBin, Bin: BAdd, Dst: r, A: base, B: scaled})
+	return r
+}
+
+func log2(n int64) int64 {
+	k := int64(0)
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+// load reads a location into a vreg.
+func (g *irgen) load(loc lval) VReg {
+	if loc.reg != 0 {
+		return loc.reg
+	}
+	d := g.newReg()
+	g.emit(IRInst{Op: IRLoad, Dst: d, A: loc.addr, Imm: loc.off, Size: loc.size})
+	return d
+}
+
+// store writes v into a location.
+func (g *irgen) store(loc lval, v VReg) {
+	if loc.reg != 0 {
+		g.emit(IRInst{Op: IRMov, Dst: loc.reg, A: v})
+		return
+	}
+	g.emit(IRInst{Op: IRStore, A: loc.addr, B: v, Imm: loc.off, Size: loc.size})
+}
+
+// storeVar assigns v to a just-declared local.
+func (g *irgen) storeVar(sym *VarSym, v VReg) {
+	if sym.Slot < 0 {
+		g.emit(IRInst{Op: IRMov, Dst: VReg(sym.VReg), A: v})
+		return
+	}
+	a := g.newReg()
+	g.emit(IRInst{Op: IRAddrL, Dst: a, Imm: int64(sym.Slot)})
+	g.emit(IRInst{Op: IRStore, A: a, B: v, Size: sizeOf(sym.Type)})
+}
+
+// --- rvalues ------------------------------------------------------------------
+
+var binOpMap = map[string]BinOp{
+	"+": BAdd, "-": BSub, "*": BMul, "/": BDiv, "%": BRem,
+	"&": BAnd, "|": BOr, "^": BXor, "<<": BShl, ">>": BSar,
+}
+
+// rvalue lowers an expression to a value in a vreg.
+func (g *irgen) rvalue(e *Expr) VReg {
+	switch e.Kind {
+	case ENum:
+		d := g.newReg()
+		g.emit(IRInst{Op: IRConst, Dst: d, Imm: e.Num})
+		return d
+	case ESizeof:
+		d := g.newReg()
+		g.emit(IRInst{Op: IRConst, Dst: d, Imm: e.TypeLit.Size()})
+		return d
+	case EStr:
+		lbl, ok := g.strTab[e.Str]
+		if !ok {
+			lbl = fmt.Sprintf("str_%d", len(g.strTab))
+			g.strTab[e.Str] = lbl
+			g.file.Strings[lbl] = e.Str
+		}
+		d := g.newReg()
+		g.emit(IRInst{Op: IRAddrG, Dst: d, Sym: lbl})
+		return d
+	case EVar:
+		if e.Type.Kind == TArray || e.Type.Kind == TStruct {
+			loc := g.lvalue(e) // decay to address
+			return g.withOffset(loc)
+		}
+		return g.load(g.lvalue(e))
+	case EIndex, EField:
+		if e.Type.Kind == TArray || e.Type.Kind == TStruct {
+			return g.withOffset(g.lvalue(e))
+		}
+		return g.load(g.lvalue(e))
+	case EAssign:
+		v := g.rvalue(e.R)
+		loc := g.lvalue(e.L)
+		g.store(loc, v)
+		return v
+	case EUnary:
+		return g.unary(e)
+	case EBinary:
+		return g.binary(e)
+	case ECond:
+		d := g.newReg()
+		elseL, endL := g.newLabel(), g.newLabel()
+		g.cond(e.Cond, elseL, false)
+		v1 := g.rvalue(e.L)
+		g.emit(IRInst{Op: IRMov, Dst: d, A: v1})
+		g.jump(endL)
+		g.label(elseL)
+		v2 := g.rvalue(e.R)
+		g.emit(IRInst{Op: IRMov, Dst: d, A: v2})
+		g.label(endL)
+		return d
+	case ECall:
+		return g.call(e)
+	default:
+		panic(fmt.Sprintf("irgen: unknown expression kind %d at %s", e.Kind, e.Pos))
+	}
+}
+
+// withOffset materializes addr+off for aggregate decay.
+func (g *irgen) withOffset(loc lval) VReg {
+	if loc.off == 0 {
+		return loc.addr
+	}
+	r := g.newReg()
+	g.emit(IRInst{Op: IRBin, Bin: BAdd, Dst: r, A: loc.addr, HasImm: true, Imm: loc.off})
+	return r
+}
+
+func (g *irgen) unary(e *Expr) VReg {
+	switch e.Op {
+	case "-":
+		v := g.rvalue(e.L)
+		z := g.newReg()
+		g.emit(IRInst{Op: IRConst, Dst: z, Imm: 0})
+		d := g.newReg()
+		g.emit(IRInst{Op: IRBin, Bin: BSub, Dst: d, A: z, B: v})
+		return d
+	case "~":
+		v := g.rvalue(e.L)
+		d := g.newReg()
+		g.emit(IRInst{Op: IRBin, Bin: BXor, Dst: d, A: v, HasImm: true, Imm: -1})
+		return d
+	case "!":
+		v := g.rvalue(e.L)
+		z := g.newReg()
+		g.emit(IRInst{Op: IRConst, Dst: z, Imm: 0})
+		d := g.newReg()
+		g.emit(IRInst{Op: IRBin, Bin: BSeq, Dst: d, A: v, B: z})
+		return d
+	case "*":
+		return g.load(g.lvalue(e))
+	case "&":
+		loc := g.lvalue(e.L)
+		if loc.reg != 0 {
+			panic("irgen: address of promoted register (checker must prevent)")
+		}
+		return g.withOffset(loc)
+	default:
+		panic("irgen: unknown unary " + e.Op)
+	}
+}
+
+func (g *irgen) binary(e *Expr) VReg {
+	switch e.Op {
+	case "&&", "||":
+		// Value context: produce 0/1 via branches.
+		d := g.newReg()
+		falseL, endL := g.newLabel(), g.newLabel()
+		g.cond(e, falseL, false)
+		one := g.newReg()
+		g.emit(IRInst{Op: IRConst, Dst: one, Imm: 1})
+		g.emit(IRInst{Op: IRMov, Dst: d, A: one})
+		g.jump(endL)
+		g.label(falseL)
+		zero := g.newReg()
+		g.emit(IRInst{Op: IRConst, Dst: zero, Imm: 0})
+		g.emit(IRInst{Op: IRMov, Dst: d, A: zero})
+		g.label(endL)
+		return d
+	case "==", "!=", "<", "<=", ">", ">=":
+		return g.comparison(e)
+	}
+
+	lt := decay(e.L.Type)
+	rt := decay(e.R.Type)
+
+	// Pointer arithmetic scaling.
+	if e.Op == "+" || e.Op == "-" {
+		if lt.Kind == TPtr && rt.Kind == TPtr {
+			// Pointer difference in elements.
+			a := g.rvalue(e.L)
+			b := g.rvalue(e.R)
+			diff := g.newReg()
+			g.emit(IRInst{Op: IRBin, Bin: BSub, Dst: diff, A: a, B: b})
+			return g.divBySize(diff, lt.Elem.Size())
+		}
+		if lt.Kind == TPtr && rt.IsInteger() {
+			base := g.rvalue(e.L)
+			idx := g.rvalue(e.R)
+			if e.Op == "-" {
+				idx = g.negate(idx)
+			}
+			return g.scaledAdd(base, idx, lt.Elem.Size())
+		}
+		if rt.Kind == TPtr && lt.IsInteger() { // int + ptr
+			idx := g.rvalue(e.L)
+			base := g.rvalue(e.R)
+			return g.scaledAdd(base, idx, rt.Elem.Size())
+		}
+	}
+
+	a := g.rvalue(e.L)
+	b := g.rvalue(e.R)
+	d := g.newReg()
+	g.emit(IRInst{Op: IRBin, Bin: binOpMap[e.Op], Dst: d, A: a, B: b})
+	return d
+}
+
+func (g *irgen) negate(v VReg) VReg {
+	z := g.newReg()
+	g.emit(IRInst{Op: IRConst, Dst: z, Imm: 0})
+	d := g.newReg()
+	g.emit(IRInst{Op: IRBin, Bin: BSub, Dst: d, A: z, B: v})
+	return d
+}
+
+func (g *irgen) divBySize(v VReg, size int64) VReg {
+	if size == 1 {
+		return v
+	}
+	d := g.newReg()
+	if size&(size-1) == 0 {
+		// Pointers are positive, so an arithmetic shift divides exactly.
+		g.emit(IRInst{Op: IRBin, Bin: BSar, Dst: d, A: v, HasImm: true, Imm: log2(size)})
+	} else {
+		g.emit(IRInst{Op: IRBin, Bin: BDiv, Dst: d, A: v, HasImm: true, Imm: size})
+	}
+	return d
+}
+
+// comparison lowers relational operators to slt/seq/sne combinations.
+func (g *irgen) comparison(e *Expr) VReg {
+	a := g.rvalue(e.L)
+	b := g.rvalue(e.R)
+	d := g.newReg()
+	switch e.Op {
+	case "==":
+		g.emit(IRInst{Op: IRBin, Bin: BSeq, Dst: d, A: a, B: b})
+	case "!=":
+		g.emit(IRInst{Op: IRBin, Bin: BSne, Dst: d, A: a, B: b})
+	case "<":
+		g.emit(IRInst{Op: IRBin, Bin: BSlt, Dst: d, A: a, B: b})
+	case ">":
+		g.emit(IRInst{Op: IRBin, Bin: BSlt, Dst: d, A: b, B: a})
+	case "<=": // !(b < a)
+		t := g.newReg()
+		g.emit(IRInst{Op: IRBin, Bin: BSlt, Dst: t, A: b, B: a})
+		g.emit(IRInst{Op: IRBin, Bin: BXor, Dst: d, A: t, HasImm: true, Imm: 1})
+	case ">=": // !(a < b)
+		t := g.newReg()
+		g.emit(IRInst{Op: IRBin, Bin: BSlt, Dst: t, A: a, B: b})
+		g.emit(IRInst{Op: IRBin, Bin: BXor, Dst: d, A: t, HasImm: true, Imm: 1})
+	}
+	return d
+}
+
+func (g *irgen) call(e *Expr) VReg {
+	if e.Builtin != BuiltinNone {
+		return g.builtin(e)
+	}
+	args := make([]VReg, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = g.rvalue(a)
+	}
+	var d VReg
+	if e.Fn.Ret.Kind != TVoid {
+		d = g.newReg()
+	}
+	g.emit(IRInst{Op: IRCall, Dst: d, Sym: e.Fn.Name, Args: args})
+	if d == 0 {
+		// Void result used in expression-statement position only (the
+		// checker guarantees value uses are typed); return a dummy.
+		d = g.newReg()
+		g.emit(IRInst{Op: IRConst, Dst: d, Imm: 0})
+	}
+	return d
+}
+
+func (g *irgen) builtin(e *Expr) VReg {
+	var arg VReg
+	if len(e.Args) > 0 {
+		arg = g.rvalue(e.Args[0])
+	}
+	d := g.newReg()
+	switch e.Builtin {
+	case BuiltinGetc:
+		g.emit(IRInst{Op: IRSys, Dst: d, Imm: 1})
+	case BuiltinPutc:
+		g.emit(IRInst{Op: IRSys, Dst: d, Imm: 2, A: arg})
+	case BuiltinSbrk:
+		g.emit(IRInst{Op: IRSys, Dst: d, Imm: 3, A: arg})
+	case BuiltinExit:
+		g.emit(IRInst{Op: IRSys, Dst: d, Imm: 4, A: arg})
+	}
+	return d
+}

@@ -1,0 +1,569 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/sim"
+)
+
+// compileRun compiles src at the given level, assembles and executes it,
+// and returns the run result.
+func compileRun(t *testing.T, src string, opt int, input []byte) *sim.Result {
+	t.Helper()
+	asmText, err := Compile([]Source{{Name: "test.mc", Text: src}}, Options{Opt: opt})
+	if err != nil {
+		t.Fatalf("compile -O%d: %v", opt, err)
+	}
+	prog, err := asm.Assemble("test.s", asmText)
+	if err != nil {
+		t.Fatalf("assemble -O%d: %v\n%s", opt, err, asmText)
+	}
+	res, err := sim.Run(prog, input, sim.Config{MaxInstr: 50_000_000})
+	if err != nil {
+		t.Fatalf("run -O%d: %v", opt, err)
+	}
+	return res
+}
+
+// runAllLevels checks that the program produces the same exit code and
+// output at every optimization level — the compiler's core soundness
+// property.
+func runAllLevels(t *testing.T, src string, input []byte, wantExit int64, wantOut string) {
+	t.Helper()
+	for opt := 0; opt <= 3; opt++ {
+		res := compileRun(t, src, opt, input)
+		if res.ExitCode != wantExit {
+			t.Errorf("-O%d: exit %d, want %d", opt, res.ExitCode, wantExit)
+		}
+		if wantOut != "" && string(res.Output) != wantOut {
+			t.Errorf("-O%d: output %q, want %q", opt, res.Output, wantOut)
+		}
+	}
+}
+
+func TestReturnConstant(t *testing.T) {
+	runAllLevels(t, `int main() { return 42; }`, nil, 42, "")
+}
+
+func TestArithmetic(t *testing.T) {
+	runAllLevels(t, `
+int main() {
+	int a; int b;
+	a = 17; b = 5;
+	return a + b * 3 - a / b + a % b - (b << 2) + (a >> 1);
+}`, nil, 17+5*3-17/5+17%5-(5<<2)+(17>>1), "")
+}
+
+func TestBitwiseOps(t *testing.T) {
+	runAllLevels(t, `
+int main() {
+	int a; int b;
+	a = 0xF0F0; b = 0x0FF0;
+	return (a & b) + (a | b) - (a ^ b) + (~a & 0xFF);
+}`, nil, (0xF0F0&0x0FF0)+(0xF0F0|0x0FF0)-(0xF0F0^0x0FF0)+(^0xF0F0&0xFF), "")
+}
+
+func TestComparisons(t *testing.T) {
+	runAllLevels(t, `
+int main() {
+	int a; int r;
+	a = 5; r = 0;
+	if (a < 10) { r = r + 1; }
+	if (a <= 5) { r = r + 2; }
+	if (a > 4) { r = r + 4; }
+	if (a >= 6) { r = r + 8; }
+	if (a == 5) { r = r + 16; }
+	if (a != 5) { r = r + 32; }
+	return r;
+}`, nil, 1+2+4+16, "")
+}
+
+func TestShortCircuit(t *testing.T) {
+	// g() must not run when the left side decides.
+	runAllLevels(t, `
+int calls;
+int g() { calls = calls + 1; return 1; }
+int main() {
+	int r;
+	r = 0;
+	if (0 && g()) { r = 100; }
+	if (1 || g()) { r = r + 1; }
+	if (1 && g()) { r = r + 2; }
+	if (0 || g()) { r = r + 4; }
+	return r * 10 + calls;
+}`, nil, 72, "")
+}
+
+func TestLogicalValues(t *testing.T) {
+	runAllLevels(t, `
+int main() {
+	int a; int b;
+	a = 3 && 0;
+	b = 3 || 0;
+	return a * 10 + b + (!5) * 100 + (!0) * 1000;
+}`, nil, 1001, "")
+}
+
+func TestTernary(t *testing.T) {
+	runAllLevels(t, `
+int main() {
+	int x;
+	x = 7;
+	return (x > 5 ? 100 : 200) + (x < 5 ? 1 : 2);
+}`, nil, 102, "")
+}
+
+func TestWhileLoop(t *testing.T) {
+	runAllLevels(t, `
+int main() {
+	int i; int sum;
+	i = 1; sum = 0;
+	while (i <= 100) { sum = sum + i; i = i + 1; }
+	return sum;
+}`, nil, 5050, "")
+}
+
+func TestForLoopBreakContinue(t *testing.T) {
+	runAllLevels(t, `
+int main() {
+	int sum; int i;
+	sum = 0;
+	for (i = 0; i < 100; i = i + 1) {
+		if (i % 2) { continue; }
+		if (i > 20) { break; }
+		sum = sum + i;
+	}
+	return sum;
+}`, nil, 0+2+4+6+8+10+12+14+16+18+20, "")
+}
+
+func TestNestedLoops(t *testing.T) {
+	runAllLevels(t, `
+int main() {
+	int i; int j; int n;
+	n = 0;
+	for (i = 0; i < 10; i = i + 1) {
+		for (j = 0; j < 10; j = j + 1) {
+			if (i == j) { n = n + 1; }
+		}
+	}
+	return n;
+}`, nil, 10, "")
+}
+
+func TestRecursion(t *testing.T) {
+	runAllLevels(t, `
+int fib(int n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(15); }`, nil, 610, "")
+}
+
+func TestMutualRecursion(t *testing.T) {
+	runAllLevels(t, `
+int isOdd(int n);
+int isEven(int n) { if (n == 0) { return 1; } return isOdd(n - 1); }
+int isOdd(int n) { if (n == 0) { return 0; } return isEven(n - 1); }
+int main() { return isEven(10) * 10 + isOdd(7); }`, nil, 11, "")
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	runAllLevels(t, `
+int table[10];
+int scale = 3;
+int main() {
+	int i; int sum;
+	for (i = 0; i < 10; i = i + 1) { table[i] = i * scale; }
+	sum = 0;
+	for (i = 0; i < 10; i = i + 1) { sum = sum + table[i]; }
+	return sum;
+}`, nil, 45*3, "")
+}
+
+func TestGlobalInitList(t *testing.T) {
+	runAllLevels(t, `
+int primes[8] = {2, 3, 5, 7, 11, 13, 17, 19};
+char tag[4] = {1, 2, 3, 4};
+int main() {
+	return primes[0] + primes[7] + tag[2];
+}`, nil, 2+19+3, "")
+}
+
+func TestLocalArrays(t *testing.T) {
+	runAllLevels(t, `
+int main() {
+	int a[16];
+	int i;
+	for (i = 0; i < 16; i = i + 1) { a[i] = i * i; }
+	return a[3] + a[15];
+}`, nil, 9+225, "")
+}
+
+func TestPointers(t *testing.T) {
+	runAllLevels(t, `
+int main() {
+	int x; int *p; int **pp;
+	x = 10;
+	p = &x;
+	pp = &p;
+	*p = *p + 5;
+	**pp = **pp * 2;
+	return x;
+}`, nil, 30, "")
+}
+
+func TestPointerArithmetic(t *testing.T) {
+	runAllLevels(t, `
+int a[5] = {10, 20, 30, 40, 50};
+int main() {
+	int *p; int *q;
+	p = a;
+	q = p + 3;
+	return *q + *(p + 1) + (q - p);
+}`, nil, 40+20+3, "")
+}
+
+func TestCharsAndStrings(t *testing.T) {
+	runAllLevels(t, `
+char *msg = "hey";
+int main() {
+	char buf[8];
+	int i;
+	for (i = 0; msg[i]; i = i + 1) { buf[i] = msg[i] - 32; }
+	buf[i] = 0;
+	print_str(buf);
+	return strlen(msg);
+}`, nil, 3, "HEY")
+}
+
+func TestStructs(t *testing.T) {
+	runAllLevels(t, `
+struct point { int x; int y; };
+struct rect { struct point a; struct point b; int tag; };
+int main() {
+	struct rect r;
+	struct point *p;
+	r.a.x = 1; r.a.y = 2;
+	r.b.x = 10; r.b.y = 20;
+	r.tag = 7;
+	p = &r.b;
+	p->x = p->x + 100;
+	return r.a.x + r.a.y + r.b.x + r.b.y + r.tag;
+}`, nil, 1+2+110+20+7, "")
+}
+
+func TestStructArraysAndSizeof(t *testing.T) {
+	runAllLevels(t, `
+struct node { int val; struct node *next; char tag; };
+struct node pool[4];
+int main() {
+	int i;
+	struct node *head;
+	head = 0;
+	for (i = 0; i < 4; i = i + 1) {
+		pool[i].val = i * 10;
+		pool[i].next = head;
+		head = &pool[i];
+	}
+	i = 0;
+	while (head) { i = i + head->val; head = head->next; }
+	return i + sizeof(struct node) + sizeof(int);
+}`, nil, 60+24+8, "")
+}
+
+func TestStructFieldArrays(t *testing.T) {
+	runAllLevels(t, `
+struct buf { int len; char data[16]; };
+int main() {
+	struct buf b;
+	b.len = 3;
+	b.data[0] = 'a'; b.data[1] = 'b'; b.data[2] = 'c';
+	return b.data[0] + b.data[2] + b.len;
+}`, nil, 'a'+'c'+3, "")
+}
+
+func TestIOIntrinsics(t *testing.T) {
+	runAllLevels(t, `
+int main() {
+	int c; int n;
+	n = 0;
+	c = getc();
+	while (c >= 0) { putc(c + 1); n = n + 1; c = getc(); }
+	return n;
+}`, []byte("abc"), 3, "bcd")
+}
+
+func TestMallocFree(t *testing.T) {
+	runAllLevels(t, `
+int main() {
+	int *a; int *b; int *c;
+	a = malloc(64);
+	b = malloc(128);
+	a[0] = 11; a[7] = 22;
+	b[15] = 33;
+	free(a);
+	c = malloc(48);   // should reuse a's block
+	c[0] = 44;
+	return a[0] + a[7] + b[15] + c[0] == 44 + 22 + 33 + 44 ? (c == a) : -1;
+}`, nil, 1, "")
+}
+
+func TestRuntimeHelpers(t *testing.T) {
+	runAllLevels(t, `
+int main() {
+	char buf[32];
+	strcpy(buf, "hello");
+	if (strcmp(buf, "hello") != 0) { return 1; }
+	if (strcmp(buf, "hellp") >= 0) { return 2; }
+	memset(buf, 'x', 3);
+	if (buf[0] != 'x' || buf[2] != 'x' || buf[3] != 'l') { return 3; }
+	print_int(-1234);
+	putc(10);
+	print_int(0);
+	return abs(-5) + strlen("four");
+}`, nil, 9, "-1234\n0")
+}
+
+func TestRandDeterminism(t *testing.T) {
+	// Same seed, same sequence — determinism matters for experiments.
+	src := `
+int main() {
+	int i; int s;
+	srand(12345);
+	s = 0;
+	for (i = 0; i < 10; i = i + 1) { s = s ^ rand(); }
+	return s & 0xFFFF;
+}`
+	first := compileRun(t, src, 2, nil).ExitCode
+	for opt := 0; opt <= 3; opt++ {
+		if got := compileRun(t, src, opt, nil).ExitCode; got != first {
+			t.Fatalf("-O%d: rand sequence differs: %d vs %d", opt, got, first)
+		}
+	}
+}
+
+func TestNegativeNumbers(t *testing.T) {
+	runAllLevels(t, `
+int main() {
+	int a;
+	a = -7;
+	return (a / 2) + (a % 2) + (a * -3) + (-a);
+}`, nil, (-7/2)+(-7%2)+(-7*-3)+7, "")
+}
+
+func TestLargeConstants(t *testing.T) {
+	runAllLevels(t, `
+int big = 123456789012345;
+int main() {
+	int x;
+	x = 0x7FFFFFFFFFFF;
+	return (big % 1000) + (x & 0xFF);
+}`, nil, 345+0xFF, "")
+}
+
+func TestCharUnsigned(t *testing.T) {
+	// char is an unsigned byte: 0xFF loads as 255, not -1.
+	runAllLevels(t, `
+char c = 0xFF;
+int main() { return c; }`, nil, 255, "")
+}
+
+func TestVoidFunction(t *testing.T) {
+	runAllLevels(t, `
+int g;
+void bump(int n) { g = g + n; if (g > 100) { return; } g = g * 2; }
+int main() { bump(3); bump(60); return g; }`, nil, 132, "")
+}
+
+func TestCommaDeclarations(t *testing.T) {
+	runAllLevels(t, `
+int a = 1, b = 2;
+int main() {
+	int x, y = 5, z;
+	x = 3;
+	z = x + y;
+	return a + b + z;
+}`, nil, 11, "")
+}
+
+func TestSameExitAcrossLevelsOnHashLoop(t *testing.T) {
+	// A denser program exercising CSE/copy-prop paths.
+	runAllLevels(t, `
+int h[64];
+int main() {
+	int i; int k; int idx;
+	for (i = 0; i < 1000; i = i + 1) {
+		k = i * 2654435761;
+		idx = (k ^ (k >> 13)) & 63;
+		h[idx] = h[idx] + (k & 0xFF) + (k & 0xFF);
+	}
+	k = 0;
+	for (i = 0; i < 64; i = i + 1) { k = k ^ h[i]; }
+	return k & 0x7FFF;
+}`, nil, func() int64 {
+		var h [64]int64
+		for i := int64(0); i < 1000; i++ {
+			k := i * 2654435761
+			idx := (k ^ (k >> 13)) & 63
+			h[idx] += (k & 0xFF) + (k & 0xFF)
+		}
+		var k int64
+		for i := 0; i < 64; i++ {
+			k ^= h[i]
+		}
+		return k & 0x7FFF
+	}(), "")
+}
+
+func TestOptimizationReducesInstructionCount(t *testing.T) {
+	src := `
+int main() {
+	int i; int sum;
+	sum = 0;
+	for (i = 0; i < 1000; i = i + 1) { sum = sum + i * 8 + 3 - 3; }
+	return sum & 0xFFFF;
+}`
+	o0 := compileRun(t, src, 0, nil)
+	o2 := compileRun(t, src, 2, nil)
+	if o0.ExitCode != o2.ExitCode {
+		t.Fatalf("exit mismatch: %d vs %d", o0.ExitCode, o2.ExitCode)
+	}
+	if o2.Instructions >= o0.Instructions {
+		t.Fatalf("-O2 (%d instr) not faster than -O0 (%d instr)", o2.Instructions, o0.Instructions)
+	}
+}
+
+func TestInliningAtO3(t *testing.T) {
+	src := `
+int square(int x) { return x * x; }
+int main() {
+	int i; int s;
+	s = 0;
+	for (i = 0; i < 100; i = i + 1) { s = s + square(i); }
+	return s & 0xFFFF;
+}`
+	asm3, err := Compile([]Source{{Name: "t.mc", Text: src}}, Options{Opt: 3, NoRuntime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(asm3, "call square") {
+		t.Error("-O3 should inline square")
+	}
+	runAllLevels(t, src, nil, func() int64 {
+		var s int64
+		for i := int64(0); i < 100; i++ {
+			s += i * i
+		}
+		return s & 0xFFFF
+	}(), "")
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`int main() { return x; }`, "undefined identifier"},
+		{`int main() { foo(); }`, "undefined function"},
+		{`int main() { int x; int x; return 0; }`, "redeclared"},
+		{`int f(int a, int b) { return 0; } int main() { return f(1); }`, "expects 2 argument"},
+		{`int main() { break; }`, "outside loop"},
+		{`void f() { return 1; } int main() { return 0; }`, "return with value"},
+		{`int main() { return 1 ? ; }`, "expected expression"},
+		{`struct s { int x; }; int main() { struct s v; return v.y; }`, "no field"},
+		{`int main() { int a[3]; a = 0; return 0; }`, "cannot assign"},
+		{`int main() { return *5; }`, "dereference of non-pointer"},
+		{`int main() { return &7; }`, "& of non-lvalue"},
+		{`int main() { 5 = 6; return 0; }`, "not an lvalue"},
+		{`int g = x + 1; int main() { return 0; }`, "not constant"},
+		{`int main(int a, int b, int c, int d, int e, int f, int g, int h, int i) { return 0; }`, "at most 8"},
+	}
+	for _, c := range cases {
+		_, err := Compile([]Source{{Name: "t.mc", Text: c.src}}, Options{NoRuntime: true})
+		if err == nil {
+			t.Errorf("%q: expected error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q:\n  got error %q\n  want mention of %q", c.src, err.Error(), c.want)
+		}
+	}
+}
+
+func TestParserRecoversFromMultipleErrors(t *testing.T) {
+	_, err := Compile([]Source{{Name: "t.mc", Text: `
+int main() { return x; }
+int g() { return y; }
+`}}, Options{NoRuntime: true})
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	if !strings.Contains(err.Error(), "\"x\"") || !strings.Contains(err.Error(), "\"y\"") {
+		t.Fatalf("expected both errors reported, got: %v", err)
+	}
+}
+
+func TestRegisterPressureSpilling(t *testing.T) {
+	// More live values than registers forces spills; results must agree.
+	runAllLevels(t, `
+int main() {
+	int a1; int a2; int a3; int a4; int a5; int a6; int a7; int a8;
+	int a9; int a10; int a11; int a12; int a13; int a14; int a15;
+	int a16; int a17; int a18; int a19; int a20; int i;
+	a1=1; a2=2; a3=3; a4=4; a5=5; a6=6; a7=7; a8=8; a9=9; a10=10;
+	a11=11; a12=12; a13=13; a14=14; a15=15; a16=16; a17=17; a18=18;
+	a19=19; a20=20;
+	for (i = 0; i < 10; i = i + 1) {
+		a1=a1+a20; a2=a2+a19; a3=a3+a18; a4=a4+a17; a5=a5+a16;
+		a6=a6+a15; a7=a7+a14; a8=a8+a13; a9=a9+a12; a10=a10+a11;
+	}
+	return a1+a2+a3+a4+a5+a6+a7+a8+a9+a10+a11+a12+a13+a14+a15+a16+a17+a18+a19+a20;
+}`, nil, func() int64 {
+		a := make([]int64, 21)
+		for i := 1; i <= 20; i++ {
+			a[i] = int64(i)
+		}
+		for i := 0; i < 10; i++ {
+			for j := 1; j <= 10; j++ {
+				a[j] += a[21-j]
+			}
+		}
+		var s int64
+		for i := 1; i <= 20; i++ {
+			s += a[i]
+		}
+		return s
+	}(), "")
+}
+
+func TestCallsAcrossManyArgs(t *testing.T) {
+	runAllLevels(t, `
+int sum8(int a, int b, int c, int d, int e, int f, int g, int h) {
+	return a + b * 2 + c * 3 + d * 4 + e * 5 + f * 6 + g * 7 + h * 8;
+}
+int main() { return sum8(1, 2, 3, 4, 5, 6, 7, 8); }`,
+		nil, 1+4+9+16+25+36+49+64, "")
+}
+
+func TestDeadFunctionElimination(t *testing.T) {
+	src := `
+int unused() { return 99; }
+int main() { return 1; }`
+	o1, err := Compile([]Source{{Name: "t.mc", Text: src}}, Options{Opt: 1, NoRuntime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(o1, "unused:") {
+		t.Error("-O1 should drop unreachable functions")
+	}
+	o0, err := Compile([]Source{{Name: "t.mc", Text: src}}, Options{Opt: 0, NoRuntime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(o0, "unused:") {
+		t.Error("-O0 should keep all functions")
+	}
+}

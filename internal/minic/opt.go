@@ -1,0 +1,504 @@
+package minic
+
+// Optimization passes.
+//
+//	-O0: none (naive stack code, every local in memory)
+//	-O1: AST constant folding + algebraic identities, dead function
+//	     elimination, IR dead code elimination, scalar promotion
+//	-O2: -O1 + local value numbering (copy propagation + CSE including
+//	     redundant loads) + strength reduction
+//	-O3: -O2 + leaf function expression inlining
+//
+// These levels regenerate the qualitative effect of the paper's Table 7
+// (gcc with none/-O1/-O2/ref flags): different static and dynamic
+// instruction mixes for the same program.
+
+// --- AST constant folding (O1+) ----------------------------------------------
+
+// foldFile folds constant subexpressions in all function bodies.
+func foldFile(file *File) {
+	for _, fn := range file.Funcs {
+		foldStmt(fn.Body)
+	}
+}
+
+func foldStmt(s *Stmt) {
+	if s == nil {
+		return
+	}
+	switch s.Kind {
+	case SBlock, SGroup:
+		for _, sub := range s.List {
+			foldStmt(sub)
+		}
+	case SDecl:
+		s.Decl.Init = foldExpr(s.Decl.Init)
+	case SExpr:
+		s.Expr = foldExpr(s.Expr)
+	case SIf, SWhile:
+		s.Expr = foldExpr(s.Expr)
+		foldStmt(s.Body)
+		foldStmt(s.Else)
+	case SFor:
+		foldStmt(s.Init)
+		s.Expr = foldExpr(s.Expr)
+		s.Post = foldExpr(s.Post)
+		foldStmt(s.Body)
+	case SReturn:
+		s.Expr = foldExpr(s.Expr)
+	}
+}
+
+// foldExpr rewrites e bottom-up, folding literal operations and applying
+// side-effect-safe algebraic identities. It returns the (possibly new)
+// node.
+func foldExpr(e *Expr) *Expr {
+	if e == nil {
+		return nil
+	}
+	e.L = foldExpr(e.L)
+	e.R = foldExpr(e.R)
+	e.Cond = foldExpr(e.Cond)
+	for i := range e.Args {
+		e.Args[i] = foldExpr(e.Args[i])
+	}
+
+	switch e.Kind {
+	case ESizeof:
+		return numExpr(e, e.TypeLit.Size())
+	case EUnary:
+		if e.L.Kind == ENum && e.Op != "*" && e.Op != "&" {
+			if v, ok := foldConst(e); ok {
+				return numExpr(e, v)
+			}
+		}
+	case EBinary:
+		if e.L.Kind == ENum && e.R.Kind == ENum {
+			// Only fold pure integer arithmetic (pointer arithmetic never
+			// has two literal operands after checking).
+			if v, ok := evalBinop(e.Op, e.L.Num, e.R.Num); ok {
+				return numExpr(e, v)
+			}
+		}
+		return algebraic(e)
+	case ECond:
+		if e.Cond.Kind == ENum {
+			if e.Cond.Num != 0 {
+				return e.L
+			}
+			return e.R
+		}
+	}
+	return e
+}
+
+// numExpr builds a literal node replacing e.
+func numExpr(e *Expr, v int64) *Expr {
+	return &Expr{Kind: ENum, Pos: e.Pos, Num: v, Type: typeInt}
+}
+
+// algebraic applies identities that preserve side effects. Identities that
+// would discard an operand (x*0) require the operand to be pure.
+func algebraic(e *Expr) *Expr {
+	isPtr := e.Type != nil && decay(e.Type).Kind == TPtr
+	if isPtr {
+		return e // pointer arithmetic scales; leave to irgen
+	}
+	l, r := e.L, e.R
+	switch e.Op {
+	case "+":
+		if isZero(r) {
+			return l
+		}
+		if isZero(l) {
+			return r
+		}
+	case "-":
+		if isZero(r) {
+			return l
+		}
+	case "*":
+		if isOne(r) {
+			return l
+		}
+		if isOne(l) {
+			return r
+		}
+		if isZero(r) && pureExpr(l) {
+			return numExpr(e, 0)
+		}
+		if isZero(l) && pureExpr(r) {
+			return numExpr(e, 0)
+		}
+	case "/":
+		if isOne(r) {
+			return l
+		}
+	case "|", "^":
+		if isZero(r) {
+			return l
+		}
+		if isZero(l) {
+			return r
+		}
+	case "&":
+		if isZero(r) && pureExpr(l) {
+			return numExpr(e, 0)
+		}
+		if isZero(l) && pureExpr(r) {
+			return numExpr(e, 0)
+		}
+	case "<<", ">>":
+		if isZero(r) {
+			return l
+		}
+	}
+	return e
+}
+
+func isZero(e *Expr) bool { return e.Kind == ENum && e.Num == 0 }
+func isOne(e *Expr) bool  { return e.Kind == ENum && e.Num == 1 }
+
+// pureExpr reports whether evaluating e has no side effects.
+func pureExpr(e *Expr) bool {
+	if e == nil {
+		return true
+	}
+	switch e.Kind {
+	case ENum, EStr, EVar, ESizeof:
+		return true
+	case EBinary:
+		return pureExpr(e.L) && pureExpr(e.R)
+	case EUnary:
+		return pureExpr(e.L)
+	case ECond:
+		return pureExpr(e.Cond) && pureExpr(e.L) && pureExpr(e.R)
+	case EIndex:
+		return pureExpr(e.L) && pureExpr(e.R)
+	case EField:
+		return pureExpr(e.L)
+	default: // EAssign, ECall
+		return false
+	}
+}
+
+// --- dead function elimination (O1+) ------------------------------------------
+
+// dropDeadFuncs removes functions unreachable from main (keeping all when
+// main is absent, e.g. in library-style tests).
+func dropDeadFuncs(file *File) {
+	byName := make(map[string]*FuncDecl, len(file.Funcs))
+	for _, fn := range file.Funcs {
+		byName[fn.Name] = fn
+	}
+	if byName["main"] == nil {
+		return
+	}
+	reached := make(map[string]bool)
+	var visit func(fn *FuncDecl)
+	var visitExpr func(e *Expr)
+	var visitStmt func(s *Stmt)
+	visitExpr = func(e *Expr) {
+		if e == nil {
+			return
+		}
+		if e.Kind == ECall && e.Fn != nil && !reached[e.Fn.Name] {
+			visit(e.Fn)
+		}
+		visitExpr(e.L)
+		visitExpr(e.R)
+		visitExpr(e.Cond)
+		for _, a := range e.Args {
+			visitExpr(a)
+		}
+	}
+	visitStmt = func(s *Stmt) {
+		if s == nil {
+			return
+		}
+		visitExpr(s.Expr)
+		visitExpr(s.Post)
+		if s.Decl != nil {
+			visitExpr(s.Decl.Init)
+		}
+		visitStmt(s.Init)
+		visitStmt(s.Body)
+		visitStmt(s.Else)
+		for _, sub := range s.List {
+			visitStmt(sub)
+		}
+	}
+	visit = func(fn *FuncDecl) {
+		reached[fn.Name] = true
+		visitStmt(fn.Body)
+	}
+	visit(byName["main"])
+	kept := file.Funcs[:0]
+	for _, fn := range file.Funcs {
+		if reached[fn.Name] {
+			kept = append(kept, fn)
+		}
+	}
+	file.Funcs = kept
+}
+
+// --- IR dead code elimination (O1+) ---------------------------------------------
+
+// dce removes pure instructions whose results are never used, iterating to
+// a fixpoint.
+func dce(f *IRFunc) {
+	for {
+		useCount := make([]int, f.NumVRegs+1)
+		var buf []VReg
+		for i := range f.Insts {
+			buf = f.Insts[i].uses(buf[:0])
+			for _, u := range buf {
+				useCount[u]++
+			}
+		}
+		changed := false
+		kept := f.Insts[:0]
+		for i := range f.Insts {
+			in := f.Insts[i]
+			if in.pure() && in.Dst != 0 && useCount[in.Dst] == 0 {
+				changed = true
+				continue
+			}
+			kept = append(kept, in)
+		}
+		f.Insts = kept
+		if !changed {
+			return
+		}
+	}
+}
+
+// --- local value numbering: copy propagation + CSE (O2) -------------------------
+
+// exprKey identifies a computed value within a basic block.
+type exprKey struct {
+	op     IROp
+	bin    BinOp
+	a, b   VReg
+	hasImm bool
+	imm    int64
+	size   uint8
+	sym    string
+}
+
+// lvn performs per-basic-block copy propagation and common subexpression
+// elimination, including redundant load elimination (loads are killed by
+// stores, calls and syscalls).
+func lvn(f *IRFunc) {
+	redef := countDefs(f)
+	copies := make(map[VReg]VReg)
+	avail := make(map[exprKey]VReg)
+
+	resolve := func(v VReg) VReg {
+		for {
+			w, ok := copies[v]
+			if !ok {
+				return v
+			}
+			v = w
+		}
+	}
+	killDst := func(d VReg) {
+		if d == 0 {
+			return
+		}
+		delete(copies, d)
+		for k, v := range copies {
+			if v == d {
+				delete(copies, k)
+			}
+		}
+		for k, v := range avail {
+			if v == d || k.a == d || k.b == d {
+				delete(avail, k)
+			}
+		}
+	}
+	killLoads := func() {
+		for k := range avail {
+			if k.op == IRLoad {
+				delete(avail, k)
+			}
+		}
+	}
+	reset := func() {
+		clear(copies)
+		clear(avail)
+	}
+
+	for i := range f.Insts {
+		in := &f.Insts[i]
+		if in.Op == IRLabel {
+			reset() // block boundary
+			continue
+		}
+		// Substitute operands through known copies.
+		in.A = resolve(in.A)
+		in.B = resolve(in.B)
+		for j := range in.Args {
+			in.Args[j] = resolve(in.Args[j])
+		}
+
+		switch in.Op {
+		case IRMov:
+			killDst(in.Dst)
+			// Only propagate through single-def vregs; multi-def targets
+			// (?: results, promoted variables) are unsafe across merges.
+			if redef[in.Dst] == 1 && redef[in.A] == 1 {
+				copies[in.Dst] = in.A
+			}
+		case IRConst, IRBin, IRAddrG, IRAddrL, IRLoad:
+			key := exprKey{op: in.Op, bin: in.Bin, a: in.A, b: in.B,
+				hasImm: in.HasImm, imm: in.Imm, size: in.Size, sym: in.Sym}
+			if prev, ok := avail[key]; ok && redef[in.Dst] == 1 && redef[prev] == 1 {
+				// Replace the recomputation with a copy; DCE removes it if
+				// the copy then becomes unused.
+				killDst(in.Dst)
+				*in = IRInst{Op: IRMov, Dst: in.Dst, A: prev}
+				copies[in.Dst] = prev
+				continue
+			}
+			killDst(in.Dst)
+			if redef[in.Dst] == 1 {
+				avail[key] = in.Dst
+			}
+		case IRStore:
+			killLoads()
+		case IRCall, IRSys:
+			killDst(in.Dst)
+			killLoads()
+		case IRJmp, IRCJmp, IRRet:
+			reset()
+		case IRParam:
+			killDst(in.Dst)
+		}
+	}
+}
+
+// countDefs returns per-vreg definition counts.
+func countDefs(f *IRFunc) []int {
+	redef := make([]int, f.NumVRegs+1)
+	for i := range f.Insts {
+		if d := f.Insts[i].def(); d != 0 {
+			redef[d]++
+		}
+	}
+	return redef
+}
+
+// --- immediate folding (O2) ------------------------------------------------------
+
+// foldImmediates rewrites register-form binary operations whose operand is
+// a single-def constant into immediate form, enabling strength reduction
+// and immediate-mode code generation. The constant definition itself is
+// left for DCE to collect.
+func foldImmediates(f *IRFunc) {
+	redef := countDefs(f)
+	constVal := make(map[VReg]int64)
+	for i := range f.Insts {
+		in := &f.Insts[i]
+		if in.Op == IRConst && redef[in.Dst] == 1 {
+			constVal[in.Dst] = in.Imm
+		}
+	}
+	commutative := map[BinOp]bool{BAdd: true, BMul: true, BAnd: true, BOr: true, BXor: true}
+	for i := range f.Insts {
+		in := &f.Insts[i]
+		if in.Op != IRBin || in.HasImm {
+			continue
+		}
+		if v, ok := constVal[in.B]; ok {
+			in.HasImm = true
+			in.Imm = v
+			in.B = 0
+			continue
+		}
+		if v, ok := constVal[in.A]; ok && commutative[in.Bin] {
+			in.A = in.B
+			in.HasImm = true
+			in.Imm = v
+			in.B = 0
+		}
+	}
+}
+
+// --- strength reduction and instruction simplification (O2) ---------------------
+
+// strengthReduce rewrites expensive operations with cheap equivalents.
+func strengthReduce(f *IRFunc) {
+	for i := range f.Insts {
+		in := &f.Insts[i]
+		if in.Op != IRBin || !in.HasImm {
+			continue
+		}
+		switch in.Bin {
+		case BMul:
+			switch {
+			case in.Imm == 0:
+				*in = IRInst{Op: IRConst, Dst: in.Dst, Imm: 0}
+			case in.Imm == 1:
+				*in = IRInst{Op: IRMov, Dst: in.Dst, A: in.A}
+			case in.Imm > 1 && in.Imm&(in.Imm-1) == 0:
+				in.Bin = BShl
+				in.Imm = log2(in.Imm)
+			}
+		case BAdd, BSub, BOr, BXor, BShl, BShr, BSar:
+			if in.Imm == 0 {
+				*in = IRInst{Op: IRMov, Dst: in.Dst, A: in.A}
+			}
+		}
+	}
+}
+
+// --- jump cleanup (all levels; purely structural) -------------------------------
+
+// dropRedundantJumps removes jumps that target the immediately following
+// label and labels that are never referenced.
+func dropRedundantJumps(f *IRFunc) {
+	// Jump-to-next removal.
+	kept := f.Insts[:0]
+	for i := range f.Insts {
+		in := f.Insts[i]
+		if in.Op == IRJmp {
+			j := i + 1
+			redundant := false
+			for ; j < len(f.Insts); j++ {
+				if f.Insts[j].Op != IRLabel {
+					break
+				}
+				if f.Insts[j].Imm == in.Imm {
+					redundant = true
+					break
+				}
+			}
+			if redundant {
+				continue
+			}
+		}
+		kept = append(kept, in)
+	}
+	f.Insts = kept
+
+	// Unreferenced label removal.
+	used := make(map[int64]bool)
+	for i := range f.Insts {
+		switch f.Insts[i].Op {
+		case IRJmp, IRCJmp:
+			used[f.Insts[i].Imm] = true
+		}
+	}
+	kept = f.Insts[:0]
+	for i := range f.Insts {
+		in := f.Insts[i]
+		if in.Op == IRLabel && !used[in.Imm] {
+			continue
+		}
+		kept = append(kept, in)
+	}
+	f.Insts = kept
+}

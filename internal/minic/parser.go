@@ -1,0 +1,656 @@
+package minic
+
+import "fmt"
+
+// parser builds the untyped AST. Struct types are resolved during parsing
+// (definitions must precede use in type syntax, as in C for sized use);
+// identifiers and function calls are resolved later by the checker, so
+// functions may be defined in any order.
+type parser struct {
+	toks []token
+	pos  int
+	errs *ErrorList
+	file *File
+}
+
+// parse lexes and parses one source file into file (which accumulates
+// across multiple sources).
+func parse(name, src string, file *File, errs *ErrorList) {
+	lx := newLexer(name, src, errs)
+	var toks []token
+	for {
+		t := lx.next()
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			break
+		}
+	}
+	p := &parser{toks: toks, errs: errs, file: file}
+	p.parseFile()
+}
+
+func (p *parser) tok() token { return p.toks[p.pos] }
+func (p *parser) peek(n int) token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(pos Pos, format string, args ...any) {
+	*p.errs = append(*p.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// sync skips tokens until a likely statement/declaration boundary,
+// bounding error cascades.
+func (p *parser) sync() {
+	depth := 0
+	for {
+		t := p.tok()
+		if t.kind == tokEOF {
+			return
+		}
+		if t.kind == tokPunct {
+			switch t.text {
+			case "{":
+				depth++
+			case "}":
+				if depth == 0 {
+					return
+				}
+				depth--
+			case ";":
+				if depth == 0 {
+					p.advance()
+					return
+				}
+			}
+		}
+		p.advance()
+	}
+}
+
+func (p *parser) isPunct(s string) bool {
+	t := p.tok()
+	return t.kind == tokPunct && t.text == s
+}
+
+func (p *parser) isKeyword(s string) bool {
+	t := p.tok()
+	return t.kind == tokKeyword && t.text == s
+}
+
+func (p *parser) accept(s string) bool {
+	if p.isPunct(s) || p.isKeyword(s) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(s string) token {
+	t := p.tok()
+	if p.isPunct(s) || p.isKeyword(s) {
+		return p.advance()
+	}
+	p.errorf(t.pos, "expected %q, found %s", s, t)
+	return t
+}
+
+func (p *parser) expectIdent() string {
+	t := p.tok()
+	if t.kind == tokIdent {
+		p.advance()
+		return t.text
+	}
+	p.errorf(t.pos, "expected identifier, found %s", t)
+	return "_error_"
+}
+
+// --- declarations -----------------------------------------------------------
+
+func (p *parser) parseFile() {
+	for p.tok().kind != tokEOF {
+		start := p.pos
+		switch {
+		case p.isKeyword("struct") && p.peek(2).kind == tokPunct && p.peek(2).text == "{":
+			p.structDef()
+		case p.atTypeStart():
+			p.topDecl()
+		default:
+			p.errorf(p.tok().pos, "expected declaration, found %s", p.tok())
+			p.sync()
+		}
+		if p.pos == start { // no progress; force it
+			p.advance()
+		}
+	}
+}
+
+// atTypeStart reports whether the current token begins a type.
+func (p *parser) atTypeStart() bool {
+	return p.isKeyword("int") || p.isKeyword("char") || p.isKeyword("void") || p.isKeyword("struct")
+}
+
+// baseType parses int/char/void/struct-Name with trailing '*'s.
+func (p *parser) baseType() *Type {
+	pos := p.tok().pos
+	var t *Type
+	switch {
+	case p.accept("int"):
+		t = typeInt
+	case p.accept("char"):
+		t = typeChar
+	case p.accept("void"):
+		t = typeVoid
+	case p.accept("struct"):
+		name := p.expectIdent()
+		def, ok := p.file.Structs[name]
+		if !ok {
+			p.errorf(pos, "undefined struct %q", name)
+			def = &StructDef{Name: name}
+			def.layout()
+			p.file.Structs[name] = def
+		}
+		t = &Type{Kind: TStruct, Str: def}
+	default:
+		p.errorf(pos, "expected type, found %s", p.tok())
+		t = typeInt
+	}
+	for p.accept("*") {
+		t = PtrTo(t)
+	}
+	return t
+}
+
+// structDef parses: struct Name { fields } ;
+func (p *parser) structDef() {
+	p.expect("struct")
+	name := p.expectIdent()
+	def := &StructDef{Name: name}
+	if _, dup := p.file.Structs[name]; dup {
+		p.errorf(p.tok().pos, "duplicate struct %q", name)
+	}
+	// Register before parsing fields so self-referential pointer fields
+	// (e.g. linked list nodes) resolve.
+	p.file.Structs[name] = def
+	p.expect("{")
+	for !p.isPunct("}") && p.tok().kind != tokEOF {
+		ft := p.baseType()
+		for {
+			fname := p.expectIdent()
+			t := ft
+			if p.accept("[") {
+				n := p.constArrayLen()
+				p.expect("]")
+				t = ArrayOf(ft, n)
+			}
+			def.Fields = append(def.Fields, Field{Name: fname, Type: t})
+			if !p.accept(",") {
+				break
+			}
+		}
+		p.expect(";")
+	}
+	p.expect("}")
+	p.expect(";")
+	def.layout()
+	p.file.Structs[name] = def
+}
+
+// constArrayLen parses a constant expression and folds it to an int.
+func (p *parser) constArrayLen() int64 {
+	pos := p.tok().pos
+	e := p.ternary()
+	v, ok := foldConst(e)
+	if !ok || v <= 0 {
+		p.errorf(pos, "array length must be a positive constant")
+		return 1
+	}
+	return v
+}
+
+// topDecl parses a global variable or a function definition.
+func (p *parser) topDecl() {
+	base := p.baseType()
+	namePos := p.tok().pos
+	name := p.expectIdent()
+
+	if p.isPunct("(") { // function
+		p.funcDecl(base, name, namePos)
+		return
+	}
+
+	// Global variable(s).
+	for {
+		t := base
+		if p.accept("[") {
+			n := p.constArrayLen()
+			p.expect("]")
+			t = ArrayOf(base, n)
+		}
+		g := &GlobalDecl{
+			Sym: &VarSym{Name: name, Type: t, Global: true, Label: "g_" + name},
+			Pos: namePos,
+		}
+		if p.accept("=") {
+			if p.isPunct("{") {
+				p.advance()
+				for !p.isPunct("}") && p.tok().kind != tokEOF {
+					g.InitList = append(g.InitList, p.ternary())
+					if !p.accept(",") {
+						break
+					}
+				}
+				p.expect("}")
+			} else {
+				g.Init = p.ternary()
+			}
+		}
+		p.file.Globals = append(p.file.Globals, g)
+		if !p.accept(",") {
+			break
+		}
+		namePos = p.tok().pos
+		name = p.expectIdent()
+	}
+	p.expect(";")
+}
+
+func (p *parser) funcDecl(ret *Type, name string, pos Pos) {
+	fn := &FuncDecl{Name: name, Ret: ret, Pos: pos}
+	p.expect("(")
+	if !p.isPunct(")") {
+		if p.isKeyword("void") && p.peek(1).text == ")" {
+			p.advance()
+		} else {
+			for {
+				pt := p.baseType()
+				pname := p.expectIdent()
+				fn.Params = append(fn.Params, &VarDecl{Name: pname, Type: pt, Pos: pos})
+				if !p.accept(",") {
+					break
+				}
+			}
+		}
+	}
+	p.expect(")")
+	if p.accept(";") {
+		// Prototype: accepted and discarded; the checker resolves calls
+		// against definitions in any order.
+		return
+	}
+	fn.Body = p.block()
+	p.file.Funcs = append(p.file.Funcs, fn)
+}
+
+// --- statements --------------------------------------------------------------
+
+func (p *parser) block() *Stmt {
+	pos := p.tok().pos
+	p.expect("{")
+	s := &Stmt{Kind: SBlock, Pos: pos}
+	for !p.isPunct("}") && p.tok().kind != tokEOF {
+		start := p.pos
+		s.List = append(s.List, p.statement())
+		if p.pos == start {
+			p.advance()
+		}
+	}
+	p.expect("}")
+	return s
+}
+
+func (p *parser) statement() *Stmt {
+	pos := p.tok().pos
+	switch {
+	case p.isPunct("{"):
+		return p.block()
+	case p.accept(";"):
+		return &Stmt{Kind: SEmpty, Pos: pos}
+	case p.atTypeStart():
+		return p.localDecl()
+	case p.accept("if"):
+		p.expect("(")
+		cond := p.expression()
+		p.expect(")")
+		s := &Stmt{Kind: SIf, Pos: pos, Expr: cond, Body: p.statement()}
+		if p.accept("else") {
+			s.Else = p.statement()
+		}
+		return s
+	case p.accept("while"):
+		p.expect("(")
+		cond := p.expression()
+		p.expect(")")
+		return &Stmt{Kind: SWhile, Pos: pos, Expr: cond, Body: p.statement()}
+	case p.accept("for"):
+		p.expect("(")
+		s := &Stmt{Kind: SFor, Pos: pos}
+		if !p.isPunct(";") {
+			if p.atTypeStart() {
+				s.Init = p.localDecl() // consumes the ';'
+			} else {
+				s.Init = &Stmt{Kind: SExpr, Pos: pos, Expr: p.expression()}
+				p.expect(";")
+			}
+		} else {
+			p.expect(";")
+		}
+		if !p.isPunct(";") {
+			s.Expr = p.expression()
+		}
+		p.expect(";")
+		if !p.isPunct(")") {
+			s.Post = p.expression()
+		}
+		p.expect(")")
+		s.Body = p.statement()
+		return s
+	case p.accept("return"):
+		s := &Stmt{Kind: SReturn, Pos: pos}
+		if !p.isPunct(";") {
+			s.Expr = p.expression()
+		}
+		p.expect(";")
+		return s
+	case p.accept("break"):
+		p.expect(";")
+		return &Stmt{Kind: SBreak, Pos: pos}
+	case p.accept("continue"):
+		p.expect(";")
+		return &Stmt{Kind: SContinue, Pos: pos}
+	default:
+		e := p.expression()
+		p.expect(";")
+		return &Stmt{Kind: SExpr, Pos: pos, Expr: e}
+	}
+}
+
+func (p *parser) localDecl() *Stmt {
+	pos := p.tok().pos
+	base := p.baseType()
+	block := &Stmt{Kind: SBlock, Pos: pos}
+	for {
+		name := p.expectIdent()
+		t := base
+		if p.accept("[") {
+			n := p.constArrayLen()
+			p.expect("]")
+			t = ArrayOf(base, n)
+		}
+		d := &VarDecl{Name: name, Type: t, Pos: pos}
+		if p.accept("=") {
+			d.Init = p.ternary()
+		}
+		block.List = append(block.List, &Stmt{Kind: SDecl, Pos: pos, Decl: d})
+		if !p.accept(",") {
+			break
+		}
+	}
+	p.expect(";")
+	if len(block.List) == 1 {
+		return block.List[0]
+	}
+	// Multi-declarator lines become a scope-transparent group.
+	block.Kind = SGroup
+	return block
+}
+
+// --- expressions --------------------------------------------------------------
+//
+// Precedence (low to high): = | ?: | || | && | "|" | ^ | & | == != |
+// < <= > >= | << >> | + - | * / % | unary | postfix.
+
+func (p *parser) expression() *Expr { return p.assignment() }
+
+func (p *parser) assignment() *Expr {
+	lhs := p.ternary()
+	if p.isPunct("=") {
+		pos := p.advance().pos
+		rhs := p.assignment()
+		return &Expr{Kind: EAssign, Pos: pos, L: lhs, R: rhs}
+	}
+	return lhs
+}
+
+func (p *parser) ternary() *Expr {
+	cond := p.binary(0)
+	if p.isPunct("?") {
+		pos := p.advance().pos
+		thenE := p.assignment()
+		p.expect(":")
+		elseE := p.ternary()
+		return &Expr{Kind: ECond, Pos: pos, Cond: cond, L: thenE, R: elseE}
+	}
+	return cond
+}
+
+// binLevels defines binary operator precedence tiers, lowest first.
+var binLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) binary(level int) *Expr {
+	if level >= len(binLevels) {
+		return p.unary()
+	}
+	lhs := p.binary(level + 1)
+	for {
+		matched := false
+		for _, op := range binLevels[level] {
+			if p.isPunct(op) {
+				pos := p.advance().pos
+				rhs := p.binary(level + 1)
+				lhs = &Expr{Kind: EBinary, Pos: pos, Op: op, L: lhs, R: rhs}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return lhs
+		}
+	}
+}
+
+func (p *parser) unary() *Expr {
+	pos := p.tok().pos
+	for _, op := range []string{"-", "!", "~", "*", "&"} {
+		if p.isPunct(op) {
+			p.advance()
+			return &Expr{Kind: EUnary, Pos: pos, Op: op, L: p.unary()}
+		}
+	}
+	if p.isKeyword("sizeof") {
+		p.advance()
+		p.expect("(")
+		t := p.baseType()
+		if p.accept("[") {
+			n := p.constArrayLen()
+			p.expect("]")
+			t = ArrayOf(t, n)
+		}
+		p.expect(")")
+		return &Expr{Kind: ESizeof, Pos: pos, TypeLit: t}
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() *Expr {
+	e := p.primary()
+	for {
+		pos := p.tok().pos
+		switch {
+		case p.accept("["):
+			idx := p.expression()
+			p.expect("]")
+			e = &Expr{Kind: EIndex, Pos: pos, L: e, R: idx}
+		case p.accept("."):
+			e = &Expr{Kind: EField, Pos: pos, L: e, Name: p.expectIdent()}
+		case p.accept("->"):
+			e = &Expr{Kind: EField, Pos: pos, L: e, Name: p.expectIdent(), Arrow: true}
+		default:
+			return e
+		}
+	}
+}
+
+func (p *parser) primary() *Expr {
+	t := p.tok()
+	switch {
+	case t.kind == tokNumber:
+		p.advance()
+		return &Expr{Kind: ENum, Pos: t.pos, Num: t.num}
+	case t.kind == tokChar:
+		p.advance()
+		return &Expr{Kind: ENum, Pos: t.pos, Num: t.num}
+	case t.kind == tokString:
+		p.advance()
+		return &Expr{Kind: EStr, Pos: t.pos, Str: t.str}
+	case t.kind == tokIdent:
+		p.advance()
+		if p.isPunct("(") {
+			p.advance()
+			call := &Expr{Kind: ECall, Pos: t.pos, Name: t.text}
+			if !p.isPunct(")") {
+				for {
+					call.Args = append(call.Args, p.assignment())
+					if !p.accept(",") {
+						break
+					}
+				}
+			}
+			p.expect(")")
+			return call
+		}
+		return &Expr{Kind: EVar, Pos: t.pos, Name: t.text}
+	case p.accept("("):
+		e := p.expression()
+		p.expect(")")
+		return e
+	default:
+		p.errorf(t.pos, "expected expression, found %s", t)
+		p.advance()
+		return &Expr{Kind: ENum, Pos: t.pos}
+	}
+}
+
+// foldConst evaluates a constant expression tree of literals, sizeof and
+// pure operators; used for array lengths and global initializers.
+func foldConst(e *Expr) (int64, bool) {
+	switch e.Kind {
+	case ENum:
+		return e.Num, true
+	case ESizeof:
+		return e.TypeLit.Size(), true
+	case EUnary:
+		v, ok := foldConst(e.L)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case "-":
+			return -v, true
+		case "~":
+			return ^v, true
+		case "!":
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	case EBinary:
+		a, ok1 := foldConst(e.L)
+		b, ok2 := foldConst(e.R)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		return evalBinop(e.Op, a, b)
+	case ECond:
+		c, ok := foldConst(e.Cond)
+		if !ok {
+			return 0, false
+		}
+		if c != 0 {
+			return foldConst(e.L)
+		}
+		return foldConst(e.R)
+	default:
+		return 0, false
+	}
+}
+
+// evalBinop computes a binary operator on constants with MiniC (= Go
+// int64) semantics. Division by zero is not folded.
+func evalBinop(op string, a, b int64) (int64, bool) {
+	switch op {
+	case "+":
+		return a + b, true
+	case "-":
+		return a - b, true
+	case "*":
+		return a * b, true
+	case "/":
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case "%":
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case "&":
+		return a & b, true
+	case "|":
+		return a | b, true
+	case "^":
+		return a ^ b, true
+	case "<<":
+		return a << (uint64(b) & 63), true
+	case ">>":
+		return a >> (uint64(b) & 63), true
+	case "==":
+		return b2i(a == b), true
+	case "!=":
+		return b2i(a != b), true
+	case "<":
+		return b2i(a < b), true
+	case "<=":
+		return b2i(a <= b), true
+	case ">":
+		return b2i(a > b), true
+	case ">=":
+		return b2i(a >= b), true
+	case "&&":
+		return b2i(a != 0 && b != 0), true
+	case "||":
+		return b2i(a != 0 || b != 0), true
+	}
+	return 0, false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

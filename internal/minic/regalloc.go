@@ -1,0 +1,316 @@
+package minic
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Register allocation: iterative liveness over basic blocks, conservative
+// live intervals, and linear scan with two pools — caller-saved t0..t9 for
+// intervals that do not cross a call, callee-saved s0..s7 for those that
+// do. Intervals that get no register are spilled to frame slots; codegen
+// rewrites their accesses through the reserved scratch registers (at, gp).
+
+// Assignment records where one vreg lives.
+type Assignment struct {
+	Reg   uint8 // physical register, valid when Spilled is false
+	Slot  int   // spill slot index, valid when Spilled is true
+	Spill bool
+}
+
+// allocation is the result of register allocation for one function.
+type allocation struct {
+	assign []Assignment // indexed by vreg
+	// usedCalleeSaved lists s-registers the function must save/restore.
+	usedCalleeSaved []uint8
+}
+
+// block is one basic block [start,end) over f.Insts.
+type block struct {
+	start, end int
+	succs      []int
+	use, def   map[VReg]bool
+	in, out    map[VReg]bool
+}
+
+// buildBlocks partitions the instruction list into basic blocks and wires
+// successor edges.
+func buildBlocks(f *IRFunc) []block {
+	isLeader := make([]bool, len(f.Insts)+1)
+	isLeader[0] = true
+	labelBlock := make(map[int64]int)
+	for i := range f.Insts {
+		switch f.Insts[i].Op {
+		case IRLabel:
+			isLeader[i] = true
+		case IRJmp, IRCJmp, IRRet:
+			isLeader[i+1] = true
+		}
+	}
+	var blocks []block
+	start := 0
+	for i := 1; i <= len(f.Insts); i++ {
+		if i == len(f.Insts) || isLeader[i] {
+			if i > start {
+				blocks = append(blocks, block{start: start, end: i})
+			}
+			start = i
+		}
+	}
+	for bi := range blocks {
+		for i := blocks[bi].start; i < blocks[bi].end; i++ {
+			if f.Insts[i].Op == IRLabel {
+				labelBlock[f.Insts[i].Imm] = bi
+			}
+		}
+	}
+	for bi := range blocks {
+		b := &blocks[bi]
+		last := f.Insts[b.end-1]
+		switch last.Op {
+		case IRJmp:
+			b.succs = append(b.succs, labelBlock[last.Imm])
+		case IRCJmp:
+			b.succs = append(b.succs, labelBlock[last.Imm])
+			if bi+1 < len(blocks) {
+				b.succs = append(b.succs, bi+1)
+			}
+		case IRRet:
+		default:
+			if bi+1 < len(blocks) {
+				b.succs = append(b.succs, bi+1)
+			}
+		}
+	}
+	return blocks
+}
+
+// liveness computes per-block live-in/out sets.
+func liveness(f *IRFunc, blocks []block) {
+	var buf []VReg
+	for bi := range blocks {
+		b := &blocks[bi]
+		b.use = make(map[VReg]bool)
+		b.def = make(map[VReg]bool)
+		b.in = make(map[VReg]bool)
+		b.out = make(map[VReg]bool)
+		for i := b.start; i < b.end; i++ {
+			in := &f.Insts[i]
+			buf = in.uses(buf[:0])
+			for _, u := range buf {
+				if u != 0 && !b.def[u] {
+					b.use[u] = true
+				}
+			}
+			if d := in.def(); d != 0 {
+				b.def[d] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for bi := len(blocks) - 1; bi >= 0; bi-- {
+			b := &blocks[bi]
+			for _, s := range b.succs {
+				for v := range blocks[s].in {
+					if !b.out[v] {
+						b.out[v] = true
+						changed = true
+					}
+				}
+			}
+			for v := range b.out {
+				if !b.def[v] && !b.in[v] {
+					b.in[v] = true
+					changed = true
+				}
+			}
+			for v := range b.use {
+				if !b.in[v] {
+					b.in[v] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// interval is the conservative live range of one vreg.
+type interval struct {
+	v          VReg
+	start, end int
+	crossCall  bool
+}
+
+// buildIntervals derives live intervals and call-crossing flags.
+func buildIntervals(f *IRFunc, blocks []block) []interval {
+	const unset = -1
+	starts := make([]int, f.NumVRegs+1)
+	ends := make([]int, f.NumVRegs+1)
+	for i := range starts {
+		starts[i] = unset
+		ends[i] = unset
+	}
+	touch := func(v VReg, p int) {
+		if v == 0 {
+			return
+		}
+		if starts[v] == unset || p < starts[v] {
+			starts[v] = p
+		}
+		if p > ends[v] {
+			ends[v] = p
+		}
+	}
+	var buf []VReg
+	var calls []int
+	for i := range f.Insts {
+		in := &f.Insts[i]
+		if in.Op == IRCall {
+			calls = append(calls, i)
+		}
+		buf = in.uses(buf[:0])
+		for _, u := range buf {
+			touch(u, i)
+		}
+		touch(in.def(), i)
+	}
+	for bi := range blocks {
+		b := &blocks[bi]
+		for v := range b.in {
+			touch(v, b.start)
+		}
+		for v := range b.out {
+			touch(v, b.end-1)
+		}
+	}
+	var out []interval
+	for v := VReg(1); int(v) <= f.NumVRegs; v++ {
+		if starts[v] == unset {
+			continue
+		}
+		iv := interval{v: v, start: starts[v], end: ends[v]}
+		for _, c := range calls {
+			if iv.start < c && c < iv.end {
+				iv.crossCall = true
+				break
+			}
+		}
+		out = append(out, iv)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].start != out[j].start {
+			return out[i].start < out[j].start
+		}
+		return out[i].v < out[j].v
+	})
+	return out
+}
+
+// Allocatable register pools.
+var (
+	tPool = []uint8{isa.RegT0, isa.RegT0 + 1, isa.RegT0 + 2, isa.RegT0 + 3, isa.RegT0 + 4,
+		isa.RegT0 + 5, isa.RegT0 + 6, isa.RegT0 + 7, isa.RegT0 + 8, isa.RegT9}
+	sPool = []uint8{isa.RegS0, isa.RegS0 + 1, isa.RegS0 + 2, isa.RegS0 + 3, isa.RegS0 + 4,
+		isa.RegS0 + 5, isa.RegS0 + 6, isa.RegS7}
+)
+
+func isCalleeSaved(r uint8) bool { return r >= isa.RegS0 && r <= isa.RegS7 }
+
+// allocate runs linear scan and appends spill slots to f.Slots.
+func allocate(f *IRFunc) *allocation {
+	blocks := buildBlocks(f)
+	liveness(f, blocks)
+	intervals := buildIntervals(f, blocks)
+
+	alloc := &allocation{assign: make([]Assignment, f.NumVRegs+1)}
+	free := make(map[uint8]bool)
+	for _, r := range tPool {
+		free[r] = true
+	}
+	for _, r := range sPool {
+		free[r] = true
+	}
+	type activeEntry struct {
+		iv  interval
+		reg uint8
+	}
+	var active []activeEntry
+	usedS := make(map[uint8]bool)
+
+	expire := func(pos int) {
+		kept := active[:0]
+		for _, a := range active {
+			if a.iv.end < pos {
+				free[a.reg] = true
+			} else {
+				kept = append(kept, a)
+			}
+		}
+		active = kept
+	}
+	takeFrom := func(pool []uint8) (uint8, bool) {
+		for _, r := range pool {
+			if free[r] {
+				free[r] = false
+				return r, true
+			}
+		}
+		return 0, false
+	}
+	spillTo := func(v VReg) {
+		slot := len(f.Slots)
+		f.Slots = append(f.Slots, Slot{Size: 8, Align: 8, Name: "spill"})
+		alloc.assign[v] = Assignment{Spill: true, Slot: slot}
+	}
+
+	for _, iv := range intervals {
+		expire(iv.start)
+		var reg uint8
+		var ok bool
+		if iv.crossCall {
+			reg, ok = takeFrom(sPool)
+		} else {
+			if reg, ok = takeFrom(tPool); !ok {
+				reg, ok = takeFrom(sPool)
+			}
+		}
+		if !ok {
+			// Try to steal from the active interval with the furthest end
+			// whose register class is acceptable.
+			bestIdx := -1
+			for i, a := range active {
+				if iv.crossCall && !isCalleeSaved(a.reg) {
+					continue
+				}
+				if a.iv.end > iv.end && (bestIdx < 0 || a.iv.end > active[bestIdx].iv.end) {
+					bestIdx = i
+				}
+			}
+			if bestIdx >= 0 {
+				victim := active[bestIdx]
+				spillTo(victim.iv.v)
+				reg = victim.reg
+				active = append(active[:bestIdx], active[bestIdx+1:]...)
+				ok = true
+			}
+		}
+		if !ok {
+			spillTo(iv.v)
+			continue
+		}
+		if isCalleeSaved(reg) {
+			usedS[reg] = true
+		}
+		alloc.assign[iv.v] = Assignment{Reg: reg}
+		active = append(active, activeEntry{iv: iv, reg: reg})
+	}
+
+	for _, r := range sPool {
+		if usedS[r] {
+			alloc.usedCalleeSaved = append(alloc.usedCalleeSaved, r)
+		}
+	}
+	return alloc
+}

@@ -1,0 +1,107 @@
+package minic
+
+// RuntimeSource is the MiniC runtime prelude compiled into every program
+// (unless Options.NoRuntime is set). It provides a freelist allocator over
+// the sbrk intrinsic, the usual string/memory helpers, a 64-bit LCG
+// pseudo-random generator, and decimal output, all in MiniC itself so the
+// runtime contributes realistic instruction mixes to the traces, as libc
+// does in the paper's SPEC95 binaries.
+const RuntimeSource = `
+// --- MiniC runtime ---
+
+struct __blk { int size; struct __blk *next; };
+
+struct __blk *__freelist;
+
+char *malloc(int n) {
+	struct __blk *p;
+	struct __blk *prev;
+	char *c;
+	int need;
+	need = (n + 7) / 8 * 8 + 16;
+	prev = 0;
+	p = __freelist;
+	while (p) {
+		if (p->size >= need) {
+			if (prev) { prev->next = p->next; } else { __freelist = p->next; }
+			c = p;
+			return c + 16;
+		}
+		prev = p;
+		p = p->next;
+	}
+	p = sbrk(need);
+	p->size = need;
+	p->next = 0;
+	c = p;
+	return c + 16;
+}
+
+void free(char *ptr) {
+	struct __blk *p;
+	if (!ptr) { return; }
+	p = ptr - 16;
+	p->next = __freelist;
+	__freelist = p;
+}
+
+char *memset(char *dst, int c, int n) {
+	int i;
+	for (i = 0; i < n; i = i + 1) { dst[i] = c; }
+	return dst;
+}
+
+char *memcpy(char *dst, char *src, int n) {
+	int i;
+	for (i = 0; i < n; i = i + 1) { dst[i] = src[i]; }
+	return dst;
+}
+
+int strlen(char *s) {
+	int n;
+	n = 0;
+	while (s[n]) { n = n + 1; }
+	return n;
+}
+
+int strcmp(char *a, char *b) {
+	int i;
+	i = 0;
+	while (a[i] && a[i] == b[i]) { i = i + 1; }
+	return a[i] - b[i];
+}
+
+char *strcpy(char *dst, char *src) {
+	int i;
+	i = 0;
+	while (src[i]) { dst[i] = src[i]; i = i + 1; }
+	dst[i] = 0;
+	return dst;
+}
+
+int abs(int x) { return x < 0 ? -x : x; }
+
+int __rand_state;
+
+void srand(int seed) { __rand_state = seed; }
+
+int rand() {
+	__rand_state = __rand_state * 6364136223846793005 + 1442695040888963407;
+	return (__rand_state >> 33) & 0x3FFFFFFF;
+}
+
+void print_str(char *s) {
+	int i;
+	for (i = 0; s[i]; i = i + 1) { putc(s[i]); }
+}
+
+void print_int(int n) {
+	char buf[24];
+	int i;
+	if (n < 0) { putc('-'); n = -n; }
+	i = 0;
+	if (n == 0) { putc('0'); return; }
+	while (n > 0) { buf[i] = '0' + n % 10; n = n / 10; i = i + 1; }
+	while (i > 0) { i = i - 1; putc(buf[i]); }
+}
+`

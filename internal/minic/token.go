@@ -1,0 +1,308 @@
+// Package minic implements a small C-like language and an optimizing
+// compiler from it to VISA-64 assembly.
+//
+// MiniC plays the role of gcc in the paper's methodology: the seven
+// benchmark workloads are written in it, and its optimization levels
+// (-O0..-O3) regenerate the compiler-flag sensitivity experiment of the
+// paper's Table 7.
+//
+// The language: 64-bit signed int, unsigned byte char, pointers, one
+// dimensional arrays, structs, functions (up to 8 scalar args), if/else,
+// while, for, break/continue/return, the full C operator set including
+// short-circuit && || and ?:, string/char literals, sizeof(type), and the
+// intrinsics getc(), putc(c), sbrk(n), exit(c).
+package minic
+
+import "fmt"
+
+// Pos is a source position for error reporting.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col) }
+
+// tokKind enumerates lexical token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokChar
+	tokKeyword
+	tokPunct
+)
+
+// token is one lexeme.
+type token struct {
+	kind tokKind
+	text string // identifier, keyword or punctuation spelling
+	num  int64  // number or char literal value
+	str  string // decoded string literal
+	pos  Pos
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of file"
+	case tokNumber:
+		return fmt.Sprintf("number %d", t.num)
+	case tokString:
+		return fmt.Sprintf("string %q", t.str)
+	case tokChar:
+		return fmt.Sprintf("char %q", rune(t.num))
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+var keywords = map[string]bool{
+	"int": true, "char": true, "void": true, "struct": true,
+	"if": true, "else": true, "while": true, "for": true,
+	"return": true, "break": true, "continue": true, "sizeof": true,
+}
+
+// Error is a compile error with position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList accumulates compile errors.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	if len(l) == 0 {
+		return "no errors"
+	}
+	s := ""
+	for i, e := range l {
+		if i == 10 {
+			return s + fmt.Sprintf("\n... and %d more errors", len(l)-10)
+		}
+		if i > 0 {
+			s += "\n"
+		}
+		s += e.Error()
+	}
+	return s
+}
+
+// lexer converts source text to tokens.
+type lexer struct {
+	src  string
+	file string
+	off  int
+	line int
+	col  int
+	errs *ErrorList
+}
+
+func newLexer(file, src string, errs *ErrorList) *lexer {
+	return &lexer{src: src, file: file, line: 1, col: 1, errs: errs}
+}
+
+func (lx *lexer) pos() Pos { return Pos{File: lx.file, Line: lx.line, Col: lx.col} }
+
+func (lx *lexer) errorf(pos Pos, format string, args ...any) {
+	*lx.errs = append(*lx.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *lexer) nextByte() byte {
+	c := lx.peekByte()
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) skipSpace() {
+	for {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.nextByte()
+		case c == '/' && lx.off+1 < len(lx.src) && lx.src[lx.off+1] == '/':
+			for lx.peekByte() != '\n' && lx.peekByte() != 0 {
+				lx.nextByte()
+			}
+		case c == '/' && lx.off+1 < len(lx.src) && lx.src[lx.off+1] == '*':
+			start := lx.pos()
+			lx.nextByte()
+			lx.nextByte()
+			for {
+				if lx.peekByte() == 0 {
+					lx.errorf(start, "unterminated block comment")
+					return
+				}
+				if lx.nextByte() == '*' && lx.peekByte() == '/' {
+					lx.nextByte()
+					break
+				}
+			}
+		default:
+			return
+		}
+	}
+}
+
+// punctuations, longest first so the scanner is greedy.
+var puncts = []string{
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->",
+	"+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+	"(", ")", "{", "}", "[", "]", ",", ";", ":", "?", ".",
+}
+
+func (lx *lexer) next() token {
+	lx.skipSpace()
+	pos := lx.pos()
+	c := lx.peekByte()
+	switch {
+	case c == 0:
+		return token{kind: tokEOF, pos: pos}
+	case isIdentStart(c):
+		start := lx.off
+		for isIdentPart(lx.peekByte()) {
+			lx.nextByte()
+		}
+		text := lx.src[start:lx.off]
+		if keywords[text] {
+			return token{kind: tokKeyword, text: text, pos: pos}
+		}
+		return token{kind: tokIdent, text: text, pos: pos}
+	case c >= '0' && c <= '9':
+		return lx.number(pos)
+	case c == '"':
+		return lx.stringLit(pos)
+	case c == '\'':
+		return lx.charLit(pos)
+	default:
+		for _, p := range puncts {
+			if len(lx.src)-lx.off >= len(p) && lx.src[lx.off:lx.off+len(p)] == p {
+				for range p {
+					lx.nextByte()
+				}
+				return token{kind: tokPunct, text: p, pos: pos}
+			}
+		}
+		lx.errorf(pos, "unexpected character %q", c)
+		lx.nextByte()
+		return lx.next()
+	}
+}
+
+func (lx *lexer) number(pos Pos) token {
+	start := lx.off
+	base := int64(10)
+	if lx.peekByte() == '0' {
+		lx.nextByte()
+		if lx.peekByte() == 'x' || lx.peekByte() == 'X' {
+			lx.nextByte()
+			base = 16
+			start = lx.off
+		}
+	}
+	var v int64
+	digits := 0
+	for {
+		c := lx.peekByte()
+		var d int64
+		switch {
+		case c >= '0' && c <= '9':
+			d = int64(c - '0')
+		case base == 16 && c >= 'a' && c <= 'f':
+			d = int64(c-'a') + 10
+		case base == 16 && c >= 'A' && c <= 'F':
+			d = int64(c-'A') + 10
+		default:
+			if digits == 0 && lx.off == start {
+				// bare "0"
+				return token{kind: tokNumber, num: 0, pos: pos}
+			}
+			return token{kind: tokNumber, num: v, pos: pos}
+		}
+		v = v*base + d
+		digits++
+		lx.nextByte()
+	}
+}
+
+func (lx *lexer) escape(pos Pos) byte {
+	c := lx.nextByte()
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	case '\\', '\'', '"':
+		return c
+	default:
+		lx.errorf(pos, "unknown escape \\%c", c)
+		return c
+	}
+}
+
+func (lx *lexer) stringLit(pos Pos) token {
+	lx.nextByte() // opening quote
+	var buf []byte
+	for {
+		c := lx.peekByte()
+		if c == 0 || c == '\n' {
+			lx.errorf(pos, "unterminated string literal")
+			break
+		}
+		lx.nextByte()
+		if c == '"' {
+			break
+		}
+		if c == '\\' {
+			c = lx.escape(pos)
+		}
+		buf = append(buf, c)
+	}
+	return token{kind: tokString, str: string(buf), pos: pos}
+}
+
+func (lx *lexer) charLit(pos Pos) token {
+	lx.nextByte() // opening quote
+	c := lx.nextByte()
+	if c == '\\' {
+		c = lx.escape(pos)
+	}
+	if lx.peekByte() != '\'' {
+		lx.errorf(pos, "unterminated char literal")
+	} else {
+		lx.nextByte()
+	}
+	return token{kind: tokChar, num: int64(c), pos: pos}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,159 @@
+package minic
+
+import "fmt"
+
+// TypeKind enumerates MiniC types.
+type TypeKind uint8
+
+// Type kinds.
+const (
+	TVoid TypeKind = iota
+	TInt           // 64-bit signed
+	TChar          // unsigned byte
+	TPtr
+	TArray
+	TStruct
+)
+
+// Type describes a MiniC type. Types are interned enough for pointer
+// comparison to be unreliable; use Same.
+type Type struct {
+	Kind TypeKind
+	Elem *Type      // Ptr, Array element
+	Len  int64      // Array length
+	Str  *StructDef // Struct definition
+}
+
+// StructDef is a named struct with laid-out fields.
+type StructDef struct {
+	Name   string
+	Fields []Field
+	size   int64
+	align  int64
+}
+
+// Field is one struct member with its byte offset.
+type Field struct {
+	Name   string
+	Type   *Type
+	Offset int64
+}
+
+// Singleton scalar types.
+var (
+	typeVoid = &Type{Kind: TVoid}
+	typeInt  = &Type{Kind: TInt}
+	typeChar = &Type{Kind: TChar}
+)
+
+// PtrTo returns a pointer type to elem.
+func PtrTo(elem *Type) *Type { return &Type{Kind: TPtr, Elem: elem} }
+
+// ArrayOf returns an array type.
+func ArrayOf(elem *Type, n int64) *Type { return &Type{Kind: TArray, Elem: elem, Len: n} }
+
+// Size returns the byte size of the type.
+func (t *Type) Size() int64 {
+	switch t.Kind {
+	case TInt, TPtr:
+		return 8
+	case TChar:
+		return 1
+	case TArray:
+		return t.Elem.Size() * t.Len
+	case TStruct:
+		return t.Str.size
+	default:
+		return 0
+	}
+}
+
+// Align returns the byte alignment of the type.
+func (t *Type) Align() int64 {
+	switch t.Kind {
+	case TInt, TPtr:
+		return 8
+	case TChar:
+		return 1
+	case TArray:
+		return t.Elem.Align()
+	case TStruct:
+		return t.Str.align
+	default:
+		return 1
+	}
+}
+
+// IsScalar reports whether values of the type fit in one register
+// (int, char or pointer).
+func (t *Type) IsScalar() bool {
+	return t.Kind == TInt || t.Kind == TChar || t.Kind == TPtr
+}
+
+// IsInteger reports int or char.
+func (t *Type) IsInteger() bool { return t.Kind == TInt || t.Kind == TChar }
+
+// Same reports structural type identity.
+func (t *Type) Same(o *Type) bool {
+	if t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case TPtr, TArray:
+		return t.Elem.Same(o.Elem) && (t.Kind != TArray || t.Len == o.Len)
+	case TStruct:
+		return t.Str == o.Str
+	default:
+		return true
+	}
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case TVoid:
+		return "void"
+	case TInt:
+		return "int"
+	case TChar:
+		return "char"
+	case TPtr:
+		return t.Elem.String() + "*"
+	case TArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	case TStruct:
+		return "struct " + t.Str.Name
+	default:
+		return "?"
+	}
+}
+
+// layout assigns field offsets and computes size/alignment.
+func (s *StructDef) layout() {
+	var off, maxAlign int64 = 0, 1
+	for i := range s.Fields {
+		f := &s.Fields[i]
+		a := f.Type.Align()
+		if a > maxAlign {
+			maxAlign = a
+		}
+		off = roundUp(off, a)
+		f.Offset = off
+		off += f.Type.Size()
+	}
+	s.align = maxAlign
+	s.size = roundUp(off, maxAlign)
+}
+
+// Field returns the named field, or nil.
+func (s *StructDef) Field(name string) *Field {
+	for i := range s.Fields {
+		if s.Fields[i].Name == name {
+			return &s.Fields[i]
+		}
+	}
+	return nil
+}
+
+func roundUp(n, align int64) int64 {
+	return (n + align - 1) &^ (align - 1)
+}

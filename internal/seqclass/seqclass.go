@@ -1,0 +1,253 @@
+// Package seqclass implements the value-sequence taxonomy of Section 1.1
+// of the paper: constant (C), stride (S), non-stride (NS), repeated stride
+// (RS) and repeated non-stride (RNS) sequences, plus generators, a
+// classifier and the learning-time / learning-degree measurements used in
+// Table 1 and Figure 2.
+package seqclass
+
+import "fmt"
+
+// Kind labels a value sequence with the paper's classification.
+type Kind uint8
+
+// Sequence kinds in the order the paper introduces them.
+const (
+	Constant  Kind = iota // 5 5 5 5 ...
+	Stride                // 1 2 3 4 ... (constant non-zero delta)
+	NonStride             // no constant delta, no short repetition
+	RepeatedStride
+	RepeatedNonStride
+	Unclassified // too short or mixed behaviour
+)
+
+var kindNames = [...]string{
+	Constant:          "C",
+	Stride:            "S",
+	NonStride:         "NS",
+	RepeatedStride:    "RS",
+	RepeatedNonStride: "RNS",
+	Unclassified:      "?",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Gen produces the n-th element of a sequence (0-based). All the paper's
+// sequence classes are expressible as Gens.
+type Gen func(n int) uint64
+
+// Take materializes the first n values of a generator.
+func Take(g Gen, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = g(i)
+	}
+	return out
+}
+
+// ConstantGen yields v forever: the paper's C class.
+func ConstantGen(v uint64) Gen {
+	return func(int) uint64 { return v }
+}
+
+// StrideGen yields start, start+delta, start+2*delta, ...: the S class.
+// delta may be "negative" via two's-complement wrap-around.
+func StrideGen(start, delta uint64) Gen {
+	return func(n int) uint64 { return start + uint64(n)*delta }
+}
+
+// RepeatedGen cycles through period forever: with a stride period this is
+// the RS class, with arbitrary values the RNS class.
+func RepeatedGen(period []uint64) Gen {
+	p := make([]uint64, len(period))
+	copy(p, period)
+	return func(n int) uint64 { return p[n%len(p)] }
+}
+
+// StridePeriod builds the period [start, start+delta, ...] of length p,
+// the building block of the paper's RS examples (e.g. 1 2 3 repeated).
+func StridePeriod(start, delta uint64, p int) []uint64 {
+	out := make([]uint64, p)
+	for i := range out {
+		out[i] = start + uint64(i)*delta
+	}
+	return out
+}
+
+// NonStrideGen yields a deterministic pseudo-random sequence with no
+// constant delta and (for practical lengths) no repetition: the NS class.
+// The generator is a 64-bit LCG, seeded for reproducibility.
+func NonStrideGen(seed uint64) Gen {
+	return func(n int) uint64 {
+		x := seed + uint64(n)*0x9E3779B97F4A7C15
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+		x *= 0x94D049BB133111EB
+		x ^= x >> 31
+		return x
+	}
+}
+
+// NonStridePeriod builds a period of p pseudo-random values for RNS
+// sequences.
+func NonStridePeriod(seed uint64, p int) []uint64 {
+	return Take(NonStrideGen(seed), p)
+}
+
+// ComposeGen concatenates generators: the first n0 values come from g0,
+// the next n1 from g1, and so on, then the composition repeats. This
+// models the paper's "sequences formed by composing stride and non-stride
+// sequences with themselves" (e.g. nested loops).
+func ComposeGen(parts []Gen, lens []int) Gen {
+	total := 0
+	for _, l := range lens {
+		total += l
+	}
+	return func(n int) uint64 {
+		n %= total
+		for i, l := range lens {
+			if n < l {
+				return parts[i](n)
+			}
+			n -= l
+		}
+		return 0 // unreachable
+	}
+}
+
+// Classify inspects a finite sequence and assigns the paper's class.
+// Rules, applied in order:
+//
+//   - all values equal                       -> Constant
+//   - constant non-zero delta                -> Stride
+//   - cycles with some period 2<=p<=maxP     -> RepeatedStride if one
+//     period is itself a stride run, else RepeatedNonStride
+//   - otherwise                              -> NonStride
+//
+// Sequences shorter than 3 values are Unclassified.
+func Classify(values []uint64, maxPeriod int) Kind {
+	if len(values) < 3 {
+		return Unclassified
+	}
+	if isConstant(values) {
+		return Constant
+	}
+	if isStride(values) {
+		return Stride
+	}
+	if p := findPeriod(values, maxPeriod); p > 0 {
+		if isStride(values[:p]) || isConstant(values[:p]) {
+			return RepeatedStride
+		}
+		return RepeatedNonStride
+	}
+	return NonStride
+}
+
+func isConstant(values []uint64) bool {
+	for _, v := range values[1:] {
+		if v != values[0] {
+			return false
+		}
+	}
+	return true
+}
+
+func isStride(values []uint64) bool {
+	if len(values) < 2 {
+		return false
+	}
+	delta := values[1] - values[0]
+	if delta == 0 {
+		return false
+	}
+	for i := 2; i < len(values); i++ {
+		if values[i]-values[i-1] != delta {
+			return false
+		}
+	}
+	return true
+}
+
+// findPeriod returns the smallest period 2<=p<=maxP such that the sequence
+// cycles with period p and contains at least two full periods, or 0.
+func findPeriod(values []uint64, maxP int) int {
+	if maxP > len(values)/2 {
+		maxP = len(values) / 2
+	}
+	for p := 2; p <= maxP; p++ {
+		ok := true
+		for i := p; i < len(values); i++ {
+			if values[i] != values[i-p] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return p
+		}
+	}
+	return 0
+}
+
+// predictor mirrors core.Predictor without importing it, keeping seqclass
+// substrate-free in both directions; core types satisfy it directly.
+type predictor interface {
+	Predict(pc uint64) (uint64, bool)
+	Update(pc uint64, value uint64)
+}
+
+// LearnProfile quantifies the two characteristics Section 2.3 defines:
+// learning time (LT), the number of values observed before the first
+// correct prediction, and learning degree (LD), the percentage of correct
+// predictions after the first correct one.
+type LearnProfile struct {
+	// LT is the 1-based index of the first correct prediction; 0 means
+	// the predictor was never correct on the sequence.
+	LT int
+	// LD is the percentage of correct predictions among the predictions
+	// made after the first correct one (the paper's "learning degree").
+	LD float64
+	// Correct and Total tally the whole run for reference.
+	Correct int
+	Total   int
+}
+
+// Measure runs a predictor over the first n values of a sequence (all
+// events at a single PC, the paper's per-static-instruction setting) and
+// returns its learning profile.
+func Measure(p predictor, g Gen, n int) LearnProfile {
+	prof := LearnProfile{}
+	afterCorrect, afterTotal := 0, 0
+	for i := 0; i < n; i++ {
+		v := g(i)
+		pred, ok := p.Predict(0)
+		correct := ok && pred == v
+		prof.Total++
+		if correct {
+			prof.Correct++
+		}
+		if prof.LT == 0 {
+			if correct {
+				prof.LT = i + 1
+			}
+		} else {
+			afterTotal++
+			if correct {
+				afterCorrect++
+			}
+		}
+		p.Update(0, v)
+	}
+	if afterTotal > 0 {
+		prof.LD = 100 * float64(afterCorrect) / float64(afterTotal)
+	} else if prof.LT > 0 {
+		prof.LD = 100 // correct exactly once, at the very end
+	}
+	return prof
+}

@@ -1,0 +1,209 @@
+package seqclass
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestGenerators(t *testing.T) {
+	if got := Take(ConstantGen(5), 4); got[0] != 5 || got[3] != 5 {
+		t.Fatalf("constant: %v", got)
+	}
+	s := Take(StrideGen(1, 1), 5)
+	for i, v := range s {
+		if v != uint64(i+1) {
+			t.Fatalf("stride: %v", s)
+		}
+	}
+	r := Take(RepeatedGen([]uint64{1, 2, 3}), 7)
+	want := []uint64{1, 2, 3, 1, 2, 3, 1}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("repeated: %v", r)
+		}
+	}
+}
+
+func TestNonStrideGenHasNoConstantDelta(t *testing.T) {
+	vals := Take(NonStrideGen(42), 100)
+	d := vals[1] - vals[0]
+	same := true
+	for i := 2; i < len(vals); i++ {
+		if vals[i]-vals[i-1] != d {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("non-stride generator produced a stride")
+	}
+}
+
+func TestComposeGen(t *testing.T) {
+	// Inner stride 1..3 followed by a marker, repeated: like a nested loop.
+	g := ComposeGen(
+		[]Gen{StrideGen(1, 1), ConstantGen(99)},
+		[]int{3, 1},
+	)
+	got := Take(g, 9)
+	want := []uint64{1, 2, 3, 99, 1, 2, 3, 99, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("compose: got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		vals []uint64
+		want Kind
+	}{
+		{"constant", Take(ConstantGen(5), 20), Constant},
+		{"stride1", Take(StrideGen(1, 1), 20), Stride},
+		{"strideNeg", Take(StrideGen(100, ^uint64(2)), 20), Stride}, // delta -3
+		{"nonstride", Take(NonStrideGen(7), 50), NonStride},
+		{"rs", Take(RepeatedGen(StridePeriod(1, 1, 3)), 30), RepeatedStride},
+		{"rns", Take(RepeatedGen([]uint64{1, ^uint64(12), ^uint64(98), 7}), 40), RepeatedNonStride},
+		{"tooShort", []uint64{1, 2}, Unclassified},
+	}
+	for _, c := range cases {
+		if got := Classify(c.vals, 16); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestClassifyRepeatedConstantPeriodIsRS(t *testing.T) {
+	// A period that is itself constant should not arise (it collapses to
+	// Constant), but a period like (5,5,9) repeats and is non-stride.
+	vals := Take(RepeatedGen([]uint64{5, 5, 9}), 30)
+	if got := Classify(vals, 16); got != RepeatedNonStride {
+		t.Fatalf("got %v, want RNS", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Constant.String() != "C" || RepeatedNonStride.String() != "RNS" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+// TestTable1 reproduces the paper's Table 1 with the actual predictors:
+// learning time and learning degree per predictor per sequence class.
+func TestTable1(t *testing.T) {
+	const period = 4
+	const order = 3
+	n := 200
+
+	t.Run("LastValue/C", func(t *testing.T) {
+		prof := Measure(core.NewLastValue(), ConstantGen(5), n)
+		if prof.LT != 2 || prof.LD != 100 {
+			// One value observed before first correct prediction: the
+			// prediction for value #2 is correct, LT(paper)=1 observation.
+			t.Fatalf("LT=%d LD=%.1f, want first-correct at 2, LD=100", prof.LT, prof.LD)
+		}
+	})
+	t.Run("LastValue/S", func(t *testing.T) {
+		prof := Measure(core.NewLastValue(), StrideGen(1, 1), n)
+		if prof.Correct != 0 {
+			t.Fatalf("last value predicted a stride: %+v", prof)
+		}
+	})
+	t.Run("Stride/S", func(t *testing.T) {
+		prof := Measure(core.NewStride2Delta(), StrideGen(1, 1), n)
+		if prof.LT == 0 || prof.LT > 4 || prof.LD != 100 {
+			t.Fatalf("LT=%d LD=%.1f, want small LT and LD=100", prof.LT, prof.LD)
+		}
+	})
+	t.Run("Stride/RS", func(t *testing.T) {
+		prof := Measure(core.NewStride2Delta(), RepeatedGen(StridePeriod(1, 1, period)), n)
+		// Table 1: LD = (p-1)/p = 75%.
+		if prof.LD < 70 || prof.LD > 80 {
+			t.Fatalf("LD=%.1f, want ~75", prof.LD)
+		}
+	})
+	t.Run("FCM/C", func(t *testing.T) {
+		prof := Measure(core.NewFCMNoBlend(order), ConstantGen(5), n)
+		// Table 1: LT = o. First correct prediction comes once the order-o
+		// context has been seen and updated: position order+2.
+		if prof.LT != order+2 || prof.LD != 100 {
+			t.Fatalf("LT=%d LD=%.1f, want LT=%d LD=100", prof.LT, prof.LD, order+2)
+		}
+	})
+	t.Run("FCM/RS", func(t *testing.T) {
+		prof := Measure(core.NewFCMNoBlend(order), RepeatedGen(StridePeriod(1, 1, period)), n)
+		// Table 1: LT = p + o, then LD = 100%.
+		if prof.LT != period+order+1 || prof.LD != 100 {
+			t.Fatalf("LT=%d LD=%.1f, want LT=%d LD=100", prof.LT, prof.LD, period+order+1)
+		}
+	})
+	t.Run("FCM/RNS", func(t *testing.T) {
+		rns := NonStridePeriod(3, period)
+		prof := Measure(core.NewFCMNoBlend(order), RepeatedGen(rns), n)
+		if prof.LD != 100 {
+			t.Fatalf("LD=%.1f, want 100", prof.LD)
+		}
+	})
+	t.Run("Stride/RNS-unsuitable", func(t *testing.T) {
+		rns := NonStridePeriod(3, period)
+		prof := Measure(core.NewStride2Delta(), RepeatedGen(rns), n)
+		if prof.LD > 30 {
+			t.Fatalf("stride LD=%.1f on RNS, expected low", prof.LD)
+		}
+	})
+	t.Run("FCM/NS-unsuitable", func(t *testing.T) {
+		prof := Measure(core.NewFCMNoBlend(order), NonStrideGen(11), n)
+		if prof.Correct != 0 {
+			t.Fatalf("FCM correct on NS: %+v", prof)
+		}
+	})
+}
+
+func TestMeasureNeverCorrect(t *testing.T) {
+	prof := Measure(core.NewLastValue(), StrideGen(0, 1), 50)
+	if prof.LT != 0 || prof.LD != 0 || prof.Correct != 0 || prof.Total != 50 {
+		t.Fatalf("unexpected profile %+v", prof)
+	}
+}
+
+func TestPropertyClassifyGeneratedSequences(t *testing.T) {
+	// Classification must recover the generating class for arbitrary
+	// parameters (within the classifier's documented rules).
+	f := func(v uint64, start uint64, rawDelta uint64, rawP uint8) bool {
+		delta := rawDelta | 1 // non-zero
+		p := int(rawP%6) + 2  // period 2..7
+		if Classify(Take(ConstantGen(v), 24), 16) != Constant {
+			return false
+		}
+		if Classify(Take(StrideGen(start, delta), 24), 16) != Stride {
+			return false
+		}
+		period := StridePeriod(start, delta, p)
+		got := Classify(Take(RepeatedGen(period), p*6), 16)
+		return got == RepeatedStride
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyComposePeriodicity(t *testing.T) {
+	f := func(a, b uint64, rawN uint8) bool {
+		n := int(rawN%5) + 1
+		g := ComposeGen([]Gen{ConstantGen(a), ConstantGen(b)}, []int{n, n})
+		// The composition must have period 2n.
+		for i := 0; i < 4*n; i++ {
+			if g(i) != g(i+2*n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,387 @@
+// Package sim is a functional (instruction-accurate, not cycle-accurate)
+// simulator for VISA-64 programs.
+//
+// It plays the role of SimpleScalar's trace generation in the paper: it
+// executes a program and emits one value event for every register-writing
+// instruction that the paper's methodology predicts (stores, branches and
+// jumps excluded; writes to the hard-wired zero register are discarded and
+// therefore not events). Prediction tables in the paper are updated
+// immediately, which trace-driven consumers get for free.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Default machine parameters.
+const (
+	DefaultMemSize  = 64 << 20 // 64 MiB flat memory
+	DefaultMaxInstr = 1 << 32  // effectively unbounded
+)
+
+// ValueEvent describes one predicted-instruction result, the unit of the
+// paper's simulations.
+type ValueEvent struct {
+	PC    uint64
+	Op    isa.Opcode
+	Cat   isa.Category
+	Value uint64
+}
+
+// Config parameterizes a machine.
+type Config struct {
+	MemSize  uint64 // bytes of flat memory (0 = DefaultMemSize)
+	MaxInstr uint64 // dynamic instruction budget (0 = DefaultMaxInstr)
+	// MaxEvents stops the run after this many value events (0 = no limit).
+	// The paper's experiments are budgeted in predicted instructions, so
+	// harnesses usually set MaxEvents rather than MaxInstr.
+	MaxEvents uint64
+	// OnValue, when non-nil, receives every value event.
+	OnValue func(ValueEvent)
+}
+
+// Result summarizes one completed run.
+type Result struct {
+	Instructions uint64 // dynamic instructions executed
+	Events       uint64 // value events emitted (predicted instructions)
+	ExitCode     int64
+	Halted       bool // reached halt/exit (false = budget exhausted)
+	Output       []byte
+	// DynPerCat counts dynamic predicted instructions per category.
+	DynPerCat [isa.NumCategories]uint64
+}
+
+// Machine executes one program.
+type Machine struct {
+	prog  *isa.Program
+	cfg   Config
+	regs  [isa.NumRegs]uint64
+	pc    uint64
+	mem   []byte
+	brk   uint64
+	input []byte
+	inPos int
+	out   []byte
+	res   Result
+}
+
+// ErrBudget is wrapped by Run when the instruction budget is exhausted
+// before the program halts. Harnesses that cap event counts treat this as
+// a normal early stop.
+var ErrBudget = errors.New("instruction budget exhausted")
+
+// Fault is a machine exception (bad memory access, bad PC...).
+type Fault struct {
+	PC  uint64
+	Msg string
+}
+
+func (f *Fault) Error() string { return fmt.Sprintf("fault at pc=0x%x: %s", f.PC, f.Msg) }
+
+// New prepares a machine to run prog with the given input bytes.
+func New(prog *isa.Program, input []byte, cfg Config) (*Machine, error) {
+	if cfg.MemSize == 0 {
+		cfg.MemSize = DefaultMemSize
+	}
+	if cfg.MaxInstr == 0 {
+		cfg.MaxInstr = DefaultMaxInstr
+	}
+	if prog.DataBase+uint64(len(prog.Data)) > cfg.MemSize {
+		return nil, fmt.Errorf("sim: data segment (%d bytes at 0x%x) exceeds memory size %d",
+			len(prog.Data), prog.DataBase, cfg.MemSize)
+	}
+	m := &Machine{
+		prog:  prog,
+		cfg:   cfg,
+		mem:   make([]byte, cfg.MemSize),
+		input: input,
+	}
+	copy(m.mem[prog.DataBase:], prog.Data)
+	// Heap break starts page-aligned after the data image.
+	m.brk = (prog.DataBase + uint64(len(prog.Data)) + 4095) &^ 4095
+	m.regs[isa.RegSP] = cfg.MemSize - 64 // small red zone at the top
+	m.regs[isa.RegFP] = m.regs[isa.RegSP]
+	m.pc = prog.Entry
+	return m, nil
+}
+
+// Run executes until halt/exit, a fault, or the instruction budget is
+// exhausted (ErrBudget). The Result is valid in all cases.
+func Run(prog *isa.Program, input []byte, cfg Config) (*Result, error) {
+	m, err := New(prog, input, cfg)
+	if err != nil {
+		return nil, err
+	}
+	err = m.Run()
+	return m.Result(), err
+}
+
+// Result returns the run summary collected so far.
+func (m *Machine) Result() *Result {
+	r := m.res
+	r.Output = m.out
+	return &r
+}
+
+// Reg returns the current value of a register (for tests and tooling).
+func (m *Machine) Reg(i int) uint64 { return m.regs[i] }
+
+// Run executes the program loop. See Run (package function) for the
+// error contract.
+func (m *Machine) Run() error {
+	text := m.prog.Text
+	n := uint64(len(text))
+	for {
+		if m.res.Instructions >= m.cfg.MaxInstr {
+			return fmt.Errorf("%w after %d instructions", ErrBudget, m.res.Instructions)
+		}
+		if m.cfg.MaxEvents > 0 && m.res.Events >= m.cfg.MaxEvents {
+			return fmt.Errorf("%w: event cap %d reached", ErrBudget, m.cfg.MaxEvents)
+		}
+		idx := m.pc / 4
+		if idx >= n {
+			return &Fault{PC: m.pc, Msg: "pc outside text segment"}
+		}
+		inst := &text[idx]
+		m.res.Instructions++
+		nextPC := m.pc + 4
+
+		var value uint64
+		writes := false
+
+		switch inst.Op {
+		case isa.OpADD:
+			value, writes = m.r(inst.Rs1)+m.r(inst.Rs2), true
+		case isa.OpSUB:
+			value, writes = m.r(inst.Rs1)-m.r(inst.Rs2), true
+		case isa.OpADDI:
+			value, writes = m.r(inst.Rs1)+uint64(inst.Imm), true
+		case isa.OpMUL:
+			value, writes = m.r(inst.Rs1)*m.r(inst.Rs2), true
+		case isa.OpDIV:
+			value, writes = sdiv(m.r(inst.Rs1), m.r(inst.Rs2)), true
+		case isa.OpREM:
+			value, writes = srem(m.r(inst.Rs1), m.r(inst.Rs2)), true
+		case isa.OpAND:
+			value, writes = m.r(inst.Rs1)&m.r(inst.Rs2), true
+		case isa.OpOR:
+			value, writes = m.r(inst.Rs1)|m.r(inst.Rs2), true
+		case isa.OpXOR:
+			value, writes = m.r(inst.Rs1)^m.r(inst.Rs2), true
+		case isa.OpNOR:
+			value, writes = ^(m.r(inst.Rs1) | m.r(inst.Rs2)), true
+		case isa.OpANDI:
+			value, writes = m.r(inst.Rs1)&uint64(inst.Imm), true
+		case isa.OpORI:
+			value, writes = m.r(inst.Rs1)|uint64(inst.Imm), true
+		case isa.OpXORI:
+			value, writes = m.r(inst.Rs1)^uint64(inst.Imm), true
+		case isa.OpSLL:
+			value, writes = m.r(inst.Rs1)<<(m.r(inst.Rs2)&63), true
+		case isa.OpSRL:
+			value, writes = m.r(inst.Rs1)>>(m.r(inst.Rs2)&63), true
+		case isa.OpSRA:
+			value, writes = uint64(int64(m.r(inst.Rs1))>>(m.r(inst.Rs2)&63)), true
+		case isa.OpSLLI:
+			value, writes = m.r(inst.Rs1)<<(uint64(inst.Imm)&63), true
+		case isa.OpSRLI:
+			value, writes = m.r(inst.Rs1)>>(uint64(inst.Imm)&63), true
+		case isa.OpSRAI:
+			value, writes = uint64(int64(m.r(inst.Rs1))>>(uint64(inst.Imm)&63)), true
+		case isa.OpSLT:
+			value, writes = b2u(int64(m.r(inst.Rs1)) < int64(m.r(inst.Rs2))), true
+		case isa.OpSLTU:
+			value, writes = b2u(m.r(inst.Rs1) < m.r(inst.Rs2)), true
+		case isa.OpSLTI:
+			value, writes = b2u(int64(m.r(inst.Rs1)) < inst.Imm), true
+		case isa.OpSEQ:
+			value, writes = b2u(m.r(inst.Rs1) == m.r(inst.Rs2)), true
+		case isa.OpSNE:
+			value, writes = b2u(m.r(inst.Rs1) != m.r(inst.Rs2)), true
+		case isa.OpLUI:
+			value, writes = uint64(inst.Imm<<16), true
+		case isa.OpLW:
+			v, err := m.load(inst, 8)
+			if err != nil {
+				return err
+			}
+			value, writes = v, true
+		case isa.OpLB:
+			v, err := m.load(inst, 1)
+			if err != nil {
+				return err
+			}
+			value, writes = uint64(int64(int8(v))), true
+		case isa.OpLBU:
+			v, err := m.load(inst, 1)
+			if err != nil {
+				return err
+			}
+			value, writes = v, true
+		case isa.OpSW:
+			if err := m.store(inst, 8); err != nil {
+				return err
+			}
+		case isa.OpSB:
+			if err := m.store(inst, 1); err != nil {
+				return err
+			}
+		case isa.OpBEQ:
+			if m.r(inst.Rs1) == m.r(inst.Rs2) {
+				nextPC = uint64(inst.Imm)
+			}
+		case isa.OpBNE:
+			if m.r(inst.Rs1) != m.r(inst.Rs2) {
+				nextPC = uint64(inst.Imm)
+			}
+		case isa.OpBLT:
+			if int64(m.r(inst.Rs1)) < int64(m.r(inst.Rs2)) {
+				nextPC = uint64(inst.Imm)
+			}
+		case isa.OpBGE:
+			if int64(m.r(inst.Rs1)) >= int64(m.r(inst.Rs2)) {
+				nextPC = uint64(inst.Imm)
+			}
+		case isa.OpBLTU:
+			if m.r(inst.Rs1) < m.r(inst.Rs2) {
+				nextPC = uint64(inst.Imm)
+			}
+		case isa.OpBGEU:
+			if m.r(inst.Rs1) >= m.r(inst.Rs2) {
+				nextPC = uint64(inst.Imm)
+			}
+		case isa.OpJ:
+			nextPC = uint64(inst.Imm)
+		case isa.OpJR:
+			nextPC = m.r(inst.Rs1)
+		case isa.OpJAL:
+			m.w(isa.RegRA, m.pc+4) // link write, never predicted
+			nextPC = uint64(inst.Imm)
+		case isa.OpJALR:
+			target := m.r(inst.Rs1)
+			m.w(isa.RegRA, m.pc+4)
+			nextPC = target
+		case isa.OpSYS:
+			v, halted, err := m.syscall(inst.Imm)
+			if err != nil {
+				return err
+			}
+			if halted {
+				m.res.Halted = true
+				return nil
+			}
+			value, writes = v, true
+		case isa.OpHALT:
+			m.res.Halted = true
+			return nil
+		default:
+			return &Fault{PC: m.pc, Msg: "invalid opcode"}
+		}
+
+		if writes && inst.Rd != isa.RegZero {
+			m.regs[inst.Rd] = value
+			// Every surviving register write from a predicted opcode is a
+			// value event, the paper's unit of measurement.
+			cat := inst.Op.Category()
+			m.res.Events++
+			m.res.DynPerCat[cat]++
+			if m.cfg.OnValue != nil {
+				m.cfg.OnValue(ValueEvent{PC: m.pc, Op: inst.Op, Cat: cat, Value: value})
+			}
+		}
+		m.pc = nextPC
+	}
+}
+
+func (m *Machine) r(i uint8) uint64 { return m.regs[i] }
+
+func (m *Machine) w(i uint8, v uint64) {
+	if i != isa.RegZero {
+		m.regs[i] = v
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// sdiv implements signed division with the paper-simulator convention that
+// division by zero yields 0 (SPEC-style benchmarks never rely on it).
+func sdiv(a, b uint64) uint64 {
+	if b == 0 {
+		return 0
+	}
+	return uint64(int64(a) / int64(b))
+}
+
+func srem(a, b uint64) uint64 {
+	if b == 0 {
+		return 0
+	}
+	return uint64(int64(a) % int64(b))
+}
+
+func (m *Machine) load(inst *isa.Inst, size uint64) (uint64, error) {
+	addr := m.r(inst.Rs1) + uint64(inst.Imm)
+	if addr+size > uint64(len(m.mem)) || addr+size < addr {
+		return 0, &Fault{PC: m.pc, Msg: fmt.Sprintf("load of %d bytes at 0x%x out of range", size, addr)}
+	}
+	var v uint64
+	for i := uint64(0); i < size; i++ {
+		v |= uint64(m.mem[addr+i]) << (8 * i)
+	}
+	return v, nil
+}
+
+func (m *Machine) store(inst *isa.Inst, size uint64) error {
+	addr := m.r(inst.Rs1) + uint64(inst.Imm)
+	if addr+size > uint64(len(m.mem)) || addr+size < addr {
+		return &Fault{PC: m.pc, Msg: fmt.Sprintf("store of %d bytes at 0x%x out of range", size, addr)}
+	}
+	v := m.r(inst.Rs2)
+	for i := uint64(0); i < size; i++ {
+		m.mem[addr+i] = byte(v >> (8 * i))
+	}
+	return nil
+}
+
+// syscall dispatches the SYS instruction. The result value (when the call
+// produces one) is written to a0 by the main loop and traced as a value
+// event of category Other.
+func (m *Machine) syscall(num int64) (value uint64, halted bool, err error) {
+	a0 := m.regs[isa.RegA0]
+	switch num {
+	case isa.SysGetc:
+		if m.inPos >= len(m.input) {
+			return ^uint64(0), false, nil // -1 at end of input
+		}
+		c := m.input[m.inPos]
+		m.inPos++
+		return uint64(c), false, nil
+	case isa.SysPutc:
+		if len(m.out) > 1<<24 {
+			return 0, false, &Fault{PC: m.pc, Msg: "output limit exceeded"}
+		}
+		m.out = append(m.out, byte(a0))
+		return a0, false, nil
+	case isa.SysSbrk:
+		old := m.brk
+		newBrk := m.brk + a0
+		if newBrk > m.regs[isa.RegSP]-(1<<20) {
+			return 0, false, &Fault{PC: m.pc, Msg: "sbrk: heap would run into stack"}
+		}
+		m.brk = newBrk
+		return old, false, nil
+	case isa.SysExit:
+		m.res.ExitCode = int64(a0)
+		return 0, true, nil
+	default:
+		return 0, false, &Fault{PC: m.pc, Msg: fmt.Sprintf("unknown syscall %d", num)}
+	}
+}

@@ -1,0 +1,354 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+func run(t *testing.T, src string, input []byte, cfg Config) *Result {
+	t.Helper()
+	prog, err := asm.Assemble("test.s", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	res, err := Run(prog, input, cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestArithmetic(t *testing.T) {
+	res := run(t, `
+	main:	li   t0, 21
+		add  t1, t0, t0      # 42
+		li   a0, '0'
+		add  a0, a0, t1      # '0'+42 = 'Z'
+		sys  2               # putc
+		halt
+	`, nil, Config{})
+	if !res.Halted {
+		t.Fatal("did not halt")
+	}
+	if string(res.Output) != "Z" {
+		t.Fatalf("output %q, want Z", res.Output)
+	}
+}
+
+func TestLoop(t *testing.T) {
+	// Sum 1..10 = 55 and exit with that code.
+	res := run(t, `
+	main:	li t0, 0          # sum
+		li t1, 1          # i
+		li t2, 11
+	loop:	beq t1, t2, done
+		add t0, t0, t1
+		addi t1, t1, 1
+		j loop
+	done:	mov a0, t0
+		sys 4             # exit
+	`, nil, Config{})
+	if res.ExitCode != 55 {
+		t.Fatalf("exit code %d, want 55", res.ExitCode)
+	}
+}
+
+func TestMemoryAndData(t *testing.T) {
+	res := run(t, `
+		.data
+	msg:	.asciiz "ok\n"
+		.text
+	main:	la  s0, msg
+	loop:	lbu a0, 0(s0)
+		beqz a0, done
+		sys 2
+		addi s0, s0, 1
+		j loop
+	done:	halt
+	`, nil, Config{})
+	if string(res.Output) != "ok\n" {
+		t.Fatalf("output %q", res.Output)
+	}
+}
+
+func TestWordLoadStore(t *testing.T) {
+	res := run(t, `
+		.data
+	buf:	.space 32
+		.text
+	main:	la  s0, buf
+		li  t0, -123456789
+		sw  t0, 8(s0)
+		lw  a0, 8(s0)
+		sys 4
+	`, nil, Config{})
+	if res.ExitCode != -123456789 {
+		t.Fatalf("exit code %d", res.ExitCode)
+	}
+}
+
+func TestSignedByteLoad(t *testing.T) {
+	res := run(t, `
+		.data
+	b:	.byte 0xFF
+		.text
+	main:	la t0, b
+		lb a0, 0(t0)
+		sys 4
+	`, nil, Config{})
+	if res.ExitCode != -1 {
+		t.Fatalf("lb sign extension: got %d, want -1", res.ExitCode)
+	}
+}
+
+func TestInputSyscall(t *testing.T) {
+	// Echo input until EOF (-1).
+	res := run(t, `
+	main:	sys 1            # getc
+		li  t0, -1
+		beq a0, t0, done
+		sys 2            # putc
+		j   main
+	done:	halt
+	`, []byte("abc"), Config{})
+	if string(res.Output) != "abc" {
+		t.Fatalf("echo output %q", res.Output)
+	}
+}
+
+func TestSbrk(t *testing.T) {
+	res := run(t, `
+	main:	li  a0, 4096
+		sys 3            # sbrk -> old brk
+		mov s0, a0
+		li  t0, 7
+		sw  t0, 0(s0)    # write to new heap
+		lw  a0, 0(s0)
+		sys 4
+	`, nil, Config{})
+	if res.ExitCode != 7 {
+		t.Fatalf("heap write/read: %d", res.ExitCode)
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	res := run(t, `
+	main:	li  a0, 6
+		call double
+		sys 4
+	double:	add a0, a0, a0
+		ret
+	`, nil, Config{})
+	if res.ExitCode != 12 {
+		t.Fatalf("call/ret: %d", res.ExitCode)
+	}
+}
+
+func TestRecursionFibonacci(t *testing.T) {
+	// Classic recursive fib(10) = 55 exercising the stack.
+	res := run(t, `
+	main:	li a0, 10
+		call fib
+		sys 4
+	fib:	li  t0, 2
+		blt a0, t0, base
+		addi sp, sp, -24
+		sw  ra, 0(sp)
+		sw  s0, 8(sp)
+		sw  s1, 16(sp)
+		mov s0, a0
+		addi a0, s0, -1
+		call fib
+		mov s1, a0
+		addi a0, s0, -2
+		call fib
+		add a0, a0, s1
+		lw  ra, 0(sp)
+		lw  s0, 8(sp)
+		lw  s1, 16(sp)
+		addi sp, sp, 24
+	base:	ret
+	`, nil, Config{})
+	if res.ExitCode != 55 {
+		t.Fatalf("fib(10) = %d, want 55", res.ExitCode)
+	}
+}
+
+func TestValueEvents(t *testing.T) {
+	var events []ValueEvent
+	run(t, `
+	main:	addi t0, zero, 5     # AddSub event, value 5
+		slli t1, t0, 1       # Shift event, value 10
+		sw   t0, 0(sp)       # no event (store)
+		lw   t2, 0(sp)       # Loads event, value 5
+		beq  t0, t0, skip    # no event (branch)
+	skip:	and  t3, t0, t1      # Logic event, value 0
+		slt  t4, t0, t1      # Set event, value 1
+		mul  t5, t0, t1      # MultDiv event, value 50
+		lui  t6, 2           # Lui event
+		addi zero, zero, 0   # nop: writes zero reg, no event
+		halt
+	`, nil, Config{OnValue: func(ev ValueEvent) { events = append(events, ev) }})
+
+	wantCats := []isa.Category{
+		isa.CatAddSub, isa.CatShift, isa.CatLoads, isa.CatLogic,
+		isa.CatSet, isa.CatMultDiv, isa.CatLui,
+	}
+	wantVals := []uint64{5, 10, 5, 0, 1, 50, 2 << 16}
+	if len(events) != len(wantCats) {
+		t.Fatalf("got %d events, want %d: %+v", len(events), len(wantCats), events)
+	}
+	for i, ev := range events {
+		if ev.Cat != wantCats[i] || ev.Value != wantVals[i] {
+			t.Errorf("event %d = cat %v value %d, want %v %d", i, ev.Cat, ev.Value, wantCats[i], wantVals[i])
+		}
+	}
+}
+
+func TestJALProducesNoEvent(t *testing.T) {
+	var events []ValueEvent
+	run(t, `
+	main:	call f
+		halt
+	f:	ret
+	`, nil, Config{OnValue: func(ev ValueEvent) { events = append(events, ev) }})
+	if len(events) != 0 {
+		t.Fatalf("jumps must not be predicted; got %+v", events)
+	}
+}
+
+func TestSyscallEventIsOther(t *testing.T) {
+	var events []ValueEvent
+	run(t, `
+	main:	sys 1
+		halt
+	`, []byte("x"), Config{OnValue: func(ev ValueEvent) { events = append(events, ev) }})
+	if len(events) != 1 || events[0].Cat != isa.CatOther || events[0].Value != 'x' {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+func TestInstructionBudget(t *testing.T) {
+	prog, err := asm.Assemble("t.s", "main: j main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(prog, nil, Config{MaxInstr: 1000})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if res.Instructions != 1000 {
+		t.Fatalf("executed %d, want 1000", res.Instructions)
+	}
+}
+
+func TestEventCap(t *testing.T) {
+	prog, err := asm.Assemble("t.s", `
+	main:	addi t0, t0, 1
+		j main
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	res, err := Run(prog, nil, Config{
+		MaxEvents: 50,
+		OnValue:   func(ValueEvent) { n++ },
+	})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if res.Events != 50 || n != 50 {
+		t.Fatalf("events=%d callbacks=%d, want 50", res.Events, n)
+	}
+}
+
+func TestMemoryFaults(t *testing.T) {
+	cases := []string{
+		"main: li t0, -8\n lw t1, 0(t0)\n halt",  // huge unsigned address
+		"main: jr zero\n nop",                    // jump to pc 0 is fine; use bad target
+		"main: li t0, 0x7fffffff\n jr t0\n halt", // pc outside text
+		"main: li t0, -16\n sw t0, 0(t0)\n halt", // store out of range
+	}
+	for i, src := range cases {
+		if i == 1 {
+			continue // jr zero loops to main, not a fault; skip
+		}
+		prog, err := asm.Assemble("t.s", src)
+		if err != nil {
+			t.Fatalf("case %d assemble: %v", i, err)
+		}
+		_, err = Run(prog, nil, Config{MaxInstr: 100})
+		var fault *Fault
+		if !errors.As(err, &fault) && !errors.Is(err, ErrBudget) {
+			t.Errorf("case %d: err = %v, want fault", i, err)
+		}
+	}
+}
+
+func TestDivisionConventions(t *testing.T) {
+	res := run(t, `
+	main:	li  t0, 7
+		li  t1, -2
+		div t2, t0, t1       # -3 (truncated)
+		rem t3, t0, t1       # 1
+		div t4, t0, zero     # 0 by convention
+		rem t5, t0, zero     # 0 by convention
+		add a0, t2, t3
+		add a0, a0, t4
+		add a0, a0, t5
+		sys 4
+	`, nil, Config{})
+	if res.ExitCode != -2 {
+		t.Fatalf("div/rem conventions: %d, want -2", res.ExitCode)
+	}
+}
+
+func TestDynPerCatCounts(t *testing.T) {
+	res := run(t, `
+	main:	li t0, 3
+	loop:	addi t0, t0, -1
+		bnez t0, loop
+		halt
+	`, nil, Config{})
+	if res.DynPerCat[isa.CatAddSub] != 4 { // li + 3 loop decrements
+		t.Fatalf("AddSub count = %d, want 4", res.DynPerCat[isa.CatAddSub])
+	}
+	if res.Events != 4 {
+		t.Fatalf("events = %d, want 4", res.Events)
+	}
+}
+
+func TestShiftAndLogicOps(t *testing.T) {
+	res := run(t, `
+	main:	li   t0, -16
+		srai t1, t0, 2      # -4
+		srli t2, t0, 60     # 15
+		li   t3, 12
+		sll  t4, t3, t2     # 12 << 15
+		nor  t5, zero, zero # -1
+		xor  t6, t5, t0     # ^-16 ^ -1 = 15
+		add  a0, t1, t2     # 11
+		add  a0, a0, t6     # 26
+		sys  4
+	`, nil, Config{})
+	if res.ExitCode != 26 {
+		t.Fatalf("shift/logic: %d, want 26", res.ExitCode)
+	}
+}
+
+func TestDataSegmentTooLarge(t *testing.T) {
+	prog := &isa.Program{
+		Text:     []isa.Inst{{Op: isa.OpHALT}},
+		Data:     make([]byte, 1024),
+		DataBase: 1 << 20,
+	}
+	_, err := Run(prog, nil, Config{MemSize: 1 << 20})
+	if err == nil || !strings.Contains(err.Error(), "exceeds memory size") {
+		t.Fatalf("err = %v", err)
+	}
+}

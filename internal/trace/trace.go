@@ -1,0 +1,216 @@
+// Package trace defines a compact on-disk format for value traces — the
+// (PC, category, value) event streams the paper's simulations consume —
+// plus streaming writer/reader types for capture and replay.
+//
+// The paper's methodology is trace-driven simulation; this package is the
+// trace-capture ecosystem around it: capture once with cmd/vptrace (or
+// trace.Capture), then replay the identical stream against any number of
+// predictor configurations without re-running the workload.
+//
+// Format: a gzip stream containing a header followed by varint-encoded
+// records. Each record stores the PC as a zigzag delta from the previous
+// PC (instruction working sets are local, so deltas are small), the
+// category byte, and the value as a zigzag delta from the previous value
+// produced at that same PC (exploiting the paper's observation that
+// per-instruction value sequences are strongly patterned; constants
+// encode as zero, strides as small fixed deltas).
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// Event is one predicted-instruction outcome.
+type Event struct {
+	PC    uint64
+	Cat   isa.Category
+	Value uint64
+}
+
+// Magic identifies trace files.
+const Magic = "VPTRACE1"
+
+// Header describes a trace stream.
+type Header struct {
+	Benchmark string
+	Opt       int // compiler optimization level used
+	Scale     int
+}
+
+// Writer streams events to a trace file.
+type Writer struct {
+	gz      *gzip.Writer
+	bw      *bufio.Writer
+	lastPC  uint64
+	lastVal map[uint64]uint64
+	count   uint64
+	buf     [3 * binary.MaxVarintLen64]byte
+}
+
+// NewWriter writes the header and returns a streaming writer.
+func NewWriter(w io.Writer, h Header) (*Writer, error) {
+	gz := gzip.NewWriter(w)
+	bw := bufio.NewWriterSize(gz, 1<<16)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return nil, err
+	}
+	writeString := func(s string) error {
+		var b [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(b[:], uint64(len(s)))
+		if _, err := bw.Write(b[:n]); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	if err := writeString(h.Benchmark); err != nil {
+		return nil, err
+	}
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(b[:], uint64(h.Opt))
+	n += binary.PutUvarint(b[n:], uint64(h.Scale))
+	if _, err := bw.Write(b[:n]); err != nil {
+		return nil, err
+	}
+	return &Writer{gz: gz, bw: bw, lastVal: make(map[uint64]uint64)}, nil
+}
+
+// zigzag encodes a signed delta as an unsigned varint-friendly value.
+func zigzag(d int64) uint64 { return uint64(d<<1) ^ uint64(d>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Write appends one event.
+func (w *Writer) Write(ev Event) error {
+	n := binary.PutUvarint(w.buf[:], zigzag(int64(ev.PC)-int64(w.lastPC)))
+	w.buf[n] = byte(ev.Cat)
+	n++
+	prev := w.lastVal[ev.PC]
+	n += binary.PutUvarint(w.buf[n:], zigzag(int64(ev.Value)-int64(prev)))
+	w.lastPC = ev.PC
+	w.lastVal[ev.PC] = ev.Value
+	w.count++
+	_, err := w.bw.Write(w.buf[:n])
+	return err
+}
+
+// Count returns the number of events written.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Close flushes and finishes the gzip stream (the underlying writer is
+// not closed).
+func (w *Writer) Close() error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	return w.gz.Close()
+}
+
+// Reader streams events back from a trace file.
+type Reader struct {
+	Header  Header
+	br      *bufio.Reader
+	gz      *gzip.Reader
+	lastPC  uint64
+	lastVal map[uint64]uint64
+}
+
+// NewReader validates the header and returns a streaming reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	br := bufio.NewReaderSize(gz, 1<<16)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, errors.New("trace: bad magic (not a vptrace file)")
+	}
+	var h Header
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > 4096 {
+		return nil, errors.New("trace: unreasonable benchmark name length")
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	h.Benchmark = string(name)
+	opt, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	scale, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	h.Opt = int(opt)
+	h.Scale = int(scale)
+	return &Reader{Header: h, br: br, gz: gz, lastVal: make(map[uint64]uint64)}, nil
+}
+
+// Read returns the next event; io.EOF at end of stream.
+func (r *Reader) Read() (Event, error) {
+	du, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return Event{}, err // io.EOF passes through
+	}
+	cat, err := r.br.ReadByte()
+	if err != nil {
+		return Event{}, unexpected(err)
+	}
+	dv, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return Event{}, unexpected(err)
+	}
+	pc := uint64(int64(r.lastPC) + unzigzag(du))
+	val := uint64(int64(r.lastVal[pc]) + unzigzag(dv))
+	r.lastPC = pc
+	r.lastVal[pc] = val
+	if isa.Category(cat) >= isa.CatNone {
+		return Event{}, fmt.Errorf("trace: corrupt category byte %d", cat)
+	}
+	return Event{PC: pc, Cat: isa.Category(cat), Value: val}, nil
+}
+
+func unexpected(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// ForEach replays the whole stream through fn, stopping on fn error.
+func (r *Reader) ForEach(fn func(Event) error) error {
+	for {
+		ev, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+}
+
+// FromSim converts a simulator event.
+func FromSim(ev sim.ValueEvent) Event {
+	return Event{PC: ev.PC, Cat: ev.Cat, Value: ev.Value}
+}
