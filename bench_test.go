@@ -8,12 +8,14 @@
 package repro_test
 
 import (
+	"errors"
 	"io"
 	"testing"
 
 	"repro/internal/analysis"
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/seqclass"
 	"repro/internal/sim"
@@ -120,6 +122,86 @@ func BenchmarkCompiler(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- engine benchmarks ----------------------------------------------------------
+
+// engineSubset has four benchmarks so the Workers4 variant actually gets
+// four-way benchmark-level parallelism (RunSuite caps workers at the
+// workload count).
+var engineSubset = []string{"compress", "m88ksim", "perl", "xlisp"}
+
+// benchEngineSuite measures the shared suite pass through internal/engine
+// at a given worker count (events/op; workers=1 is the serial reference
+// path, so the serial-vs-parallel ratio is the engine's speedup).
+func benchEngineSuite(b *testing.B, workers int) {
+	b.Helper()
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		suite, err := engine.RunSuite(engine.Config{
+			Analysis: analysis.Config{Events: benchEvents, Benchmarks: engineSubset},
+			Workers:  workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range suite.Results {
+			events += r.Events
+		}
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+func BenchmarkEngineSuiteSerial(b *testing.B)   { benchEngineSuite(b, 1) }
+func BenchmarkEngineSuiteWorkers2(b *testing.B) { benchEngineSuite(b, 2) }
+func BenchmarkEngineSuiteWorkers4(b *testing.B) { benchEngineSuite(b, 4) }
+
+// benchDelivery measures raw event-delivery overhead in the simulator:
+// per-event callback vs batched delivery (events/op on identical work).
+func benchDelivery(b *testing.B, batchSize int) {
+	b.Helper()
+	w := bench.Compress()
+	prog, err := w.Compile(bench.RefOpt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := w.Input(1)
+	cfg := sim.Config{MaxInstr: 1 << 62, MaxEvents: benchEvents}
+	var events uint64
+	if batchSize == 0 {
+		cfg.OnValue = func(ev sim.ValueEvent) { events++ }
+	} else {
+		cfg.BatchSize = batchSize
+		cfg.OnValues = func(evs []sim.ValueEvent) { events += uint64(len(evs)) }
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		events = 0
+		if _, err := sim.Run(prog, input, cfg); err != nil && !errors.Is(err, sim.ErrBudget) {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(events), "events/op")
+}
+
+func BenchmarkDeliveryPerEvent(b *testing.B)    { benchDelivery(b, 0) }
+func BenchmarkDeliveryBatched(b *testing.B)     { benchDelivery(b, sim.DefaultBatchSize) }
+func BenchmarkDeliveryBatchedTiny(b *testing.B) { benchDelivery(b, 64) }
+
+// BenchmarkEngineFanout measures one benchmark through the full fan-out
+// (5 predictor banks + merger) against BenchmarkFullPass's serial
+// all-collector loop below.
+func BenchmarkEngineFanout(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := engine.RunBenchmark(bench.M88ksim(), analysis.Config{Events: benchEvents}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(benchEvents, "events/op")
 }
 
 // BenchmarkFullPass measures the all-collector analysis pass used by the

@@ -7,18 +7,26 @@
 //	vpredict -exp fig3             # one experiment
 //	vpredict -exp all              # everything (one shared benchmark pass)
 //	vpredict -exp fig3 -events 2000000 -bench compress,gcc
+//	vpredict -exp all -workers 8   # benchmark-level parallelism
+//	vpredict -exp all -workers 1   # serial reference path
 //
 // Events default to 500k predicted instructions per benchmark; raise for
-// tighter numbers, lower for quick looks. Results are deterministic for a
-// given (events, scale) configuration.
+// tighter numbers, lower for quick looks. The shared suite pass runs on
+// internal/engine: benchmarks execute in parallel across -workers
+// goroutines (default GOMAXPROCS) and each benchmark's value events fan
+// out in -batch sized batches to one worker per predictor. Results are
+// deterministic for a given (events, scale) configuration — the same
+// bytes at every -workers/-batch setting.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 )
 
@@ -28,6 +36,8 @@ func main() {
 		events  = flag.Uint64("events", 500_000, "max predicted instructions per benchmark run (0 = to completion)")
 		scale   = flag.Int("scale", 1, "workload input scale factor")
 		benches = flag.String("bench", "", "comma-separated benchmark subset (default all seven)")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel benchmark workers for the suite pass (1 = serial path)")
+		batch   = flag.Int("batch", engine.DefaultBatchSize, "value events per delivery batch (engine path; -workers 1 uses per-event delivery)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		quiet   = flag.Bool("q", false, "suppress progress output")
 	)
@@ -41,8 +51,10 @@ func main() {
 	}
 
 	cfg := experiments.Config{
-		Events: *events,
-		Scale:  *scale,
+		Events:    *events,
+		Scale:     *scale,
+		Workers:   *workers,
+		BatchSize: *batch,
 	}
 	if *benches != "" {
 		cfg.Benchmarks = strings.Split(*benches, ",")

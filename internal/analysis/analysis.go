@@ -36,7 +36,9 @@ type Config struct {
 	UniqueValueCap int
 }
 
-func (c Config) withDefaults() Config {
+// WithDefaults returns the config with zero values resolved, so that
+// alternative suite drivers (internal/engine) normalize identically.
+func (c Config) WithDefaults() Config {
 	if c.Scale <= 0 {
 		c.Scale = 1
 	}
@@ -93,6 +95,70 @@ type BenchResult struct {
 	Static map[uint64]*PCStat
 }
 
+// Tracked predictor indexes within PredictorNames for the Figure 8 set
+// analysis (mask bit 0 = last value, bit 1 = stride, bit 2 = fcm3).
+const (
+	TrackedL = 0
+	TrackedS = 1
+	TrackedF = 4
+)
+
+// RecordEvent folds one event's cross-predictor statistics — the subset
+// mask counts and the per-static-instruction record — into the result.
+// Both the serial path and internal/engine's merger call this, so the
+// collector semantics live in exactly one place.
+func (r *BenchResult) RecordEvent(cat isa.Category, pc uint64, mask uint64) {
+	r.SetCounts[cat][mask]++
+	r.SetAll[mask]++
+
+	st := r.Static[pc]
+	if st == nil {
+		st = &PCStat{Cat: cat}
+		r.Static[pc] = st
+	}
+	st.Count++
+	if mask&2 != 0 {
+		st.S2Correct++
+	}
+	if mask&4 != 0 {
+		st.FCMCorrect++
+	}
+}
+
+// UniqueTracker accumulates per-PC unique-value sets up to a cap, the
+// Figure 10 collector shared by the serial and concurrent paths.
+type UniqueTracker struct {
+	cap int
+	m   map[uint64]map[uint64]struct{}
+}
+
+// NewUniqueTracker returns a tracker bounding each per-PC set at cap.
+func NewUniqueTracker(cap int) *UniqueTracker {
+	return &UniqueTracker{cap: cap, m: make(map[uint64]map[uint64]struct{})}
+}
+
+// Observe records one value produced at pc.
+func (u *UniqueTracker) Observe(pc, value uint64) {
+	vs := u.m[pc]
+	if vs == nil {
+		vs = make(map[uint64]struct{})
+		u.m[pc] = vs
+	}
+	if len(vs) < u.cap {
+		vs[value] = struct{}{}
+	}
+}
+
+// FillStatic writes the unique-value counts into the result's static
+// records (which must already exist from RecordEvent calls).
+func (u *UniqueTracker) FillStatic(r *BenchResult) {
+	for pc, vs := range u.m {
+		st := r.Static[pc]
+		st.Unique = len(vs)
+		st.Overflow = len(vs) >= u.cap
+	}
+}
+
 // Accuracy returns the overall accuracy percentage for a predictor.
 func (r *BenchResult) Accuracy(pred string) float64 {
 	return r.Acc[pred].Overall.Percent()
@@ -103,84 +169,60 @@ func (r *BenchResult) CatAcc(pred string, cat isa.Category) float64 {
 	return r.Acc[pred].PerCat[cat].Percent()
 }
 
+// NewBenchResult returns an empty result with the accuracy and static
+// maps initialized for the standard predictor set.
+func NewBenchResult(name string, opt int) *BenchResult {
+	res := &BenchResult{
+		Name:   name,
+		Opt:    opt,
+		Acc:    make(map[string]*CatAccuracy, len(PredictorNames)),
+		Static: make(map[uint64]*PCStat),
+	}
+	for _, n := range PredictorNames {
+		res.Acc[n] = &CatAccuracy{}
+	}
+	return res
+}
+
 // RunBenchmark executes one workload under the standard five predictors
 // and all collectors.
 func RunBenchmark(w *bench.Workload, cfg Config) (*BenchResult, error) {
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
 	preds := make([]core.Predictor, len(PredictorNames))
 	for i, f := range core.StandardFactories() {
 		preds[i] = f.New()
 	}
-	res := &BenchResult{
-		Name:   w.Name,
-		Opt:    cfg.Opt,
-		Acc:    make(map[string]*CatAccuracy, len(preds)),
-		Static: make(map[uint64]*PCStat),
-	}
-	for _, name := range PredictorNames {
-		res.Acc[name] = &CatAccuracy{}
-	}
-
-	// Predictor indexes for the set analysis: l=0, s2=1, fcm3=4.
-	const li, si, fi = 0, 1, 4
-
-	onValue := func(ev sim.ValueEvent) {
-		var mask uint64
-		for i, p := range preds {
-			pred, ok := p.Predict(ev.PC)
-			correct := ok && pred == ev.Value
-			acc := res.Acc[PredictorNames[i]]
-			acc.Overall.Observe(correct)
-			acc.PerCat[ev.Cat].Observe(correct)
-			if correct {
-				switch i {
-				case li:
-					mask |= 1
-				case si:
-					mask |= 2
-				case fi:
-					mask |= 4
-				}
-			}
-			p.Update(ev.PC, ev.Value)
-		}
-		res.SetCounts[ev.Cat][mask]++
-		res.SetAll[mask]++
-
-		st := res.Static[ev.PC]
-		if st == nil {
-			st = &PCStat{Cat: ev.Cat}
-			res.Static[ev.PC] = st
-		}
-		st.Count++
-		if mask&2 != 0 {
-			st.S2Correct++
-		}
-		if mask&4 != 0 {
-			st.FCMCorrect++
-		}
-	}
+	res := NewBenchResult(w.Name, cfg.Opt)
 
 	// Unique-value tracking piggybacks on the same pass.
-	uniq := make(map[uint64]map[uint64]struct{})
-	trackUniq := func(ev sim.ValueEvent) {
-		vs := uniq[ev.PC]
-		if vs == nil {
-			vs = make(map[uint64]struct{})
-			uniq[ev.PC] = vs
-		}
-		if len(vs) < cfg.UniqueValueCap {
-			vs[ev.Value] = struct{}{}
-		}
-	}
+	uniq := NewUniqueTracker(cfg.UniqueValueCap)
 
 	simRes, err := w.Run(bench.RunConfig{
 		Opt:       cfg.Opt,
 		Scale:     cfg.Scale,
 		MaxEvents: cfg.Events,
 		OnValue: func(ev sim.ValueEvent) {
-			onValue(ev)
-			trackUniq(ev)
+			var mask uint64
+			for i, p := range preds {
+				pred, ok := p.Predict(ev.PC)
+				correct := ok && pred == ev.Value
+				acc := res.Acc[PredictorNames[i]]
+				acc.Overall.Observe(correct)
+				acc.PerCat[ev.Cat].Observe(correct)
+				if correct {
+					switch i {
+					case TrackedL:
+						mask |= 1
+					case TrackedS:
+						mask |= 2
+					case TrackedF:
+						mask |= 4
+					}
+				}
+				p.Update(ev.PC, ev.Value)
+			}
+			res.RecordEvent(ev.Cat, ev.PC, mask)
+			uniq.Observe(ev.PC, ev.Value)
 		},
 	})
 	if err != nil {
@@ -190,11 +232,7 @@ func RunBenchmark(w *bench.Workload, cfg Config) (*BenchResult, error) {
 	res.Events = simRes.Events
 	res.Halted = simRes.Halted
 	res.DynPerCat = simRes.DynPerCat
-	for pc, vs := range uniq {
-		st := res.Static[pc]
-		st.Unique = len(vs)
-		st.Overflow = len(vs) >= cfg.UniqueValueCap
-	}
+	uniq.FillStatic(res)
 	return res, nil
 }
 
@@ -204,20 +242,29 @@ type Suite struct {
 	Results []*BenchResult
 }
 
+// Workloads resolves the configured benchmark set in reporting order
+// (the registry order when cfg.Benchmarks is nil).
+func Workloads(cfg Config) ([]*bench.Workload, error) {
+	if len(cfg.Benchmarks) == 0 {
+		return bench.Registry(), nil
+	}
+	var workloads []*bench.Workload
+	for _, name := range cfg.Benchmarks {
+		w := bench.ByName(name)
+		if w == nil {
+			return nil, fmt.Errorf("analysis: unknown benchmark %q", name)
+		}
+		workloads = append(workloads, w)
+	}
+	return workloads, nil
+}
+
 // RunSuite runs every configured benchmark once.
 func RunSuite(cfg Config, progress func(name string)) (*Suite, error) {
-	cfg = cfg.withDefaults()
-	var workloads []*bench.Workload
-	if len(cfg.Benchmarks) == 0 {
-		workloads = bench.Registry()
-	} else {
-		for _, name := range cfg.Benchmarks {
-			w := bench.ByName(name)
-			if w == nil {
-				return nil, fmt.Errorf("analysis: unknown benchmark %q", name)
-			}
-			workloads = append(workloads, w)
-		}
+	cfg = cfg.WithDefaults()
+	workloads, err := Workloads(cfg)
+	if err != nil {
+		return nil, err
 	}
 	suite := &Suite{Config: cfg}
 	for _, w := range workloads {

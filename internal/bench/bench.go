@@ -89,6 +89,10 @@ type RunConfig struct {
 	MaxEvents uint64 // value-event budget (0 = run to completion)
 	Input     []byte // override input (nil = generated at Scale)
 	OnValue   func(sim.ValueEvent)
+	// OnValues receives events in batches of up to BatchSize; see
+	// sim.Config.OnValues for the slice-reuse contract.
+	OnValues  func([]sim.ValueEvent)
+	BatchSize int
 }
 
 // Run compiles and executes the workload. Budget exhaustion is a normal
@@ -110,6 +114,8 @@ func (w *Workload) Run(cfg RunConfig) (*sim.Result, error) {
 		MaxInstr:  1 << 62,
 		MaxEvents: cfg.MaxEvents,
 		OnValue:   cfg.OnValue,
+		OnValues:  cfg.OnValues,
+		BatchSize: cfg.BatchSize,
 	})
 	if err != nil && !isBudget(err) {
 		return res, fmt.Errorf("bench %s: %w", w.Name, err)

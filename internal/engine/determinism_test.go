@@ -1,0 +1,69 @@
+package engine_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+)
+
+// renderSuiteArtifacts renders every suite-backed paper artifact
+// (Tables 2, 4, 5 and Figures 3-10) from one suite into a single string.
+func renderSuiteArtifacts(t *testing.T, cfg experiments.Config, suite *analysis.Suite) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, e := range experiments.Registry() {
+		if !e.NeedsSuite {
+			continue
+		}
+		if err := e.Run(&sb, cfg, suite); err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+	}
+	return sb.String()
+}
+
+// TestParallelArtifactsByteIdentical is the engine's determinism
+// guarantee: the parallel engine must render byte-identical artifact
+// tables to the serial path, whatever the worker count or batch size.
+func TestParallelArtifactsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism suite in -short mode")
+	}
+	ecfg := experiments.Config{Events: 20_000, Benchmarks: []string{"compress", "m88ksim"}}
+	acfg := analysis.Config{Events: ecfg.Events, Benchmarks: ecfg.Benchmarks}
+
+	serial, err := engine.RunSuite(engine.Config{Analysis: acfg, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderSuiteArtifacts(t, ecfg, serial)
+	if !strings.Contains(want, "compress") || !strings.Contains(want, "m88ksim") {
+		t.Fatalf("serial artifacts look empty:\n%s", want)
+	}
+
+	for _, c := range []struct {
+		workers, batch int
+	}{
+		{2, 0},
+		{4, 0},
+		{4, 1},
+		{4, 513},
+	} {
+		suite, err := engine.RunSuite(engine.Config{
+			Analysis:  acfg,
+			Workers:   c.workers,
+			BatchSize: c.batch,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d batch=%d: %v", c.workers, c.batch, err)
+		}
+		got := renderSuiteArtifacts(t, ecfg, suite)
+		if got != want {
+			t.Errorf("workers=%d batch=%d: artifacts differ from serial path\n--- serial ---\n%s\n--- parallel ---\n%s",
+				c.workers, c.batch, want, got)
+		}
+	}
+}

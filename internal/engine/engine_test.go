@@ -1,0 +1,94 @@
+package engine_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/bench"
+	"repro/internal/engine"
+)
+
+// TestBenchResultMatchesSerial checks that the fan-out produces exactly
+// the serial path's BenchResult — every tally, mask count, static record
+// and unique-value count — across batch sizes including degenerate ones.
+func TestBenchResultMatchesSerial(t *testing.T) {
+	cfg := analysis.Config{Events: 10_000}
+	w := bench.Compress()
+	want, err := analysis.RunBenchmark(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batchSize := range []int{1, 257, engine.DefaultBatchSize} {
+		got, err := engine.RunBenchmark(w, cfg, batchSize)
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batchSize, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("batch=%d: engine result differs from serial path", batchSize)
+		}
+	}
+}
+
+// TestRunSuiteMatchesSerial checks the parallel suite against the serial
+// reference (Workers=1) result-for-result, in reporting order.
+func TestRunSuiteMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite comparison in -short mode")
+	}
+	acfg := analysis.Config{Events: 5_000, Benchmarks: []string{"m88ksim", "compress", "perl"}}
+	serial, err := engine.RunSuite(engine.Config{Analysis: acfg, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := engine.RunSuite(engine.Config{Analysis: acfg, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel.Results) != len(acfg.Benchmarks) {
+		t.Fatalf("got %d results, want %d", len(parallel.Results), len(acfg.Benchmarks))
+	}
+	for i, r := range parallel.Results {
+		if r.Name != acfg.Benchmarks[i] {
+			t.Errorf("result %d is %s, want %s (merge order must be deterministic)",
+				i, r.Name, acfg.Benchmarks[i])
+		}
+		if !reflect.DeepEqual(r, serial.Results[i]) {
+			t.Errorf("%s: parallel result differs from serial", r.Name)
+		}
+	}
+}
+
+func TestRunSuiteUnknownBenchmark(t *testing.T) {
+	_, err := engine.RunSuite(engine.Config{
+		Analysis: analysis.Config{Events: 1000, Benchmarks: []string{"nope"}},
+		Workers:  2,
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown benchmark") {
+		t.Fatalf("err = %v, want unknown benchmark", err)
+	}
+}
+
+// TestRunBenchmarkProgressAndBudget checks that the event budget is
+// honored exactly through the batched path.
+func TestRunBenchmarkBudget(t *testing.T) {
+	const budget = 2_000
+	r, err := engine.RunBenchmark(bench.M88ksim(), analysis.Config{Events: budget}, 333)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Events != budget {
+		t.Fatalf("events = %d, want %d", r.Events, budget)
+	}
+	var observed uint64
+	for _, acc := range r.Acc {
+		if acc.Overall.Total != budget {
+			t.Fatalf("predictor observed %d events, want %d", acc.Overall.Total, budget)
+		}
+		observed = acc.Overall.Total
+	}
+	if observed == 0 {
+		t.Fatal("no predictors tallied")
+	}
+}

@@ -1,0 +1,183 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/analysis"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// DefaultBatchSize mirrors the simulator's default delivery granularity.
+const DefaultBatchSize = sim.DefaultBatchSize
+
+// chanDepth bounds every channel in the fan-out so a fast simulator
+// cannot run unboundedly ahead of slow predictor banks (backpressure).
+const chanDepth = 4
+
+// batch is one refcounted slice of value events shared read-only by all
+// predictor workers and the merger; the last consumer returns it to the
+// pool.
+type batch struct {
+	ev   []sim.ValueEvent
+	refs atomic.Int32
+}
+
+func (b *batch) release(pool *sync.Pool) {
+	if b.refs.Add(-1) == 0 {
+		pool.Put(b)
+	}
+}
+
+// RunBenchmark executes one workload with the fan-out topology:
+//
+//	simulator ──batches──► bank worker (l)    ──bitsets──┐
+//	    │     ──batches──► bank worker (s2)   ──bitsets──┤
+//	    │     ──batches──► bank worker (fcm1)            ├──► merger
+//	    │     ──batches──► bank worker (fcm2)            │
+//	    │     ──batches──► bank worker (fcm3) ──bitsets──┤
+//	    └─────batches────────────────────────────────────┘
+//
+// Each bank worker owns one predictor and its accuracy tallies; the three
+// tracked banks additionally emit one correctness bit per event, from
+// which the merger rebuilds the exact per-event subset masks and
+// per-static-instruction records of the serial path. All channels are
+// FIFO, so every consumer observes events in program order and the result
+// is identical to analysis.RunBenchmark.
+func RunBenchmark(w *bench.Workload, cfg analysis.Config, batchSize int) (*analysis.BenchResult, error) {
+	cfg = cfg.WithDefaults()
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	res := analysis.NewBenchResult(w.Name, cfg.Opt)
+	facs := core.StandardFactories()
+
+	pool := &sync.Pool{New: func() any {
+		return &batch{ev: make([]sim.ValueEvent, 0, batchSize)}
+	}}
+
+	ins := make([]chan *batch, len(facs))
+	var bitsL, bitsS, bitsF chan []uint64
+	var wg sync.WaitGroup
+	for i, f := range facs {
+		ins[i] = make(chan *batch, chanDepth)
+		var out chan []uint64
+		switch i {
+		case analysis.TrackedL:
+			out = make(chan []uint64, chanDepth)
+			bitsL = out
+		case analysis.TrackedS:
+			out = make(chan []uint64, chanDepth)
+			bitsS = out
+		case analysis.TrackedF:
+			out = make(chan []uint64, chanDepth)
+			bitsF = out
+		}
+		wg.Add(1)
+		go bankWorker(&wg, f.New(), res.Acc[analysis.PredictorNames[i]], ins[i], out, pool)
+	}
+
+	mergeIn := make(chan *batch, chanDepth)
+	uniq := analysis.NewUniqueTracker(cfg.UniqueValueCap)
+	mergeDone := make(chan struct{})
+	go merge(res, uniq, mergeIn, bitsL, bitsS, bitsF, pool, mergeDone)
+
+	simRes, err := w.Run(bench.RunConfig{
+		Opt:       cfg.Opt,
+		Scale:     cfg.Scale,
+		MaxEvents: cfg.Events,
+		BatchSize: batchSize,
+		OnValues: func(evs []sim.ValueEvent) {
+			// The simulator reuses its batch buffer, so copy into a pooled
+			// one owned by the fan-out for the lifetime of the refcount.
+			b := pool.Get().(*batch)
+			b.ev = append(b.ev[:0], evs...)
+			b.refs.Store(int32(len(ins) + 1))
+			for _, in := range ins {
+				in <- b
+			}
+			mergeIn <- b
+		},
+	})
+	for _, in := range ins {
+		close(in)
+	}
+	close(mergeIn)
+	wg.Wait()
+	<-mergeDone
+	if err != nil {
+		return nil, fmt.Errorf("engine: %s: %w", w.Name, err)
+	}
+
+	res.Instructions = simRes.Instructions
+	res.Events = simRes.Events
+	res.Halted = simRes.Halted
+	res.DynPerCat = simRes.DynPerCat
+	uniq.FillStatic(res)
+	return res, nil
+}
+
+// bankWorker drives one predictor over the batch stream, tallying its
+// accuracy in place (each worker owns its CatAccuracy, so tallies need no
+// locks). Tracked banks emit one correctness bit per event on out.
+func bankWorker(wg *sync.WaitGroup, p core.Predictor, acc *analysis.CatAccuracy,
+	in <-chan *batch, out chan<- []uint64, pool *sync.Pool) {
+	defer wg.Done()
+	for b := range in {
+		var bits []uint64
+		if out != nil {
+			bits = make([]uint64, (len(b.ev)+63)/64)
+		}
+		for j := range b.ev {
+			ev := &b.ev[j]
+			pred, ok := p.Predict(ev.PC)
+			correct := ok && pred == ev.Value
+			acc.Overall.Observe(correct)
+			acc.PerCat[ev.Cat].Observe(correct)
+			if correct && bits != nil {
+				bits[j>>6] |= 1 << (uint(j) & 63)
+			}
+			p.Update(ev.PC, ev.Value)
+		}
+		if out != nil {
+			out <- bits
+		}
+		b.release(pool)
+	}
+	if out != nil {
+		close(out)
+	}
+}
+
+// merge joins each batch with the tracked banks' correctness bitsets
+// (aligned by FIFO order: the k-th batch pairs with the k-th bitset of
+// every tracked bank) and rebuilds the serial path's per-event subset
+// masks, per-static-instruction records and unique-value sets through
+// the same analysis collectors the serial path uses.
+func merge(res *analysis.BenchResult, uniq *analysis.UniqueTracker,
+	in <-chan *batch, bitsL, bitsS, bitsF <-chan []uint64, pool *sync.Pool, done chan<- struct{}) {
+	defer close(done)
+	for b := range in {
+		lb, sb, fb := <-bitsL, <-bitsS, <-bitsF
+		for j := range b.ev {
+			ev := &b.ev[j]
+			bit := uint64(1) << (uint(j) & 63)
+			var mask uint64
+			if lb[j>>6]&bit != 0 {
+				mask |= 1
+			}
+			if sb[j>>6]&bit != 0 {
+				mask |= 2
+			}
+			if fb[j>>6]&bit != 0 {
+				mask |= 4
+			}
+			res.RecordEvent(ev.Cat, ev.PC, mask)
+			uniq.Observe(ev.PC, ev.Value)
+		}
+		b.release(pool)
+	}
+}

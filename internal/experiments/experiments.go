@@ -9,6 +9,7 @@ import (
 	"io"
 
 	"repro/internal/analysis"
+	"repro/internal/engine"
 )
 
 // Config parameterizes experiment runs.
@@ -21,7 +22,13 @@ type Config struct {
 	Scale int
 	// Benchmarks restricts suite experiments (nil = all seven).
 	Benchmarks []string
-	// Verbose enables progress lines on stderr.
+	// Workers bounds the engine's benchmark-level parallelism for the
+	// shared suite pass (0 = GOMAXPROCS, 1 = serial reference path).
+	Workers int
+	// BatchSize is the engine's event-delivery batch size (0 = default).
+	BatchSize int
+	// Progress, when non-nil, receives a line per starting benchmark.
+	// With Workers != 1 it may be invoked from concurrent goroutines.
 	Progress func(string)
 }
 
@@ -117,9 +124,14 @@ func RunOne(w io.Writer, id string, cfg Config) error {
 }
 
 func suiteFor(cfg Config) (*analysis.Suite, error) {
-	return analysis.RunSuite(analysis.Config{
-		Events:     cfg.Events,
-		Scale:      cfg.Scale,
-		Benchmarks: cfg.Benchmarks,
-	}, cfg.Progress)
+	return engine.RunSuite(engine.Config{
+		Analysis: analysis.Config{
+			Events:     cfg.Events,
+			Scale:      cfg.Scale,
+			Benchmarks: cfg.Benchmarks,
+		},
+		Workers:   cfg.Workers,
+		BatchSize: cfg.BatchSize,
+		Progress:  cfg.Progress,
+	})
 }

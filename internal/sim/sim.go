@@ -20,6 +20,10 @@ import (
 const (
 	DefaultMemSize  = 64 << 20 // 64 MiB flat memory
 	DefaultMaxInstr = 1 << 32  // effectively unbounded
+	// DefaultBatchSize is the OnValues batch capacity when Config.BatchSize
+	// is zero. Large enough to amortize the callback, small enough that a
+	// batch of events stays cache-resident downstream.
+	DefaultBatchSize = 4096
 )
 
 // ValueEvent describes one predicted-instruction result, the unit of the
@@ -41,6 +45,15 @@ type Config struct {
 	MaxEvents uint64
 	// OnValue, when non-nil, receives every value event.
 	OnValue func(ValueEvent)
+	// OnValues, when non-nil, receives value events in batches of up to
+	// BatchSize, in program order, replacing per-event callback overhead on
+	// the hot path. The slice is reused between calls and is only valid
+	// until the callback returns; consumers that retain events must copy.
+	// A final partial batch is flushed when the run ends for any reason.
+	// OnValue and OnValues may be set together; both see the same stream.
+	OnValues func([]ValueEvent)
+	// BatchSize is the OnValues batch capacity (0 = DefaultBatchSize).
+	BatchSize int
 }
 
 // Result summarizes one completed run.
@@ -65,6 +78,7 @@ type Machine struct {
 	input []byte
 	inPos int
 	out   []byte
+	batch []ValueEvent // pending OnValues events (nil when unused)
 	res   Result
 }
 
@@ -99,6 +113,13 @@ func New(prog *isa.Program, input []byte, cfg Config) (*Machine, error) {
 		mem:   make([]byte, cfg.MemSize),
 		input: input,
 	}
+	if cfg.OnValues != nil {
+		bs := cfg.BatchSize
+		if bs <= 0 {
+			bs = DefaultBatchSize
+		}
+		m.batch = make([]ValueEvent, 0, bs)
+	}
 	copy(m.mem[prog.DataBase:], prog.Data)
 	// Heap break starts page-aligned after the data image.
 	m.brk = (prog.DataBase + uint64(len(prog.Data)) + 4095) &^ 4095
@@ -130,8 +151,22 @@ func (m *Machine) Result() *Result {
 func (m *Machine) Reg(i int) uint64 { return m.regs[i] }
 
 // Run executes the program loop. See Run (package function) for the
-// error contract.
+// error contract. Any pending OnValues batch is flushed before Run
+// returns, whether the program halted, faulted or hit its budget.
 func (m *Machine) Run() error {
+	err := m.run()
+	m.flushBatch()
+	return err
+}
+
+func (m *Machine) flushBatch() {
+	if len(m.batch) > 0 {
+		m.cfg.OnValues(m.batch)
+		m.batch = m.batch[:0]
+	}
+}
+
+func (m *Machine) run() error {
 	text := m.prog.Text
 	n := uint64(len(text))
 	for {
@@ -290,6 +325,12 @@ func (m *Machine) Run() error {
 			m.res.DynPerCat[cat]++
 			if m.cfg.OnValue != nil {
 				m.cfg.OnValue(ValueEvent{PC: m.pc, Op: inst.Op, Cat: cat, Value: value})
+			}
+			if m.batch != nil {
+				m.batch = append(m.batch, ValueEvent{PC: m.pc, Op: inst.Op, Cat: cat, Value: value})
+				if len(m.batch) == cap(m.batch) {
+					m.flushBatch()
+				}
 			}
 		}
 		m.pc = nextPC

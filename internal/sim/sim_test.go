@@ -352,3 +352,63 @@ func TestDataSegmentTooLarge(t *testing.T) {
 		t.Fatalf("err = %v", err)
 	}
 }
+
+// batchProgram emits a known number of value events (li + 9 loop
+// iterations x 2 register writes + final mov = 20 events).
+const batchProgram = `
+	main:	li t0, 9
+		li t1, 0
+	loop:	add t1, t1, t0
+		addi t0, t0, -1
+		bnez t0, loop
+		mov a0, t1
+		sys 4
+	`
+
+func TestBatchedDeliveryMatchesPerEvent(t *testing.T) {
+	for _, batchSize := range []int{1, 3, 7, DefaultBatchSize} {
+		var perEvent, batched []ValueEvent
+		var flushes int
+		res := run(t, batchProgram, nil, Config{
+			OnValue:   func(ev ValueEvent) { perEvent = append(perEvent, ev) },
+			OnValues:  func(evs []ValueEvent) { flushes++; batched = append(batched, evs...) },
+			BatchSize: batchSize,
+		})
+		if uint64(len(perEvent)) != res.Events {
+			t.Fatalf("OnValue saw %d events, result says %d", len(perEvent), res.Events)
+		}
+		if len(batched) != len(perEvent) {
+			t.Fatalf("batch=%d: OnValues saw %d events, OnValue saw %d",
+				batchSize, len(batched), len(perEvent))
+		}
+		for i := range perEvent {
+			if batched[i] != perEvent[i] {
+				t.Fatalf("batch=%d: event %d = %+v, want %+v",
+					batchSize, i, batched[i], perEvent[i])
+			}
+		}
+		wantFlushes := (len(perEvent) + batchSize - 1) / batchSize
+		if flushes != wantFlushes {
+			t.Fatalf("batch=%d: %d flushes, want %d", batchSize, flushes, wantFlushes)
+		}
+	}
+}
+
+func TestBatchedDeliveryFlushesOnBudget(t *testing.T) {
+	var batched []ValueEvent
+	prog, err := asm.Assemble("test.s", batchProgram)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	res, err := Run(prog, nil, Config{
+		MaxEvents: 5,
+		OnValues:  func(evs []ValueEvent) { batched = append(batched, evs...) },
+		BatchSize: 64, // larger than the event cap: only the final flush delivers
+	})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want budget exhaustion", err)
+	}
+	if res.Events != 5 || uint64(len(batched)) != res.Events {
+		t.Fatalf("events = %d, batched = %d, want 5 each", res.Events, len(batched))
+	}
+}
