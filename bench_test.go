@@ -18,6 +18,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/seqclass"
+	"repro/internal/serve"
 	"repro/internal/sim"
 )
 
@@ -203,6 +204,78 @@ func BenchmarkEngineFanout(b *testing.B) {
 	}
 	b.ReportMetric(benchEvents, "events/op")
 }
+
+// --- serve benchmarks -----------------------------------------------------------
+
+// serveBenchStream builds a synthetic mixed stream (strides, constants,
+// period-4 repeats over 512 PCs) shared by the serve benchmarks.
+var serveStreamOnce struct {
+	events []serve.Event
+}
+
+func serveBenchStream() []serve.Event {
+	if serveStreamOnce.events != nil {
+		return serveStreamOnce.events
+	}
+	rns := seqclass.NonStridePeriod(5, 4)
+	const n = 200_000
+	evs := make([]serve.Event, n)
+	for i := 0; i < n; i++ {
+		pc := uint64((i % 512) * 4)
+		var v uint64
+		switch pc % 3 {
+		case 0:
+			v = uint64(i) * 8
+		case 1:
+			v = 42
+		default:
+			v = rns[i%4]
+		}
+		evs[i] = serve.Event{PC: pc, Value: v}
+	}
+	serveStreamOnce.events = evs
+	return evs
+}
+
+// benchServe measures end-to-end service throughput — TCP round trips,
+// request bucketing and the full standard predictor bank — at a given
+// shard count, with four concurrent client connections. events/op is
+// fixed, so ns/op across variants is the shard-scaling curve.
+func benchServe(b *testing.B, shards int) {
+	b.Helper()
+	evs := serveBenchStream()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := serve.New(serve.Config{Shards: shards})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Start("127.0.0.1:0", ""); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := serve.DriveEvents(evs, serve.DriveConfig{
+			Addr:    s.Addr().String(),
+			Clients: 4,
+		})
+		b.StopTimer()
+		s.Close()
+		b.StartTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Events != uint64(len(evs)) {
+			b.Fatalf("drove %d of %d events", res.Events, len(evs))
+		}
+	}
+	b.ReportMetric(float64(len(evs)), "events/op")
+}
+
+func BenchmarkServe1Shard(b *testing.B)  { benchServe(b, 1) }
+func BenchmarkServeShards2(b *testing.B) { benchServe(b, 2) }
+func BenchmarkServeShards4(b *testing.B) { benchServe(b, 4) }
 
 // BenchmarkFullPass measures the all-collector analysis pass used by the
 // suite experiments (events/op).

@@ -1,0 +1,87 @@
+// Command vpserve runs the online value-prediction service: predictor
+// state sharded by hash(pc), each shard a single goroutine with a bounded
+// mailbox, serving a length-prefixed binary protocol over TCP plus JSON
+// introspection over HTTP.
+//
+// Usage:
+//
+//	vpserve -addr :9747 -http :9748 -shards 8 -pred l,s2,fcm1,fcm2,fcm3
+//
+// Drive it with the load generator:
+//
+//	vptrace capture -bench gcc -events 1000000 -o gcc.vpt
+//	vptrace drive -addr localhost:9747 -clients 8 gcc.vpt
+//
+// and watch live accuracy at http://localhost:9748/stats.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":9747", "binary-protocol listen address")
+	httpAddr := flag.String("http", ":9748", "HTTP /stats + /healthz listen address (empty = disabled)")
+	shards := flag.Int("shards", 0, "predictor-state shards (0 = GOMAXPROCS)")
+	preds := flag.String("pred", "l,s2,fcm1,fcm2,fcm3", "comma-separated predictor bank")
+	mailbox := flag.Int("mailbox", 0, "per-shard mailbox depth (0 = default)")
+	list := flag.Bool("list", false, "list known predictors and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range core.KnownFactories() {
+			shardable := "shardable"
+			if !e.PCLocal {
+				shardable = "single-shard only"
+			}
+			fmt.Printf("  %-8s %s (%s)\n", e.Name, e.Desc, shardable)
+		}
+		return
+	}
+
+	facs, err := core.ParseFactories(*preds)
+	if err != nil {
+		fatal(err)
+	}
+	s, err := serve.New(serve.Config{
+		Shards:       *shards,
+		Predictors:   facs,
+		MailboxDepth: *mailbox,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := s.Start(*addr, *httpAddr); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "vpserve: serving on %s (predictors %s)\n",
+		s.Addr(), strings.Join(s.Predictors(), ","))
+	if h := s.HTTPAddr(); h != nil {
+		fmt.Fprintf(os.Stderr, "vpserve: stats on http://%s/stats\n", h)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	snap := s.Stats()
+	if err := s.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "vpserve: %d events over %d unique PCs\n", snap.Events, snap.UniquePCs)
+	for _, ps := range snap.Predictors {
+		fmt.Fprintf(os.Stderr, "  %-8s %6.2f%%  (%d/%d)\n", ps.Name, ps.AccuracyPct, ps.Correct, ps.Total)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vpserve:", err)
+	os.Exit(1)
+}

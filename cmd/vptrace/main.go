@@ -1,14 +1,19 @@
-// Command vptrace captures, inspects and replays value traces.
+// Command vptrace captures, inspects, replays and serves value traces.
 //
 // Usage:
 //
 //	vptrace capture -bench gcc -events 1000000 -o gcc.vpt
 //	vptrace info gcc.vpt
 //	vptrace replay -pred fcm3,s2,l gcc.vpt
+//	vptrace drive -addr localhost:9747 -clients 8 gcc.vpt
+//	vptrace drive -addr localhost:9747 -bench compress -events 500000
 //
 // Capture once, then replay the identical event stream against any
 // predictor configuration — the decoupling the paper's trace-driven
-// methodology relies on.
+// methodology relies on. drive replays a trace (or a live benchmark
+// simulation) against a running vpserve as load generation, and with
+// -verify checks the server's tallies against an offline replay of the
+// same stream.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -35,18 +41,27 @@ func main() {
 		info(os.Args[2:])
 	case "replay":
 		replay(os.Args[2:])
+	case "drive":
+		drive(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage:
+	fmt.Fprintf(os.Stderr, `usage:
   vptrace capture -bench NAME [-opt N] [-scale N] [-events N] -o FILE
   vptrace info FILE
-  vptrace replay [-pred l,s2,fcm1,fcm2,fcm3] FILE`)
+  vptrace replay [-pred %[1]s] FILE
+  vptrace drive -addr HOST:PORT [-clients N] [-batch N] [-verify] FILE
+  vptrace drive -addr HOST:PORT -bench NAME [-opt N] [-scale N] [-events N]
+
+known predictors: %[2]s
+`, defaultPreds, strings.Join(core.KnownNames(), ","))
 	os.Exit(2)
 }
+
+const defaultPreds = "l,s2,fcm1,fcm2,fcm3"
 
 func capture(args []string) {
 	fs := flag.NewFlagSet("capture", flag.ExitOnError)
@@ -64,18 +79,20 @@ func capture(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
 	tw, err := trace.NewWriter(f, trace.Header{Benchmark: *name, Opt: *opt, Scale: *scale})
 	if err != nil {
+		f.Close()
 		fatal(err)
 	}
 	_, err = w.Run(bench.RunConfig{
 		Opt:       *opt,
 		Scale:     *scale,
 		MaxEvents: *events,
-		OnValue: func(ev sim.ValueEvent) {
-			if err := tw.Write(trace.FromSim(ev)); err != nil {
-				fatal(err)
+		OnValues: func(evs []sim.ValueEvent) {
+			for _, ev := range evs {
+				if err := tw.Write(trace.FromSim(ev)); err != nil {
+					fatal(err)
+				}
 			}
 		},
 	})
@@ -85,7 +102,14 @@ func capture(args []string) {
 	if err := tw.Close(); err != nil {
 		fatal(err)
 	}
-	st, _ := f.Stat()
+	// Close errors are real data loss on buffered filesystems — check.
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Fprintf(os.Stderr, "captured %d events to %s (%d bytes)\n", tw.Count(), *out, st.Size())
 }
 
@@ -110,10 +134,12 @@ func info(args []string) {
 	var total uint64
 	var perCat [isa.NumCategories]uint64
 	pcs := make(map[uint64]bool)
-	err := r.ForEach(func(ev trace.Event) error {
-		total++
-		perCat[ev.Cat]++
-		pcs[ev.PC] = true
+	err := r.ForEachBatch(0, func(evs []trace.Event) error {
+		for _, ev := range evs {
+			total++
+			perCat[ev.Cat]++
+			pcs[ev.PC] = true
+		}
 		return nil
 	})
 	if err != nil {
@@ -130,7 +156,7 @@ func info(args []string) {
 
 func replay(args []string) {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
-	preds := fs.String("pred", "l,s2,fcm1,fcm2,fcm3", "comma-separated predictors")
+	preds := fs.String("pred", defaultPreds, "comma-separated predictors")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
@@ -138,35 +164,20 @@ func replay(args []string) {
 	f, r := openTrace(fs.Arg(0))
 	defer f.Close()
 
-	known := map[string]func() core.Predictor{
-		"l":     func() core.Predictor { return core.NewLastValue() },
-		"lc":    func() core.Predictor { return core.NewLastValueCounter(3, 1) },
-		"s":     func() core.Predictor { return core.NewStrideSimple() },
-		"s2":    func() core.Predictor { return core.NewStride2Delta() },
-		"sc":    func() core.Predictor { return core.NewStrideCounter(3, 1) },
-		"fcm1":  func() core.Predictor { return core.NewFCM(1) },
-		"fcm2":  func() core.Predictor { return core.NewFCM(2) },
-		"fcm3":  func() core.Predictor { return core.NewFCM(3) },
-		"hyb":   func() core.Predictor { return core.NewStrideFCMHybrid(3) },
-		"bfcm3": func() core.Predictor { return core.NewBoundedFCM(3, 12, 18) },
+	facs, err := core.ParseFactories(*preds)
+	if err != nil {
+		fatal(err)
 	}
-	var ps []core.Predictor
-	var accs []*core.Accuracy
-	for _, name := range strings.Split(*preds, ",") {
-		mk, ok := known[strings.TrimSpace(name)]
-		if !ok {
-			fatal(fmt.Errorf("unknown predictor %q", name))
-		}
-		ps = append(ps, mk())
-		accs = append(accs, &core.Accuracy{})
+	ps := make([]core.Predictor, len(facs))
+	correct := make([]uint64, len(facs))
+	for i, fac := range facs {
+		ps[i] = fac.New()
 	}
 	var total uint64
-	err := r.ForEach(func(ev trace.Event) error {
-		total++
-		for i, p := range ps {
-			pred, ok := p.Predict(ev.PC)
-			accs[i].Observe(ok && pred == ev.Value)
-			p.Update(ev.PC, ev.Value)
+	err = r.ForEachBatch(0, func(evs []trace.Event) error {
+		for _, ev := range evs {
+			total++
+			core.StepBank(ps, correct, ev.PC, ev.Value)
 		}
 		return nil
 	})
@@ -174,8 +185,133 @@ func replay(args []string) {
 		fatal(err)
 	}
 	fmt.Printf("%s: %d events\n", r.Header.Benchmark, total)
-	for i, p := range ps {
-		fmt.Printf("  %-6s %6.2f%%\n", p.Name(), accs[i].Percent())
+	for i, fac := range facs {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(correct[i]) / float64(total)
+		}
+		fmt.Printf("  %-6s %6.2f%%\n", fac.Name, pct)
+	}
+}
+
+// drive replays a trace file — or a live benchmark simulation — against a
+// running vpserve at the requested client concurrency.
+func drive(args []string) {
+	fs := flag.NewFlagSet("drive", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:9747", "vpserve binary-protocol address")
+	clients := fs.Int("clients", 1, "concurrent client connections")
+	batch := fs.Int("batch", 0, "events per request (0 = default)")
+	verify := fs.Bool("verify", false, "also replay offline and verify the server's tallies match")
+	benchName := fs.String("bench", "", "drive a live simulation of this workload instead of a trace file")
+	opt := fs.Int("opt", bench.RefOpt, "compiler optimization level (with -bench)")
+	scale := fs.Int("scale", 1, "input scale factor (with -bench)")
+	events := fs.Uint64("events", 0, "event cap (with -bench; 0 = run to completion)")
+	fs.Parse(args)
+
+	cfg := serve.DriveConfig{Addr: *addr, Clients: *clients, BatchSize: *batch}
+
+	// -verify needs the stream twice (once online, once offline), and a
+	// live -bench run produces it in memory anyway; a plain trace drive
+	// streams the file through DriveTrace with constant memory instead.
+	var evs []serve.Event
+	var label string
+	var res *serve.DriveResult
+	var err error
+	switch {
+	case *benchName != "":
+		if fs.NArg() != 0 {
+			usage()
+		}
+		w := bench.ByName(*benchName)
+		if w == nil {
+			fatal(fmt.Errorf("unknown benchmark %q", *benchName))
+		}
+		label = w.Name
+		_, err = w.Run(bench.RunConfig{
+			Opt:       *opt,
+			Scale:     *scale,
+			MaxEvents: *events,
+			OnValues: func(batch []sim.ValueEvent) {
+				for _, ev := range batch {
+					evs = append(evs, serve.Event{PC: ev.PC, Value: ev.Value})
+				}
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		res, err = serve.DriveEvents(evs, cfg)
+	case fs.NArg() == 1 && *verify:
+		f, r := openTrace(fs.Arg(0))
+		label = r.Header.Benchmark
+		rerr := r.ForEachBatch(0, func(batch []trace.Event) error {
+			for _, ev := range batch {
+				evs = append(evs, serve.Event{PC: ev.PC, Value: ev.Value})
+			}
+			return nil
+		})
+		f.Close()
+		if rerr != nil {
+			fatal(rerr)
+		}
+		res, err = serve.DriveEvents(evs, cfg)
+	case fs.NArg() == 1:
+		f, r := openTrace(fs.Arg(0))
+		label = r.Header.Benchmark
+		res, err = serve.DriveTrace(r, cfg)
+		f.Close()
+	default:
+		usage()
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: drove %d events through %s (%d clients): %.0f events/sec\n",
+		label, res.Events, *addr, max(*clients, 1), res.EventsPerSec())
+	for i, name := range res.Predictors {
+		fmt.Printf("  %-6s %6.2f%%  (%d/%d)\n", name, res.AccuracyPct(i), res.Correct[i], res.Events)
+	}
+
+	if *verify {
+		if res.ServerPriorEvents > 0 {
+			fatal(fmt.Errorf(
+				"verify: server had already processed %d events before this drive; offline replay starts from cold tables, so tallies are only comparable against a fresh server",
+				res.ServerPriorEvents))
+		}
+		facs, err := core.ParseFactories(strings.Join(res.Predictors, ","))
+		if err != nil {
+			fatal(fmt.Errorf("server predictors not all known locally: %w", err))
+		}
+		if *clients > 1 {
+			// Parity at client concurrency relies on per-PC state: the
+			// driver keeps each PC on one connection, but cross-PC
+			// predictors still see a nondeterministic global interleaving.
+			for _, fac := range facs {
+				if !fac.PCLocal {
+					fatal(fmt.Errorf(
+						"verify: predictor %q keeps cross-PC state, so parity with offline replay requires -clients 1", fac.Name))
+				}
+			}
+		}
+		ps := make([]core.Predictor, len(facs))
+		for i, fac := range facs {
+			ps[i] = fac.New()
+		}
+		correct := make([]uint64, len(facs))
+		for _, ev := range evs {
+			core.StepBank(ps, correct, ev.PC, ev.Value)
+		}
+		mismatches := 0
+		for i, fac := range facs {
+			if correct[i] != res.Correct[i] {
+				mismatches++
+				fmt.Printf("  VERIFY FAIL %s: offline %d correct, server %d\n", fac.Name, correct[i], res.Correct[i])
+			}
+		}
+		if mismatches > 0 {
+			fatal(fmt.Errorf("verify: %d predictor(s) diverged from offline replay", mismatches))
+		}
+		fmt.Printf("  verify: server tallies identical to offline replay\n")
 	}
 }
 

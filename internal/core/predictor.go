@@ -108,6 +108,21 @@ func (a Accuracy) Rate() float64 {
 // Percent returns the accuracy as a percentage in [0,100].
 func (a Accuracy) Percent() float64 { return a.Rate() * 100 }
 
+// StepBank applies the paper's protocol — predict, compare, update — for
+// one event across a bank of predictors, incrementing correct[i] when
+// predictor i was right. It is the single definition of "offline replay"
+// shared by vptrace replay, the drive -verify check and the serving
+// layer's parity tests, so they can never drift apart.
+func StepBank(ps []Predictor, correct []uint64, pc, value uint64) {
+	for i, p := range ps {
+		pred, ok := p.Predict(pc)
+		if ok && pred == value {
+			correct[i]++
+		}
+		p.Update(pc, value)
+	}
+}
+
 // Run drives a predictor over a value stream and returns its accuracy.
 // It applies the paper's protocol: predict, compare, then update.
 func Run(p Predictor, pcs []uint64, values []uint64) Accuracy {

@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+)
+
+// respQueueDepth bounds pipelining per connection: at most this many
+// requests may be in flight (dispatched to shards but not yet answered)
+// before the connection's reader blocks.
+const respQueueDepth = 32
+
+// handleConn speaks the binary protocol on one connection. The reader
+// (this goroutine) decodes each events frame, buckets it stably by shard
+// and dispatches the sub-batches; a writer goroutine emits results in
+// request order as shards complete them, so independent requests pipeline
+// while responses stay FIFO.
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	if err := writeFrame(bw, appendHello(nil, len(s.shards), s.eventsServed.Load(), s.predNames)); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+
+	resp := make(chan *pending, respQueueDepth)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		var buf []byte
+		var werr error
+		correct := make([]uint64, len(s.predNames))
+		// On a write error keep draining resp (without writing) so the
+		// reader never blocks on a full response queue.
+		for p := range resp {
+			<-p.done
+			if werr != nil {
+				continue
+			}
+			for i := range p.correct {
+				correct[i] = p.correct[i].Load()
+			}
+			buf = appendResult(buf[:0], p.events, correct)
+			if werr = writeFrame(bw, buf); werr != nil {
+				continue
+			}
+			// Flush only when no further result is immediately ready, so
+			// back-to-back pipelined responses coalesce into one write.
+			if len(resp) == 0 {
+				werr = bw.Flush()
+			}
+		}
+		if werr == nil {
+			bw.Flush()
+		}
+	}()
+
+	br := bufio.NewReaderSize(conn, 1<<16)
+	nshards := len(s.shards)
+	var frame []byte
+	cnt := make([]int, nshards)
+	pos := make([]int, nshards)
+	var readErr error
+	for {
+		var err error
+		frame, err = readFrame(br, frame)
+		if err != nil {
+			readErr = err
+			break
+		}
+		if frame[0] != msgEvents {
+			readErr = fmt.Errorf("serve: unexpected message type %d", frame[0])
+			break
+		}
+		evs, err := decodeEvents(frame[1:])
+		if err != nil {
+			readErr = err
+			break
+		}
+		p := s.dispatch(evs, cnt, pos)
+		resp <- p
+	}
+	close(resp)
+	<-writerDone
+	if readErr != nil && !errors.Is(readErr, io.EOF) {
+		// Best-effort error report; the connection is going down anyway.
+		writeFrame(bw, appendError(nil, readErr.Error()))
+		bw.Flush()
+	}
+}
+
+// dispatch buckets one request's events stably by shard and mails each
+// non-empty sub-batch. cnt and pos are caller-owned scratch (one slot per
+// shard); the bucketed backing array is allocated per request because the
+// shards own it until the request completes.
+func (s *Server) dispatch(evs []Event, cnt, pos []int) *pending {
+	s.eventsServed.Add(uint64(len(evs)))
+	nshards := len(s.shards)
+	if nshards == 1 {
+		p := newPending(len(s.predNames), len(evs), boolToInt(len(evs) > 0))
+		if len(evs) > 0 {
+			s.shards[0].mailbox <- shardMsg{events: evs, req: p}
+		}
+		return p
+	}
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for i := range evs {
+		cnt[ShardOf(evs[i].PC, nshards)]++
+	}
+	parts := 0
+	off := 0
+	for i, c := range cnt {
+		pos[i] = off
+		off += c
+		if c > 0 {
+			parts++
+		}
+	}
+	bucketed := make([]Event, len(evs))
+	for i := range evs {
+		sh := ShardOf(evs[i].PC, nshards)
+		bucketed[pos[sh]] = evs[i]
+		pos[sh]++
+	}
+	p := newPending(len(s.predNames), len(evs), parts)
+	off = 0
+	for i, c := range cnt {
+		if c == 0 {
+			continue
+		}
+		s.shards[i].mailbox <- shardMsg{events: bucketed[off : off+c], req: p}
+		off += c
+	}
+	return p
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// DefaultDriveBatch is the events-per-request batch size the driver uses
+// when DriveConfig.BatchSize is zero.
+const DefaultDriveBatch = 2048
+
+// DriveConfig parameterizes a load-generation run against a server.
+type DriveConfig struct {
+	// Addr is the server's binary-protocol address.
+	Addr string
+	// Clients is the number of concurrent connections (0 = 1). The stream
+	// is partitioned across clients by ShardOf(pc, Clients), so every
+	// PC's subsequence stays on one ordered connection and — for banks of
+	// PC-local predictors — the summed accuracy is identical to offline
+	// replay at any concurrency. A non-PC-local bank (bfcm3) still sees a
+	// nondeterministic cross-connection interleaving; drive it with one
+	// client when parity matters.
+	Clients int
+	// BatchSize is events per request frame (0 = DefaultDriveBatch).
+	BatchSize int
+}
+
+// DriveResult aggregates a whole run.
+type DriveResult struct {
+	Predictors []string
+	Events     uint64
+	Correct    []uint64 // per predictor, summed across clients
+	Elapsed    time.Duration
+	// ServerPriorEvents is the largest lifetime event count any client
+	// connection observed in its hello. Non-zero means the server's
+	// tables were already trained before this drive, so the tallies are
+	// not comparable to an offline replay from cold tables.
+	ServerPriorEvents uint64
+}
+
+// AccuracyPct returns predictor i's accuracy over the driven stream.
+func (r *DriveResult) AccuracyPct(i int) float64 {
+	if r.Events == 0 {
+		return 0
+	}
+	return 100 * float64(r.Correct[i]) / float64(r.Events)
+}
+
+// EventsPerSec returns the end-to-end drive throughput.
+func (r *DriveResult) EventsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Events) / r.Elapsed.Seconds()
+}
+
+// clientRunner owns one connection: a sender goroutine streams batches
+// from work, then half-closes; the receiver (run's own goroutine) drains
+// results until EOF.
+type clientRunner struct {
+	c       *Client
+	work    chan []Event
+	sum     BatchResult
+	sent    uint64
+	sendErr error
+	recvErr error
+	wg      sync.WaitGroup
+}
+
+func startRunner(addr string) (*clientRunner, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	r := &clientRunner{c: c, work: make(chan []Event, 8)}
+	r.wg.Add(2)
+	go func() { // sender
+		defer r.wg.Done()
+		for b := range r.work {
+			r.sent += uint64(len(b))
+			if r.sendErr == nil {
+				if err := r.c.Send(b); err != nil {
+					r.sendErr = err
+				}
+			}
+		}
+		if err := r.c.CloseWrite(); err != nil && r.sendErr == nil {
+			r.sendErr = err
+		}
+	}()
+	go func() { // receiver
+		defer r.wg.Done()
+		r.recvErr = r.c.drainEOF(&r.sum)
+	}()
+	return r, nil
+}
+
+func (r *clientRunner) finish() error {
+	r.wg.Wait()
+	r.c.Close()
+	if r.sendErr != nil {
+		return r.sendErr
+	}
+	if r.recvErr != nil {
+		return r.recvErr
+	}
+	if r.sum.Events != r.sent {
+		return fmt.Errorf("serve: drive: sent %d events but server tallied %d", r.sent, r.sum.Events)
+	}
+	return nil
+}
+
+// Drive streams events from next against the server. next is called until
+// it returns false; it fills the driver's per-client batches, so the
+// source can be a trace file, a live simulation or a generator.
+func Drive(cfg DriveConfig, next func() (Event, bool)) (*DriveResult, error) {
+	clients := cfg.Clients
+	if clients <= 0 {
+		clients = 1
+	}
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = DefaultDriveBatch
+	}
+	start := time.Now()
+	runners := make([]*clientRunner, clients)
+	for i := range runners {
+		r, err := startRunner(cfg.Addr)
+		if err != nil {
+			for _, prev := range runners[:i] {
+				close(prev.work)
+				prev.finish()
+			}
+			return nil, err
+		}
+		runners[i] = r
+	}
+	preds := runners[0].c.Predictors()
+
+	bufs := make([][]Event, clients)
+	for i := range bufs {
+		bufs[i] = make([]Event, 0, batch)
+	}
+	for {
+		ev, ok := next()
+		if !ok {
+			break
+		}
+		cl := 0
+		if clients > 1 {
+			cl = ShardOf(ev.PC, clients)
+		}
+		bufs[cl] = append(bufs[cl], ev)
+		if len(bufs[cl]) == batch {
+			runners[cl].work <- bufs[cl]
+			bufs[cl] = make([]Event, 0, batch)
+		}
+	}
+	for i, b := range bufs {
+		if len(b) > 0 {
+			runners[i].work <- b
+		}
+	}
+
+	res := &DriveResult{Predictors: preds, Correct: make([]uint64, len(preds))}
+	var firstErr error
+	for _, r := range runners {
+		close(r.work)
+		if err := r.finish(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		res.Events += r.sum.Events
+		res.ServerPriorEvents = max(res.ServerPriorEvents, r.c.PriorEvents())
+		for i, v := range r.sum.Correct {
+			res.Correct[i] += v
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// DriveEvents drives an in-memory event stream.
+func DriveEvents(evs []Event, cfg DriveConfig) (*DriveResult, error) {
+	i := 0
+	return Drive(cfg, func() (Event, bool) {
+		if i >= len(evs) {
+			return Event{}, false
+		}
+		ev := evs[i]
+		i++
+		return ev, true
+	})
+}
+
+// DriveTrace replays a captured value trace through the server using the
+// batched trace read path.
+func DriveTrace(tr *trace.Reader, cfg DriveConfig) (*DriveResult, error) {
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = DefaultDriveBatch
+	}
+	var pendingEvs []Event
+	var done bool
+	var readErr error
+	buf := make([]trace.Event, batch)
+	next := func() (Event, bool) {
+		for len(pendingEvs) == 0 {
+			if done || readErr != nil {
+				return Event{}, false
+			}
+			n, err := tr.ReadBatch(buf)
+			switch {
+			case errors.Is(err, io.EOF):
+				done = true
+			case err != nil:
+				readErr = err
+			}
+			for _, te := range buf[:n] {
+				pendingEvs = append(pendingEvs, Event{PC: te.PC, Value: te.Value})
+			}
+			if n < len(buf) {
+				done = true
+			}
+		}
+		ev := pendingEvs[0]
+		pendingEvs = pendingEvs[1:]
+		return ev, true
+	}
+	res, err := Drive(cfg, next)
+	if err != nil {
+		return nil, err
+	}
+	if readErr != nil {
+		return nil, readErr
+	}
+	return res, nil
+}

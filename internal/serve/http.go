@@ -1,0 +1,33 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// httpHandler serves the JSON introspection endpoints:
+//
+//	GET /healthz  liveness: {"status":"ok","shards":N,"predictors":[...]}
+//	GET /stats    full Snapshot (aggregate + per-shard accuracy, events/sec,
+//	              unique PCs, predictor table occupancy)
+func (s *Server) httpHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"status":     "ok",
+			"shards":     len(s.shards),
+			"predictors": s.predNames,
+		})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Stats())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

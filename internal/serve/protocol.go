@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire protocol: every message is a length-prefixed frame — a little-endian
+// uint32 payload length followed by the payload, whose first byte is the
+// message type.
+//
+//	server → client on connect:   hello   (version, shard count, predictor names)
+//	client → server, repeated:    events  (count, count × (uvarint pc, uvarint value))
+//	server → client, in order:    result  (count, per-predictor correct counts)
+//	server → client on error:     error   (message), then the connection closes
+//
+// Requests may be pipelined: the client can send any number of events
+// frames before reading results; the server answers strictly in request
+// order. A client that is done sending half-closes the write side; the
+// server flushes the remaining results and closes.
+const (
+	protoVersion = 1
+
+	msgHello  = 1
+	msgEvents = 2
+	msgResult = 3
+	msgError  = 4
+
+	// maxFrame bounds a single frame payload (64 MiB) so a corrupt or
+	// hostile length prefix cannot trigger an absurd allocation.
+	maxFrame = 1 << 26
+)
+
+// writeFrame emits one length-prefixed frame. Oversized payloads are
+// rejected locally — the peer would refuse them anyway, and payloads past
+// 4 GiB would silently wrap the uint32 length prefix.
+func writeFrame(w *bufio.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("serve: frame payload %d bytes exceeds limit %d (use a smaller batch)", len(payload), maxFrame)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame into buf (grown as needed) and returns the
+// payload. A clean io.EOF before the length prefix means the peer is done.
+func readFrame(r *bufio.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err // io.EOF passes through
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("serve: bad frame length %d", n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+// appendHello encodes the connect-time greeting: shard count, the
+// server's lifetime event count at this instant (so clients can tell a
+// fresh server from a warm one), and the predictor bank.
+func appendHello(buf []byte, shards int, priorEvents uint64, preds []string) []byte {
+	buf = append(buf, msgHello, protoVersion)
+	buf = binary.AppendUvarint(buf, uint64(shards))
+	buf = binary.AppendUvarint(buf, priorEvents)
+	buf = binary.AppendUvarint(buf, uint64(len(preds)))
+	for _, p := range preds {
+		buf = binary.AppendUvarint(buf, uint64(len(p)))
+		buf = append(buf, p...)
+	}
+	return buf
+}
+
+// decodeHello parses a hello payload (after the type byte).
+func decodeHello(p []byte) (shards int, priorEvents uint64, preds []string, err error) {
+	if len(p) < 1 {
+		return 0, 0, nil, io.ErrUnexpectedEOF
+	}
+	if p[0] != protoVersion {
+		return 0, 0, nil, fmt.Errorf("serve: protocol version %d, want %d", p[0], protoVersion)
+	}
+	p = p[1:]
+	ns, p, err := uvarint(p)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	priorEvents, p, err = uvarint(p)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	np, p, err := uvarint(p)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if np > 1024 {
+		return 0, 0, nil, fmt.Errorf("serve: unreasonable predictor count %d", np)
+	}
+	preds = make([]string, np)
+	for i := range preds {
+		var n uint64
+		n, p, err = uvarint(p)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		if uint64(len(p)) < n {
+			return 0, 0, nil, io.ErrUnexpectedEOF
+		}
+		preds[i] = string(p[:n])
+		p = p[n:]
+	}
+	return int(ns), priorEvents, preds, nil
+}
+
+func appendEvents(buf []byte, evs []Event) []byte {
+	buf = append(buf, msgEvents)
+	buf = binary.AppendUvarint(buf, uint64(len(evs)))
+	for _, ev := range evs {
+		buf = binary.AppendUvarint(buf, ev.PC)
+		buf = binary.AppendUvarint(buf, ev.Value)
+	}
+	return buf
+}
+
+// decodeEvents parses an events payload (after the type byte). The
+// returned slice is freshly allocated: ownership passes to the shards for
+// the lifetime of the request.
+func decodeEvents(p []byte) ([]Event, error) {
+	n, p, err := uvarint(p)
+	if err != nil {
+		return nil, err
+	}
+	// Each event takes at least two bytes on the wire, so a count claiming
+	// more than len(p)/2 events is corrupt — reject it before allocating.
+	if n > uint64(len(p)/2) {
+		return nil, fmt.Errorf("serve: event count %d exceeds frame capacity", n)
+	}
+	evs := make([]Event, n)
+	for i := range evs {
+		evs[i].PC, p, err = uvarint(p)
+		if err != nil {
+			return nil, err
+		}
+		evs[i].Value, p, err = uvarint(p)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("serve: %d trailing bytes in events frame", len(p))
+	}
+	return evs, nil
+}
+
+func appendResult(buf []byte, events uint64, correct []uint64) []byte {
+	buf = append(buf, msgResult)
+	buf = binary.AppendUvarint(buf, events)
+	for _, c := range correct {
+		buf = binary.AppendUvarint(buf, c)
+	}
+	return buf
+}
+
+// decodeResult parses a result payload (after the type byte) for a server
+// configured with npred predictors.
+func decodeResult(p []byte, npred int) (events uint64, correct []uint64, err error) {
+	events, p, err = uvarint(p)
+	if err != nil {
+		return 0, nil, err
+	}
+	correct = make([]uint64, npred)
+	for i := range correct {
+		correct[i], p, err = uvarint(p)
+		if err != nil {
+			return 0, nil, err
+		}
+	}
+	if len(p) != 0 {
+		return 0, nil, fmt.Errorf("serve: %d trailing bytes in result frame", len(p))
+	}
+	return events, correct, nil
+}
+
+func appendError(buf []byte, msg string) []byte {
+	buf = append(buf, msgError)
+	buf = binary.AppendUvarint(buf, uint64(len(msg)))
+	return append(buf, msg...)
+}
+
+func decodeError(p []byte) string {
+	n, p, err := uvarint(p)
+	if err != nil || uint64(len(p)) < n {
+		return "malformed error frame"
+	}
+	return string(p[:n])
+}
+
+// uvarint decodes one varint from p, returning the remainder.
+func uvarint(p []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, io.ErrUnexpectedEOF
+	}
+	return v, p[n:], nil
+}

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestHelloRoundTrip(t *testing.T) {
+	buf := appendHello(nil, 7, 123456, []string{"l", "s2", "fcm3"})
+	if buf[0] != msgHello {
+		t.Fatalf("type byte = %d", buf[0])
+	}
+	shards, prior, preds, err := decodeHello(buf[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shards != 7 || prior != 123456 || len(preds) != 3 || preds[2] != "fcm3" {
+		t.Fatalf("decoded shards=%d prior=%d preds=%v", shards, prior, preds)
+	}
+}
+
+func TestEventsRoundTrip(t *testing.T) {
+	in := []Event{{PC: 0x400, Value: 42}, {PC: 1 << 62, Value: ^uint64(0)}, {PC: 0, Value: 0}}
+	buf := appendEvents(nil, in)
+	out, err := decodeEvents(buf[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	buf := appendResult(nil, 1000, []uint64{5, 0, 999})
+	events, correct, err := decodeResult(buf[1:], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events != 1000 || correct[0] != 5 || correct[2] != 999 {
+		t.Fatalf("decoded events=%d correct=%v", events, correct)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	if _, err := decodeEvents([]byte{}); err == nil {
+		t.Error("empty events payload accepted")
+	}
+	// Count says 2 events but only one follows.
+	if _, err := decodeEvents([]byte{2, 0x10, 0x20}); err == nil {
+		t.Error("short events payload accepted")
+	}
+	// Trailing garbage after a well-formed event.
+	buf := appendEvents(nil, []Event{{PC: 1, Value: 2}})
+	if _, err := decodeEvents(append(buf[1:], 0xFF)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	if _, _, _, err := decodeHello([]byte{99}); err == nil {
+		t.Error("wrong protocol version accepted")
+	}
+	// Event count claiming more events than the frame could hold must be
+	// rejected before allocation.
+	if _, err := decodeEvents(binary.AppendUvarint(nil, 1<<20)); err == nil {
+		t.Error("oversized event count accepted")
+	}
+	if _, _, err := decodeResult([]byte{10}, 3); err == nil {
+		t.Error("short result accepted")
+	}
+}
+
+func TestFrameRoundTripAndLimits(t *testing.T) {
+	var nw bytes.Buffer
+	bw := bufio.NewWriter(&nw)
+	payload := []byte{msgEvents, 0}
+	if err := writeFrame(bw, payload); err != nil {
+		t.Fatal(err)
+	}
+	bw.Flush()
+	got, err := readFrame(bufio.NewReader(&nw), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload = %v", got)
+	}
+
+	// Absurd length prefix must be rejected, not allocated.
+	bad := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0}
+	if _, err := readFrame(bufio.NewReader(bytes.NewReader(bad)), nil); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	// Truncated payload must surface ErrUnexpectedEOF, not clean EOF.
+	trunc := []byte{8, 0, 0, 0, 1, 2}
+	if _, err := readFrame(bufio.NewReader(bytes.NewReader(trunc)), nil); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestShardOfStableAndInRange(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 8} {
+		counts := make([]int, shards)
+		for pc := uint64(0); pc < 4096; pc += 4 {
+			s := ShardOf(pc, shards)
+			if s < 0 || s >= shards {
+				t.Fatalf("ShardOf(%d, %d) = %d", pc, shards, s)
+			}
+			if s != ShardOf(pc, shards) {
+				t.Fatal("ShardOf not deterministic")
+			}
+			counts[s]++
+		}
+		// Consecutive PCs should spread: no shard may own everything.
+		for s, c := range counts {
+			if shards > 1 && c == 1024 {
+				t.Fatalf("shard %d of %d owns all PCs", s, shards)
+			}
+		}
+	}
+}

@@ -1,0 +1,322 @@
+// Package serve is the online value-prediction service: the paper's
+// predictors behind a long-running, sharded TCP server that accepts
+// (pc, value) event streams from many concurrent clients and answers with
+// live per-predictor accuracy.
+//
+// Predictor state is partitioned into N shards by hash(pc). Each shard is
+// owned by a single goroutine with a bounded FIFO mailbox consuming request
+// sub-batches — the hot path takes no locks, mirroring internal/engine's
+// batched delivery. Every event makes one combined predict+update round
+// trip through the configured predictor bank (the paper's immediate-update
+// protocol), and the per-batch correctness tallies stream back to the
+// client in request order.
+//
+// Because every registry predictor marked PCLocal keeps strictly per-PC
+// tables, sharding by PC preserves each static instruction's value
+// subsequence exactly, so the service's accuracy is bit-identical to an
+// offline replay of the same stream at any shard count — the property the
+// end-to-end tests pin down. This operationalizes the framing of Macleod
+// et al.'s "Universal Relationships in Measures of Unpredictability": run
+// a bank of predictor classes side by side over a live stream and read
+// predictability off the best performer. Alongside the binary protocol the
+// server exposes HTTP /stats (per-shard and aggregate accuracy,
+// events/sec, unique PCs, table occupancy — the per-stream history-depth
+// statistics "Predictive Information" motivates) and /healthz.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Event is one (pc, value) observation, the unit of the service protocol.
+// Instruction categories stay client-side: the server predicts and tallies
+// on the bare stream, like the substrate-free core predictors.
+type Event struct {
+	PC    uint64
+	Value uint64
+}
+
+// DefaultMailboxDepth bounds each shard's mailbox: deep enough to keep
+// shards busy under bursty arrivals, shallow enough that a slow shard
+// exerts backpressure on connections instead of buffering unboundedly.
+const DefaultMailboxDepth = 128
+
+// ShardOf maps a PC to its owning shard. Both the server and the load
+// generator use this function, so a driver partitioning a stream across C
+// client connections by ShardOf(pc, C) keeps each PC's subsequence on one
+// ordered connection — the condition for accuracy parity with offline
+// replay at any concurrency.
+func ShardOf(pc uint64, shards int) int {
+	// splitmix64 finalizer: cheap and well-mixed, so consecutive PCs
+	// (tight loops) spread across shards.
+	x := pc
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return int(x % uint64(shards))
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// Shards is the number of state partitions (0 = GOMAXPROCS).
+	Shards int
+	// Predictors is the bank every shard runs (empty = the registry
+	// entries for the paper's standard set: l, s2, fcm1, fcm2, fcm3).
+	Predictors []core.NamedFactory
+	// MailboxDepth bounds each shard's mailbox (0 = DefaultMailboxDepth).
+	MailboxDepth int
+}
+
+// Server is a running value-prediction service.
+type Server struct {
+	cfg       Config
+	predNames []string
+	shards    []*shard
+	start     time.Time
+	// eventsServed counts events dispatched over the server's lifetime;
+	// its connect-time value rides in the hello so clients can tell a
+	// fresh server from a warm one.
+	eventsServed atomic.Uint64
+
+	ln      net.Listener
+	httpLn  net.Listener
+	httpSrv *http.Server
+
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	started bool
+	closed  bool
+	// statsMu orders Stats's mailbox sends against Close's mailbox
+	// close, without making stats polls contend with connection
+	// registration on mu.
+	statsMu sync.Mutex
+
+	connWG   sync.WaitGroup
+	acceptWG sync.WaitGroup
+}
+
+// New validates the configuration and builds the shard set (not yet
+// listening; call Start).
+func New(cfg Config) (*Server, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MailboxDepth <= 0 {
+		cfg.MailboxDepth = DefaultMailboxDepth
+	}
+	if len(cfg.Predictors) == 0 {
+		for _, f := range core.StandardFactories() {
+			e, ok := core.FactoryByName(f.Name)
+			if !ok {
+				return nil, fmt.Errorf("serve: standard predictor %q missing from registry", f.Name)
+			}
+			cfg.Predictors = append(cfg.Predictors, e)
+		}
+	}
+	names := make([]string, len(cfg.Predictors))
+	for i, f := range cfg.Predictors {
+		if cfg.Shards > 1 && !f.PCLocal {
+			return nil, fmt.Errorf(
+				"serve: predictor %q keeps cross-PC state and cannot be sharded (use -shards 1)", f.Name)
+		}
+		names[i] = f.Name
+	}
+	s := &Server{
+		cfg:       cfg,
+		predNames: names,
+		shards:    make([]*shard, cfg.Shards),
+		conns:     make(map[net.Conn]struct{}),
+		start:     time.Now(),
+	}
+	for i := range s.shards {
+		s.shards[i] = newShard(i, cfg.Predictors, cfg.MailboxDepth)
+	}
+	return s, nil
+}
+
+// Predictors returns the configured predictor names in bank order.
+func (s *Server) Predictors() []string { return append([]string(nil), s.predNames...) }
+
+// Start launches the shard goroutines and begins accepting on addr
+// (binary protocol). When httpAddr is non-empty, /stats and /healthz are
+// served there. Use "127.0.0.1:0" to bind an ephemeral port and read it
+// back from Addr / HTTPAddr.
+func (s *Server) Start(addr, httpAddr string) error {
+	// Bind every listener before spawning anything, so a failed Start
+	// leaves no goroutines behind and no half-initialized Server.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	var hl net.Listener
+	if httpAddr != "" {
+		hl, err = net.Listen("tcp", httpAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("serve: http: %w", err)
+		}
+	}
+	s.mu.Lock()
+	if s.closed || s.started {
+		s.mu.Unlock()
+		ln.Close()
+		if hl != nil {
+			hl.Close()
+		}
+		return errors.New("serve: server already started or closed")
+	}
+	s.started = true
+	s.ln = ln
+	s.mu.Unlock()
+	for _, sh := range s.shards {
+		go sh.run()
+	}
+	s.acceptWG.Add(1)
+	go s.acceptLoop()
+	if hl != nil {
+		s.httpLn = hl
+		s.httpSrv = &http.Server{Handler: s.httpHandler()}
+		go s.httpSrv.Serve(hl)
+	}
+	return nil
+}
+
+// Addr returns the binary-protocol listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// HTTPAddr returns the HTTP listen address, or nil when HTTP is disabled.
+func (s *Server) HTTPAddr() net.Addr {
+	if s.httpLn == nil {
+		return nil
+	}
+	return s.httpLn.Addr()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.acceptWG.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.connWG.Done()
+			s.handleConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting, tears down open connections, drains the shards
+// and shuts the HTTP endpoint. Safe to call once, including on a server
+// that was never started (or whose Start failed).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("serve: already closed")
+	}
+	s.closed = true
+	started := s.started
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.acceptWG.Wait()
+	s.connWG.Wait()
+	// Drain in-flight HTTP handlers (which may be mid-Stats) before the
+	// mailboxes close underneath them.
+	if s.httpSrv != nil {
+		s.httpSrv.Shutdown(context.Background())
+	}
+	s.statsMu.Lock()
+	for _, sh := range s.shards {
+		close(sh.mailbox)
+	}
+	s.statsMu.Unlock()
+	if started {
+		for _, sh := range s.shards {
+			<-sh.stopped
+		}
+	}
+	return err
+}
+
+// Stats snapshots every shard through its mailbox (so snapshots never race
+// shard state) and aggregates. Before Start and once Close has begun it
+// returns an empty snapshot rather than touching inert or draining shards.
+func (s *Server) Stats() Snapshot {
+	snap := Snapshot{
+		Shards:     len(s.shards),
+		UptimeSec:  time.Since(s.start).Seconds(),
+		PerShard:   make([]ShardStats, len(s.shards)),
+		Predictors: make([]PredStat, len(s.predNames)),
+	}
+	replies := make([]chan ShardStats, len(s.shards))
+	s.statsMu.Lock()
+	s.mu.Lock()
+	live := s.started && !s.closed
+	s.mu.Unlock()
+	if !live {
+		s.statsMu.Unlock()
+		return snap
+	}
+	for i, sh := range s.shards {
+		replies[i] = make(chan ShardStats, 1)
+		sh.mailbox <- shardMsg{snap: replies[i]}
+	}
+	s.statsMu.Unlock()
+	for i := range s.shards {
+		snap.PerShard[i] = <-replies[i]
+	}
+	for i, name := range s.predNames {
+		snap.Predictors[i].Name = name
+	}
+	for _, st := range snap.PerShard {
+		snap.Events += st.Events
+		snap.UniquePCs += st.UniquePCs // shards own disjoint PCs, so the sum is exact
+		for i, ps := range st.Predictors {
+			snap.Predictors[i].Correct += ps.Correct
+			snap.Predictors[i].Total += ps.Total
+			snap.Predictors[i].StaticPCs += ps.StaticPCs
+			snap.Predictors[i].TableEntries += ps.TableEntries
+		}
+	}
+	for i := range snap.Predictors {
+		if t := snap.Predictors[i].Total; t > 0 {
+			snap.Predictors[i].AccuracyPct = 100 * float64(snap.Predictors[i].Correct) / float64(t)
+		}
+	}
+	if snap.UptimeSec > 0 {
+		snap.EventsPerSec = float64(snap.Events) / snap.UptimeSec
+	}
+	return snap
+}

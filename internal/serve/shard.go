@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// pending is one in-flight request: the conn handler creates it, shards
+// add their partial tallies, and the last shard to finish closes done so
+// the response writer can emit the result in request order.
+type pending struct {
+	events    uint64
+	correct   []atomic.Uint64 // per predictor, summed across shards
+	remaining atomic.Int32    // shards still working on this request
+	done      chan struct{}
+}
+
+func newPending(npred int, events int, parts int) *pending {
+	p := &pending{
+		events:  uint64(events),
+		correct: make([]atomic.Uint64, npred),
+		done:    make(chan struct{}),
+	}
+	p.remaining.Store(int32(parts))
+	if parts == 0 {
+		close(p.done)
+	}
+	return p
+}
+
+// finish merges one shard's partial correct counts; the last part
+// completes the request.
+func (p *pending) finish(counts []uint64) {
+	for i, c := range counts {
+		if c != 0 {
+			p.correct[i].Add(c)
+		}
+	}
+	if p.remaining.Add(-1) == 0 {
+		close(p.done)
+	}
+}
+
+// shardMsg is one mailbox entry: either a sub-batch of a request or a
+// control message (stats snapshot).
+type shardMsg struct {
+	events []Event
+	req    *pending
+	snap   chan<- ShardStats // non-nil = stats request
+}
+
+// shard owns one partition of predictor state. All access happens on the
+// shard's own goroutine, fed through a bounded FIFO mailbox — the hot path
+// takes no locks, mirroring internal/engine's batched fan-out.
+type shard struct {
+	id      int
+	preds   []core.Predictor
+	acc     []core.Accuracy
+	pcs     map[uint64]struct{}
+	events  uint64
+	mailbox chan shardMsg
+	stopped chan struct{}
+	scratch []uint64 // per-request correct counts, reused
+}
+
+func newShard(id int, facs []core.NamedFactory, depth int) *shard {
+	sh := &shard{
+		id:      id,
+		preds:   make([]core.Predictor, len(facs)),
+		acc:     make([]core.Accuracy, len(facs)),
+		pcs:     make(map[uint64]struct{}),
+		mailbox: make(chan shardMsg, depth),
+		stopped: make(chan struct{}),
+		scratch: make([]uint64, len(facs)),
+	}
+	for i, f := range facs {
+		sh.preds[i] = f.New()
+	}
+	return sh
+}
+
+// run consumes the mailbox until it is closed. One sub-batch applies the
+// paper's protocol — predict, compare, update — for every predictor in the
+// bank, tallying both shard-lifetime accuracy and the request's reply.
+func (sh *shard) run() {
+	defer close(sh.stopped)
+	for msg := range sh.mailbox {
+		if msg.snap != nil {
+			msg.snap <- sh.snapshot()
+			continue
+		}
+		counts := sh.scratch
+		for i := range counts {
+			counts[i] = 0
+		}
+		for j := range msg.events {
+			ev := &msg.events[j]
+			sh.pcs[ev.PC] = struct{}{}
+			for i, p := range sh.preds {
+				pred, ok := p.Predict(ev.PC)
+				correct := ok && pred == ev.Value
+				sh.acc[i].Observe(correct)
+				if correct {
+					counts[i]++
+				}
+				p.Update(ev.PC, ev.Value)
+			}
+		}
+		sh.events += uint64(len(msg.events))
+		msg.req.finish(counts)
+	}
+}
+
+// snapshot captures the shard's stats; called on the shard goroutine.
+func (sh *shard) snapshot() ShardStats {
+	st := ShardStats{
+		Shard:      sh.id,
+		Events:     sh.events,
+		UniquePCs:  len(sh.pcs),
+		Predictors: make([]PredStat, len(sh.preds)),
+	}
+	for i, p := range sh.preds {
+		ps := PredStat{
+			Name:    p.Name(),
+			Correct: sh.acc[i].Correct,
+			Total:   sh.acc[i].Total,
+		}
+		ps.AccuracyPct = sh.acc[i].Percent()
+		if sized, ok := p.(core.Sized); ok {
+			ps.StaticPCs, ps.TableEntries = sized.TableEntries()
+		}
+		st.Predictors[i] = ps
+	}
+	return st
+}
+
+// PredStat is one predictor's live tally, per shard or aggregated.
+type PredStat struct {
+	Name        string  `json:"name"`
+	Correct     uint64  `json:"correct"`
+	Total       uint64  `json:"total"`
+	AccuracyPct float64 `json:"accuracy_pct"`
+	// StaticPCs and TableEntries expose the predictor's table occupancy
+	// (history depth / context growth) when the predictor reports it.
+	StaticPCs    int `json:"static_pcs,omitempty"`
+	TableEntries int `json:"table_entries,omitempty"`
+}
+
+// ShardStats is one shard's live view.
+type ShardStats struct {
+	Shard      int        `json:"shard"`
+	Events     uint64     `json:"events"`
+	UniquePCs  int        `json:"unique_pcs"`
+	Predictors []PredStat `json:"predictors"`
+}
+
+// Snapshot is the whole server's aggregated view plus the per-shard
+// breakdown. Shards are snapshotted independently (each through its own
+// mailbox), so totals are consistent per shard but not cut at a single
+// global instant.
+type Snapshot struct {
+	Shards       int          `json:"shards"`
+	UptimeSec    float64      `json:"uptime_sec"`
+	Events       uint64       `json:"events"`
+	EventsPerSec float64      `json:"events_per_sec"`
+	UniquePCs    int          `json:"unique_pcs"`
+	Predictors   []PredStat   `json:"predictors"`
+	PerShard     []ShardStats `json:"per_shard"`
+}

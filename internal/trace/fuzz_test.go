@@ -1,0 +1,287 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// eventsFromBytes derives a deterministic event stream from fuzz input:
+// 11 bytes per event — 2 for the PC (small space, so the per-PC value
+// delta chains get exercised), 1 for the category, 8 for the value.
+func eventsFromBytes(data []byte) []Event {
+	var evs []Event
+	for len(data) >= 11 {
+		evs = append(evs, Event{
+			PC:    uint64(binary.LittleEndian.Uint16(data)),
+			Cat:   isa.Category(data[2] % uint8(isa.NumCategories)),
+			Value: binary.LittleEndian.Uint64(data[3:]),
+		})
+		data = data[11:]
+	}
+	return evs
+}
+
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0}, 33))
+	f.Add([]byte("\x04\x00\x01\xff\xff\xff\xff\xff\xff\xff\xff" +
+		"\x04\x00\x01\x00\x00\x00\x00\x00\x00\x00\x00" +
+		"\x08\x00\x02\x08\x00\x00\x00\x00\x00\x00\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in := eventsFromBytes(data)
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, Header{Benchmark: "fuzz", Opt: 1, Scale: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range in {
+			if err := w.Write(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Header != (Header{Benchmark: "fuzz", Opt: 1, Scale: 2}) {
+			t.Fatalf("header = %+v", r.Header)
+		}
+		i := 0
+		err = r.ForEach(func(ev Event) error {
+			if i >= len(in) {
+				return errors.New("decoded more events than written")
+			}
+			if ev != in[i] {
+				t.Fatalf("event %d = %+v, want %+v", i, ev, in[i])
+			}
+			i++
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i != len(in) {
+			t.Fatalf("decoded %d of %d events", i, len(in))
+		}
+	})
+}
+
+// FuzzReaderRobustness feeds arbitrary bytes to the decoder: it must
+// reject or cleanly error on anything malformed, never panic or loop.
+func FuzzReaderRobustness(f *testing.F) {
+	var valid bytes.Buffer
+	w, _ := NewWriter(&valid, Header{Benchmark: "seed"})
+	w.Write(Event{PC: 4, Cat: isa.CatLoads, Value: 7})
+	w.Close()
+	f.Add(valid.Bytes())
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		n := 0
+		for ; n < 1<<20; n++ { // decoded events are bounded by input size
+			if _, err := r.Read(); err != nil {
+				break
+			}
+		}
+	})
+}
+
+// rawStream builds a gzip-wrapped stream with an arbitrary inner payload,
+// for corrupt-input tests that must get past the gzip layer.
+func rawStream(t *testing.T, magic string, body func(*bytes.Buffer)) []byte {
+	t.Helper()
+	var inner bytes.Buffer
+	inner.WriteString(magic)
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(b[:], uint64(len("x")))
+	inner.Write(b[:n])
+	inner.WriteString("x") // benchmark name
+	n = binary.PutUvarint(b[:], 2)
+	n += binary.PutUvarint(b[n:], 1)
+	inner.Write(b[:n]) // opt, scale
+	if body != nil {
+		body(&inner)
+	}
+	var out bytes.Buffer
+	gz := gzip.NewWriter(&out)
+	if _, err := gz.Write(inner.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+// putRecord appends one encoded record: zigzag PC delta, raw category
+// byte, zigzag value delta — the writer's exact layout.
+func putRecord(buf *bytes.Buffer, pcDelta int64, cat byte, valDelta int64) {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(b[:], zigzag(pcDelta))
+	buf.Write(b[:n])
+	buf.WriteByte(cat)
+	n = binary.PutUvarint(b[:], zigzag(valDelta))
+	buf.Write(b[:n])
+}
+
+func TestCorruptBadMagic(t *testing.T) {
+	data := rawStream(t, "VPTRACE9", nil)
+	if _, err := NewReader(bytes.NewReader(data)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestCorruptCategoryByte(t *testing.T) {
+	data := rawStream(t, Magic, func(buf *bytes.Buffer) {
+		putRecord(buf, 0x400, byte(isa.CatNone)+3, 42)
+	})
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err == nil {
+		t.Fatal("corrupt category byte accepted")
+	}
+}
+
+func TestCorruptTruncatedVarint(t *testing.T) {
+	// One valid record, then a varint cut off mid-encoding (a continuation
+	// byte with no successor). The reader must report an unexpected EOF,
+	// not silently end the stream as if it were complete.
+	data := rawStream(t, Magic, func(buf *bytes.Buffer) {
+		putRecord(buf, 0x400, 0, 42)
+		buf.WriteByte(0x80)
+	})
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err != nil {
+		t.Fatalf("valid first record rejected: %v", err)
+	}
+	_, err = r.Read()
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated varint: got %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestCorruptRecordCutAtCategory(t *testing.T) {
+	// Stream ends after the PC delta: the category read must surface an
+	// unexpected EOF.
+	data := rawStream(t, Magic, func(buf *bytes.Buffer) {
+		var b [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(b[:], zigzag(0x400))
+		buf.Write(b[:n])
+	})
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Read()
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("cut record: got %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestCorruptVarintOverflow(t *testing.T) {
+	// An 11-byte continuation run cannot encode a uint64, and neither can
+	// a 10-byte varint whose final byte carries more than bit 63 — the
+	// latter must error, not silently truncate the delta.
+	for name, tail := range map[string][]byte{
+		"eleven-bytes":    append(bytes.Repeat([]byte{0xFF}, 11), 0x01),
+		"tenth-byte-wide": append(bytes.Repeat([]byte{0xFF}, 9), 0x03),
+	} {
+		data := rawStream(t, Magic, func(buf *bytes.Buffer) {
+			buf.Write(tail)
+		})
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Read(); err == nil {
+			t.Fatalf("%s: overflowing varint accepted", name)
+		}
+	}
+}
+
+func TestReadBatchSemantics(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, Header{Benchmark: "b"})
+	const n = 10
+	for i := 0; i < n; i++ {
+		w.Write(Event{PC: uint64(i * 4), Cat: isa.CatAddSub, Value: uint64(i)})
+	}
+	w.Close()
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]Event, 4)
+	var got []Event
+	for {
+		k, err := r.ReadBatch(dst)
+		got = append(got, dst[:k]...)
+		if errors.Is(err, io.EOF) || k < len(dst) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != n {
+		t.Fatalf("batched read returned %d events, want %d", len(got), n)
+	}
+	for i, ev := range got {
+		if ev.PC != uint64(i*4) || ev.Value != uint64(i) {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+	}
+	if k, err := r.ReadBatch(dst); k != 0 || !errors.Is(err, io.EOF) {
+		t.Fatalf("post-end ReadBatch = %d, %v", k, err)
+	}
+}
+
+func TestForEachBatchMatchesForEach(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, Header{Benchmark: "b"})
+	const n = 1000
+	for i := 0; i < n; i++ {
+		w.Write(Event{PC: uint64(0x400 + (i%7)*4), Cat: isa.CatLoads, Value: uint64(i * 3)})
+	}
+	w.Close()
+	data := buf.Bytes()
+
+	var serial []Event
+	r1, _ := NewReader(bytes.NewReader(data))
+	r1.ForEach(func(ev Event) error { serial = append(serial, ev); return nil })
+
+	var batched []Event
+	r2, _ := NewReader(bytes.NewReader(data))
+	err := r2.ForEachBatch(64, func(evs []Event) error {
+		batched = append(batched, evs...) // append copies, satisfying the reuse contract
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batched) != len(serial) {
+		t.Fatalf("batched %d events, serial %d", len(batched), len(serial))
+	}
+	for i := range serial {
+		if batched[i] != serial[i] {
+			t.Fatalf("event %d: batched %+v, serial %+v", i, batched[i], serial[i])
+		}
+	}
+}

@@ -163,9 +163,35 @@ func NewReader(r io.Reader) (*Reader, error) {
 	return &Reader{Header: h, br: br, gz: gz, lastVal: make(map[uint64]uint64)}, nil
 }
 
+// readUvarint decodes one varint, distinguishing a clean end of stream
+// (no bytes: io.EOF) from a varint cut off mid-encoding
+// (io.ErrUnexpectedEOF) — binary.ReadUvarint reports both as io.EOF,
+// which would make a truncated record look like a clean end.
+func (r *Reader) readUvarint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); ; shift += 7 {
+		b, err := r.br.ReadByte()
+		if err != nil {
+			if shift > 0 {
+				return 0, unexpected(err)
+			}
+			return 0, err // io.EOF passes through at a record boundary
+		}
+		// The 10th byte may only contribute bit 63: anything larger
+		// (or an 11th byte) overflows uint64.
+		if shift == 63 && b > 1 {
+			return 0, errors.New("trace: varint overflows uint64")
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+	}
+}
+
 // Read returns the next event; io.EOF at end of stream.
 func (r *Reader) Read() (Event, error) {
-	du, err := binary.ReadUvarint(r.br)
+	du, err := r.readUvarint()
 	if err != nil {
 		return Event{}, err // io.EOF passes through
 	}
@@ -173,7 +199,7 @@ func (r *Reader) Read() (Event, error) {
 	if err != nil {
 		return Event{}, unexpected(err)
 	}
-	dv, err := binary.ReadUvarint(r.br)
+	dv, err := r.readUvarint()
 	if err != nil {
 		return Event{}, unexpected(err)
 	}
@@ -192,6 +218,56 @@ func unexpected(err error) error {
 		return io.ErrUnexpectedEOF
 	}
 	return err
+}
+
+// ReadBatch reads up to len(dst) events into dst and returns the number
+// read. At the end of the stream it returns 0 and io.EOF; a partial fill
+// (0 < n < len(dst)) with a nil error also means the stream ended and the
+// next call returns 0, io.EOF. Corrupt input returns the events decoded
+// so far alongside a non-EOF error.
+func (r *Reader) ReadBatch(dst []Event) (int, error) {
+	for i := range dst {
+		ev, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			if i == 0 {
+				return 0, io.EOF
+			}
+			return i, nil
+		}
+		if err != nil {
+			return i, err
+		}
+		dst[i] = ev
+	}
+	return len(dst), nil
+}
+
+// ForEachBatch replays the stream through fn in batches of up to
+// batchSize events (0 = a default of 4096). The slice is reused between
+// calls — consumers that retain events must copy, matching the
+// sim.Config.OnValues contract.
+func (r *Reader) ForEachBatch(batchSize int, fn func([]Event) error) error {
+	if batchSize <= 0 {
+		batchSize = 4096
+	}
+	buf := make([]Event, batchSize)
+	for {
+		n, err := r.ReadBatch(buf)
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			if err := fn(buf[:n]); err != nil {
+				return err
+			}
+		}
+		if n < len(buf) {
+			return nil
+		}
+	}
 }
 
 // ForEach replays the whole stream through fn, stopping on fn error.
