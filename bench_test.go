@@ -10,6 +10,7 @@ package repro_test
 import (
 	"errors"
 	"io"
+	"os"
 	"testing"
 
 	"repro/internal/analysis"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/seqclass"
 	"repro/internal/serve"
 	"repro/internal/sim"
+	"repro/internal/snapshot"
 )
 
 // benchEvents is the per-benchmark event budget used by the testing.B
@@ -276,6 +278,135 @@ func benchServe(b *testing.B, shards int) {
 func BenchmarkServe1Shard(b *testing.B)  { benchServe(b, 1) }
 func BenchmarkServeShards2(b *testing.B) { benchServe(b, 2) }
 func BenchmarkServeShards4(b *testing.B) { benchServe(b, 4) }
+
+// --- snapshot benchmarks --------------------------------------------------------
+
+// trainedSnapshot builds the checkpoint image of the standard predictor
+// bank after learning the serve bench stream, through the real capture
+// path: a 4-shard server drives the stream and writes a checkpoint.
+// Cached so the encode/decode/restore benchmarks all measure the same
+// state.
+var trainedSnapshotOnce struct {
+	snap *snapshot.Snapshot
+	data []byte
+}
+
+func trainedSnapshot(tb testing.TB) (*snapshot.Snapshot, []byte) {
+	if trainedSnapshotOnce.snap != nil {
+		return trainedSnapshotOnce.snap, trainedSnapshotOnce.data
+	}
+	dir := tb.TempDir()
+	s, err := serve.New(serve.Config{Shards: 4})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0", ""); err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := serve.DriveEvents(serveBenchStream(), serve.DriveConfig{Addr: s.Addr().String(), Clients: 4}); err != nil {
+		s.Close()
+		tb.Fatal(err)
+	}
+	info, err := s.Shutdown(dir)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	snap, err := snapshot.ReadFile(info.Path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	data, err := os.ReadFile(info.Path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	trainedSnapshotOnce.snap = snap
+	trainedSnapshotOnce.data = data
+	return snap, data
+}
+
+// BenchmarkSnapshotEncode measures the codec's framing + checksum
+// throughput: MB/s of file bytes produced from an already-captured
+// image (the per-predictor SaveState cost is measured end to end by
+// BenchmarkServeCheckpoint). events/op is the learning the image
+// represents.
+func BenchmarkSnapshotEncode(b *testing.B) {
+	snap, data := trainedSnapshot(b)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snapshot.Encode(io.Discard, snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(serveBenchStream())), "events/op")
+}
+
+// BenchmarkSnapshotDecode measures checkpoint parse+verify throughput
+// (checksum, framing, structure) without predictor reconstruction.
+func BenchmarkSnapshotDecode(b *testing.B) {
+	_, data := trainedSnapshot(b)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snapshot.DecodeBytes(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotRestore measures the full warm-restart path: decode,
+// verify and load every predictor table into fresh instances. events/op
+// is the events-to-warm equivalent — the stream length a cold server
+// would have to re-serve to reach the same state.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	_, data := trainedSnapshot(b)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := snapshot.DecodeBytes(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := serve.NewWarmBank(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(serveBenchStream())), "events/op")
+}
+
+// BenchmarkServeCheckpoint measures an online checkpoint of a loaded
+// server: the request-atomic cut, per-shard serialization and the atomic
+// file write, while the server is otherwise idle.
+func BenchmarkServeCheckpoint(b *testing.B) {
+	evs := serveBenchStream()
+	dir := b.TempDir()
+	s, err := serve.New(serve.Config{Shards: 4, CheckpointDir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0", ""); err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := serve.DriveEvents(evs, serve.DriveConfig{Addr: s.Addr().String(), Clients: 4}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		info, err := s.WriteCheckpoint(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		os.Remove(info.Path) // keep the temp dir from filling the disk
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(len(evs)), "events/op")
+}
 
 // BenchmarkFullPass measures the all-collector analysis pass used by the
 // suite experiments (events/op).

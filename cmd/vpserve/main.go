@@ -7,7 +7,18 @@
 //
 //	vpserve -addr :9747 -http :9748 -shards 8 -pred l,s2,fcm1,fcm2,fcm3
 //
-// Drive it with the load generator:
+// With a checkpoint directory the server becomes durable: it writes
+// periodic snapshots of every predictor table, a final one on graceful
+// shutdown (SIGTERM/SIGINT), and can warm-restart from one so a restarted
+// server predicts bit-identically to one that never stopped:
+//
+//	vpserve -checkpoint-dir /var/lib/vpserve -checkpoint-interval 30s
+//	vpserve -checkpoint-dir /var/lib/vpserve -restore /var/lib/vpserve
+//
+// -restore accepts a snapshot file or a directory (the newest snapshot
+// wins); unless overridden, the shard count and predictor bank are taken
+// from the snapshot. POST /snapshot on the HTTP endpoint triggers an
+// immediate checkpoint. Drive it with the load generator:
 //
 //	vptrace capture -bench gcc -events 1000000 -o gcc.vpt
 //	vptrace drive -addr localhost:9747 -clients 8 gcc.vpt
@@ -22,17 +33,22 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/serve"
+	"repro/internal/snapshot"
 )
 
 func main() {
 	addr := flag.String("addr", ":9747", "binary-protocol listen address")
-	httpAddr := flag.String("http", ":9748", "HTTP /stats + /healthz listen address (empty = disabled)")
-	shards := flag.Int("shards", 0, "predictor-state shards (0 = GOMAXPROCS)")
+	httpAddr := flag.String("http", ":9748", "HTTP /stats + /healthz + /snapshot listen address (empty = disabled)")
+	shards := flag.Int("shards", 0, "predictor-state shards (0 = GOMAXPROCS, or the snapshot's layout with -restore)")
 	preds := flag.String("pred", "l,s2,fcm1,fcm2,fcm3", "comma-separated predictor bank")
 	mailbox := flag.Int("mailbox", 0, "per-shard mailbox depth (0 = default)")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for predictor-state snapshots (enables checkpointing)")
+	ckptEvery := flag.Duration("checkpoint-interval", 0, "write a checkpoint this often (0 = only on shutdown/trigger; needs -checkpoint-dir)")
+	restore := flag.String("restore", "", "warm-restart from this snapshot file, or the newest snapshot in this directory")
 	list := flag.Bool("list", false, "list known predictors and exit")
 	flag.Parse()
 
@@ -46,18 +62,67 @@ func main() {
 		}
 		return
 	}
+	explicit := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if *ckptEvery > 0 && *ckptDir == "" {
+		fatal(fmt.Errorf("-checkpoint-interval requires -checkpoint-dir"))
+	}
+	if *ckptDir != "" {
+		// Fail fast on an unusable checkpoint directory: discovering it at
+		// the final SIGTERM checkpoint would lose all learned state.
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fatal(fmt.Errorf("checkpoint dir: %w", err))
+		}
+		probe, err := os.CreateTemp(*ckptDir, ".vpsnap-probe-*")
+		if err != nil {
+			fatal(fmt.Errorf("checkpoint dir is not writable: %w", err))
+		}
+		probe.Close()
+		os.Remove(probe.Name())
+	}
+
+	// A restore dictates the shard layout and predictor bank unless the
+	// operator explicitly overrides them (and then mismatches are errors).
+	var snap *snapshot.Snapshot
+	if *restore != "" {
+		path := *restore
+		if st, err := os.Stat(path); err == nil && st.IsDir() {
+			var err error
+			if path, err = snapshot.Latest(path); err != nil {
+				fatal(err)
+			}
+		}
+		var err error
+		if snap, err = snapshot.ReadFile(path); err != nil {
+			fatal(err)
+		}
+		if !explicit["shards"] {
+			*shards = snap.Meta.Shards
+		}
+		if !explicit["pred"] {
+			*preds = strings.Join(snap.Meta.Predictors, ",")
+		}
+		fmt.Fprintf(os.Stderr, "vpserve: restoring snapshot %s (%d events, %d shards) from %s\n",
+			snap.Meta.ID, snap.Meta.Events, snap.Meta.Shards, path)
+	}
 
 	facs, err := core.ParseFactories(*preds)
 	if err != nil {
 		fatal(err)
 	}
 	s, err := serve.New(serve.Config{
-		Shards:       *shards,
-		Predictors:   facs,
-		MailboxDepth: *mailbox,
+		Shards:        *shards,
+		Predictors:    facs,
+		MailboxDepth:  *mailbox,
+		CheckpointDir: *ckptDir,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if snap != nil {
+		if err := s.Restore(snap); err != nil {
+			fatal(err)
+		}
 	}
 	if err := s.Start(*addr, *httpAddr); err != nil {
 		fatal(err)
@@ -68,16 +133,57 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vpserve: stats on http://%s/stats\n", h)
 	}
 
+	// Periodic checkpoints, stopped before shutdown so the final
+	// checkpoint never races a ticking one.
+	tickerDone := make(chan struct{})
+	tickerStopped := make(chan struct{})
+	if *ckptEvery > 0 {
+		go func() {
+			defer close(tickerStopped)
+			t := time.NewTicker(*ckptEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-tickerDone:
+					return
+				case <-t.C:
+					info, err := s.WriteCheckpoint(*ckptDir)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "vpserve: checkpoint failed: %v\n", err)
+						continue
+					}
+					fmt.Fprintf(os.Stderr, "vpserve: checkpoint %s (%d events) -> %s\n", info.ID, info.Events, info.Path)
+				}
+			}
+		}()
+	} else {
+		close(tickerStopped)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	snap := s.Stats()
-	if err := s.Close(); err != nil {
+	close(tickerDone)
+	<-tickerStopped
+
+	// Graceful shutdown: stop accepting, drain every shard mailbox, then
+	// write the final checkpoint (when configured) before exiting.
+	snapStats := s.Stats()
+	info, err := s.Shutdown(*ckptDir)
+	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "vpserve: %d events over %d unique PCs\n", snap.Events, snap.UniquePCs)
-	for _, ps := range snap.Predictors {
+	if info.Path != "" {
+		fmt.Fprintf(os.Stderr, "vpserve: final checkpoint %s (%d events) -> %s\n", info.ID, info.Events, info.Path)
+	}
+	fmt.Fprintf(os.Stderr, "vpserve: %d events over %d unique PCs\n", snapStats.Events, snapStats.UniquePCs)
+	for _, ps := range snapStats.Predictors {
 		fmt.Fprintf(os.Stderr, "  %-8s %6.2f%%  (%d/%d)\n", ps.Name, ps.AccuracyPct, ps.Correct, ps.Total)
+	}
+	// A dead stats listener is an operational failure even when serving
+	// kept going: report it in the exit status.
+	if err := s.HTTPErr(); err != nil {
+		fatal(fmt.Errorf("http stats listener died: %w", err))
 	}
 }
 

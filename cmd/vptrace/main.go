@@ -27,6 +27,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/serve"
 	"repro/internal/sim"
+	"repro/internal/snapshot"
 	"repro/internal/trace"
 )
 
@@ -53,7 +54,7 @@ func usage() {
   vptrace capture -bench NAME [-opt N] [-scale N] [-events N] -o FILE
   vptrace info FILE
   vptrace replay [-pred %[1]s] FILE
-  vptrace drive -addr HOST:PORT [-clients N] [-batch N] [-verify] FILE
+  vptrace drive -addr HOST:PORT [-clients N] [-batch N] [-verify [-warm SNAP]] FILE
   vptrace drive -addr HOST:PORT -bench NAME [-opt N] [-scale N] [-events N]
 
 known predictors: %[2]s
@@ -202,11 +203,15 @@ func drive(args []string) {
 	clients := fs.Int("clients", 1, "concurrent client connections")
 	batch := fs.Int("batch", 0, "events per request (0 = default)")
 	verify := fs.Bool("verify", false, "also replay offline and verify the server's tallies match")
+	warm := fs.String("warm", "", "snapshot the server was warm-restarted from; -verify replays from this state instead of cold tables")
 	benchName := fs.String("bench", "", "drive a live simulation of this workload instead of a trace file")
 	opt := fs.Int("opt", bench.RefOpt, "compiler optimization level (with -bench)")
 	scale := fs.Int("scale", 1, "input scale factor (with -bench)")
 	events := fs.Uint64("events", 0, "event cap (with -bench; 0 = run to completion)")
 	fs.Parse(args)
+	if *warm != "" && !*verify {
+		fatal(fmt.Errorf("-warm only affects verification; pass -verify with it"))
+	}
 
 	cfg := serve.DriveConfig{Addr: *addr, Clients: *clients, BatchSize: *batch}
 
@@ -273,11 +278,6 @@ func drive(args []string) {
 	}
 
 	if *verify {
-		if res.ServerPriorEvents > 0 {
-			fatal(fmt.Errorf(
-				"verify: server had already processed %d events before this drive; offline replay starts from cold tables, so tallies are only comparable against a fresh server",
-				res.ServerPriorEvents))
-		}
 		facs, err := core.ParseFactories(strings.Join(res.Predictors, ","))
 		if err != nil {
 			fatal(fmt.Errorf("server predictors not all known locally: %w", err))
@@ -293,13 +293,48 @@ func drive(args []string) {
 				}
 			}
 		}
-		ps := make([]core.Predictor, len(facs))
-		for i, fac := range facs {
-			ps[i] = fac.New()
-		}
-		correct := make([]uint64, len(facs))
-		for _, ev := range evs {
-			core.StepBank(ps, correct, ev.PC, ev.Value)
+		var correct []uint64
+		var mode string
+		if *warm != "" {
+			// Warm-restart parity: replay from the snapshot's restored
+			// state, mirroring the server's sharded layout exactly.
+			snap, err := snapshot.ReadFile(*warm)
+			if err != nil {
+				fatal(err)
+			}
+			if res.ServerPriorEvents != snap.Meta.Events {
+				fatal(fmt.Errorf(
+					"verify: server reported %d prior events but snapshot %s holds %d; it was restored from a different checkpoint (or has served traffic since restoring)",
+					res.ServerPriorEvents, snap.Meta.ID, snap.Meta.Events))
+			}
+			bank, err := serve.NewWarmBank(snap)
+			if err != nil {
+				fatal(err)
+			}
+			if got := strings.Join(bank.Predictors(), ","); got != strings.Join(res.Predictors, ",") {
+				fatal(fmt.Errorf("verify: snapshot bank %q does not match server bank %q",
+					got, strings.Join(res.Predictors, ",")))
+			}
+			for _, ev := range evs {
+				bank.Step(ev.PC, ev.Value)
+			}
+			correct = bank.Correct()
+			mode = fmt.Sprintf("replay warm from snapshot %s (%d events of prior learning)", snap.Meta.ID, snap.Meta.Events)
+		} else {
+			if res.ServerPriorEvents > 0 {
+				fatal(fmt.Errorf(
+					"verify: server had already processed %d events before this drive; offline replay starts from cold tables — pass -warm SNAPSHOT if the server was restored from a checkpoint",
+					res.ServerPriorEvents))
+			}
+			ps := make([]core.Predictor, len(facs))
+			for i, fac := range facs {
+				ps[i] = fac.New()
+			}
+			correct = make([]uint64, len(facs))
+			for _, ev := range evs {
+				core.StepBank(ps, correct, ev.PC, ev.Value)
+			}
+			mode = "replay from cold tables"
 		}
 		mismatches := 0
 		for i, fac := range facs {
@@ -309,9 +344,9 @@ func drive(args []string) {
 			}
 		}
 		if mismatches > 0 {
-			fatal(fmt.Errorf("verify: %d predictor(s) diverged from offline replay", mismatches))
+			fatal(fmt.Errorf("verify: %d predictor(s) diverged from offline %s", mismatches, mode))
 		}
-		fmt.Printf("  verify: server tallies identical to offline replay\n")
+		fmt.Printf("  verify: server tallies identical to offline %s\n", mode)
 	}
 }
 

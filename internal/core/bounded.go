@@ -1,6 +1,10 @@
 package core
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
 
 // BoundedFCM is a fixed-capacity, hashed variant of the FCM — the step
 // from the paper's unbounded idealization (§4.3 notes "when real
@@ -152,4 +156,111 @@ func (p *BoundedFCM) Reset() {
 // TableEntries implements Sized: fixed capacities.
 func (p *BoundedFCM) TableEntries() (static, total int) {
 	return len(p.l1), len(p.l1) + len(p.l2)
+}
+
+// SaveState implements Stateful. The geometry (order, table sizes) is
+// written first and validated against the receiver on load. Both levels
+// are encoded sparsely — only slots differing from the zero value, with
+// ascending index deltas. A touched slot is never zero-valued (level 1
+// always holds history, level 2 always holds confidence >= 1), so the
+// sparse form loses nothing; a level-1 slot's stale history tail beyond n
+// is unreachable until overwritten and is deliberately not persisted.
+func (p *BoundedFCM) SaveState(w io.Writer) error {
+	var e stateEncoder
+	e.uvarint(uint64(p.order))
+	e.uvarint(uint64(len(p.l1)))
+	e.uvarint(uint64(len(p.l2)))
+	e.uvarint(p.updates)
+
+	live1 := 0
+	for i := range p.l1 {
+		if h := &p.l1[i]; h.tag != 0 || h.n != 0 {
+			live1++
+		}
+	}
+	e.uvarint(uint64(live1))
+	prev := uint64(0)
+	for i := range p.l1 {
+		h := &p.l1[i]
+		if h.tag == 0 && h.n == 0 {
+			continue
+		}
+		e.uvarint(uint64(i) - prev)
+		prev = uint64(i)
+		e.uvarint(h.tag)
+		e.uvarint(uint64(h.n))
+		for j := 0; j < h.n; j++ {
+			e.uvarint(h.hist[j])
+		}
+	}
+
+	live2 := 0
+	for i := range p.l2 {
+		if ent := &p.l2[i]; ent.tag != 0 || ent.value != 0 || ent.conf != 0 {
+			live2++
+		}
+	}
+	e.uvarint(uint64(live2))
+	prev = 0
+	for i := range p.l2 {
+		ent := &p.l2[i]
+		if ent.tag == 0 && ent.value == 0 && ent.conf == 0 {
+			continue
+		}
+		e.uvarint(uint64(i) - prev)
+		prev = uint64(i)
+		e.uvarint(ent.tag)
+		e.uvarint(ent.value)
+		e.uvarint(uint64(ent.conf))
+	}
+	return e.flushTo(w)
+}
+
+// LoadState implements Stateful.
+func (p *BoundedFCM) LoadState(r io.Reader) error {
+	d := newStateDecoder(r)
+	order := d.count(MaxFCMOrder)
+	n1 := d.uvarint()
+	n2 := d.uvarint()
+	if d.err == nil && (int(order) != p.order || n1 != uint64(len(p.l1)) || n2 != uint64(len(p.l2))) {
+		return errState(p.Name(), fmt.Errorf(
+			"state geometry order=%d l1=%d l2=%d, receiver wants order=%d l1=%d l2=%d",
+			order, n1, n2, p.order, len(p.l1), len(p.l2)))
+	}
+	updates := d.uvarint()
+
+	l1 := make([]boundedHist, len(p.l1))
+	live1 := d.count(uint64(len(p.l1)))
+	idx := uint64(0)
+	for i := uint64(0); i < live1 && d.err == nil; i++ {
+		idx += d.uvarint()
+		if idx >= uint64(len(l1)) {
+			return errState(p.Name(), fmt.Errorf("level-1 index %d out of range %d", idx, len(l1)))
+		}
+		h := &l1[idx]
+		h.tag = d.uvarint()
+		h.n = int(d.count(order))
+		for j := 0; j < h.n; j++ {
+			h.hist[j] = d.uvarint()
+		}
+	}
+
+	l2 := make([]boundedEntry, len(p.l2))
+	live2 := d.count(uint64(len(p.l2)))
+	idx = 0
+	for i := uint64(0); i < live2 && d.err == nil; i++ {
+		idx += d.uvarint()
+		if idx >= uint64(len(l2)) {
+			return errState(p.Name(), fmt.Errorf("level-2 index %d out of range %d", idx, len(l2)))
+		}
+		ent := &l2[idx]
+		ent.tag = d.uvarint()
+		ent.value = d.uvarint()
+		ent.conf = int8(d.count(3))
+	}
+	if err := d.expectEOF(); err != nil {
+		return errState(p.Name(), err)
+	}
+	p.l1, p.l2, p.updates = l1, l2, updates
+	return nil
 }

@@ -1,6 +1,10 @@
 package core
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
 
 // MaxFCMOrder bounds the context length supported by FCM predictors. The
 // paper sweeps orders 1..8 in Figure 11.
@@ -220,6 +224,119 @@ func (p *FCM) TableEntries() (static, total int) {
 		}
 	}
 	return static, total
+}
+
+// SaveState implements Stateful. Layout: order and blend flag (validated
+// against the receiver's configuration on load), then sorted per-PC
+// records: history, update count, and for each order 0..k the context
+// table with keys in lexicographic order. A context's value list keeps
+// its exact slice order and best index — both steer future tie-breaks, so
+// they are state, not presentation.
+func (p *FCM) SaveState(w io.Writer) error {
+	var e stateEncoder
+	e.uvarint(uint64(p.order))
+	blend := uint64(0)
+	if p.blend {
+		blend = 1
+	}
+	e.uvarint(blend)
+	e.uvarint(uint64(len(p.table)))
+	var prev uint64
+	for _, pc := range sortedKeys(p.table) {
+		s := p.table[pc]
+		e.uvarint(pc - prev)
+		prev = pc
+		e.uvarint(uint64(s.n))
+		for i := 0; i < s.n; i++ {
+			e.uvarint(s.hist[i])
+		}
+		e.uvarint(s.updates)
+		for o := 0; o <= p.order; o++ {
+			t := s.ctxs[o]
+			e.uvarint(uint64(len(t)))
+			for _, key := range sortedStringKeys(t) {
+				e.bytes([]byte(key)) // full concatenation: exactly 8*o bytes
+				c := t[key]
+				e.uvarint(uint64(len(c.vals)))
+				e.uvarint(uint64(c.best))
+				for _, v := range c.vals {
+					e.uvarint(v.value)
+					e.uvarint(uint64(v.count))
+				}
+			}
+		}
+	}
+	return e.flushTo(w)
+}
+
+// LoadState implements Stateful.
+func (p *FCM) LoadState(r io.Reader) error {
+	d := newStateDecoder(r)
+	order := d.count(MaxFCMOrder)
+	blend := d.count(1)
+	if d.err == nil && (int(order) != p.order || (blend == 1) != p.blend) {
+		return errState(p.Name(), fmt.Errorf(
+			"state is for order %d blend=%v, receiver wants order %d blend=%v",
+			order, blend == 1, p.order, p.blend))
+	}
+	npc := d.uvarint()
+	table := make(map[uint64]*fcmPC)
+	var pc uint64
+	for i := uint64(0); i < npc && d.err == nil; i++ {
+		pc += d.uvarint()
+		s := &fcmPC{ctxs: make([]map[string]*fcmCtx, p.order+1)}
+		s.n = int(d.count(uint64(p.order)))
+		for j := 0; j < s.n; j++ {
+			s.hist[j] = d.uvarint()
+		}
+		s.updates = d.uvarint()
+		for o := 0; o <= p.order && d.err == nil; o++ {
+			nctx := d.uvarint()
+			if nctx == 0 || d.err != nil {
+				continue
+			}
+			t := make(map[string]*fcmCtx)
+			s.ctxs[o] = t
+			for k := uint64(0); k < nctx && d.err == nil; k++ {
+				key := string(d.bytes(uint64(8 * o)))
+				nv := d.uvarint()
+				best := d.uvarint()
+				if d.err == nil && best >= max(nv, 1) {
+					return errState(p.Name(), fmt.Errorf("best index %d out of range for %d values", best, nv))
+				}
+				c := &fcmCtx{best: int(best)}
+				if nv > 0 {
+					c.vals = make([]fcmVal, 0, min(nv, 1024))
+					for vi := uint64(0); vi < nv && d.err == nil; vi++ {
+						value := d.uvarint()
+						count := d.count(1<<32 - 1)
+						c.vals = append(c.vals, fcmVal{value: value, count: uint32(count)})
+					}
+				}
+				t[key] = c
+			}
+		}
+		table[pc] = s
+	}
+	if err := d.expectEOF(); err != nil {
+		return errState(p.Name(), err)
+	}
+	p.table = table
+	return nil
+}
+
+// PCEntries implements PerPC: contexts held across all orders per static
+// instruction.
+func (p *FCM) PCEntries() map[uint64]int {
+	out := make(map[uint64]int, len(p.table))
+	for pc, s := range p.table {
+		n := 0
+		for _, t := range s.ctxs {
+			n += len(t)
+		}
+		out[pc] = n
+	}
+	return out
 }
 
 // CountTable is a standalone order-k finite context model over an

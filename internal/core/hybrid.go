@@ -1,5 +1,11 @@
 package core
 
+import (
+	"bytes"
+	"fmt"
+	"io"
+)
+
 // Hybrid combines component predictors with a per-PC chooser, the scheme
 // Section 4.2 argues for ("a hybrid fcm-stride predictor with choosing
 // seems to be a good approach"), analogous to McFarling's combining branch
@@ -101,6 +107,110 @@ func (p *Hybrid) TableEntries() (static, total int) {
 		}
 	}
 	return static, total
+}
+
+// SaveState implements Stateful: the chooser counters as sorted per-PC
+// records, then each component's own state as a length-prefixed nested
+// blob (components are Stateful themselves, so the hybrid composes).
+func (p *Hybrid) SaveState(w io.Writer) error {
+	var e stateEncoder
+	e.uvarint(uint64(len(p.components)))
+	e.uvarint(uint64(len(p.choosers)))
+	var prev uint64
+	for _, pc := range sortedKeys(p.choosers) {
+		e.uvarint(pc - prev)
+		prev = pc
+		for _, c := range p.choosers[pc] {
+			e.uvarint(uint64(c)) // saturating counters never go negative
+		}
+	}
+	for _, c := range p.components {
+		st, ok := c.(Stateful)
+		if !ok {
+			return errState(p.name, fmt.Errorf("component %s does not implement Stateful", c.Name()))
+		}
+		var buf bytes.Buffer
+		if err := st.SaveState(&buf); err != nil {
+			return err
+		}
+		e.blob(buf.Bytes())
+	}
+	return e.flushTo(w)
+}
+
+// LoadState implements Stateful.
+func (p *Hybrid) LoadState(r io.Reader) error {
+	d := newStateDecoder(r)
+	ncomp := d.uvarint()
+	if d.err == nil && ncomp != uint64(len(p.components)) {
+		return errState(p.name, fmt.Errorf("state has %d components, receiver has %d", ncomp, len(p.components)))
+	}
+	npc := d.uvarint()
+	choosers := make(map[uint64][]int16)
+	var pc uint64
+	for i := uint64(0); i < npc && d.err == nil; i++ {
+		pc += d.uvarint()
+		counters := make([]int16, len(p.components))
+		for j := range counters {
+			counters[j] = int16(d.count(uint64(p.max)))
+		}
+		choosers[pc] = counters
+	}
+	blobs := make([][]byte, len(p.components))
+	for i := range blobs {
+		blobs[i] = d.blob()
+	}
+	if err := d.expectEOF(); err != nil {
+		return errState(p.name, err)
+	}
+	// Load the nested component states only once the outer stream is
+	// known-good. Components mutate in place, so back each one up first
+	// and roll the loaded prefix back if a later blob fails — LoadState
+	// stays all-or-nothing like every other predictor's.
+	stateful := make([]Stateful, len(p.components))
+	backups := make([][]byte, len(p.components))
+	for i, c := range p.components {
+		st, ok := c.(Stateful)
+		if !ok {
+			return errState(p.name, fmt.Errorf("component %s does not implement Stateful", c.Name()))
+		}
+		var buf bytes.Buffer
+		if err := st.SaveState(&buf); err != nil {
+			return errState(p.name, err)
+		}
+		stateful[i], backups[i] = st, buf.Bytes()
+	}
+	for i := range stateful {
+		if err := stateful[i].LoadState(bytes.NewReader(blobs[i])); err != nil {
+			for j := i - 1; j >= 0; j-- {
+				// Backups are this predictor's own canonical output, so
+				// reloading them cannot fail; nothing useful to do if the
+				// impossible happens, the error below already reports the
+				// real failure.
+				stateful[j].LoadState(bytes.NewReader(backups[j]))
+			}
+			return errState(p.name, err)
+		}
+	}
+	p.choosers = choosers
+	return nil
+}
+
+// PCEntries implements PerPC: one chooser row per PC plus every
+// component's own per-PC entries.
+func (p *Hybrid) PCEntries() map[uint64]int {
+	out := make(map[uint64]int, len(p.choosers))
+	for pc := range p.choosers {
+		out[pc] = len(p.components)
+	}
+	for _, c := range p.components {
+		if pp, ok := c.(PerPC); ok {
+			for pc, n := range pp.PCEntries() {
+				out[pc] += n
+			}
+		}
+	}
+	return out
 }
 
 // ClassifiedPredictor routes events to per-class component predictors, the

@@ -1,16 +1,17 @@
 package core
 
+import "io"
+
 // LastValue is the paper's simplest computational predictor: the identity
 // function on the previous value. This variant always updates (no
 // hysteresis), matching the "l" configuration simulated in the paper.
 type LastValue struct {
 	table map[uint64]uint64
-	seen  map[uint64]bool
 }
 
 // NewLastValue returns an empty always-update last value predictor.
 func NewLastValue() *LastValue {
-	return &LastValue{table: make(map[uint64]uint64), seen: make(map[uint64]bool)}
+	return &LastValue{table: make(map[uint64]uint64)}
 }
 
 // Name implements Predictor.
@@ -25,19 +26,51 @@ func (p *LastValue) Predict(pc uint64) (uint64, bool) {
 // Update implements Predictor.
 func (p *LastValue) Update(pc uint64, value uint64) {
 	p.table[pc] = value
-	p.seen[pc] = true
 }
 
 // Reset implements Resetter.
 func (p *LastValue) Reset() {
 	clear(p.table)
-	clear(p.seen)
 }
 
 // TableEntries implements Sized.
 func (p *LastValue) TableEntries() (static, total int) {
 	return len(p.table), len(p.table)
 }
+
+// SaveState implements Stateful: sorted (pc, value) pairs, PCs
+// delta-encoded.
+func (p *LastValue) SaveState(w io.Writer) error {
+	var e stateEncoder
+	e.uvarint(uint64(len(p.table)))
+	var prev uint64
+	for _, pc := range sortedKeys(p.table) {
+		e.uvarint(pc - prev)
+		e.uvarint(p.table[pc])
+		prev = pc
+	}
+	return e.flushTo(w)
+}
+
+// LoadState implements Stateful.
+func (p *LastValue) LoadState(r io.Reader) error {
+	d := newStateDecoder(r)
+	n := d.uvarint()
+	table := make(map[uint64]uint64)
+	var pc uint64
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		pc += d.uvarint()
+		table[pc] = d.uvarint()
+	}
+	if err := d.expectEOF(); err != nil {
+		return errState(p.Name(), err)
+	}
+	p.table = table
+	return nil
+}
+
+// PCEntries implements PerPC: one table entry per static instruction.
+func (p *LastValue) PCEntries() map[uint64]int { return onePerPC(p.table) }
 
 // LastValueCounter is the saturating-counter hysteresis variant described
 // in Section 2.1: a counter per entry is incremented on success and
@@ -108,6 +141,45 @@ func (p *LastValueCounter) TableEntries() (static, total int) {
 	return len(p.table), len(p.table)
 }
 
+// SaveState implements Stateful: sorted (pc, value, counter) triples. The
+// counter never goes negative (decrements are guarded), so it encodes as
+// a plain uvarint.
+func (p *LastValueCounter) SaveState(w io.Writer) error {
+	var e stateEncoder
+	e.uvarint(uint64(len(p.table)))
+	var prev uint64
+	for _, pc := range sortedKeys(p.table) {
+		ent := p.table[pc]
+		e.uvarint(pc - prev)
+		e.uvarint(ent.value)
+		e.uvarint(uint64(ent.count))
+		prev = pc
+	}
+	return e.flushTo(w)
+}
+
+// LoadState implements Stateful.
+func (p *LastValueCounter) LoadState(r io.Reader) error {
+	d := newStateDecoder(r)
+	n := d.uvarint()
+	table := make(map[uint64]*lvcEntry)
+	var pc uint64
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		pc += d.uvarint()
+		value := d.uvarint()
+		count := d.count(uint64(p.max))
+		table[pc] = &lvcEntry{value: value, count: int8(count)}
+	}
+	if err := d.expectEOF(); err != nil {
+		return errState(p.Name(), err)
+	}
+	p.table = table
+	return nil
+}
+
+// PCEntries implements PerPC.
+func (p *LastValueCounter) PCEntries() map[uint64]int { return onePerPC(p.table) }
+
 // LastValueConsecutive is the second hysteresis flavor from Section 2.1:
 // the prediction only changes to a new value after that value has been
 // observed a fixed number of times in succession ("changes to a new
@@ -169,3 +241,41 @@ func (p *LastValueConsecutive) Reset() { clear(p.table) }
 func (p *LastValueConsecutive) TableEntries() (static, total int) {
 	return len(p.table), len(p.table)
 }
+
+// SaveState implements Stateful: sorted (pc, value, candidate, runLength).
+func (p *LastValueConsecutive) SaveState(w io.Writer) error {
+	var e stateEncoder
+	e.uvarint(uint64(len(p.table)))
+	var prev uint64
+	for _, pc := range sortedKeys(p.table) {
+		ent := p.table[pc]
+		e.uvarint(pc - prev)
+		e.uvarint(ent.value)
+		e.uvarint(ent.candidate)
+		e.uvarint(uint64(ent.runLength))
+		prev = pc
+	}
+	return e.flushTo(w)
+}
+
+// LoadState implements Stateful.
+func (p *LastValueConsecutive) LoadState(r io.Reader) error {
+	d := newStateDecoder(r)
+	n := d.uvarint()
+	table := make(map[uint64]*lvcons)
+	var pc uint64
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		pc += d.uvarint()
+		ent := &lvcons{value: d.uvarint(), candidate: d.uvarint()}
+		ent.runLength = int(d.count(1 << 62))
+		table[pc] = ent
+	}
+	if err := d.expectEOF(); err != nil {
+		return errState(p.Name(), err)
+	}
+	p.table = table
+	return nil
+}
+
+// PCEntries implements PerPC.
+func (p *LastValueConsecutive) PCEntries() map[uint64]int { return onePerPC(p.table) }

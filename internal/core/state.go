@@ -1,0 +1,208 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Stateful is the durability capability: a predictor that can serialize
+// its entire learned state and later restore it exactly. The tables a
+// predictor accumulates are the compressed summary of the past that
+// carries all of its predictive information about the future (Bialek &
+// Tishby's framing), so persisting them is what lets a restarted service
+// skip the cold-start learning period the paper measures.
+//
+// The contract is exactness: after
+//
+//	a.SaveState(w); b.LoadState(r)   // b fresh from the same factory
+//
+// a and b must be behaviorally indistinguishable — every subsequent
+// Predict/Update sequence produces identical results — and SaveState must
+// be canonical: saving b again yields byte-identical output. LoadState
+// replaces any existing state (implicit Reset) and must fail cleanly on
+// malformed input: no panics, and allocations proportional to the bytes
+// actually consumed, never to unvalidated counts from the input.
+//
+// The encoding is a varint-packed stream private to each predictor type;
+// framing, versioning and checksums live one layer up in
+// internal/snapshot. Every predictor in the registry implements Stateful
+// (registry tests enforce it).
+type Stateful interface {
+	SaveState(w io.Writer) error
+	LoadState(r io.Reader) error
+}
+
+// PerPC is implemented by predictors that can report their per-PC table
+// occupancy: how many internal entries (contexts, counters, history
+// slots) each static instruction currently owns. Offline snapshot
+// inspection (cmd/vpstate) uses it for per-PC entry counts and
+// cross-snapshot drift. Predictors whose tables alias across PCs (the
+// bounded variants) have no per-PC attribution and return nil.
+type PerPC interface {
+	PCEntries() map[uint64]int
+}
+
+// errState wraps state-decoding failures with the predictor name.
+func errState(name string, err error) error {
+	return fmt.Errorf("core: %s state: %w", name, err)
+}
+
+// stateEncoder accumulates a varint-packed state stream and writes it out
+// in one call; errors are sticky so encode paths stay linear.
+type stateEncoder struct {
+	buf []byte
+}
+
+func (e *stateEncoder) uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+// bytes appends raw bytes with no length prefix; the decoder must know
+// the length from context (e.g. fixed-width FCM context keys).
+func (e *stateEncoder) bytes(b []byte) {
+	e.buf = append(e.buf, b...)
+}
+
+// blob appends a length-prefixed byte string, the framing used to nest
+// one predictor's state stream inside another's (hybrid components).
+func (e *stateEncoder) blob(b []byte) {
+	e.uvarint(uint64(len(b)))
+	e.bytes(b)
+}
+
+func (e *stateEncoder) flushTo(w io.Writer) error {
+	_, err := w.Write(e.buf)
+	return err
+}
+
+// stateDecoder reads a varint-packed state stream with sticky errors. It
+// distinguishes truncation (io.ErrUnexpectedEOF) from overflowing varints
+// and exposes expectEOF so callers can reject trailing garbage.
+type stateDecoder struct {
+	r   *bufio.Reader
+	err error
+}
+
+func newStateDecoder(r io.Reader) *stateDecoder {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	return &stateDecoder{r: br}
+}
+
+func (d *stateDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	var v uint64
+	for shift := uint(0); ; shift += 7 {
+		b, err := d.r.ReadByte()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			d.err = err
+			return 0
+		}
+		if shift == 63 && b > 1 {
+			d.err = errors.New("varint overflows uint64")
+			return 0
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v
+		}
+	}
+}
+
+// count decodes a collection length and validates it against max, keeping
+// allocation decisions honest even on hostile input.
+func (d *stateDecoder) count(max uint64) uint64 {
+	n := d.uvarint()
+	if d.err == nil && n > max {
+		d.err = fmt.Errorf("count %d exceeds limit %d", n, max)
+	}
+	if d.err != nil {
+		return 0
+	}
+	return n
+}
+
+// bytes reads exactly n raw bytes. The result grows in bounded chunks so
+// a hostile length can never force an allocation larger than the bytes
+// actually present in the input.
+func (d *stateDecoder) bytes(n uint64) []byte {
+	if d.err != nil {
+		return nil
+	}
+	const chunk = 64 << 10
+	out := make([]byte, 0, min(n, chunk))
+	for uint64(len(out)) < n {
+		want := min(n-uint64(len(out)), chunk)
+		start := len(out)
+		out = append(out, make([]byte, want)...)
+		if _, err := io.ReadFull(d.r, out[start:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			d.err = err
+			return nil
+		}
+	}
+	return out
+}
+
+// blob reads a length-prefixed byte string written by stateEncoder.blob.
+func (d *stateDecoder) blob() []byte {
+	return d.bytes(d.uvarint())
+}
+
+// expectEOF fails unless the stream is fully consumed.
+func (d *stateDecoder) expectEOF() error {
+	if d.err != nil {
+		return d.err
+	}
+	if _, err := d.r.ReadByte(); err == nil {
+		return errors.New("trailing bytes after state")
+	} else if !errors.Is(err, io.EOF) {
+		return err
+	}
+	return nil
+}
+
+// sortedKeys returns the PCs of a map in ascending order, the canonical
+// iteration order every SaveState uses so identical state always encodes
+// to identical bytes.
+func sortedKeys[V any](m map[uint64]V) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// onePerPC is the PCEntries implementation shared by every predictor
+// whose table holds exactly one entry per static instruction.
+func onePerPC[V any](m map[uint64]V) map[uint64]int {
+	out := make(map[uint64]int, len(m))
+	for pc := range m {
+		out[pc] = 1
+	}
+	return out
+}
+
+// sortedStringKeys is sortedKeys for string-keyed maps (FCM contexts).
+func sortedStringKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

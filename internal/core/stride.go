@@ -1,5 +1,7 @@
 package core
 
+import "io"
+
 // StrideSimple is the basic stride predictor of Section 2.1: it predicts
 // last + (last - secondLast) with no hysteresis, so a repeated stride
 // sequence costs two mispredictions per iteration (one at the wrap, one
@@ -57,6 +59,44 @@ func (p *StrideSimple) Reset() { clear(p.table) }
 func (p *StrideSimple) TableEntries() (static, total int) {
 	return len(p.table), len(p.table)
 }
+
+// SaveState implements Stateful: sorted (pc, last, stride, seen) tuples.
+func (p *StrideSimple) SaveState(w io.Writer) error {
+	var e stateEncoder
+	e.uvarint(uint64(len(p.table)))
+	var prev uint64
+	for _, pc := range sortedKeys(p.table) {
+		ent := p.table[pc]
+		e.uvarint(pc - prev)
+		e.uvarint(ent.last)
+		e.uvarint(ent.stride)
+		e.uvarint(uint64(ent.seen))
+		prev = pc
+	}
+	return e.flushTo(w)
+}
+
+// LoadState implements Stateful.
+func (p *StrideSimple) LoadState(r io.Reader) error {
+	d := newStateDecoder(r)
+	n := d.uvarint()
+	table := make(map[uint64]*strideEntry)
+	var pc uint64
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		pc += d.uvarint()
+		ent := &strideEntry{last: d.uvarint(), stride: d.uvarint()}
+		ent.seen = uint8(d.count(2))
+		table[pc] = ent
+	}
+	if err := d.expectEOF(); err != nil {
+		return errState(p.Name(), err)
+	}
+	p.table = table
+	return nil
+}
+
+// PCEntries implements PerPC.
+func (p *StrideSimple) PCEntries() map[uint64]int { return onePerPC(p.table) }
 
 // Stride2Delta is the 2-delta stride predictor of Eickemeyer &
 // Vassiliadis that the paper simulates as "s2": two strides are kept; s1
@@ -131,6 +171,47 @@ func (p *Stride2Delta) Reset() { clear(p.table) }
 func (p *Stride2Delta) TableEntries() (static, total int) {
 	return len(p.table), len(p.table)
 }
+
+// SaveState implements Stateful: sorted (pc, last, s1, s2, s1Count, seen).
+func (p *Stride2Delta) SaveState(w io.Writer) error {
+	var e stateEncoder
+	e.uvarint(uint64(len(p.table)))
+	var prev uint64
+	for _, pc := range sortedKeys(p.table) {
+		ent := p.table[pc]
+		e.uvarint(pc - prev)
+		e.uvarint(ent.last)
+		e.uvarint(ent.s1)
+		e.uvarint(ent.s2)
+		e.uvarint(uint64(ent.s1Count))
+		e.uvarint(uint64(ent.seen))
+		prev = pc
+	}
+	return e.flushTo(w)
+}
+
+// LoadState implements Stateful.
+func (p *Stride2Delta) LoadState(r io.Reader) error {
+	d := newStateDecoder(r)
+	n := d.uvarint()
+	table := make(map[uint64]*s2Entry)
+	var pc uint64
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		pc += d.uvarint()
+		ent := &s2Entry{last: d.uvarint(), s1: d.uvarint(), s2: d.uvarint()}
+		ent.s1Count = uint8(d.count(2))
+		ent.seen = uint8(d.count(2))
+		table[pc] = ent
+	}
+	if err := d.expectEOF(); err != nil {
+		return errState(p.Name(), err)
+	}
+	p.table = table
+	return nil
+}
+
+// PCEntries implements PerPC.
+func (p *Stride2Delta) PCEntries() map[uint64]int { return onePerPC(p.table) }
 
 // StrideCounter is the saturating-counter stride variant of Gonzalez &
 // Gonzalez referenced in Section 2.1: the stride is only changed when a
@@ -209,3 +290,45 @@ func (p *StrideCounter) Reset() { clear(p.table) }
 func (p *StrideCounter) TableEntries() (static, total int) {
 	return len(p.table), len(p.table)
 }
+
+// SaveState implements Stateful: sorted (pc, last, stride, count, seen).
+// The counter never goes negative (decrements are guarded), so it encodes
+// as a plain uvarint.
+func (p *StrideCounter) SaveState(w io.Writer) error {
+	var e stateEncoder
+	e.uvarint(uint64(len(p.table)))
+	var prev uint64
+	for _, pc := range sortedKeys(p.table) {
+		ent := p.table[pc]
+		e.uvarint(pc - prev)
+		e.uvarint(ent.last)
+		e.uvarint(ent.stride)
+		e.uvarint(uint64(ent.count))
+		e.uvarint(uint64(ent.seen))
+		prev = pc
+	}
+	return e.flushTo(w)
+}
+
+// LoadState implements Stateful.
+func (p *StrideCounter) LoadState(r io.Reader) error {
+	d := newStateDecoder(r)
+	n := d.uvarint()
+	table := make(map[uint64]*scEntry)
+	var pc uint64
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		pc += d.uvarint()
+		ent := &scEntry{last: d.uvarint(), stride: d.uvarint()}
+		ent.count = int8(d.count(uint64(p.max)))
+		ent.seen = uint8(d.count(2))
+		table[pc] = ent
+	}
+	if err := d.expectEOF(); err != nil {
+		return errState(p.Name(), err)
+	}
+	p.table = table
+	return nil
+}
+
+// PCEntries implements PerPC.
+func (p *StrideCounter) PCEntries() map[uint64]int { return onePerPC(p.table) }

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"slices"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/snapshot"
+)
+
+// CheckpointInfo describes one written checkpoint.
+type CheckpointInfo struct {
+	// ID is the snapshot's content-addressed identifier.
+	ID string `json:"id"`
+	// Path is the checkpoint file written (temp-file + rename, so it is
+	// complete or absent, never partial).
+	Path string `json:"path"`
+	// Events is the total event count captured across shards.
+	Events uint64 `json:"events"`
+	// Shards is the shard count of the captured layout.
+	Shards int `json:"shards"`
+}
+
+// WriteCheckpoint captures the full predictor state of a running server
+// and writes it atomically into dir. The cut is request-atomic: capture
+// markers ride each shard's FIFO mailbox under the exclusive cut lock,
+// so every request dispatched before the checkpoint is fully included
+// and every one dispatched after is fully excluded — each shard drains
+// its queued sub-batches before serializing. Serving continues
+// underneath; only dispatching pauses for the instant the markers are
+// mailed.
+func (s *Server) WriteCheckpoint(dir string) (CheckpointInfo, error) {
+	if dir == "" {
+		return CheckpointInfo{}, errors.New("serve: no checkpoint directory configured")
+	}
+	replies := make([]chan shardStateMsg, len(s.shards))
+	s.statsMu.Lock()
+	s.mu.Lock()
+	live := s.started && !s.closed
+	s.mu.Unlock()
+	if !live {
+		s.statsMu.Unlock()
+		return CheckpointInfo{}, errors.New("serve: server is not running")
+	}
+	s.cutMu.Lock()
+	for i, sh := range s.shards {
+		replies[i] = make(chan shardStateMsg, 1)
+		sh.mailbox <- shardMsg{state: replies[i]}
+	}
+	s.cutMu.Unlock()
+	s.statsMu.Unlock()
+	return s.assembleCheckpoint(dir, replies)
+}
+
+// checkpointShards is the shutdown-path capture: connections are already
+// drained and the mailboxes are quiet but still open, so the markers
+// need no cut lock and observe the final state.
+func (s *Server) checkpointShards(dir string) (CheckpointInfo, error) {
+	replies := make([]chan shardStateMsg, len(s.shards))
+	for i, sh := range s.shards {
+		replies[i] = make(chan shardStateMsg, 1)
+		sh.mailbox <- shardMsg{state: replies[i]}
+	}
+	return s.assembleCheckpoint(dir, replies)
+}
+
+func (s *Server) assembleCheckpoint(dir string, replies []chan shardStateMsg) (CheckpointInfo, error) {
+	snap := &snapshot.Snapshot{
+		Meta: snapshot.Meta{
+			CreatedUnixNano: time.Now().UnixNano(),
+			Predictors:      append([]string(nil), s.predNames...),
+		},
+		Shards: make([]snapshot.ShardState, len(replies)),
+	}
+	var firstErr error
+	for i, ch := range replies {
+		resp := <-ch // always drain every reply, even after an error
+		if resp.err != nil && firstErr == nil {
+			firstErr = resp.err
+		}
+		snap.Shards[i] = resp.st
+	}
+	if firstErr != nil {
+		return CheckpointInfo{}, firstErr
+	}
+	path, err := snapshot.WriteFileAtomic(dir, snap)
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	return CheckpointInfo{ID: snap.Meta.ID, Path: path, Events: snap.Meta.Events, Shards: len(snap.Shards)}, nil
+}
+
+// Restore loads a decoded snapshot into a server that has not started
+// yet, replacing every shard's predictors, tallies, PC sets and event
+// counts. The server must be configured with the snapshot's exact shard
+// count and predictor bank; after Start it continues bit-identically to
+// the server that wrote the checkpoint.
+func (s *Server) Restore(snap *snapshot.Snapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started || s.closed {
+		return errors.New("serve: restore requires a server that has not been started")
+	}
+	if snap.Meta.Shards != len(s.shards) {
+		return fmt.Errorf("serve: snapshot %s has %d shards, server is configured with %d (restart with -shards %d)",
+			snap.Meta.ID, snap.Meta.Shards, len(s.shards), snap.Meta.Shards)
+	}
+	if !slices.Equal(snap.Meta.Predictors, s.predNames) {
+		return fmt.Errorf("serve: snapshot %s predictor bank %v does not match server bank %v",
+			snap.Meta.ID, snap.Meta.Predictors, s.predNames)
+	}
+	var events uint64
+	for i, sh := range s.shards {
+		if err := sh.restore(snap.Shards[i], s.cfg.Predictors, len(s.shards)); err != nil {
+			return err
+		}
+		events += snap.Shards[i].Events
+	}
+	s.eventsServed.Store(events)
+	s.restoredID = snap.Meta.ID
+	s.restoredAt = time.Now()
+	return nil
+}
+
+// RestoredFrom returns the snapshot ID this server was warm-started
+// from, or "" after a cold start.
+func (s *Server) RestoredFrom() string { return s.restoredID }
+
+// WarmBank replays a stream through per-shard predictor banks restored
+// from a snapshot, mirroring the server's sharded state layout exactly.
+// It is the offline half of the warm-restart parity check: feed it the
+// post-checkpoint remainder of a stream and its tallies must match what
+// a server restored from the same snapshot returns for that remainder.
+type WarmBank struct {
+	names   []string
+	shards  [][]core.Predictor
+	correct []uint64
+	events  uint64
+}
+
+// NewWarmBank builds the per-shard banks from a snapshot, resolving
+// predictors through the registry.
+func NewWarmBank(snap *snapshot.Snapshot) (*WarmBank, error) {
+	facs := make([]core.NamedFactory, len(snap.Meta.Predictors))
+	for i, name := range snap.Meta.Predictors {
+		fac, ok := core.FactoryByName(name)
+		if !ok {
+			return nil, fmt.Errorf("serve: snapshot predictor %q not in local registry", name)
+		}
+		facs[i] = fac
+	}
+	b := &WarmBank{
+		names:   append([]string(nil), snap.Meta.Predictors...),
+		shards:  make([][]core.Predictor, snap.Meta.Shards),
+		correct: make([]uint64, len(facs)),
+	}
+	for si := range b.shards {
+		bank := make([]core.Predictor, len(facs))
+		for pi, fac := range facs {
+			p := fac.New()
+			st, ok := p.(core.Stateful)
+			if !ok {
+				return nil, fmt.Errorf("serve: predictor %q does not implement core.Stateful", fac.Name)
+			}
+			if err := st.LoadState(bytes.NewReader(snap.Shards[si].Preds[pi].State)); err != nil {
+				return nil, fmt.Errorf("serve: shard %d predictor %q: %w", si, fac.Name, err)
+			}
+			bank[pi] = p
+		}
+		b.shards[si] = bank
+	}
+	return b, nil
+}
+
+// Step applies one event to the owning shard's bank, tallying correct
+// predictions exactly like the server's shard loop.
+func (b *WarmBank) Step(pc, value uint64) {
+	bank := b.shards[0]
+	if len(b.shards) > 1 {
+		bank = b.shards[ShardOf(pc, len(b.shards))]
+	}
+	core.StepBank(bank, b.correct, pc, value)
+	b.events++
+}
+
+// Predictors returns the bank's predictor names in tally order.
+func (b *WarmBank) Predictors() []string { return append([]string(nil), b.names...) }
+
+// Correct returns the per-predictor correct tallies since construction.
+func (b *WarmBank) Correct() []uint64 { return append([]uint64(nil), b.correct...) }
+
+// Events returns how many events have been stepped.
+func (b *WarmBank) Events() uint64 { return b.events }

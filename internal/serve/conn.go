@@ -98,8 +98,14 @@ func (s *Server) handleConn(conn net.Conn) {
 // non-empty sub-batch. cnt and pos are caller-owned scratch (one slot per
 // shard); the bucketed backing array is allocated per request because the
 // shards own it until the request completes.
+//
+// The shared cut lock is held across the sends so a concurrent
+// checkpoint's capture markers can never land between two shards of the
+// same request — the cut is request-atomic.
 func (s *Server) dispatch(evs []Event, cnt, pos []int) *pending {
 	s.eventsServed.Add(uint64(len(evs)))
+	s.cutMu.RLock()
+	defer s.cutMu.RUnlock()
 	nshards := len(s.shards)
 	if nshards == 1 {
 		p := newPending(len(s.predNames), len(evs), boolToInt(len(evs) > 0))

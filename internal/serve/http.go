@@ -7,9 +7,12 @@ import (
 
 // httpHandler serves the JSON introspection endpoints:
 //
-//	GET /healthz  liveness: {"status":"ok","shards":N,"predictors":[...]}
-//	GET /stats    full Snapshot (aggregate + per-shard accuracy, events/sec,
-//	              unique PCs, predictor table occupancy)
+//	GET  /healthz   liveness: {"status":"ok","shards":N,"predictors":[...]}
+//	GET  /stats     full Snapshot (aggregate + per-shard accuracy, events/sec,
+//	                unique PCs, table occupancy, approximate state bytes,
+//	                restore provenance)
+//	POST /snapshot  write a checkpoint now (requires a configured
+//	                checkpoint directory); answers with CheckpointInfo
 func (s *Server) httpHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -22,11 +25,33 @@ func (s *Server) httpHandler() http.Handler {
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.Stats())
 	})
+	mux.HandleFunc("POST /snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.CheckpointDir == "" {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusConflict)
+			writeJSONBody(w, map[string]any{"error": "no checkpoint directory configured (start vpserve with -checkpoint-dir)"})
+			return
+		}
+		info, err := s.WriteCheckpoint(s.cfg.CheckpointDir)
+		if err != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			writeJSONBody(w, map[string]any{"error": err.Error()})
+			return
+		}
+		writeJSON(w, info)
+	})
 	return mux
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	writeJSONBody(w, v)
+}
+
+// writeJSONBody encodes v without touching headers, for handlers that
+// have already written an error status.
+func writeJSONBody(w http.ResponseWriter, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v)

@@ -5,8 +5,10 @@
 //
 // Predictor state is partitioned into N shards by hash(pc). Each shard is
 // owned by a single goroutine with a bounded FIFO mailbox consuming request
-// sub-batches — the hot path takes no locks, mirroring internal/engine's
-// batched delivery. Every event makes one combined predict+update round
+// sub-batches — shard state is touched by exactly one goroutine and the
+// dispatch path's only lock is the shared (read) side of the checkpoint
+// cut lock, mirroring internal/engine's batched delivery. Every event
+// makes one combined predict+update round
 // trip through the configured predictor bank (the paper's immediate-update
 // protocol), and the per-batch correctness tallies stream back to the
 // client in request order.
@@ -36,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/snapshot"
 )
 
 // Event is one (pc, value) observation, the unit of the service protocol.
@@ -77,6 +80,10 @@ type Config struct {
 	Predictors []core.NamedFactory
 	// MailboxDepth bounds each shard's mailbox (0 = DefaultMailboxDepth).
 	MailboxDepth int
+	// CheckpointDir, when set, enables the HTTP POST /snapshot trigger
+	// and is the default directory for WriteCheckpoint / Shutdown
+	// checkpoints.
+	CheckpointDir string
 }
 
 // Server is a running value-prediction service.
@@ -98,10 +105,21 @@ type Server struct {
 	conns   map[net.Conn]struct{}
 	started bool
 	closed  bool
+	httpErr error // first fatal error from the HTTP stats listener
 	// statsMu orders Stats's mailbox sends against Close's mailbox
 	// close, without making stats polls contend with connection
 	// registration on mu.
 	statsMu sync.Mutex
+	// cutMu makes checkpoints request-atomic: dispatch holds it shared
+	// while mailing one request's sub-batches, a checkpoint holds it
+	// exclusively while mailing its capture markers, so the cut can never
+	// land between two shards of the same request.
+	cutMu sync.RWMutex
+
+	// restoredID / restoredAt identify the snapshot this server was
+	// warm-started from (empty when cold-started); set before Start.
+	restoredID string
+	restoredAt time.Time
 
 	connWG   sync.WaitGroup
 	acceptWG sync.WaitGroup
@@ -132,6 +150,13 @@ func New(cfg Config) (*Server, error) {
 				"serve: predictor %q keeps cross-PC state and cannot be sharded (use -shards 1)", f.Name)
 		}
 		names[i] = f.Name
+	}
+	if cfg.CheckpointDir != "" {
+		// The directory belongs to this server now; temp files a crashed
+		// predecessor left mid-checkpoint are dead weight.
+		if _, err := snapshot.SweepTemp(cfg.CheckpointDir); err != nil {
+			return nil, err
+		}
 	}
 	s := &Server{
 		cfg:       cfg,
@@ -188,9 +213,26 @@ func (s *Server) Start(addr, httpAddr string) error {
 	if hl != nil {
 		s.httpLn = hl
 		s.httpSrv = &http.Server{Handler: s.httpHandler()}
-		go s.httpSrv.Serve(hl)
+		go func() {
+			if err := s.httpSrv.Serve(hl); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				s.mu.Lock()
+				if s.httpErr == nil {
+					s.httpErr = err
+				}
+				s.mu.Unlock()
+			}
+		}()
 	}
 	return nil
+}
+
+// HTTPErr reports the first fatal error of the HTTP stats listener, nil
+// while it is healthy (or disabled). A daemon can use it at exit to turn
+// a silently dead introspection endpoint into a non-zero status.
+func (s *Server) HTTPErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.httpErr
 }
 
 // Addr returns the binary-protocol listen address.
@@ -234,10 +276,24 @@ func (s *Server) acceptLoop() {
 // and shuts the HTTP endpoint. Safe to call once, including on a server
 // that was never started (or whose Start failed).
 func (s *Server) Close() error {
+	_, err := s.shutdown("")
+	return err
+}
+
+// Shutdown is the graceful flavor of Close: stop accepting, tear down
+// connections, wait for every in-flight request to finish, then — when
+// dir is non-empty — write a final checkpoint of the fully drained state
+// before stopping the shard goroutines. The returned CheckpointInfo is
+// zero when no checkpoint was requested or the server never started.
+func (s *Server) Shutdown(dir string) (CheckpointInfo, error) {
+	return s.shutdown(dir)
+}
+
+func (s *Server) shutdown(ckptDir string) (CheckpointInfo, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return errors.New("serve: already closed")
+		return CheckpointInfo{}, errors.New("serve: already closed")
 	}
 	s.closed = true
 	started := s.started
@@ -257,6 +313,17 @@ func (s *Server) Close() error {
 	if s.httpSrv != nil {
 		s.httpSrv.Shutdown(context.Background())
 	}
+	// With every connection handler done, all dispatched sub-batches are
+	// already answered, so the mailboxes are quiet: the final checkpoint
+	// below observes the fully drained state.
+	var info CheckpointInfo
+	if ckptDir != "" && started {
+		var ckErr error
+		info, ckErr = s.checkpointShards(ckptDir)
+		if ckErr != nil {
+			err = ckErr
+		}
+	}
 	s.statsMu.Lock()
 	for _, sh := range s.shards {
 		close(sh.mailbox)
@@ -267,7 +334,7 @@ func (s *Server) Close() error {
 			<-sh.stopped
 		}
 	}
-	return err
+	return info, err
 }
 
 // Stats snapshots every shard through its mailbox (so snapshots never race
@@ -275,10 +342,15 @@ func (s *Server) Close() error {
 // returns an empty snapshot rather than touching inert or draining shards.
 func (s *Server) Stats() Snapshot {
 	snap := Snapshot{
-		Shards:     len(s.shards),
-		UptimeSec:  time.Since(s.start).Seconds(),
-		PerShard:   make([]ShardStats, len(s.shards)),
-		Predictors: make([]PredStat, len(s.predNames)),
+		Shards:             len(s.shards),
+		UptimeSec:          time.Since(s.start).Seconds(),
+		PerShard:           make([]ShardStats, len(s.shards)),
+		Predictors:         make([]PredStat, len(s.predNames)),
+		StartedAt:          s.start.UTC().Format(time.RFC3339Nano),
+		RestoredSnapshotID: s.restoredID,
+	}
+	if !s.restoredAt.IsZero() {
+		snap.RestoredAt = s.restoredAt.UTC().Format(time.RFC3339Nano)
 	}
 	replies := make([]chan ShardStats, len(s.shards))
 	s.statsMu.Lock()
@@ -303,11 +375,13 @@ func (s *Server) Stats() Snapshot {
 	for _, st := range snap.PerShard {
 		snap.Events += st.Events
 		snap.UniquePCs += st.UniquePCs // shards own disjoint PCs, so the sum is exact
+		snap.ApproxStateBytes += st.ApproxStateBytes
 		for i, ps := range st.Predictors {
 			snap.Predictors[i].Correct += ps.Correct
 			snap.Predictors[i].Total += ps.Total
 			snap.Predictors[i].StaticPCs += ps.StaticPCs
 			snap.Predictors[i].TableEntries += ps.TableEntries
+			snap.Predictors[i].ApproxStateBytes += ps.ApproxStateBytes
 		}
 	}
 	for i := range snap.Predictors {

@@ -1,9 +1,13 @@
 package serve
 
 import (
+	"bytes"
+	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/snapshot"
 )
 
 // pending is one in-flight request: the conn handler creates it, shards
@@ -43,18 +47,27 @@ func (p *pending) finish(counts []uint64) {
 }
 
 // shardMsg is one mailbox entry: either a sub-batch of a request or a
-// control message (stats snapshot).
+// control message (stats snapshot or checkpoint state capture).
 type shardMsg struct {
 	events []Event
 	req    *pending
-	snap   chan<- ShardStats // non-nil = stats request
+	snap   chan<- ShardStats    // non-nil = stats request
+	state  chan<- shardStateMsg // non-nil = checkpoint capture request
+}
+
+// shardStateMsg is one shard's reply to a checkpoint capture.
+type shardStateMsg struct {
+	st  snapshot.ShardState
+	err error
 }
 
 // shard owns one partition of predictor state. All access happens on the
-// shard's own goroutine, fed through a bounded FIFO mailbox — the hot path
-// takes no locks, mirroring internal/engine's batched fan-out.
+// shard's own goroutine, fed through a bounded FIFO mailbox — the shard
+// loop itself takes no locks (dispatchers hold the shared checkpoint cut
+// lock while mailing), mirroring internal/engine's batched fan-out.
 type shard struct {
 	id      int
+	names   []string // registry names, bank order (snapshot identity)
 	preds   []core.Predictor
 	acc     []core.Accuracy
 	pcs     map[uint64]struct{}
@@ -67,6 +80,7 @@ type shard struct {
 func newShard(id int, facs []core.NamedFactory, depth int) *shard {
 	sh := &shard{
 		id:      id,
+		names:   make([]string, len(facs)),
 		preds:   make([]core.Predictor, len(facs)),
 		acc:     make([]core.Accuracy, len(facs)),
 		pcs:     make(map[uint64]struct{}),
@@ -75,6 +89,7 @@ func newShard(id int, facs []core.NamedFactory, depth int) *shard {
 		scratch: make([]uint64, len(facs)),
 	}
 	for i, f := range facs {
+		sh.names[i] = f.Name
 		sh.preds[i] = f.New()
 	}
 	return sh
@@ -88,6 +103,10 @@ func (sh *shard) run() {
 	for msg := range sh.mailbox {
 		if msg.snap != nil {
 			msg.snap <- sh.snapshot()
+			continue
+		}
+		if msg.state != nil {
+			msg.state <- sh.captureState()
 			continue
 		}
 		counts := sh.scratch
@@ -112,6 +131,12 @@ func (sh *shard) run() {
 	}
 }
 
+// approxEntryBytes is the nominal resident width of one predictor table
+// entry (8-byte key, 8-byte value, ~8 bytes of per-entry metadata and
+// container overhead). /stats reports entries × this width as the
+// approximate state footprint; it is an estimate, not an accounting.
+const approxEntryBytes = 24
+
 // snapshot captures the shard's stats; called on the shard goroutine.
 func (sh *shard) snapshot() ShardStats {
 	st := ShardStats{
@@ -129,10 +154,79 @@ func (sh *shard) snapshot() ShardStats {
 		ps.AccuracyPct = sh.acc[i].Percent()
 		if sized, ok := p.(core.Sized); ok {
 			ps.StaticPCs, ps.TableEntries = sized.TableEntries()
+			ps.ApproxStateBytes = int64(ps.StaticPCs)*8 + int64(ps.TableEntries)*approxEntryBytes
 		}
+		st.ApproxStateBytes += ps.ApproxStateBytes
 		st.Predictors[i] = ps
 	}
+	st.ApproxStateBytes += int64(len(sh.pcs)) * 8 // the unique-PC set itself
 	return st
+}
+
+// captureState serializes the shard's full predictor state for a
+// checkpoint; called on the shard goroutine, so it never races live
+// traffic. The mailbox is FIFO, which is what "drain" means here: every
+// sub-batch mailed before the capture request has been applied, and none
+// mailed after it is visible.
+func (sh *shard) captureState() shardStateMsg {
+	st := snapshot.ShardState{
+		Shard:  sh.id,
+		Events: sh.events,
+		PCs:    make([]uint64, 0, len(sh.pcs)),
+		Preds:  make([]snapshot.PredState, len(sh.preds)),
+	}
+	for pc := range sh.pcs {
+		st.PCs = append(st.PCs, pc)
+	}
+	sort.Slice(st.PCs, func(i, j int) bool { return st.PCs[i] < st.PCs[j] })
+	for i, p := range sh.preds {
+		stateful, ok := p.(core.Stateful)
+		if !ok {
+			return shardStateMsg{err: fmt.Errorf("serve: predictor %q does not implement core.Stateful", sh.names[i])}
+		}
+		var buf bytes.Buffer
+		if err := stateful.SaveState(&buf); err != nil {
+			return shardStateMsg{err: fmt.Errorf("serve: shard %d: %w", sh.id, err)}
+		}
+		st.Preds[i] = snapshot.PredState{
+			Name:    sh.names[i],
+			Correct: sh.acc[i].Correct,
+			Total:   sh.acc[i].Total,
+			State:   buf.Bytes(),
+		}
+	}
+	return shardStateMsg{st: st}
+}
+
+// restore replaces the shard's state from a decoded snapshot section.
+// Only legal before the shard goroutine starts. Fresh predictor
+// instances are built first, so a failed load leaves the shard's
+// previous (empty) state intact.
+func (sh *shard) restore(st snapshot.ShardState, facs []core.NamedFactory, nshards int) error {
+	preds := make([]core.Predictor, len(facs))
+	acc := make([]core.Accuracy, len(facs))
+	for i, f := range facs {
+		p := f.New()
+		stateful, ok := p.(core.Stateful)
+		if !ok {
+			return fmt.Errorf("serve: predictor %q does not implement core.Stateful", f.Name)
+		}
+		if err := stateful.LoadState(bytes.NewReader(st.Preds[i].State)); err != nil {
+			return fmt.Errorf("serve: shard %d: restoring %q: %w", sh.id, f.Name, err)
+		}
+		preds[i] = p
+		acc[i] = core.Accuracy{Correct: st.Preds[i].Correct, Total: st.Preds[i].Total}
+	}
+	pcs := make(map[uint64]struct{}, len(st.PCs))
+	for _, pc := range st.PCs {
+		if nshards > 1 && ShardOf(pc, nshards) != sh.id {
+			return fmt.Errorf("serve: shard %d: snapshot PC %#x belongs to shard %d (snapshot from a different shard layout?)",
+				sh.id, pc, ShardOf(pc, nshards))
+		}
+		pcs[pc] = struct{}{}
+	}
+	sh.preds, sh.acc, sh.pcs, sh.events = preds, acc, pcs, st.Events
+	return nil
 }
 
 // PredStat is one predictor's live tally, per shard or aggregated.
@@ -145,6 +239,9 @@ type PredStat struct {
 	// (history depth / context growth) when the predictor reports it.
 	StaticPCs    int `json:"static_pcs,omitempty"`
 	TableEntries int `json:"table_entries,omitempty"`
+	// ApproxStateBytes estimates the resident table footprint as
+	// entries × nominal entry width.
+	ApproxStateBytes int64 `json:"approx_state_bytes,omitempty"`
 }
 
 // ShardStats is one shard's live view.
@@ -153,6 +250,9 @@ type ShardStats struct {
 	Events     uint64     `json:"events"`
 	UniquePCs  int        `json:"unique_pcs"`
 	Predictors []PredStat `json:"predictors"`
+	// ApproxStateBytes estimates this shard's resident predictor state
+	// (all banks plus the unique-PC set), entries × entry width.
+	ApproxStateBytes int64 `json:"approx_state_bytes"`
 }
 
 // Snapshot is the whole server's aggregated view plus the per-shard
@@ -167,4 +267,14 @@ type Snapshot struct {
 	UniquePCs    int          `json:"unique_pcs"`
 	Predictors   []PredStat   `json:"predictors"`
 	PerShard     []ShardStats `json:"per_shard"`
+	// ApproxStateBytes sums the per-shard resident-state estimates.
+	ApproxStateBytes int64 `json:"approx_state_bytes"`
+	// StartedAt is the server process start time (RFC 3339).
+	StartedAt string `json:"started_at"`
+	// RestoredSnapshotID and RestoredAt identify the checkpoint this
+	// server was warm-started from; both empty on a cold start. Together
+	// with StartedAt they let a driver distinguish warm-from-snapshot
+	// from warm-from-traffic.
+	RestoredSnapshotID string `json:"restored_snapshot_id,omitempty"`
+	RestoredAt         string `json:"restored_at,omitempty"`
 }

@@ -1,0 +1,139 @@
+package snapshot
+
+import (
+	"bufio"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Ext is the snapshot file extension.
+const Ext = ".vpsnap"
+
+// tmpPattern names in-progress checkpoint files; SweepTemp removes
+// strays a crashed writer left behind.
+const tmpPattern = ".vpsnap-tmp-*"
+
+// SweepTemp removes orphaned in-progress checkpoint files from dir and
+// reports how many it deleted. A writer killed between CreateTemp and
+// rename leaves a near-full-size temp file nothing else cleans up, so a
+// server sweeps its checkpoint directory on startup. A checkpoint
+// directory belongs to one server at a time (Latest would conflate
+// several anyway), so any temp file found at startup is dead.
+func SweepTemp(dir string) (int, error) {
+	strays, err := filepath.Glob(filepath.Join(dir, tmpPattern))
+	if err != nil {
+		return 0, fmt.Errorf("snapshot: %w", err)
+	}
+	removed := 0
+	for _, path := range strays {
+		if err := os.Remove(path); err == nil {
+			removed++
+		} else if !os.IsNotExist(err) {
+			return removed, fmt.Errorf("snapshot: %w", err)
+		}
+	}
+	return removed, nil
+}
+
+// Filename returns the canonical checkpoint file name for a snapshot:
+// event count then creation time, both zero-padded so lexicographic
+// order is checkpoint order (ties on events broken by wall clock), then
+// the content-addressed ID.
+func Filename(events uint64, createdUnixNano int64, id string) string {
+	return fmt.Sprintf("snap-%020d-%020d-%s%s", events, createdUnixNano, id, Ext)
+}
+
+// WriteFileAtomic encodes the snapshot into dir under its canonical name
+// using the temp-file-plus-rename protocol: a reader (or a crashed
+// writer) can never observe a partial snapshot. The file is fsynced
+// before the rename and the directory after it, so a completed write
+// also survives power loss.
+func WriteFileAtomic(dir string, s *Snapshot) (path string, err error) {
+	f, err := os.CreateTemp(dir, tmpPattern)
+	if err != nil {
+		return "", fmt.Errorf("snapshot: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	id, err := Encode(bw, s)
+	if err != nil {
+		return "", err
+	}
+	if err = bw.Flush(); err != nil {
+		return "", fmt.Errorf("snapshot: %w", err)
+	}
+	if err = f.Sync(); err != nil {
+		return "", fmt.Errorf("snapshot: %w", err)
+	}
+	if err = f.Close(); err != nil {
+		return "", fmt.Errorf("snapshot: %w", err)
+	}
+	path = filepath.Join(dir, Filename(s.Meta.Events, s.Meta.CreatedUnixNano, id))
+	if err = os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("snapshot: %w", err)
+	}
+	if err = syncDir(dir); err != nil {
+		return "", fmt.Errorf("snapshot: %w", err)
+	}
+	return path, nil
+}
+
+// syncDir flushes the directory entry so the rename itself survives a
+// crash, not just the file contents.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	syncErr := d.Sync()
+	if closeErr := d.Close(); syncErr == nil {
+		syncErr = closeErr
+	}
+	return syncErr
+}
+
+// ReadFile decodes and verifies one snapshot file.
+func ReadFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	s, err := DecodeBytes(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return s, nil
+}
+
+// Latest returns the newest checkpoint file in dir, by the canonical
+// name ordering (event count, then ID). fs.ErrNotExist is returned when
+// the directory holds no snapshots.
+func Latest(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", fmt.Errorf("snapshot: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, Ext) {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return "", fmt.Errorf("snapshot: no %s files in %s: %w", Ext, dir, fs.ErrNotExist)
+	}
+	sort.Strings(names)
+	return filepath.Join(dir, names[len(names)-1]), nil
+}

@@ -1,0 +1,127 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+// snapshotFromBytes derives a deterministic, always-valid snapshot from
+// fuzz input so the round-trip property gets exercised over arbitrary
+// shard counts, PC sets and blob contents. Layout consumed per field is
+// intentionally simple: the fuzzer mutates structure and content alike.
+func snapshotFromBytes(data []byte) *Snapshot {
+	take := func(n int) []byte {
+		if n > len(data) {
+			n = len(data)
+		}
+		out := data[:n]
+		data = data[n:]
+		return out
+	}
+	byteAt := func() byte {
+		b := take(1)
+		if len(b) == 0 {
+			return 0
+		}
+		return b[0]
+	}
+
+	nshards := int(byteAt()%4) + 1
+	npred := int(byteAt()%3) + 1
+	names := []string{"l", "s2", "fcm3", "hyb"}[:npred]
+
+	s := &Snapshot{Meta: Meta{
+		CreatedUnixNano: int64(binary.LittleEndian.Uint32(append(take(4), 0, 0, 0, 0))),
+		Predictors:      names,
+	}}
+	for i := 0; i < nshards; i++ {
+		sh := ShardState{Shard: i, Events: uint64(byteAt()) * 17}
+		npc := int(byteAt() % 8)
+		pc := uint64(0)
+		for j := 0; j < npc; j++ {
+			pc += uint64(byteAt()) + 1 // strictly ascending
+			sh.PCs = append(sh.PCs, pc)
+		}
+		for _, name := range names {
+			ps := PredState{
+				Name:    name,
+				Correct: uint64(byteAt()),
+				Total:   uint64(byteAt()) + 1,
+				State:   append([]byte(nil), take(int(byteAt())%64)...),
+			}
+			sh.Preds = append(sh.Preds, ps)
+		}
+		s.Shards = append(s.Shards, sh)
+	}
+	return s
+}
+
+// FuzzSnapshotRoundTrip: any structurally valid snapshot must encode,
+// decode to an equal value, and re-encode byte-identically.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 2, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Add(bytes.Repeat([]byte{0xFF}, 200))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in := snapshotFromBytes(data)
+		var buf bytes.Buffer
+		id, err := Encode(&buf, in)
+		if err != nil {
+			t.Fatalf("Encode of valid snapshot: %v", err)
+		}
+		out, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("Decode of just-encoded snapshot: %v", err)
+		}
+		if out.Meta.ID != id || out.Meta.Events != in.Meta.Events {
+			t.Fatalf("meta mismatch: %+v vs %+v", out.Meta, in.Meta)
+		}
+		// nil-vs-empty blobs are indistinguishable on the wire.
+		for si := range in.Shards {
+			for pi := range in.Shards[si].Preds {
+				if len(in.Shards[si].Preds[pi].State) == 0 {
+					in.Shards[si].Preds[pi].State = nil
+				}
+				if len(out.Shards[si].Preds[pi].State) == 0 {
+					out.Shards[si].Preds[pi].State = nil
+				}
+			}
+		}
+		if !reflect.DeepEqual(in.Shards, out.Shards) {
+			t.Fatalf("shards differ:\n in  %+v\n out %+v", in.Shards, out.Shards)
+		}
+		var buf2 bytes.Buffer
+		id2, err := Encode(&buf2, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id2 != id || !bytes.Equal(buf2.Bytes(), buf.Bytes()) {
+			t.Fatal("re-encode not canonical")
+		}
+	})
+}
+
+// FuzzSnapshotDecodeRobustness: arbitrary bytes must never panic the
+// decoder or make it allocate past the input it was handed.
+func FuzzSnapshotDecodeRobustness(f *testing.F) {
+	var valid bytes.Buffer
+	s := snapshotFromBytes([]byte{2, 2, 1, 2, 3, 4, 9, 9, 9, 9, 9, 9, 9, 9})
+	if _, err := Encode(&valid, s); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte(Magic))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := DecodeBytes(data)
+		if err == nil {
+			// Anything accepted must re-encode cleanly (it passed CRC and
+			// all structural checks, so it is a genuine snapshot image).
+			if _, err := Encode(&bytes.Buffer{}, snap); err != nil {
+				t.Fatalf("accepted snapshot fails re-encode: %v", err)
+			}
+		}
+	})
+}
