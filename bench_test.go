@@ -92,7 +92,39 @@ func BenchmarkPredictLastValue(b *testing.B) { benchPredictor(b, core.NewLastVal
 func BenchmarkPredictStride2D(b *testing.B)  { benchPredictor(b, core.NewStride2Delta()) }
 func BenchmarkPredictFCM1(b *testing.B)      { benchPredictor(b, core.NewFCM(1)) }
 func BenchmarkPredictFCM3(b *testing.B)      { benchPredictor(b, core.NewFCM(3)) }
-func BenchmarkPredictHybrid(b *testing.B)    { benchPredictor(b, core.NewStrideFCMHybrid(3)) }
+
+// BenchmarkPredictFCM8 is the high-order row: Figure 11 sweeps orders up
+// to 8, where the per-event context work (one rolling-signature table per
+// order) is at its deepest.
+func BenchmarkPredictFCM8(b *testing.B)   { benchPredictor(b, core.NewFCM(8)) }
+func BenchmarkPredictHybrid(b *testing.B) { benchPredictor(b, core.NewStrideFCMHybrid(3)) }
+
+// BenchmarkPredictFCM3Steady measures the steady state the online service
+// lives in: strictly periodic values over a fixed PC set, fully warmed
+// before the timer starts, so no PC, context or value is ever new. The CI
+// bench smoke asserts 0 allocs/op here — any per-event allocation that
+// sneaks back into the predict/update path fails the gate.
+func BenchmarkPredictFCM3Steady(b *testing.B) {
+	p := core.NewFCM(3)
+	rns := seqclass.NonStridePeriod(5, 4)
+	step := func(i int) {
+		pc := uint64(i % 64)
+		v := rns[(uint64(i/64)+pc)%4] // period-4 value sequence per PC
+		pred, ok := p.Predict(pc)
+		_ = pred
+		_ = ok
+		p.Update(pc, v)
+	}
+	warm := 64 * 16 // several full periods: every context exists
+	for i := 0; i < warm; i++ {
+		step(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step(warm + i)
+	}
+}
 
 // BenchmarkSimulator measures raw simulation speed (instructions/op).
 func BenchmarkSimulator(b *testing.B) {

@@ -1,0 +1,188 @@
+// vpbench runs the predictor micro-benchmarks through `go test -bench`
+// and writes a machine-readable JSON report (name, ns/op, B/op,
+// allocs/op plus any custom metrics), so successive PRs can track the
+// performance trajectory of the hot path from a stable artifact instead
+// of scraping log text.
+//
+// It can also act as an allocation-regression gate: with
+// -assert-zero-alloc, every matching benchmark must report 0 allocs/op
+// or the run exits non-zero. CI points this at the steady-state FCM
+// benchmark so a change that reintroduces per-event allocation fails
+// loudly.
+//
+// Usage (from the module root):
+//
+//	go run ./cmd/vpbench                       # BENCH_core.json from BenchmarkPredict*
+//	go run ./cmd/vpbench -bench 'BenchmarkServe' -benchtime 1x -out BENCH_serve.json
+//	go run ./cmd/vpbench -assert-zero-alloc 'BenchmarkPredictFCM3Steady$'
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one benchmark line in the report.
+type BenchResult struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds any additional per-op metrics the benchmark reported
+	// (e.g. "events/op").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the top-level JSON artifact.
+type Report struct {
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Package    string        `json:"package"`
+	Bench      string        `json:"bench"`
+	Benchtime  string        `json:"benchtime"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench` result row:
+//
+//	BenchmarkPredictFCM3-8   1000000   918.4 ns/op   598 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func parseBenchOutput(out []byte) []BenchResult {
+	var results []BenchResult
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := BenchResult{Name: m[1], Iterations: iters}
+		// The tail is whitespace-separated (value, unit) pairs.
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			default:
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				r.Metrics[fields[i+1]] = v
+			}
+		}
+		results = append(results, r)
+	}
+	return results
+}
+
+func main() {
+	var (
+		bench     = flag.String("bench", "BenchmarkPredict", "benchmark regex passed to go test -bench")
+		benchtime = flag.String("benchtime", "100x", "benchtime passed to go test (e.g. 100x, 1s)")
+		pkg       = flag.String("pkg", ".", "package to benchmark (module-root package holds the predictor benchmarks)")
+		out       = flag.String("out", "BENCH_core.json", "output JSON path ('' or '-' for stdout)")
+		count     = flag.Int("count", 1, "benchmark repetition count")
+		assertRE  = flag.String("assert-zero-alloc", "", "regex of benchmarks that must report 0 allocs/op; non-zero exit on violation or no match")
+	)
+	flag.Parse()
+
+	args := []string{
+		"test", "-run=^$",
+		"-bench=" + *bench,
+		"-benchmem",
+		"-benchtime=" + *benchtime,
+		"-count=" + strconv.Itoa(*count),
+		*pkg,
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	os.Stdout.Write(raw)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vpbench: go %s: %v\n", strings.Join(args, " "), err)
+		os.Exit(1)
+	}
+
+	report := Report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Package:    *pkg,
+		Bench:      *bench,
+		Benchtime:  *benchtime,
+		Benchmarks: parseBenchOutput(raw),
+	}
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "vpbench: no benchmarks matched %q\n", *bench)
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vpbench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" || *out == "-" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "vpbench: %v\n", err)
+		os.Exit(1)
+	} else {
+		fmt.Fprintf(os.Stderr, "vpbench: wrote %s (%d benchmarks)\n", *out, len(report.Benchmarks))
+	}
+
+	if *assertRE != "" {
+		re, err := regexp.Compile(*assertRE)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vpbench: bad -assert-zero-alloc regex: %v\n", err)
+			os.Exit(1)
+		}
+		matched := false
+		failed := false
+		for _, r := range report.Benchmarks {
+			if !re.MatchString(r.Name) {
+				continue
+			}
+			matched = true
+			if r.AllocsPerOp != 0 {
+				fmt.Fprintf(os.Stderr, "vpbench: FAIL %s allocates %.1f allocs/op (want 0)\n", r.Name, r.AllocsPerOp)
+				failed = true
+			} else {
+				fmt.Fprintf(os.Stderr, "vpbench: ok   %s is allocation-free\n", r.Name)
+			}
+		}
+		if !matched {
+			fmt.Fprintf(os.Stderr, "vpbench: -assert-zero-alloc %q matched no benchmark\n", *assertRE)
+			os.Exit(1)
+		}
+		if failed {
+			os.Exit(1)
+		}
+	}
+}

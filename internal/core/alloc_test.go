@@ -1,0 +1,48 @@
+package core
+
+import "testing"
+
+// TestPredictorsSteadyStateZeroAlloc pins the flat storage layer's core
+// property: once every PC, context and value has been seen, the
+// predict/update path allocates nothing. The stream is strictly periodic
+// over a fixed PC set and fully warmed first, so any allocation reported
+// here is a per-event cost, not amortized growth.
+func TestPredictorsSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	rns := NonStride4 // period-4 repeating values
+	preds := []Predictor{
+		NewLastValue(),
+		NewStride2Delta(),
+		NewFCM(1),
+		NewFCM(3),
+		NewFCM(8),
+		NewStrideFCMHybrid(3),
+	}
+	for _, p := range preds {
+		t.Run(p.Name(), func(t *testing.T) {
+			step := func(i int) {
+				pc := uint64(i % 48)
+				v := rns[(uint64(i/48)+pc)%4]
+				p.Predict(pc)
+				p.Update(pc, v)
+			}
+			for i := 0; i < 48*16; i++ { // warm every context of every order
+				step(i)
+			}
+			i := 48 * 16
+			allocs := testing.AllocsPerRun(200, func() {
+				step(i)
+				i++
+			})
+			if allocs != 0 {
+				t.Fatalf("%s steady state allocates %.1f allocs per event", p.Name(), allocs)
+			}
+		})
+	}
+}
+
+// NonStride4 is a fixed period-4 non-stride value pattern (3 1 4 1 would
+// alias a stride; these do not).
+var NonStride4 = []uint64{3, 1, 4, 7}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"encoding/binary"
 	"fmt"
 	"io"
 )
@@ -73,14 +72,17 @@ func (p *BoundedFCM) slot1(pc uint64) *boundedHist {
 	return &p.l1[(pc>>2)&p.l1Mask]
 }
 
-// hashCtx folds pc and the value history into a level-2 index.
+// hashCtx folds pc and the value history into a level-2 index: FNV-1a
+// over the little-endian bytes of each history value. The bytes are
+// extracted by shifting instead of staging through a buffer — the hash
+// values (and so every aliasing decision and saved table image) are
+// bit-identical to the original buffered form.
 func (p *BoundedFCM) hashCtx(pc uint64, h *boundedHist) uint64 {
-	var buf [8]byte
 	acc := pc * 0x9E3779B97F4A7C15
 	for i := 0; i < h.n; i++ {
-		binary.LittleEndian.PutUint64(buf[:], h.hist[i])
-		for _, b := range buf {
-			acc = (acc ^ uint64(b)) * 0x100000001B3
+		v := h.hist[i]
+		for s := 0; s < 64; s += 8 {
+			acc = (acc ^ (v >> s & 0xff)) * 0x100000001B3
 		}
 	}
 	return acc

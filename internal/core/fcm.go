@@ -1,9 +1,10 @@
 package core
 
 import (
-	"encoding/binary"
 	"fmt"
 	"io"
+	"math/bits"
+	"sort"
 )
 
 // MaxFCMOrder bounds the context length supported by FCM predictors. The
@@ -20,33 +21,183 @@ const MaxFCMOrder = 16
 // predictors of orders 0 to n-1"): the prediction comes from the highest
 // order whose context has been observed before, and updates follow the
 // lazy-exclusion rule — only the matched order and all higher orders have
-// their counts updated. Contexts are full concatenations of history
-// values, so there is no aliasing when matching contexts.
+// their counts updated. Context matching is exact (full value sequences
+// are compared, never just hashes), so there is no aliasing, exactly as
+// the paper requires.
+//
+// Storage is flat and allocation-free in steady state: per-PC state lives
+// in a slab indexed by one open-addressed pc→handle table, contexts live
+// in per-order slabs indexed by open-addressed signature tables, and the
+// (value, count) lists are handle-linked nodes in a shared slab. The
+// context signature of every order is maintained incrementally — O(1) per
+// order per event — instead of re-concatenating the history, and each
+// signature hit is verified against the stored full context before it
+// counts as a match.
 type FCM struct {
 	order int
 	blend bool
-	table map[uint64]*fcmPC
+	fcmStore
 }
 
-// fcmPC is the per-static-instruction state of an FCM.
-type fcmPC struct {
-	hist    [MaxFCMOrder]uint64 // most recent values, hist[0] oldest kept
-	n       int                 // how many history values are valid (<= order)
-	ctxs    []map[string]*fcmCtx
+// fcmStore is the FCM's entire mutable storage, grouped so LoadState can
+// build a fresh store and swap it in atomically.
+type fcmStore struct {
+	idx  pcTable
+	pcs  []fcmPCState    // per-PC slab, indexed by pcTable handles
+	ords []fcmOrderStore // per-order context stores, index 0..order
+	vals []fcmVal        // shared (value, count) slab; each context owns one contiguous run
+	vidx []fcmValIdx     // value→ordinal indexes of promoted (large) contexts
+}
+
+// fcmPCState is the per-static-instruction state: the value history, the
+// incrementally maintained rolling signature of each order's context, and
+// the handle of this PC's order-0 context (-1 until first update).
+type fcmPCState struct {
+	hist    [MaxFCMOrder]uint64     // most recent values, hist[0] oldest kept
+	sigs    [MaxFCMOrder + 1]uint64 // sigs[o] = signature of the last o values (valid for o <= n)
+	pc      uint64
 	updates uint64 // total updates at this PC (for reporting)
+	ctx0    int32  // handle of the order-0 context in ords[0], -1 if none
+	n       int32  // how many history values are valid (<= order)
 }
 
-// fcmCtx holds the exact value counts observed after one context.
-type fcmCtx struct {
-	vals []fcmVal
-	best int // index into vals of the current prediction
+// fcmOrderStore holds every context of one order across all PCs: an
+// open-addressed signature table over a context slab, plus the exact
+// context values (order values per context) for alias-free verification.
+// Order 0 uses only the slab (its single per-PC context is addressed
+// directly through fcmPCState.ctx0).
+type fcmOrderStore struct {
+	slots []int32     // context handle+1; 0 = empty
+	ctxs  []fcmCtxEnt // context slab
+	keys  []uint64    // exact context values, order per context
 }
 
-// fcmVal is one (value, count) pair; contexts typically see very few
-// distinct values, so a small linear-scanned slice beats a map.
+// fcmCtxEnt is one context's entry: its signature and owner (for probing
+// and rehash), the bounds of its value run in the shared slab, and the
+// cached prediction (best value, its list ordinal and count) so Predict
+// is one read.
+type fcmCtxEnt struct {
+	sig     uint64 // rolling signature of the context values
+	bestVal uint64 // value at ordinal best (the current prediction)
+	pcIdx   int32  // owning PC handle
+	valOff  int32  // start of this context's run in the value slab
+	valCap  int32  // reserved run length (doubled by relocation when full)
+	nvals   int32  // live values in the run
+	best    int32  // run ordinal of the prediction
+	vh      int32  // value-index handle+1 once promoted; 0 = scan the run
+	bestCnt uint32 // count of the prediction's value
+}
+
+// fcmVal is one (value, count) pair. Contexts typically see very few
+// distinct values, so lists are scanned linearly; keeping each context's
+// list as one contiguous slab run makes that scan sequential in memory. A
+// full run relocates to a doubled run at the slab's end (the hole is left
+// behind), so growth is amortized O(1) with no per-context allocation.
 type fcmVal struct {
 	value uint64
 	count uint32
+}
+
+// fcmHashThreshold is the run length past which a context gets a
+// value→ordinal hash index: short lists (the overwhelmingly common case)
+// stay a sequential scan, while degenerate contexts that accumulate
+// thousands of distinct values — e.g. a monotonically counting
+// instruction — keep O(1) updates instead of an O(n) rescan per event.
+const fcmHashThreshold = 16
+
+// fcmValIdx is the open-addressed value→run-ordinal index of one promoted
+// context. Ordinals are stable (runs only append; relocation preserves
+// order), so the index never needs repair.
+type fcmValIdx struct {
+	slots []vhSlot
+	n     int
+}
+
+type vhSlot struct {
+	value uint64
+	ref   int32 // run ordinal+1; 0 = empty
+}
+
+func (t *fcmValIdx) lookup(v uint64) (int32, bool) {
+	if len(t.slots) == 0 {
+		return 0, false
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := mix64(v) & mask; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if s.ref == 0 {
+			return 0, false
+		}
+		if s.value == v {
+			return s.ref - 1, true
+		}
+	}
+}
+
+// insert records v at ord; when v is already present the first ordinal is
+// kept, mirroring the find-first semantics of the linear scan.
+func (t *fcmValIdx) insert(v uint64, ord int32) {
+	if 4*(t.n+1) > 3*len(t.slots) {
+		t.grow()
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := mix64(v) & mask; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if s.ref == 0 {
+			*s = vhSlot{value: v, ref: ord + 1}
+			t.n++
+			return
+		}
+		if s.value == v {
+			return
+		}
+	}
+}
+
+func (t *fcmValIdx) grow() {
+	size := 4 * fcmHashThreshold
+	if len(t.slots) > 0 {
+		size = 2 * len(t.slots)
+	}
+	old := t.slots
+	t.slots = make([]vhSlot, size)
+	mask := uint64(size - 1)
+	for _, s := range old {
+		if s.ref == 0 {
+			continue
+		}
+		for i := mix64(s.value) & mask; ; i = (i + 1) & mask {
+			if t.slots[i].ref == 0 {
+				t.slots[i] = s
+				break
+			}
+		}
+	}
+}
+
+// Rolling signature: sig(v1..vo) = Σ sigMix(vi)·sigMult^(o-i) mod 2^64.
+// Appending a value shifts every order's signature down one order —
+// sig[o] becomes sig[o-1]·sigMult + sigMix(v) — so maintenance is one
+// multiply-add per order with no removal term. Signatures only steer
+// probing; matches are always verified against the stored context values.
+const sigMult = 0x9E3779B97F4A7C15 // odd, high-entropy (2^64 / golden ratio)
+
+func sigMix(v uint64) uint64 { return mix64(v) }
+
+// sigOf computes the signature of a full context from scratch (LoadState
+// and verification paths; the hot path rolls signatures incrementally).
+func sigOf(vals []uint64) uint64 {
+	var s uint64
+	for _, v := range vals {
+		s = s*sigMult + sigMix(v)
+	}
+	return s
+}
+
+// ctxSlotHash folds a context signature and its owning PC handle into the
+// probe start, so equal contexts of different PCs spread apart.
+func ctxSlotHash(sig uint64, pcIdx int32) uint64 {
+	return mix64(sig ^ uint64(pcIdx)*sigMult)
 }
 
 // NewFCM returns an order-k FCM with blending and lazy exclusion, the
@@ -58,7 +209,7 @@ func NewFCM(order int) *FCM {
 	if order > MaxFCMOrder {
 		order = MaxFCMOrder
 	}
-	return &FCM{order: order, blend: true, table: make(map[uint64]*fcmPC)}
+	return &FCM{order: order, blend: true, fcmStore: newFCMStore(order)}
 }
 
 // NewFCMNoBlend returns an order-k FCM without blending: it predicts only
@@ -68,6 +219,10 @@ func NewFCMNoBlend(order int) *FCM {
 	p := NewFCM(order)
 	p.blend = false
 	return p
+}
+
+func newFCMStore(order int) fcmStore {
+	return fcmStore{ords: make([]fcmOrderStore, order+1)}
 }
 
 // Name implements Predictor.
@@ -96,47 +251,118 @@ func itoa(n int) string {
 	return string(buf[i:])
 }
 
-// ctxKey encodes the most recent o values of s as a map key. Order-0 uses
-// the empty key. Full concatenation guarantees no aliasing.
-func (s *fcmPC) ctxKey(o int) string {
-	if o == 0 {
-		return ""
+// find returns the handle of the context with the given exact values, or
+// -1. The signature narrows the probe; the stored values decide.
+func (st *fcmOrderStore) find(pcIdx int32, sig uint64, key []uint64) int32 {
+	if len(st.slots) == 0 {
+		return -1
 	}
-	var buf [8 * MaxFCMOrder]byte
-	for i := 0; i < o; i++ {
-		binary.LittleEndian.PutUint64(buf[i*8:], s.hist[s.n-o+i])
+	mask := uint64(len(st.slots) - 1)
+	o := len(key)
+	for i := ctxSlotHash(sig, pcIdx) & mask; ; i = (i + 1) & mask {
+		ref := st.slots[i]
+		if ref == 0 {
+			return -1
+		}
+		c := &st.ctxs[ref-1]
+		if c.pcIdx != pcIdx || c.sig != sig {
+			continue
+		}
+		k := st.keys[int(ref-1)*o : int(ref)*o]
+		match := true
+		for j := range k {
+			if k[j] != key[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return ref - 1
+		}
 	}
-	return string(buf[: 8*o : 8*o])
+}
+
+// insert adds a context (which must not be present) and returns its
+// handle.
+func (st *fcmOrderStore) insert(pcIdx int32, sig uint64, key []uint64) int32 {
+	if 4*(len(st.ctxs)+1) > 3*len(st.slots) {
+		st.grow()
+	}
+	h := int32(len(st.ctxs))
+	st.ctxs = append(st.ctxs, fcmCtxEnt{sig: sig, pcIdx: pcIdx})
+	st.keys = append(st.keys, key...)
+	mask := uint64(len(st.slots) - 1)
+	for i := ctxSlotHash(sig, pcIdx) & mask; ; i = (i + 1) & mask {
+		if st.slots[i] == 0 {
+			st.slots[i] = h + 1
+			return h
+		}
+	}
+}
+
+// insertPlain appends a keyless context (order 0; addressed through
+// fcmPCState.ctx0, never probed).
+func (st *fcmOrderStore) insertPlain(pcIdx int32) int32 {
+	h := int32(len(st.ctxs))
+	st.ctxs = append(st.ctxs, fcmCtxEnt{pcIdx: pcIdx})
+	return h
+}
+
+func (st *fcmOrderStore) grow() {
+	size := pcTableMinSize
+	if len(st.slots) > 0 {
+		size = 2 * len(st.slots)
+	}
+	st.slots = make([]int32, size)
+	mask := uint64(size - 1)
+	for h := range st.ctxs {
+		c := &st.ctxs[h]
+		for i := ctxSlotHash(c.sig, c.pcIdx) & mask; ; i = (i + 1) & mask {
+			if st.slots[i] == 0 {
+				st.slots[i] = int32(h) + 1
+				break
+			}
+		}
+	}
 }
 
 // Predict implements Predictor. With blending, the highest order whose
 // context has been seen makes the prediction; without, only the full
 // order is consulted.
 func (p *FCM) Predict(pc uint64) (uint64, bool) {
-	s, ok := p.table[pc]
+	h, ok := p.idx.lookup(pc)
 	if !ok {
 		return 0, false
 	}
-	v, _, ok := p.lookup(s)
+	v, _, ok := p.lookupCtx(&p.pcs[h], h)
 	return v, ok
 }
 
-// lookup returns the predicted value and the order that matched.
-func (p *FCM) lookup(s *fcmPC) (value uint64, matched int, ok bool) {
+// lookupCtx returns the predicted value and the order that matched.
+func (p *FCM) lookupCtx(s *fcmPCState, pcIdx int32) (value uint64, matched int, ok bool) {
 	lowest := p.order
 	if p.blend {
 		lowest = 0
 	}
 	for o := p.order; o >= lowest; o-- {
-		if o > s.n {
+		if o > int(s.n) {
 			continue
 		}
-		t := s.ctxs[o]
-		if t == nil {
-			continue
+		var c *fcmCtxEnt
+		if o == 0 {
+			if s.ctx0 < 0 {
+				continue
+			}
+			c = &p.ords[0].ctxs[s.ctx0]
+		} else {
+			hnd := p.ords[o].find(pcIdx, s.sigs[o], s.hist[int(s.n)-o:s.n])
+			if hnd < 0 {
+				continue
+			}
+			c = &p.ords[o].ctxs[hnd]
 		}
-		if c, hit := t[s.ctxKey(o)]; hit && len(c.vals) > 0 {
-			return c.vals[c.best].value, o, true
+		if c.nvals > 0 {
+			return c.bestVal, o, true
 		}
 	}
 	return 0, -1, false
@@ -145,12 +371,13 @@ func (p *FCM) lookup(s *fcmPC) (value uint64, matched int, ok bool) {
 // Update implements Predictor, applying lazy exclusion: the matched order
 // and all higher orders are updated; lower orders are left untouched.
 func (p *FCM) Update(pc uint64, value uint64) {
-	s, ok := p.table[pc]
+	pcIdx, ok := p.idx.lookup(pc)
 	if !ok {
-		s = &fcmPC{ctxs: make([]map[string]*fcmCtx, p.order+1)}
-		p.table[pc] = s
+		pcIdx = p.idx.insert(pc)
+		p.pcs = append(p.pcs, fcmPCState{pc: pc, ctx0: -1})
 	}
-	_, matched, hit := p.lookup(s)
+	s := &p.pcs[pcIdx]
+	_, matched, hit := p.lookupCtx(s, pcIdx)
 	low := 0
 	if hit && p.blend {
 		low = matched
@@ -159,50 +386,130 @@ func (p *FCM) Update(pc uint64, value uint64) {
 		low = p.order
 	}
 	for o := p.order; o >= low; o-- {
-		if o > s.n {
+		if o > int(s.n) {
 			continue
 		}
-		t := s.ctxs[o]
-		if t == nil {
-			t = make(map[string]*fcmCtx)
-			s.ctxs[o] = t
+		var hnd int32
+		if o == 0 {
+			if s.ctx0 < 0 {
+				s.ctx0 = p.ords[0].insertPlain(pcIdx)
+			}
+			hnd = s.ctx0
+		} else {
+			st := &p.ords[o]
+			key := s.hist[int(s.n)-o : s.n]
+			hnd = st.find(pcIdx, s.sigs[o], key)
+			if hnd < 0 {
+				hnd = st.insert(pcIdx, s.sigs[o], key)
+			}
 		}
-		key := s.ctxKey(o)
-		c := t[key]
-		if c == nil {
-			c = &fcmCtx{}
-			t[key] = c
-		}
-		c.add(value)
+		p.addValue(&p.ords[o].ctxs[hnd], value)
 	}
-	s.push(value, p.order)
+	s.pushValue(value, p.order)
 	s.updates++
 }
 
-// add increments the count for v and maintains the max-count prediction;
-// a just-updated value wins ties, giving most-recently-seen tie-breaks.
-func (c *fcmCtx) add(v uint64) {
-	for i := range c.vals {
-		if c.vals[i].value == v {
-			c.vals[i].count++
-			if c.vals[i].count >= c.vals[c.best].count {
-				c.best = i
-			}
+// addValue increments the count for v in c's run (appending on first
+// sight) and maintains the cached max-count prediction; a just-updated
+// value wins ties, giving most-recently-seen tie-breaks. Small runs are
+// scanned; promoted contexts go through their value index.
+func (st *fcmStore) addValue(c *fcmCtxEnt, v uint64) {
+	if c.vh != 0 {
+		if ord, ok := st.vidx[c.vh-1].lookup(v); ok {
+			st.bumpValue(c, ord)
+			return
+		}
+		st.appendNewValue(c, v)
+		st.vidx[c.vh-1].insert(v, c.nvals-1)
+		return
+	}
+	run := st.vals[c.valOff : c.valOff+c.nvals]
+	for i := range run {
+		if run[i].value == v {
+			st.bumpValue(c, int32(i))
 			return
 		}
 	}
-	c.vals = append(c.vals, fcmVal{value: v, count: 1})
-	if len(c.vals) == 1 || c.vals[c.best].count <= 1 {
-		c.best = len(c.vals) - 1
+	st.appendNewValue(c, v)
+	if c.nvals >= fcmHashThreshold {
+		st.promote(c)
 	}
 }
 
-// push appends v to the value history, keeping at most order values.
-func (s *fcmPC) push(v uint64, order int) {
+// bumpValue increments the count at run ordinal ord and refreshes the
+// cached prediction under the most-recently-updated tie-break.
+func (st *fcmStore) bumpValue(c *fcmCtxEnt, ord int32) {
+	e := &st.vals[c.valOff+ord]
+	e.count++
+	if e.count >= c.bestCnt {
+		c.best, c.bestVal, c.bestCnt = ord, e.value, e.count
+	}
+}
+
+// appendNewValue appends a first-sighting (count 1) value to c's run.
+func (st *fcmStore) appendNewValue(c *fcmCtxEnt, v uint64) {
+	if c.nvals == c.valCap {
+		st.relocateRun(c)
+	}
+	st.vals[c.valOff+c.nvals] = fcmVal{value: v, count: 1}
+	c.nvals++
+	if c.nvals == 1 || c.bestCnt <= 1 {
+		c.best, c.bestVal, c.bestCnt = c.nvals-1, v, 1
+	}
+}
+
+// promote builds c's value index from its current run.
+func (st *fcmStore) promote(c *fcmCtxEnt) {
+	h := int32(len(st.vidx))
+	st.vidx = append(st.vidx, fcmValIdx{})
+	t := &st.vidx[h]
+	run := st.vals[c.valOff : c.valOff+c.nvals]
+	for i := range run {
+		t.insert(run[i].value, int32(i))
+	}
+	c.vh = h + 1
+}
+
+// relocateRun moves c's value run to a doubled reservation at the slab's
+// end. The old run becomes a dead hole; total slab size stays within a
+// small constant factor of the live values, the standard doubling
+// amortization.
+func (st *fcmStore) relocateRun(c *fcmCtxEnt) {
+	newCap := int32(1)
+	if c.valCap > 0 {
+		newCap = 2 * c.valCap
+	}
+	off := int32(len(st.vals))
+	st.vals = append(st.vals, st.vals[c.valOff:c.valOff+c.nvals]...)
+	for i := c.nvals; i < newCap; i++ {
+		st.vals = append(st.vals, fcmVal{})
+	}
+	c.valOff, c.valCap = off, newCap
+}
+
+// appendVal tail-appends a value with an explicit count (LoadState path;
+// the cached prediction is derived afterwards from the loaded ordinal).
+func (st *fcmStore) appendVal(c *fcmCtxEnt, value uint64, count uint32) {
+	if c.nvals == c.valCap {
+		st.relocateRun(c)
+	}
+	st.vals[c.valOff+c.nvals] = fcmVal{value: value, count: count}
+	c.nvals++
+}
+
+// pushValue appends v to the value history and rolls every order's
+// signature forward: the new last-o values are the old last-(o-1) values
+// followed by v, so sig[o] derives from the old sig[o-1] in one
+// multiply-add, independent of the order.
+func (s *fcmPCState) pushValue(v uint64, order int) {
 	if order == 0 {
 		return
 	}
-	if s.n < order {
+	m := sigMix(v)
+	for o := order; o >= 1; o-- {
+		s.sigs[o] = s.sigs[o-1]*sigMult + m
+	}
+	if int(s.n) < order {
 		s.hist[s.n] = v
 		s.n++
 		return
@@ -211,27 +518,101 @@ func (s *fcmPC) push(v uint64, order int) {
 	s.hist[order-1] = v
 }
 
-// Reset implements Resetter.
-func (p *FCM) Reset() { clear(p.table) }
+// Reset implements Resetter: every slab and table is emptied in place,
+// keeping capacity.
+func (p *FCM) Reset() {
+	p.idx.reset()
+	p.pcs = p.pcs[:0]
+	p.vals = p.vals[:0]
+	p.vidx = p.vidx[:0]
+	for i := range p.ords {
+		st := &p.ords[i]
+		clear(st.slots)
+		st.ctxs = st.ctxs[:0]
+		st.keys = st.keys[:0]
+	}
+}
 
 // TableEntries implements Sized: static PCs tracked and total contexts
 // across all orders.
 func (p *FCM) TableEntries() (static, total int) {
-	static = len(p.table)
-	for _, s := range p.table {
-		for _, t := range s.ctxs {
-			total += len(t)
-		}
+	static = p.idx.len()
+	for o := range p.ords {
+		total += len(p.ords[o].ctxs)
 	}
 	return static, total
+}
+
+// sortedPCHandles returns the per-PC slab handles ordered by ascending PC.
+func (p *FCM) sortedPCHandles() []int32 {
+	hs := make([]int32, len(p.pcs))
+	for i := range hs {
+		hs[i] = int32(i)
+	}
+	sort.Slice(hs, func(i, j int) bool { return p.pcs[hs[i]].pc < p.pcs[hs[j]].pc })
+	return hs
+}
+
+// ctxKeyLess orders two contexts of the same order by their canonical
+// wire form: the lexicographic order of the little-endian concatenation
+// of their values, which per value is the numeric order of the
+// byte-reversed value.
+func (st *fcmOrderStore) ctxKeyLess(o int, a, b int32) bool {
+	ka := st.keys[int(a)*o : (int(a)+1)*o]
+	kb := st.keys[int(b)*o : (int(b)+1)*o]
+	for j := range ka {
+		x, y := bits.ReverseBytes64(ka[j]), bits.ReverseBytes64(kb[j])
+		if x != y {
+			return x < y
+		}
+	}
+	return false
+}
+
+// groupCtxsByPC buckets one order's context handles by owning PC handle
+// (counting sort), each bucket sorted in canonical key order. Bucket i is
+// out[starts[i]:starts[i+1]].
+func (st *fcmOrderStore) groupCtxsByPC(o, npc int) (out []int32, starts []int32) {
+	starts = make([]int32, npc+1)
+	for i := range st.ctxs {
+		starts[st.ctxs[i].pcIdx+1]++
+	}
+	for i := 1; i <= npc; i++ {
+		starts[i] += starts[i-1]
+	}
+	out = make([]int32, len(st.ctxs))
+	fill := make([]int32, npc)
+	copy(fill, starts[:npc])
+	for i := range st.ctxs {
+		pcIdx := st.ctxs[i].pcIdx
+		out[fill[pcIdx]] = int32(i)
+		fill[pcIdx]++
+	}
+	for i := 0; i < npc; i++ {
+		bucket := out[starts[i]:starts[i+1]]
+		sort.Slice(bucket, func(a, b int) bool { return st.ctxKeyLess(o, bucket[a], bucket[b]) })
+	}
+	return out, starts
+}
+
+// encodeCtx emits one context: value-list length, best ordinal, then the
+// (value, count) pairs in exact list order — both the order and the best
+// index steer future tie-breaks, so they are state, not presentation.
+func (p *FCM) encodeCtx(e *stateEncoder, c *fcmCtxEnt) {
+	e.uvarint(uint64(c.nvals))
+	e.uvarint(uint64(c.best))
+	for _, v := range p.vals[c.valOff : c.valOff+c.nvals] {
+		e.uvarint(v.value)
+		e.uvarint(uint64(v.count))
+	}
 }
 
 // SaveState implements Stateful. Layout: order and blend flag (validated
 // against the receiver's configuration on load), then sorted per-PC
 // records: history, update count, and for each order 0..k the context
-// table with keys in lexicographic order. A context's value list keeps
-// its exact slice order and best index — both steer future tie-breaks, so
-// they are state, not presentation.
+// table with full-concatenation keys in lexicographic order, streamed
+// straight from the key slab with no intermediate string. The encoding is
+// byte-identical to the original map-backed implementation's.
 func (p *FCM) SaveState(w io.Writer) error {
 	var e stateEncoder
 	e.uvarint(uint64(p.order))
@@ -240,36 +621,48 @@ func (p *FCM) SaveState(w io.Writer) error {
 		blend = 1
 	}
 	e.uvarint(blend)
-	e.uvarint(uint64(len(p.table)))
+	e.uvarint(uint64(len(p.pcs)))
+	npc := len(p.pcs)
+	grouped := make([][]int32, p.order+1)
+	starts := make([][]int32, p.order+1)
+	for o := 1; o <= p.order; o++ {
+		grouped[o], starts[o] = p.ords[o].groupCtxsByPC(o, npc)
+	}
 	var prev uint64
-	for _, pc := range sortedKeys(p.table) {
-		s := p.table[pc]
-		e.uvarint(pc - prev)
-		prev = pc
+	for _, h := range p.sortedPCHandles() {
+		s := &p.pcs[h]
+		e.uvarint(s.pc - prev)
+		prev = s.pc
 		e.uvarint(uint64(s.n))
-		for i := 0; i < s.n; i++ {
+		for i := 0; i < int(s.n); i++ {
 			e.uvarint(s.hist[i])
 		}
 		e.uvarint(s.updates)
-		for o := 0; o <= p.order; o++ {
-			t := s.ctxs[o]
-			e.uvarint(uint64(len(t)))
-			for _, key := range sortedStringKeys(t) {
-				e.bytes([]byte(key)) // full concatenation: exactly 8*o bytes
-				c := t[key]
-				e.uvarint(uint64(len(c.vals)))
-				e.uvarint(uint64(c.best))
-				for _, v := range c.vals {
-					e.uvarint(v.value)
-					e.uvarint(uint64(v.count))
+		if s.ctx0 >= 0 {
+			e.uvarint(1)
+			p.encodeCtx(&e, &p.ords[0].ctxs[s.ctx0])
+		} else {
+			e.uvarint(0)
+		}
+		for o := 1; o <= p.order; o++ {
+			st := &p.ords[o]
+			bucket := grouped[o][starts[o][h]:starts[o][h+1]]
+			e.uvarint(uint64(len(bucket)))
+			for _, ch := range bucket {
+				for _, kv := range st.keys[int(ch)*o : (int(ch)+1)*o] {
+					e.le64(kv) // full concatenation: exactly 8*o bytes
 				}
+				p.encodeCtx(&e, &st.ctxs[ch])
 			}
 		}
 	}
 	return e.flushTo(w)
 }
 
-// LoadState implements Stateful.
+// LoadState implements Stateful. The stream is decoded into a fresh store
+// (swapped in only on success, so a failed load leaves the receiver
+// untouched) and the rolling signatures are rebuilt from each restored
+// history.
 func (p *FCM) LoadState(r io.Reader) error {
 	d := newStateDecoder(r)
 	order := d.count(MaxFCMOrder)
@@ -280,61 +673,99 @@ func (p *FCM) LoadState(r io.Reader) error {
 			order, blend == 1, p.order, p.blend))
 	}
 	npc := d.uvarint()
-	table := make(map[uint64]*fcmPC)
+	store := newFCMStore(p.order)
 	var pc uint64
 	for i := uint64(0); i < npc && d.err == nil; i++ {
 		pc += d.uvarint()
-		s := &fcmPC{ctxs: make([]map[string]*fcmCtx, p.order+1)}
-		s.n = int(d.count(uint64(p.order)))
-		for j := 0; j < s.n; j++ {
+		if d.err != nil {
+			break
+		}
+		if _, dup := store.idx.lookup(pc); dup {
+			return errState(p.Name(), errDuplicatePC(pc))
+		}
+		pcIdx := store.idx.insert(pc)
+		store.pcs = append(store.pcs, fcmPCState{pc: pc, ctx0: -1})
+		s := &store.pcs[pcIdx]
+		s.n = int32(d.count(uint64(p.order)))
+		for j := 0; j < int(s.n); j++ {
 			s.hist[j] = d.uvarint()
 		}
 		s.updates = d.uvarint()
+		for o := 1; o <= int(s.n); o++ {
+			s.sigs[o] = sigOf(s.hist[int(s.n)-o : s.n])
+		}
+		var key [MaxFCMOrder]uint64
 		for o := 0; o <= p.order && d.err == nil; o++ {
 			nctx := d.uvarint()
-			if nctx == 0 || d.err != nil {
-				continue
-			}
-			t := make(map[string]*fcmCtx)
-			s.ctxs[o] = t
 			for k := uint64(0); k < nctx && d.err == nil; k++ {
-				key := string(d.bytes(uint64(8 * o)))
+				var hnd int32
+				if o == 0 {
+					if s.ctx0 >= 0 {
+						return errState(p.Name(), fmt.Errorf("pc %#x has %d order-0 contexts", pc, nctx))
+					}
+					s.ctx0 = store.ords[0].insertPlain(pcIdx)
+					hnd = s.ctx0
+				} else {
+					for j := 0; j < o; j++ {
+						key[j] = d.le64()
+					}
+					if d.err != nil {
+						break
+					}
+					sig := sigOf(key[:o])
+					st := &store.ords[o]
+					if st.find(pcIdx, sig, key[:o]) >= 0 {
+						return errState(p.Name(), fmt.Errorf("duplicate order-%d context at pc %#x", o, pc))
+					}
+					hnd = st.insert(pcIdx, sig, key[:o])
+				}
 				nv := d.uvarint()
 				best := d.uvarint()
 				if d.err == nil && best >= max(nv, 1) {
 					return errState(p.Name(), fmt.Errorf("best index %d out of range for %d values", best, nv))
 				}
-				c := &fcmCtx{best: int(best)}
-				if nv > 0 {
-					c.vals = make([]fcmVal, 0, min(nv, 1024))
-					for vi := uint64(0); vi < nv && d.err == nil; vi++ {
-						value := d.uvarint()
-						count := d.count(1<<32 - 1)
-						c.vals = append(c.vals, fcmVal{value: value, count: uint32(count)})
+				c := &store.ords[o].ctxs[hnd]
+				c.best = int32(best)
+				for vi := uint64(0); vi < nv && d.err == nil; vi++ {
+					value := d.uvarint()
+					count := d.count(1<<32 - 1)
+					if d.err != nil {
+						break
 					}
+					store.appendVal(c, value, uint32(count))
 				}
-				t[key] = c
+				if d.err == nil && c.nvals > 0 {
+					bv := store.vals[c.valOff+c.best]
+					c.bestVal, c.bestCnt = bv.value, bv.count
+				}
+				if d.err == nil && c.nvals >= fcmHashThreshold {
+					store.promote(c)
+				}
 			}
 		}
-		table[pc] = s
 	}
 	if err := d.expectEOF(); err != nil {
 		return errState(p.Name(), err)
 	}
-	p.table = table
+	p.fcmStore = store
 	return nil
 }
 
 // PCEntries implements PerPC: contexts held across all orders per static
 // instruction.
 func (p *FCM) PCEntries() map[uint64]int {
-	out := make(map[uint64]int, len(p.table))
-	for pc, s := range p.table {
+	out := make(map[uint64]int, len(p.pcs))
+	for i := range p.pcs {
 		n := 0
-		for _, t := range s.ctxs {
-			n += len(t)
+		if p.pcs[i].ctx0 >= 0 {
+			n = 1
 		}
-		out[pc] = n
+		out[p.pcs[i].pc] = n
+	}
+	for o := 1; o <= p.order; o++ {
+		for i := range p.ords[o].ctxs {
+			out[p.pcs[p.ords[o].ctxs[i].pcIdx].pc]++
+		}
 	}
 	return out
 }

@@ -1,0 +1,349 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"testing"
+)
+
+// This file keeps a verbatim copy of the original map-backed FCM (string
+// context keys, per-order maps, pointer entries) as a behavioral
+// reference, and replays deterministic traces through it and the flat
+// slab-backed FCM in lockstep. The two must agree on every individual
+// prediction, on the hit tallies, and — byte for byte — on SaveState
+// output, which is what lets the flat rewrite claim the snapshot wire
+// format never changed.
+
+// refFCM is the reference (pre-flat) implementation.
+type refFCM struct {
+	order int
+	blend bool
+	table map[uint64]*refFCMPC
+}
+
+type refFCMPC struct {
+	hist    [MaxFCMOrder]uint64
+	n       int
+	ctxs    []map[string]*refFCMCtx
+	updates uint64
+}
+
+type refFCMCtx struct {
+	vals []refFCMVal
+	best int
+}
+
+type refFCMVal struct {
+	value uint64
+	count uint32
+}
+
+func newRefFCM(order int, blend bool) *refFCM {
+	if order < 0 {
+		order = 0
+	}
+	if order > MaxFCMOrder {
+		order = MaxFCMOrder
+	}
+	return &refFCM{order: order, blend: blend, table: make(map[uint64]*refFCMPC)}
+}
+
+func (s *refFCMPC) ctxKey(o int) string {
+	if o == 0 {
+		return ""
+	}
+	var buf [8 * MaxFCMOrder]byte
+	for i := 0; i < o; i++ {
+		binary.LittleEndian.PutUint64(buf[i*8:], s.hist[s.n-o+i])
+	}
+	return string(buf[: 8*o : 8*o])
+}
+
+func (p *refFCM) Predict(pc uint64) (uint64, bool) {
+	s, ok := p.table[pc]
+	if !ok {
+		return 0, false
+	}
+	v, _, ok := p.lookup(s)
+	return v, ok
+}
+
+func (p *refFCM) lookup(s *refFCMPC) (value uint64, matched int, ok bool) {
+	lowest := p.order
+	if p.blend {
+		lowest = 0
+	}
+	for o := p.order; o >= lowest; o-- {
+		if o > s.n {
+			continue
+		}
+		t := s.ctxs[o]
+		if t == nil {
+			continue
+		}
+		if c, hit := t[s.ctxKey(o)]; hit && len(c.vals) > 0 {
+			return c.vals[c.best].value, o, true
+		}
+	}
+	return 0, -1, false
+}
+
+func (p *refFCM) Update(pc uint64, value uint64) {
+	s, ok := p.table[pc]
+	if !ok {
+		s = &refFCMPC{ctxs: make([]map[string]*refFCMCtx, p.order+1)}
+		p.table[pc] = s
+	}
+	_, matched, hit := p.lookup(s)
+	low := 0
+	if hit && p.blend {
+		low = matched
+	}
+	if !p.blend {
+		low = p.order
+	}
+	for o := p.order; o >= low; o-- {
+		if o > s.n {
+			continue
+		}
+		t := s.ctxs[o]
+		if t == nil {
+			t = make(map[string]*refFCMCtx)
+			s.ctxs[o] = t
+		}
+		key := s.ctxKey(o)
+		c := t[key]
+		if c == nil {
+			c = &refFCMCtx{}
+			t[key] = c
+		}
+		c.add(value)
+	}
+	s.push(value, p.order)
+	s.updates++
+}
+
+func (c *refFCMCtx) add(v uint64) {
+	for i := range c.vals {
+		if c.vals[i].value == v {
+			c.vals[i].count++
+			if c.vals[i].count >= c.vals[c.best].count {
+				c.best = i
+			}
+			return
+		}
+	}
+	c.vals = append(c.vals, refFCMVal{value: v, count: 1})
+	if len(c.vals) == 1 || c.vals[c.best].count <= 1 {
+		c.best = len(c.vals) - 1
+	}
+}
+
+func (s *refFCMPC) push(v uint64, order int) {
+	if order == 0 {
+		return
+	}
+	if s.n < order {
+		s.hist[s.n] = v
+		s.n++
+		return
+	}
+	copy(s.hist[:order-1], s.hist[1:order])
+	s.hist[order-1] = v
+}
+
+func (p *refFCM) TableEntries() (static, total int) {
+	static = len(p.table)
+	for _, s := range p.table {
+		for _, t := range s.ctxs {
+			total += len(t)
+		}
+	}
+	return static, total
+}
+
+func (p *refFCM) PCEntries() map[uint64]int {
+	out := make(map[uint64]int, len(p.table))
+	for pc, s := range p.table {
+		n := 0
+		for _, t := range s.ctxs {
+			n += len(t)
+		}
+		out[pc] = n
+	}
+	return out
+}
+
+func (p *refFCM) SaveState(w io.Writer) error {
+	var e stateEncoder
+	e.uvarint(uint64(p.order))
+	blend := uint64(0)
+	if p.blend {
+		blend = 1
+	}
+	e.uvarint(blend)
+	e.uvarint(uint64(len(p.table)))
+	pcs := make([]uint64, 0, len(p.table))
+	for pc := range p.table {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	var prev uint64
+	for _, pc := range pcs {
+		s := p.table[pc]
+		e.uvarint(pc - prev)
+		prev = pc
+		e.uvarint(uint64(s.n))
+		for i := 0; i < s.n; i++ {
+			e.uvarint(s.hist[i])
+		}
+		e.uvarint(s.updates)
+		for o := 0; o <= p.order; o++ {
+			t := s.ctxs[o]
+			e.uvarint(uint64(len(t)))
+			keys := make([]string, 0, len(t))
+			for k := range t {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, key := range keys {
+				e.bytes([]byte(key))
+				c := t[key]
+				e.uvarint(uint64(len(c.vals)))
+				e.uvarint(uint64(c.best))
+				for _, v := range c.vals {
+					e.uvarint(v.value)
+					e.uvarint(uint64(v.count))
+				}
+			}
+		}
+	}
+	return e.flushTo(w)
+}
+
+// parityStream is a deterministic (pc, value) trace with strides,
+// constants, short repeats and value noise wide enough to collide rolling
+// signatures' low bits, over enough PCs to force table growth.
+func parityStream(n int) []struct{ PC, Value uint64 } {
+	return trainStream(n)
+}
+
+func refSaveBytes(t *testing.T, p *refFCM) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.SaveState(&buf); err != nil {
+		t.Fatalf("reference SaveState: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestFCMFlatMatchesMapReference locksteps the flat FCM against the
+// map-backed reference: every prediction, the hit counts, the occupancy
+// reports and every SaveState byte must agree, across orders (including
+// the paper's high-order sweep) and both blending modes.
+func TestFCMFlatMatchesMapReference(t *testing.T) {
+	configs := []struct {
+		order int
+		blend bool
+	}{
+		{0, true}, {1, true}, {2, true}, {3, true}, {4, true}, {8, true},
+		{3, false}, {8, false},
+	}
+	evs := parityStream(8000)
+	for _, cfg := range configs {
+		name := fmt.Sprintf("order%d_blend%v", cfg.order, cfg.blend)
+		t.Run(name, func(t *testing.T) {
+			ref := newRefFCM(cfg.order, cfg.blend)
+			flat := NewFCM(cfg.order)
+			if !cfg.blend {
+				flat = NewFCMNoBlend(cfg.order)
+			}
+			var refHits, flatHits uint64
+			for i, ev := range evs {
+				rv, rok := ref.Predict(ev.PC)
+				fv, fok := flat.Predict(ev.PC)
+				if rok != fok || rv != fv {
+					t.Fatalf("event %d pc=%#x: reference (%d,%v) vs flat (%d,%v)",
+						i, ev.PC, rv, rok, fv, fok)
+				}
+				if rok && rv == ev.Value {
+					refHits++
+				}
+				if fok && fv == ev.Value {
+					flatHits++
+				}
+				ref.Update(ev.PC, ev.Value)
+				flat.Update(ev.PC, ev.Value)
+				if i%2000 == 1999 {
+					want := refSaveBytes(t, ref)
+					got := saveBytes(t, flat)
+					if !bytes.Equal(got, want) {
+						t.Fatalf("SaveState diverged after %d events (%d vs %d bytes)",
+							i+1, len(got), len(want))
+					}
+				}
+			}
+			if refHits != flatHits {
+				t.Fatalf("hit counts diverged: reference %d, flat %d", refHits, flatHits)
+			}
+			rs, rt := ref.TableEntries()
+			fs, ft := flat.TableEntries()
+			if rs != fs || rt != ft {
+				t.Fatalf("TableEntries diverged: reference (%d,%d), flat (%d,%d)", rs, rt, fs, ft)
+			}
+			refPer := ref.PCEntries()
+			flatPer := flat.PCEntries()
+			if len(refPer) != len(flatPer) {
+				t.Fatalf("PCEntries size diverged: %d vs %d", len(refPer), len(flatPer))
+			}
+			for pc, n := range refPer {
+				if flatPer[pc] != n {
+					t.Fatalf("PCEntries[%#x]: reference %d, flat %d", pc, n, flatPer[pc])
+				}
+			}
+		})
+	}
+}
+
+// TestFCMFlatLoadsReferenceState proves the wire format is shared both
+// ways: a state saved by the reference loads into a flat FCM (exercising
+// the slab rebuild and signature recomputation), the restored predictor
+// re-saves byte-identically, and it continues in lockstep with the
+// reference that kept running.
+func TestFCMFlatLoadsReferenceState(t *testing.T) {
+	evs := parityStream(6000)
+	for _, order := range []int{1, 3, 8} {
+		t.Run(fmt.Sprintf("order%d", order), func(t *testing.T) {
+			ref := newRefFCM(order, true)
+			for _, ev := range evs[:3000] {
+				ref.Update(ev.PC, ev.Value)
+			}
+			state := refSaveBytes(t, ref)
+
+			flat := NewFCM(order)
+			if err := flat.LoadState(bytes.NewReader(state)); err != nil {
+				t.Fatalf("flat LoadState of reference state: %v", err)
+			}
+			if got := saveBytes(t, flat); !bytes.Equal(got, state) {
+				t.Fatalf("flat re-save of reference state not byte-identical (%d vs %d bytes)",
+					len(got), len(state))
+			}
+			for i, ev := range evs[3000:] {
+				rv, rok := ref.Predict(ev.PC)
+				fv, fok := flat.Predict(ev.PC)
+				if rok != fok || rv != fv {
+					t.Fatalf("post-restore event %d pc=%#x: reference (%d,%v) vs flat (%d,%v)",
+						i, ev.PC, rv, rok, fv, fok)
+				}
+				ref.Update(ev.PC, ev.Value)
+				flat.Update(ev.PC, ev.Value)
+			}
+			if got, want := saveBytes(t, flat), refSaveBytes(t, ref); !bytes.Equal(got, want) {
+				t.Fatal("states diverged after restored replay")
+			}
+		})
+	}
+}

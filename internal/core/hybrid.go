@@ -17,7 +17,11 @@ type Hybrid struct {
 	name       string
 	components []Predictor
 	max        int16
-	choosers   map[uint64][]int16
+	// Chooser counters use the package's flat layout: PC handles index
+	// fixed-width rows of len(components) counters in one slab.
+	idx      pcTable
+	pcs      []uint64
+	counters []int16
 }
 
 // NewHybrid builds a chooser hybrid over the given components. Counter
@@ -30,8 +34,13 @@ func NewHybrid(name string, max int16, components ...Predictor) *Hybrid {
 		name:       name,
 		components: components,
 		max:        max,
-		choosers:   make(map[uint64][]int16),
 	}
+}
+
+// row returns the chooser counters for one PC handle.
+func (p *Hybrid) row(i int32) []int16 {
+	nc := len(p.components)
+	return p.counters[int(i)*nc : (int(i)+1)*nc]
 }
 
 // NewStrideFCMHybrid returns the specific hybrid the paper suggests:
@@ -48,7 +57,10 @@ func (p *Hybrid) Components() []Predictor { return p.components }
 
 // Predict implements Predictor: the best-counter component predicts.
 func (p *Hybrid) Predict(pc uint64) (uint64, bool) {
-	counters := p.choosers[pc]
+	var counters []int16
+	if h, ok := p.idx.lookup(pc); ok {
+		counters = p.row(h)
+	}
 	bestIdx, bestCount := 0, int16(-1)
 	for i := range p.components {
 		c := int16(0)
@@ -66,11 +78,15 @@ func (p *Hybrid) Predict(pc uint64) (uint64, bool) {
 // scored against the true value (adjusting its chooser counter), then all
 // components are updated so each keeps learning even when not chosen.
 func (p *Hybrid) Update(pc uint64, value uint64) {
-	counters := p.choosers[pc]
-	if counters == nil {
-		counters = make([]int16, len(p.components))
-		p.choosers[pc] = counters
+	h, ok := p.idx.lookup(pc)
+	if !ok {
+		h = p.idx.insert(pc)
+		p.pcs = append(p.pcs, pc)
+		for range p.components {
+			p.counters = append(p.counters, 0)
+		}
 	}
+	counters := p.row(h)
 	for i, c := range p.components {
 		pred, ok := c.Predict(pc)
 		if ok && pred == value {
@@ -88,7 +104,9 @@ func (p *Hybrid) Update(pc uint64, value uint64) {
 
 // Reset implements Resetter.
 func (p *Hybrid) Reset() {
-	clear(p.choosers)
+	p.idx.reset()
+	p.pcs = p.pcs[:0]
+	p.counters = p.counters[:0]
 	for _, c := range p.components {
 		if r, ok := c.(Resetter); ok {
 			r.Reset()
@@ -98,8 +116,8 @@ func (p *Hybrid) Reset() {
 
 // TableEntries implements Sized.
 func (p *Hybrid) TableEntries() (static, total int) {
-	static = len(p.choosers)
-	total = len(p.choosers) * len(p.components)
+	static = len(p.pcs)
+	total = len(p.counters)
 	for _, c := range p.components {
 		if s, ok := c.(Sized); ok {
 			_, t := s.TableEntries()
@@ -115,12 +133,13 @@ func (p *Hybrid) TableEntries() (static, total int) {
 func (p *Hybrid) SaveState(w io.Writer) error {
 	var e stateEncoder
 	e.uvarint(uint64(len(p.components)))
-	e.uvarint(uint64(len(p.choosers)))
+	e.uvarint(uint64(len(p.pcs)))
 	var prev uint64
-	for _, pc := range sortedKeys(p.choosers) {
+	for _, h := range sortedHandles(p.pcs) {
+		pc := p.pcs[h]
 		e.uvarint(pc - prev)
 		prev = pc
-		for _, c := range p.choosers[pc] {
+		for _, c := range p.row(h) {
 			e.uvarint(uint64(c)) // saturating counters never go negative
 		}
 	}
@@ -146,15 +165,25 @@ func (p *Hybrid) LoadState(r io.Reader) error {
 		return errState(p.name, fmt.Errorf("state has %d components, receiver has %d", ncomp, len(p.components)))
 	}
 	npc := d.uvarint()
-	choosers := make(map[uint64][]int16)
+	var idx pcTable
+	var pcs []uint64
+	var counters []int16
 	var pc uint64
 	for i := uint64(0); i < npc && d.err == nil; i++ {
 		pc += d.uvarint()
-		counters := make([]int16, len(p.components))
-		for j := range counters {
-			counters[j] = int16(d.count(uint64(p.max)))
+		row := make([]int16, len(p.components))
+		for j := range row {
+			row[j] = int16(d.count(uint64(p.max)))
 		}
-		choosers[pc] = counters
+		if d.err != nil {
+			break
+		}
+		if _, dup := idx.lookup(pc); dup {
+			return errState(p.name, errDuplicatePC(pc))
+		}
+		idx.insert(pc)
+		pcs = append(pcs, pc)
+		counters = append(counters, row...)
 	}
 	blobs := make([][]byte, len(p.components))
 	for i := range blobs {
@@ -192,15 +221,15 @@ func (p *Hybrid) LoadState(r io.Reader) error {
 			return errState(p.name, err)
 		}
 	}
-	p.choosers = choosers
+	p.idx, p.pcs, p.counters = idx, pcs, counters
 	return nil
 }
 
 // PCEntries implements PerPC: one chooser row per PC plus every
 // component's own per-PC entries.
 func (p *Hybrid) PCEntries() map[uint64]int {
-	out := make(map[uint64]int, len(p.choosers))
-	for pc := range p.choosers {
+	out := make(map[uint64]int, len(p.pcs))
+	for _, pc := range p.pcs {
 		out[pc] = len(p.components)
 	}
 	for _, c := range p.components {

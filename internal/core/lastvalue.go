@@ -6,12 +6,14 @@ import "io"
 // function on the previous value. This variant always updates (no
 // hysteresis), matching the "l" configuration simulated in the paper.
 type LastValue struct {
-	table map[uint64]uint64
+	idx  pcTable
+	pcs  []uint64
+	vals []uint64
 }
 
 // NewLastValue returns an empty always-update last value predictor.
 func NewLastValue() *LastValue {
-	return &LastValue{table: make(map[uint64]uint64)}
+	return &LastValue{}
 }
 
 // Name implements Predictor.
@@ -19,34 +21,46 @@ func (p *LastValue) Name() string { return "l" }
 
 // Predict implements Predictor.
 func (p *LastValue) Predict(pc uint64) (uint64, bool) {
-	v, ok := p.table[pc]
-	return v, ok
+	i, ok := p.idx.lookup(pc)
+	if !ok {
+		return 0, false
+	}
+	return p.vals[i], true
 }
 
 // Update implements Predictor.
 func (p *LastValue) Update(pc uint64, value uint64) {
-	p.table[pc] = value
+	if i, ok := p.idx.lookup(pc); ok {
+		p.vals[i] = value
+		return
+	}
+	p.idx.insert(pc)
+	p.pcs = append(p.pcs, pc)
+	p.vals = append(p.vals, value)
 }
 
 // Reset implements Resetter.
 func (p *LastValue) Reset() {
-	clear(p.table)
+	p.idx.reset()
+	p.pcs = p.pcs[:0]
+	p.vals = p.vals[:0]
 }
 
 // TableEntries implements Sized.
 func (p *LastValue) TableEntries() (static, total int) {
-	return len(p.table), len(p.table)
+	return len(p.vals), len(p.vals)
 }
 
 // SaveState implements Stateful: sorted (pc, value) pairs, PCs
 // delta-encoded.
 func (p *LastValue) SaveState(w io.Writer) error {
 	var e stateEncoder
-	e.uvarint(uint64(len(p.table)))
+	e.uvarint(uint64(len(p.vals)))
 	var prev uint64
-	for _, pc := range sortedKeys(p.table) {
+	for _, i := range sortedHandles(p.pcs) {
+		pc := p.pcs[i]
 		e.uvarint(pc - prev)
-		e.uvarint(p.table[pc])
+		e.uvarint(p.vals[i])
 		prev = pc
 	}
 	return e.flushTo(w)
@@ -56,28 +70,40 @@ func (p *LastValue) SaveState(w io.Writer) error {
 func (p *LastValue) LoadState(r io.Reader) error {
 	d := newStateDecoder(r)
 	n := d.uvarint()
-	table := make(map[uint64]uint64)
+	var idx pcTable
+	var pcs, vals []uint64
 	var pc uint64
 	for i := uint64(0); i < n && d.err == nil; i++ {
 		pc += d.uvarint()
-		table[pc] = d.uvarint()
+		v := d.uvarint()
+		if d.err != nil {
+			break
+		}
+		if _, dup := idx.lookup(pc); dup {
+			return errState(p.Name(), errDuplicatePC(pc))
+		}
+		idx.insert(pc)
+		pcs = append(pcs, pc)
+		vals = append(vals, v)
 	}
 	if err := d.expectEOF(); err != nil {
 		return errState(p.Name(), err)
 	}
-	p.table = table
+	p.idx, p.pcs, p.vals = idx, pcs, vals
 	return nil
 }
 
 // PCEntries implements PerPC: one table entry per static instruction.
-func (p *LastValue) PCEntries() map[uint64]int { return onePerPC(p.table) }
+func (p *LastValue) PCEntries() map[uint64]int { return onePerPC(p.pcs) }
 
 // LastValueCounter is the saturating-counter hysteresis variant described
 // in Section 2.1: a counter per entry is incremented on success and
 // decremented on failure, and the stored value is replaced only when the
 // counter is below a threshold. The counter saturates at max.
 type LastValueCounter struct {
-	table     map[uint64]*lvcEntry
+	idx       pcTable
+	pcs       []uint64
+	entries   []lvcEntry
 	max       int8
 	threshold int8
 }
@@ -97,7 +123,7 @@ func NewLastValueCounter(max, threshold int8) *LastValueCounter {
 	if threshold < 0 {
 		threshold = 0
 	}
-	return &LastValueCounter{table: make(map[uint64]*lvcEntry), max: max, threshold: threshold}
+	return &LastValueCounter{max: max, threshold: threshold}
 }
 
 // Name implements Predictor.
@@ -105,20 +131,23 @@ func (p *LastValueCounter) Name() string { return "lc" }
 
 // Predict implements Predictor.
 func (p *LastValueCounter) Predict(pc uint64) (uint64, bool) {
-	e, ok := p.table[pc]
+	i, ok := p.idx.lookup(pc)
 	if !ok {
 		return 0, false
 	}
-	return e.value, true
+	return p.entries[i].value, true
 }
 
 // Update implements Predictor.
 func (p *LastValueCounter) Update(pc uint64, value uint64) {
-	e, ok := p.table[pc]
+	i, ok := p.idx.lookup(pc)
 	if !ok {
-		p.table[pc] = &lvcEntry{value: value, count: 0}
+		p.idx.insert(pc)
+		p.pcs = append(p.pcs, pc)
+		p.entries = append(p.entries, lvcEntry{value: value, count: 0})
 		return
 	}
+	e := &p.entries[i]
 	if e.value == value {
 		if e.count < p.max {
 			e.count++
@@ -134,11 +163,15 @@ func (p *LastValueCounter) Update(pc uint64, value uint64) {
 }
 
 // Reset implements Resetter.
-func (p *LastValueCounter) Reset() { clear(p.table) }
+func (p *LastValueCounter) Reset() {
+	p.idx.reset()
+	p.pcs = p.pcs[:0]
+	p.entries = p.entries[:0]
+}
 
 // TableEntries implements Sized.
 func (p *LastValueCounter) TableEntries() (static, total int) {
-	return len(p.table), len(p.table)
+	return len(p.entries), len(p.entries)
 }
 
 // SaveState implements Stateful: sorted (pc, value, counter) triples. The
@@ -146,10 +179,11 @@ func (p *LastValueCounter) TableEntries() (static, total int) {
 // a plain uvarint.
 func (p *LastValueCounter) SaveState(w io.Writer) error {
 	var e stateEncoder
-	e.uvarint(uint64(len(p.table)))
+	e.uvarint(uint64(len(p.entries)))
 	var prev uint64
-	for _, pc := range sortedKeys(p.table) {
-		ent := p.table[pc]
+	for _, i := range sortedHandles(p.pcs) {
+		pc := p.pcs[i]
+		ent := &p.entries[i]
 		e.uvarint(pc - prev)
 		e.uvarint(ent.value)
 		e.uvarint(uint64(ent.count))
@@ -162,30 +196,42 @@ func (p *LastValueCounter) SaveState(w io.Writer) error {
 func (p *LastValueCounter) LoadState(r io.Reader) error {
 	d := newStateDecoder(r)
 	n := d.uvarint()
-	table := make(map[uint64]*lvcEntry)
+	var idx pcTable
+	var pcs []uint64
+	var entries []lvcEntry
 	var pc uint64
 	for i := uint64(0); i < n && d.err == nil; i++ {
 		pc += d.uvarint()
 		value := d.uvarint()
 		count := d.count(uint64(p.max))
-		table[pc] = &lvcEntry{value: value, count: int8(count)}
+		if d.err != nil {
+			break
+		}
+		if _, dup := idx.lookup(pc); dup {
+			return errState(p.Name(), errDuplicatePC(pc))
+		}
+		idx.insert(pc)
+		pcs = append(pcs, pc)
+		entries = append(entries, lvcEntry{value: value, count: int8(count)})
 	}
 	if err := d.expectEOF(); err != nil {
 		return errState(p.Name(), err)
 	}
-	p.table = table
+	p.idx, p.pcs, p.entries = idx, pcs, entries
 	return nil
 }
 
 // PCEntries implements PerPC.
-func (p *LastValueCounter) PCEntries() map[uint64]int { return onePerPC(p.table) }
+func (p *LastValueCounter) PCEntries() map[uint64]int { return onePerPC(p.pcs) }
 
 // LastValueConsecutive is the second hysteresis flavor from Section 2.1:
 // the prediction only changes to a new value after that value has been
 // observed a fixed number of times in succession ("changes to a new
 // prediction only after it has been consistently observed").
 type LastValueConsecutive struct {
-	table    map[uint64]*lvcons
+	idx      pcTable
+	pcs      []uint64
+	entries  []lvcons
 	required int
 }
 
@@ -201,7 +247,7 @@ func NewLastValueConsecutive(required int) *LastValueConsecutive {
 	if required < 1 {
 		required = 1
 	}
-	return &LastValueConsecutive{table: make(map[uint64]*lvcons), required: required}
+	return &LastValueConsecutive{required: required}
 }
 
 // Name implements Predictor.
@@ -209,20 +255,23 @@ func (p *LastValueConsecutive) Name() string { return "ln" }
 
 // Predict implements Predictor.
 func (p *LastValueConsecutive) Predict(pc uint64) (uint64, bool) {
-	e, ok := p.table[pc]
+	i, ok := p.idx.lookup(pc)
 	if !ok {
 		return 0, false
 	}
-	return e.value, true
+	return p.entries[i].value, true
 }
 
 // Update implements Predictor.
 func (p *LastValueConsecutive) Update(pc uint64, value uint64) {
-	e, ok := p.table[pc]
+	i, ok := p.idx.lookup(pc)
 	if !ok {
-		p.table[pc] = &lvcons{value: value, candidate: value, runLength: p.required}
+		p.idx.insert(pc)
+		p.pcs = append(p.pcs, pc)
+		p.entries = append(p.entries, lvcons{value: value, candidate: value, runLength: p.required})
 		return
 	}
+	e := &p.entries[i]
 	if value == e.candidate {
 		e.runLength++
 	} else {
@@ -235,20 +284,25 @@ func (p *LastValueConsecutive) Update(pc uint64, value uint64) {
 }
 
 // Reset implements Resetter.
-func (p *LastValueConsecutive) Reset() { clear(p.table) }
+func (p *LastValueConsecutive) Reset() {
+	p.idx.reset()
+	p.pcs = p.pcs[:0]
+	p.entries = p.entries[:0]
+}
 
 // TableEntries implements Sized.
 func (p *LastValueConsecutive) TableEntries() (static, total int) {
-	return len(p.table), len(p.table)
+	return len(p.entries), len(p.entries)
 }
 
 // SaveState implements Stateful: sorted (pc, value, candidate, runLength).
 func (p *LastValueConsecutive) SaveState(w io.Writer) error {
 	var e stateEncoder
-	e.uvarint(uint64(len(p.table)))
+	e.uvarint(uint64(len(p.entries)))
 	var prev uint64
-	for _, pc := range sortedKeys(p.table) {
-		ent := p.table[pc]
+	for _, i := range sortedHandles(p.pcs) {
+		pc := p.pcs[i]
+		ent := &p.entries[i]
 		e.uvarint(pc - prev)
 		e.uvarint(ent.value)
 		e.uvarint(ent.candidate)
@@ -262,20 +316,30 @@ func (p *LastValueConsecutive) SaveState(w io.Writer) error {
 func (p *LastValueConsecutive) LoadState(r io.Reader) error {
 	d := newStateDecoder(r)
 	n := d.uvarint()
-	table := make(map[uint64]*lvcons)
+	var idx pcTable
+	var pcs []uint64
+	var entries []lvcons
 	var pc uint64
 	for i := uint64(0); i < n && d.err == nil; i++ {
 		pc += d.uvarint()
-		ent := &lvcons{value: d.uvarint(), candidate: d.uvarint()}
+		ent := lvcons{value: d.uvarint(), candidate: d.uvarint()}
 		ent.runLength = int(d.count(1 << 62))
-		table[pc] = ent
+		if d.err != nil {
+			break
+		}
+		if _, dup := idx.lookup(pc); dup {
+			return errState(p.Name(), errDuplicatePC(pc))
+		}
+		idx.insert(pc)
+		pcs = append(pcs, pc)
+		entries = append(entries, ent)
 	}
 	if err := d.expectEOF(); err != nil {
 		return errState(p.Name(), err)
 	}
-	p.table = table
+	p.idx, p.pcs, p.entries = idx, pcs, entries
 	return nil
 }
 
 // PCEntries implements PerPC.
-func (p *LastValueConsecutive) PCEntries() map[uint64]int { return onePerPC(p.table) }
+func (p *LastValueConsecutive) PCEntries() map[uint64]int { return onePerPC(p.pcs) }

@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
 )
 
 // Stateful is the durability capability: a predictor that can serialize
@@ -51,6 +50,14 @@ func errState(name string, err error) error {
 	return fmt.Errorf("core: %s state: %w", name, err)
 }
 
+// errDuplicatePC flags a state stream whose delta-encoded PC sequence
+// revisits a PC. Canonical saves iterate strictly ascending PCs, so this
+// only appears in corrupt or hand-built input; the flat tables reject it
+// rather than silently keeping one of the records.
+func errDuplicatePC(pc uint64) error {
+	return fmt.Errorf("duplicate pc %#x in state", pc)
+}
+
 // stateEncoder accumulates a varint-packed state stream and writes it out
 // in one call; errors are sticky so encode paths stay linear.
 type stateEncoder struct {
@@ -72,6 +79,16 @@ func (e *stateEncoder) bytes(b []byte) {
 func (e *stateEncoder) blob(b []byte) {
 	e.uvarint(uint64(len(b)))
 	e.bytes(b)
+}
+
+// le64 appends v as 8 little-endian bytes — the fixed-width wire form of
+// one FCM context value. Streaming values this way keeps the canonical
+// full-concatenation encoding while never materializing the string keys
+// the original map-backed tables concatenated per context.
+func (e *stateEncoder) le64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	e.buf = append(e.buf, b[:]...)
 }
 
 func (e *stateEncoder) flushTo(w io.Writer) error {
@@ -162,6 +179,23 @@ func (d *stateDecoder) blob() []byte {
 	return d.bytes(d.uvarint())
 }
 
+// le64 reads one fixed-width little-endian uint64 (the inverse of
+// stateEncoder.le64), with no per-value allocation.
+func (d *stateDecoder) le64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	var b [8]byte
+	if _, err := io.ReadFull(d.r, b[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		d.err = err
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}
+
 // expectEOF fails unless the stream is fully consumed.
 func (d *stateDecoder) expectEOF() error {
 	if d.err != nil {
@@ -175,34 +209,6 @@ func (d *stateDecoder) expectEOF() error {
 	return nil
 }
 
-// sortedKeys returns the PCs of a map in ascending order, the canonical
-// iteration order every SaveState uses so identical state always encodes
-// to identical bytes.
-func sortedKeys[V any](m map[uint64]V) []uint64 {
-	keys := make([]uint64, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	return keys
-}
-
-// onePerPC is the PCEntries implementation shared by every predictor
-// whose table holds exactly one entry per static instruction.
-func onePerPC[V any](m map[uint64]V) map[uint64]int {
-	out := make(map[uint64]int, len(m))
-	for pc := range m {
-		out[pc] = 1
-	}
-	return out
-}
-
-// sortedStringKeys is sortedKeys for string-keyed maps (FCM contexts).
-func sortedStringKeys[V any](m map[string]V) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
-}
+// The canonical SaveState iteration order (ascending PCs) is produced by
+// sortedHandles in pctable.go, working from each predictor's handle-order
+// PC slab instead of map keys.

@@ -2,12 +2,19 @@ package core
 
 import "io"
 
+// The stride and last-value predictors share the package's flat layout:
+// one open-addressed pc→handle table per predictor plus a contiguous
+// entry slab (and a parallel PC slab for canonical state iteration), so
+// predict/update never allocates and touches at most two cache lines.
+
 // StrideSimple is the basic stride predictor of Section 2.1: it predicts
 // last + (last - secondLast) with no hysteresis, so a repeated stride
 // sequence costs two mispredictions per iteration (one at the wrap, one
 // re-learning the stride).
 type StrideSimple struct {
-	table map[uint64]*strideEntry
+	idx     pcTable
+	pcs     []uint64
+	entries []strideEntry
 }
 
 type strideEntry struct {
@@ -20,7 +27,7 @@ type strideEntry struct {
 
 // NewStrideSimple returns an empty always-update stride predictor.
 func NewStrideSimple() *StrideSimple {
-	return &StrideSimple{table: make(map[uint64]*strideEntry)}
+	return &StrideSimple{}
 }
 
 // Name implements Predictor.
@@ -28,23 +35,27 @@ func (p *StrideSimple) Name() string { return "s" }
 
 // Predict implements Predictor.
 func (p *StrideSimple) Predict(pc uint64) (uint64, bool) {
-	e, ok := p.table[pc]
-	if !ok || e.seen == 0 {
+	i, ok := p.idx.lookup(pc)
+	if !ok || p.entries[i].seen == 0 {
 		return 0, false
 	}
 	// After a single observation the stride is zero, i.e. last-value
 	// behavior, which matches hardware stride tables that initialize the
 	// delta field to 0 on allocation.
+	e := &p.entries[i]
 	return e.last + e.stride, true
 }
 
 // Update implements Predictor.
 func (p *StrideSimple) Update(pc uint64, value uint64) {
-	e, ok := p.table[pc]
+	i, ok := p.idx.lookup(pc)
 	if !ok {
-		p.table[pc] = &strideEntry{last: value, seen: 1}
+		p.idx.insert(pc)
+		p.pcs = append(p.pcs, pc)
+		p.entries = append(p.entries, strideEntry{last: value, seen: 1})
 		return
 	}
+	e := &p.entries[i]
 	e.stride = value - e.last
 	e.last = value
 	if e.seen < 2 {
@@ -53,20 +64,25 @@ func (p *StrideSimple) Update(pc uint64, value uint64) {
 }
 
 // Reset implements Resetter.
-func (p *StrideSimple) Reset() { clear(p.table) }
+func (p *StrideSimple) Reset() {
+	p.idx.reset()
+	p.pcs = p.pcs[:0]
+	p.entries = p.entries[:0]
+}
 
 // TableEntries implements Sized.
 func (p *StrideSimple) TableEntries() (static, total int) {
-	return len(p.table), len(p.table)
+	return len(p.entries), len(p.entries)
 }
 
 // SaveState implements Stateful: sorted (pc, last, stride, seen) tuples.
 func (p *StrideSimple) SaveState(w io.Writer) error {
 	var e stateEncoder
-	e.uvarint(uint64(len(p.table)))
+	e.uvarint(uint64(len(p.entries)))
 	var prev uint64
-	for _, pc := range sortedKeys(p.table) {
-		ent := p.table[pc]
+	for _, i := range sortedHandles(p.pcs) {
+		pc := p.pcs[i]
+		ent := &p.entries[i]
 		e.uvarint(pc - prev)
 		e.uvarint(ent.last)
 		e.uvarint(ent.stride)
@@ -80,23 +96,33 @@ func (p *StrideSimple) SaveState(w io.Writer) error {
 func (p *StrideSimple) LoadState(r io.Reader) error {
 	d := newStateDecoder(r)
 	n := d.uvarint()
-	table := make(map[uint64]*strideEntry)
+	var idx pcTable
+	var pcs []uint64
+	var entries []strideEntry
 	var pc uint64
 	for i := uint64(0); i < n && d.err == nil; i++ {
 		pc += d.uvarint()
-		ent := &strideEntry{last: d.uvarint(), stride: d.uvarint()}
+		ent := strideEntry{last: d.uvarint(), stride: d.uvarint()}
 		ent.seen = uint8(d.count(2))
-		table[pc] = ent
+		if d.err != nil {
+			break
+		}
+		if _, dup := idx.lookup(pc); dup {
+			return errState(p.Name(), errDuplicatePC(pc))
+		}
+		idx.insert(pc)
+		pcs = append(pcs, pc)
+		entries = append(entries, ent)
 	}
 	if err := d.expectEOF(); err != nil {
 		return errState(p.Name(), err)
 	}
-	p.table = table
+	p.idx, p.pcs, p.entries = idx, pcs, entries
 	return nil
 }
 
 // PCEntries implements PerPC.
-func (p *StrideSimple) PCEntries() map[uint64]int { return onePerPC(p.table) }
+func (p *StrideSimple) PCEntries() map[uint64]int { return onePerPC(p.pcs) }
 
 // Stride2Delta is the 2-delta stride predictor of Eickemeyer &
 // Vassiliadis that the paper simulates as "s2": two strides are kept; s1
@@ -105,7 +131,9 @@ func (p *StrideSimple) PCEntries() map[uint64]int { return onePerPC(p.table) }
 // twice in a row. Repeated stride sequences then cost one misprediction
 // per iteration and the stride changes only on consistent evidence.
 type Stride2Delta struct {
-	table map[uint64]*s2Entry
+	idx     pcTable
+	pcs     []uint64
+	entries []s2Entry
 }
 
 type s2Entry struct {
@@ -120,7 +148,7 @@ type s2Entry struct {
 
 // NewStride2Delta returns an empty 2-delta stride predictor.
 func NewStride2Delta() *Stride2Delta {
-	return &Stride2Delta{table: make(map[uint64]*s2Entry)}
+	return &Stride2Delta{}
 }
 
 // Name implements Predictor.
@@ -130,21 +158,25 @@ func (p *Stride2Delta) Name() string { return "s2" }
 // have been seen, matching the trace in the paper's Figure 2 (predictions
 // "0 0 3 4 5 2 3 4 ..." for the sequence 1 2 3 4 repeated).
 func (p *Stride2Delta) Predict(pc uint64) (uint64, bool) {
-	e, ok := p.table[pc]
-	if !ok || e.seen < 2 {
+	i, ok := p.idx.lookup(pc)
+	if !ok || p.entries[i].seen < 2 {
 		return 0, false
 	}
+	e := &p.entries[i]
 	return e.last + e.s2, true
 }
 
 // Update implements Predictor. The first observed delta initializes both
 // strides; afterwards s2 follows s1 only when the same s1 repeats.
 func (p *Stride2Delta) Update(pc uint64, value uint64) {
-	e, ok := p.table[pc]
+	i, ok := p.idx.lookup(pc)
 	if !ok {
-		p.table[pc] = &s2Entry{last: value, seen: 1}
+		p.idx.insert(pc)
+		p.pcs = append(p.pcs, pc)
+		p.entries = append(p.entries, s2Entry{last: value, seen: 1})
 		return
 	}
+	e := &p.entries[i]
 	delta := value - e.last
 	switch {
 	case e.seen == 1:
@@ -165,20 +197,25 @@ func (p *Stride2Delta) Update(pc uint64, value uint64) {
 }
 
 // Reset implements Resetter.
-func (p *Stride2Delta) Reset() { clear(p.table) }
+func (p *Stride2Delta) Reset() {
+	p.idx.reset()
+	p.pcs = p.pcs[:0]
+	p.entries = p.entries[:0]
+}
 
 // TableEntries implements Sized.
 func (p *Stride2Delta) TableEntries() (static, total int) {
-	return len(p.table), len(p.table)
+	return len(p.entries), len(p.entries)
 }
 
 // SaveState implements Stateful: sorted (pc, last, s1, s2, s1Count, seen).
 func (p *Stride2Delta) SaveState(w io.Writer) error {
 	var e stateEncoder
-	e.uvarint(uint64(len(p.table)))
+	e.uvarint(uint64(len(p.entries)))
 	var prev uint64
-	for _, pc := range sortedKeys(p.table) {
-		ent := p.table[pc]
+	for _, i := range sortedHandles(p.pcs) {
+		pc := p.pcs[i]
+		ent := &p.entries[i]
 		e.uvarint(pc - prev)
 		e.uvarint(ent.last)
 		e.uvarint(ent.s1)
@@ -194,24 +231,34 @@ func (p *Stride2Delta) SaveState(w io.Writer) error {
 func (p *Stride2Delta) LoadState(r io.Reader) error {
 	d := newStateDecoder(r)
 	n := d.uvarint()
-	table := make(map[uint64]*s2Entry)
+	var idx pcTable
+	var pcs []uint64
+	var entries []s2Entry
 	var pc uint64
 	for i := uint64(0); i < n && d.err == nil; i++ {
 		pc += d.uvarint()
-		ent := &s2Entry{last: d.uvarint(), s1: d.uvarint(), s2: d.uvarint()}
+		ent := s2Entry{last: d.uvarint(), s1: d.uvarint(), s2: d.uvarint()}
 		ent.s1Count = uint8(d.count(2))
 		ent.seen = uint8(d.count(2))
-		table[pc] = ent
+		if d.err != nil {
+			break
+		}
+		if _, dup := idx.lookup(pc); dup {
+			return errState(p.Name(), errDuplicatePC(pc))
+		}
+		idx.insert(pc)
+		pcs = append(pcs, pc)
+		entries = append(entries, ent)
 	}
 	if err := d.expectEOF(); err != nil {
 		return errState(p.Name(), err)
 	}
-	p.table = table
+	p.idx, p.pcs, p.entries = idx, pcs, entries
 	return nil
 }
 
 // PCEntries implements PerPC.
-func (p *Stride2Delta) PCEntries() map[uint64]int { return onePerPC(p.table) }
+func (p *Stride2Delta) PCEntries() map[uint64]int { return onePerPC(p.pcs) }
 
 // StrideCounter is the saturating-counter stride variant of Gonzalez &
 // Gonzalez referenced in Section 2.1: the stride is only changed when a
@@ -219,7 +266,9 @@ func (p *Stride2Delta) PCEntries() map[uint64]int { return onePerPC(p.table) }
 // below a threshold. This also reduces repeated-stride mispredictions to
 // one per iteration.
 type StrideCounter struct {
-	table     map[uint64]*scEntry
+	idx       pcTable
+	pcs       []uint64
+	entries   []scEntry
 	max       int8
 	threshold int8
 }
@@ -240,7 +289,7 @@ func NewStrideCounter(max, threshold int8) *StrideCounter {
 	if threshold < 0 {
 		threshold = 0
 	}
-	return &StrideCounter{table: make(map[uint64]*scEntry), max: max, threshold: threshold}
+	return &StrideCounter{max: max, threshold: threshold}
 }
 
 // Name implements Predictor.
@@ -248,20 +297,24 @@ func (p *StrideCounter) Name() string { return "sc" }
 
 // Predict implements Predictor.
 func (p *StrideCounter) Predict(pc uint64) (uint64, bool) {
-	e, ok := p.table[pc]
-	if !ok || e.seen == 0 {
+	i, ok := p.idx.lookup(pc)
+	if !ok || p.entries[i].seen == 0 {
 		return 0, false
 	}
+	e := &p.entries[i]
 	return e.last + e.stride, true
 }
 
 // Update implements Predictor.
 func (p *StrideCounter) Update(pc uint64, value uint64) {
-	e, ok := p.table[pc]
+	i, ok := p.idx.lookup(pc)
 	if !ok {
-		p.table[pc] = &scEntry{last: value, seen: 1}
+		p.idx.insert(pc)
+		p.pcs = append(p.pcs, pc)
+		p.entries = append(p.entries, scEntry{last: value, seen: 1})
 		return
 	}
+	e := &p.entries[i]
 	predicted := e.last + e.stride
 	if e.seen >= 1 {
 		if predicted == value {
@@ -284,11 +337,15 @@ func (p *StrideCounter) Update(pc uint64, value uint64) {
 }
 
 // Reset implements Resetter.
-func (p *StrideCounter) Reset() { clear(p.table) }
+func (p *StrideCounter) Reset() {
+	p.idx.reset()
+	p.pcs = p.pcs[:0]
+	p.entries = p.entries[:0]
+}
 
 // TableEntries implements Sized.
 func (p *StrideCounter) TableEntries() (static, total int) {
-	return len(p.table), len(p.table)
+	return len(p.entries), len(p.entries)
 }
 
 // SaveState implements Stateful: sorted (pc, last, stride, count, seen).
@@ -296,10 +353,11 @@ func (p *StrideCounter) TableEntries() (static, total int) {
 // as a plain uvarint.
 func (p *StrideCounter) SaveState(w io.Writer) error {
 	var e stateEncoder
-	e.uvarint(uint64(len(p.table)))
+	e.uvarint(uint64(len(p.entries)))
 	var prev uint64
-	for _, pc := range sortedKeys(p.table) {
-		ent := p.table[pc]
+	for _, i := range sortedHandles(p.pcs) {
+		pc := p.pcs[i]
+		ent := &p.entries[i]
 		e.uvarint(pc - prev)
 		e.uvarint(ent.last)
 		e.uvarint(ent.stride)
@@ -314,21 +372,31 @@ func (p *StrideCounter) SaveState(w io.Writer) error {
 func (p *StrideCounter) LoadState(r io.Reader) error {
 	d := newStateDecoder(r)
 	n := d.uvarint()
-	table := make(map[uint64]*scEntry)
+	var idx pcTable
+	var pcs []uint64
+	var entries []scEntry
 	var pc uint64
 	for i := uint64(0); i < n && d.err == nil; i++ {
 		pc += d.uvarint()
-		ent := &scEntry{last: d.uvarint(), stride: d.uvarint()}
+		ent := scEntry{last: d.uvarint(), stride: d.uvarint()}
 		ent.count = int8(d.count(uint64(p.max)))
 		ent.seen = uint8(d.count(2))
-		table[pc] = ent
+		if d.err != nil {
+			break
+		}
+		if _, dup := idx.lookup(pc); dup {
+			return errState(p.Name(), errDuplicatePC(pc))
+		}
+		idx.insert(pc)
+		pcs = append(pcs, pc)
+		entries = append(entries, ent)
 	}
 	if err := d.expectEOF(); err != nil {
 		return errState(p.Name(), err)
 	}
-	p.table = table
+	p.idx, p.pcs, p.entries = idx, pcs, entries
 	return nil
 }
 
 // PCEntries implements PerPC.
-func (p *StrideCounter) PCEntries() map[uint64]int { return onePerPC(p.table) }
+func (p *StrideCounter) PCEntries() map[uint64]int { return onePerPC(p.pcs) }

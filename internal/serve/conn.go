@@ -36,24 +36,24 @@ func (s *Server) handleConn(conn net.Conn) {
 		var werr error
 		correct := make([]uint64, len(s.predNames))
 		// On a write error keep draining resp (without writing) so the
-		// reader never blocks on a full response queue.
+		// reader never blocks on a full response queue. Every pending is
+		// recycled here: once its done signal has been consumed, no shard
+		// references its buffers anymore.
 		for p := range resp {
 			<-p.done
-			if werr != nil {
-				continue
+			if werr == nil {
+				for i := range p.correct {
+					correct[i] = p.correct[i].Load()
+				}
+				buf = appendResult(buf[:0], p.events, correct)
+				if werr = writeFrame(bw, buf); werr == nil && len(resp) == 0 {
+					// Flush only when no further result is immediately
+					// ready, so back-to-back pipelined responses coalesce
+					// into one write.
+					werr = bw.Flush()
+				}
 			}
-			for i := range p.correct {
-				correct[i] = p.correct[i].Load()
-			}
-			buf = appendResult(buf[:0], p.events, correct)
-			if werr = writeFrame(bw, buf); werr != nil {
-				continue
-			}
-			// Flush only when no further result is immediately ready, so
-			// back-to-back pipelined responses coalesce into one write.
-			if len(resp) == 0 {
-				werr = bw.Flush()
-			}
+			putPending(p)
 		}
 		if werr == nil {
 			bw.Flush()
@@ -63,6 +63,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 1<<16)
 	nshards := len(s.shards)
 	var frame []byte
+	var scratch []Event // conn-local decode target, reused every frame
 	cnt := make([]int, nshards)
 	pos := make([]int, nshards)
 	var readErr error
@@ -77,12 +78,12 @@ func (s *Server) handleConn(conn net.Conn) {
 			readErr = fmt.Errorf("serve: unexpected message type %d", frame[0])
 			break
 		}
-		evs, err := decodeEvents(frame[1:])
+		scratch, err = decodeEventsInto(frame[1:], scratch[:0])
 		if err != nil {
 			readErr = err
 			break
 		}
-		p := s.dispatch(evs, cnt, pos)
+		p := s.dispatch(scratch, cnt, pos)
 		resp <- p
 	}
 	close(resp)
@@ -94,23 +95,32 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
-// dispatch buckets one request's events stably by shard and mails each
+// dispatch copies one request's events into a pooled request-owned buffer
+// (bucketed stably by shard when there are several), and mails each
 // non-empty sub-batch. cnt and pos are caller-owned scratch (one slot per
-// shard); the bucketed backing array is allocated per request because the
-// shards own it until the request completes.
+// shard); evs is the caller's decode scratch and may be reused as soon as
+// dispatch returns — the shards only ever see the pooled copy, which the
+// response writer recycles when the request completes.
 //
 // The shared cut lock is held across the sends so a concurrent
 // checkpoint's capture markers can never land between two shards of the
 // same request — the cut is request-atomic.
 func (s *Server) dispatch(evs []Event, cnt, pos []int) *pending {
 	s.eventsServed.Add(uint64(len(evs)))
-	s.cutMu.RLock()
-	defer s.cutMu.RUnlock()
 	nshards := len(s.shards)
+	p := getPending()
+	if cap(p.buf) < len(evs) {
+		p.buf = make([]Event, len(evs))
+	}
+	owned := p.buf[:len(evs)]
+	p.buf = owned
 	if nshards == 1 {
-		p := newPending(len(s.predNames), len(evs), boolToInt(len(evs) > 0))
+		copy(owned, evs)
+		p.init(len(s.predNames), len(evs), boolToInt(len(evs) > 0))
+		s.cutMu.RLock()
+		defer s.cutMu.RUnlock()
 		if len(evs) > 0 {
-			s.shards[0].mailbox <- shardMsg{events: evs, req: p}
+			s.shards[0].mailbox <- shardMsg{events: owned, req: p}
 		}
 		return p
 	}
@@ -129,19 +139,20 @@ func (s *Server) dispatch(evs []Event, cnt, pos []int) *pending {
 			parts++
 		}
 	}
-	bucketed := make([]Event, len(evs))
 	for i := range evs {
 		sh := ShardOf(evs[i].PC, nshards)
-		bucketed[pos[sh]] = evs[i]
+		owned[pos[sh]] = evs[i]
 		pos[sh]++
 	}
-	p := newPending(len(s.predNames), len(evs), parts)
+	p.init(len(s.predNames), len(evs), parts)
+	s.cutMu.RLock()
+	defer s.cutMu.RUnlock()
 	off = 0
 	for i, c := range cnt {
 		if c == 0 {
 			continue
 		}
-		s.shards[i].mailbox <- shardMsg{events: bucketed[off : off+c], req: p}
+		s.shards[i].mailbox <- shardMsg{events: owned[off : off+c], req: p}
 		off += c
 	}
 	return p

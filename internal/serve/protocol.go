@@ -142,10 +142,13 @@ func appendEvents(buf []byte, evs []Event) []byte {
 	return buf
 }
 
-// decodeEvents parses an events payload (after the type byte). The
-// returned slice is freshly allocated: ownership passes to the shards for
-// the lifetime of the request.
-func decodeEvents(p []byte) ([]Event, error) {
+// decodeEventsInto parses an events payload (after the type byte) into
+// dst's backing array, growing it only when the batch outsizes every
+// previous one — the connection reader's steady state decodes with zero
+// allocation. The result is scratch: callers that need the events beyond
+// the next decode must copy them (dispatch copies into a pooled
+// request-owned buffer for the shards).
+func decodeEventsInto(p []byte, dst []Event) ([]Event, error) {
 	n, p, err := uvarint(p)
 	if err != nil {
 		return nil, err
@@ -155,7 +158,10 @@ func decodeEvents(p []byte) ([]Event, error) {
 	if n > uint64(len(p)/2) {
 		return nil, fmt.Errorf("serve: event count %d exceeds frame capacity", n)
 	}
-	evs := make([]Event, n)
+	if uint64(cap(dst)) < n {
+		dst = make([]Event, n)
+	}
+	evs := dst[:n]
 	for i := range evs {
 		evs[i].PC, p, err = uvarint(p)
 		if err != nil {
@@ -170,6 +176,11 @@ func decodeEvents(p []byte) ([]Event, error) {
 		return nil, fmt.Errorf("serve: %d trailing bytes in events frame", len(p))
 	}
 	return evs, nil
+}
+
+// decodeEvents is decodeEventsInto with a fresh destination.
+func decodeEvents(p []byte) ([]Event, error) {
+	return decodeEventsInto(p, nil)
 }
 
 func appendResult(buf []byte, events uint64, correct []uint64) []byte {

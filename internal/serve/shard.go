@@ -3,34 +3,38 @@ package serve
 import (
 	"bytes"
 	"fmt"
-	"sort"
 	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/snapshot"
 )
 
-// pending is one in-flight request: the conn handler creates it, shards
-// add their partial tallies, and the last shard to finish closes done so
-// the response writer can emit the result in request order.
+// pending is one in-flight request: the conn handler takes it from the
+// pool, shards add their partial tallies, and the last shard to finish
+// signals done so the response writer can emit the result in request
+// order (and recycle the pending afterwards).
 type pending struct {
 	events    uint64
+	buf       []Event         // request-owned event copy the shards consume
 	correct   []atomic.Uint64 // per predictor, summed across shards
 	remaining atomic.Int32    // shards still working on this request
-	done      chan struct{}
+	done      chan struct{}   // one-slot, signalled once per request
 }
 
-func newPending(npred int, events int, parts int) *pending {
-	p := &pending{
-		events:  uint64(events),
-		correct: make([]atomic.Uint64, npred),
-		done:    make(chan struct{}),
+// init readies a pooled pending for one request of the given part count.
+func (p *pending) init(npred, events, parts int) {
+	p.events = uint64(events)
+	if cap(p.correct) < npred {
+		p.correct = make([]atomic.Uint64, npred)
+	}
+	p.correct = p.correct[:npred]
+	for i := range p.correct {
+		p.correct[i].Store(0)
 	}
 	p.remaining.Store(int32(parts))
 	if parts == 0 {
-		close(p.done)
+		p.done <- struct{}{}
 	}
-	return p
 }
 
 // finish merges one shard's partial correct counts; the last part
@@ -42,7 +46,7 @@ func (p *pending) finish(counts []uint64) {
 		}
 	}
 	if p.remaining.Add(-1) == 0 {
-		close(p.done)
+		p.done <- struct{}{}
 	}
 }
 
@@ -70,7 +74,7 @@ type shard struct {
 	names   []string // registry names, bank order (snapshot identity)
 	preds   []core.Predictor
 	acc     []core.Accuracy
-	pcs     map[uint64]struct{}
+	pcs     core.PCSet
 	events  uint64
 	mailbox chan shardMsg
 	stopped chan struct{}
@@ -83,7 +87,6 @@ func newShard(id int, facs []core.NamedFactory, depth int) *shard {
 		names:   make([]string, len(facs)),
 		preds:   make([]core.Predictor, len(facs)),
 		acc:     make([]core.Accuracy, len(facs)),
-		pcs:     make(map[uint64]struct{}),
 		mailbox: make(chan shardMsg, depth),
 		stopped: make(chan struct{}),
 		scratch: make([]uint64, len(facs)),
@@ -115,7 +118,7 @@ func (sh *shard) run() {
 		}
 		for j := range msg.events {
 			ev := &msg.events[j]
-			sh.pcs[ev.PC] = struct{}{}
+			sh.pcs.Add(ev.PC)
 			for i, p := range sh.preds {
 				pred, ok := p.Predict(ev.PC)
 				correct := ok && pred == ev.Value
@@ -142,7 +145,7 @@ func (sh *shard) snapshot() ShardStats {
 	st := ShardStats{
 		Shard:      sh.id,
 		Events:     sh.events,
-		UniquePCs:  len(sh.pcs),
+		UniquePCs:  sh.pcs.Len(),
 		Predictors: make([]PredStat, len(sh.preds)),
 	}
 	for i, p := range sh.preds {
@@ -159,7 +162,7 @@ func (sh *shard) snapshot() ShardStats {
 		st.ApproxStateBytes += ps.ApproxStateBytes
 		st.Predictors[i] = ps
 	}
-	st.ApproxStateBytes += int64(len(sh.pcs)) * 8 // the unique-PC set itself
+	st.ApproxStateBytes += int64(sh.pcs.Len()) * 8 // the unique-PC set itself
 	return st
 }
 
@@ -172,13 +175,9 @@ func (sh *shard) captureState() shardStateMsg {
 	st := snapshot.ShardState{
 		Shard:  sh.id,
 		Events: sh.events,
-		PCs:    make([]uint64, 0, len(sh.pcs)),
+		PCs:    sh.pcs.AppendSorted(make([]uint64, 0, sh.pcs.Len())),
 		Preds:  make([]snapshot.PredState, len(sh.preds)),
 	}
-	for pc := range sh.pcs {
-		st.PCs = append(st.PCs, pc)
-	}
-	sort.Slice(st.PCs, func(i, j int) bool { return st.PCs[i] < st.PCs[j] })
 	for i, p := range sh.preds {
 		stateful, ok := p.(core.Stateful)
 		if !ok {
@@ -217,13 +216,13 @@ func (sh *shard) restore(st snapshot.ShardState, facs []core.NamedFactory, nshar
 		preds[i] = p
 		acc[i] = core.Accuracy{Correct: st.Preds[i].Correct, Total: st.Preds[i].Total}
 	}
-	pcs := make(map[uint64]struct{}, len(st.PCs))
+	var pcs core.PCSet
 	for _, pc := range st.PCs {
 		if nshards > 1 && ShardOf(pc, nshards) != sh.id {
 			return fmt.Errorf("serve: shard %d: snapshot PC %#x belongs to shard %d (snapshot from a different shard layout?)",
 				sh.id, pc, ShardOf(pc, nshards))
 		}
-		pcs[pc] = struct{}{}
+		pcs.Add(pc)
 	}
 	sh.preds, sh.acc, sh.pcs, sh.events = preds, acc, pcs, st.Events
 	return nil

@@ -3,14 +3,34 @@ package snapshot
 import (
 	"bytes"
 	"encoding/binary"
+	"math/rand"
 	"reflect"
 	"testing"
+
+	"repro/internal/core"
 )
+
+// fuzzPredictorNames is the name pool snapshotFromBytes draws banks from;
+// fcm8 puts the high-order slab-backed FCM tables in the fuzzed loop.
+var fuzzPredictorNames = []string{"l", "s2", "fcm3", "hyb", "fcm8"}
+
+// fuzzConstructors builds a fresh predictor for each pool name, so the
+// fuzz can push every State blob through the real LoadState (fcm8 is not
+// a registry spelling, hence no FactoryByName here).
+var fuzzConstructors = map[string]func() core.Predictor{
+	"l":    func() core.Predictor { return core.NewLastValue() },
+	"s2":   func() core.Predictor { return core.NewStride2Delta() },
+	"fcm3": func() core.Predictor { return core.NewFCM(3) },
+	"hyb":  func() core.Predictor { return core.NewStrideFCMHybrid(3) },
+	"fcm8": func() core.Predictor { return core.NewFCM(8) },
+}
 
 // snapshotFromBytes derives a deterministic, always-valid snapshot from
 // fuzz input so the round-trip property gets exercised over arbitrary
 // shard counts, PC sets and blob contents. Layout consumed per field is
 // intentionally simple: the fuzzer mutates structure and content alike.
+// State blob lengths are 16-bit so seed blobs can hold complete predictor
+// states (an order-8 FCM image runs to a few KiB).
 func snapshotFromBytes(data []byte) *Snapshot {
 	take := func(n int) []byte {
 		if n > len(data) {
@@ -29,8 +49,8 @@ func snapshotFromBytes(data []byte) *Snapshot {
 	}
 
 	nshards := int(byteAt()%4) + 1
-	npred := int(byteAt()%3) + 1
-	names := []string{"l", "s2", "fcm3", "hyb"}[:npred]
+	npred := int(byteAt()) % len(fuzzPredictorNames)
+	names := fuzzPredictorNames[:npred+1]
 
 	s := &Snapshot{Meta: Meta{
 		CreatedUnixNano: int64(binary.LittleEndian.Uint32(append(take(4), 0, 0, 0, 0))),
@@ -45,11 +65,12 @@ func snapshotFromBytes(data []byte) *Snapshot {
 			sh.PCs = append(sh.PCs, pc)
 		}
 		for _, name := range names {
+			stateLen := int(binary.LittleEndian.Uint16(append(take(2), 0, 0)))
 			ps := PredState{
 				Name:    name,
 				Correct: uint64(byteAt()),
 				Total:   uint64(byteAt()) + 1,
-				State:   append([]byte(nil), take(int(byteAt())%64)...),
+				State:   append([]byte(nil), take(stateLen)...),
 			}
 			sh.Preds = append(sh.Preds, ps)
 		}
@@ -58,12 +79,60 @@ func snapshotFromBytes(data []byte) *Snapshot {
 	return s
 }
 
+// trainedStateSeed builds fuzz input whose State blobs are genuine
+// SaveState images of every pool predictor — including an order-8 FCM at
+// a realistic table shape — laid out exactly as snapshotFromBytes
+// consumes it, so the seed corpus starts from states the slab-backed
+// LoadState accepts and the mutator works outward from there.
+func trainedStateSeed(events int) []byte {
+	rng := rand.New(rand.NewSource(99))
+	preds := make([]core.Predictor, len(fuzzPredictorNames))
+	for i, name := range fuzzPredictorNames {
+		preds[i] = fuzzConstructors[name]()
+	}
+	for i := 0; i < events; i++ {
+		pc := uint64(rng.Intn(12)) * 4
+		var v uint64
+		switch pc % 12 {
+		case 0:
+			v = uint64(i) * 8
+		case 4:
+			v = uint64(rng.Intn(3))
+		default:
+			v = []uint64{3, 1, 4, 7}[i%4]
+		}
+		for _, p := range preds {
+			p.Update(pc, v)
+		}
+	}
+	b := []byte{0 /* 1 shard */, byte(len(fuzzPredictorNames) - 1)}
+	b = append(b, 1, 2, 3, 4) // created
+	b = append(b, 9 /* events */, 2 /* npc */, 5, 7)
+	for _, p := range preds {
+		var st bytes.Buffer
+		if err := p.(core.Stateful).SaveState(&st); err != nil {
+			panic(err)
+		}
+		b = append(b, byte(st.Len()), byte(st.Len()>>8)) // 16-bit state length
+		b = append(b, 1, 2)                              // correct, total
+		b = append(b, st.Bytes()...)
+	}
+	return b
+}
+
 // FuzzSnapshotRoundTrip: any structurally valid snapshot must encode,
-// decode to an equal value, and re-encode byte-identically.
+// decode to an equal value, and re-encode byte-identically; every State
+// blob the matching predictor's LoadState accepts must restore to a state
+// whose save is a canonical fixed point.
 func FuzzSnapshotRoundTrip(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{3, 2, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
 	f.Add(bytes.Repeat([]byte{0xFF}, 200))
+	// Genuine trained states — order-8 FCM included — at two table
+	// shapes, so the slab-backed LoadState is fuzzed from realistic
+	// corpora rather than only from garbage.
+	f.Add(trainedStateSeed(120))
+	f.Add(trainedStateSeed(400))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		in := snapshotFromBytes(data)
 		var buf bytes.Buffer
@@ -77,6 +146,11 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 		}
 		if out.Meta.ID != id || out.Meta.Events != in.Meta.Events {
 			t.Fatalf("meta mismatch: %+v vs %+v", out.Meta, in.Meta)
+		}
+		for si := range out.Shards {
+			for pi := range out.Shards[si].Preds {
+				checkPredStateLoad(t, &out.Shards[si].Preds[pi])
+			}
 		}
 		// nil-vs-empty blobs are indistinguishable on the wire.
 		for si := range in.Shards {
@@ -101,6 +175,40 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 			t.Fatal("re-encode not canonical")
 		}
 	})
+}
+
+// checkPredStateLoad pushes one State blob through the named predictor's
+// LoadState. Rejection is fine (the blob is fuzz data); acceptance must
+// never panic, and the restored predictor's own save must be a canonical
+// fixed point: saving, loading that save into a fresh instance and saving
+// again reproduces the same bytes.
+func checkPredStateLoad(t *testing.T, ps *PredState) {
+	t.Helper()
+	ctor, ok := fuzzConstructors[ps.Name]
+	if !ok || len(ps.State) == 0 {
+		return
+	}
+	p := ctor()
+	st := p.(core.Stateful)
+	if err := st.LoadState(bytes.NewReader(ps.State)); err != nil {
+		return
+	}
+	var s1 bytes.Buffer
+	if err := st.SaveState(&s1); err != nil {
+		t.Fatalf("%s: save after accepted load: %v", ps.Name, err)
+	}
+	q := ctor().(core.Stateful)
+	if err := q.LoadState(bytes.NewReader(s1.Bytes())); err != nil {
+		t.Fatalf("%s: canonical save rejected by LoadState: %v", ps.Name, err)
+	}
+	var s2 bytes.Buffer
+	if err := q.SaveState(&s2); err != nil {
+		t.Fatalf("%s: re-save: %v", ps.Name, err)
+	}
+	if !bytes.Equal(s1.Bytes(), s2.Bytes()) {
+		t.Fatalf("%s: save/load/save is not a fixed point (%d vs %d bytes)",
+			ps.Name, s1.Len(), s2.Len())
+	}
 }
 
 // FuzzSnapshotDecodeRobustness: arbitrary bytes must never panic the
