@@ -126,6 +126,92 @@ func BenchmarkPredictFCM3Steady(b *testing.B) {
 	}
 }
 
+// --- bank batch-path benchmarks -------------------------------------------------
+
+// bankBenchStream builds the fcm3 mixed stream (strides, constants,
+// period-4 repeats over 64 PCs) as SoA batches for the batch-vs-per-event
+// comparison. The stream is replayed cyclically, so after one warm pass
+// every PC, context and value exists and both paths run in steady state.
+var bankStreamOnce struct {
+	pcs, vals []uint64
+}
+
+const bankBenchBatch = 4096
+
+func bankBenchStream() (pcs, vals []uint64) {
+	if bankStreamOnce.pcs != nil {
+		return bankStreamOnce.pcs, bankStreamOnce.vals
+	}
+	rns := seqclass.NonStridePeriod(5, 4)
+	const n = 16 * bankBenchBatch
+	pcs = make([]uint64, n)
+	vals = make([]uint64, n)
+	for i := 0; i < n; i++ {
+		pc := uint64(i % 64)
+		pcs[i] = pc
+		switch pc % 3 {
+		case 0:
+			vals[i] = uint64(i) * 8
+		case 1:
+			vals[i] = 42
+		default:
+			vals[i] = rns[i%4]
+		}
+	}
+	bankStreamOnce.pcs, bankStreamOnce.vals = pcs, vals
+	return pcs, vals
+}
+
+// BenchmarkBankStepBatch measures one 4096-event batch through
+// Bank.StepBatch on a warmed fcm3 bank: the grouped, kernel-fused hot
+// path the engine workers, serve shards and warm replay all share. CI
+// gates allocs/op == 0 here, and the ns/op ratio against
+// BenchmarkBankStepEvents is the batch path's speedup over per-event
+// stepping (the acceptance bar is ≥1.5×).
+func BenchmarkBankStepBatch(b *testing.B) {
+	pcs, vals := bankBenchStream()
+	nb := len(pcs) / bankBenchBatch
+	bank := core.NewBank(core.NewFCM(3))
+	// Two warm passes: the second crosses the cyclic wrap seam, so the
+	// contexts spanning end-of-stream → start-of-stream exist too and the
+	// timed loop is genuinely steady-state.
+	for g := 0; g < 2*nb; g++ {
+		off := (g % nb) * bankBenchBatch
+		bank.StepBatch(pcs[off:off+bankBenchBatch], vals[off:off+bankBenchBatch])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (i % nb) * bankBenchBatch
+		bank.StepBatch(pcs[off:off+bankBenchBatch], vals[off:off+bankBenchBatch])
+	}
+	b.ReportMetric(bankBenchBatch, "events/op")
+}
+
+// BenchmarkBankStepEvents is the per-event reference for the same stream
+// and predictor: one core.StepBank call per event, one batch's worth of
+// events per op so ns/op is directly comparable to BenchmarkBankStepBatch.
+func BenchmarkBankStepEvents(b *testing.B) {
+	pcs, vals := bankBenchStream()
+	nb := len(pcs) / bankBenchBatch
+	ps := []core.Predictor{core.NewFCM(3)}
+	correct := make([]uint64, 1)
+	for g := 0; g < 2; g++ { // two warm passes, incl. the wrap seam
+		for j := 0; j < len(pcs); j++ {
+			core.StepBank(ps, correct, pcs[j], vals[j])
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (i % nb) * bankBenchBatch
+		for j := off; j < off+bankBenchBatch; j++ {
+			core.StepBank(ps, correct, pcs[j], vals[j])
+		}
+	}
+	b.ReportMetric(bankBenchBatch, "events/op")
+}
+
 // BenchmarkSimulator measures raw simulation speed (instructions/op).
 func BenchmarkSimulator(b *testing.B) {
 	w := bench.Compress()

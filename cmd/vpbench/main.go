@@ -1,18 +1,18 @@
 // vpbench runs the predictor micro-benchmarks through `go test -bench`
-// and writes a machine-readable JSON report (name, ns/op, B/op,
-// allocs/op plus any custom metrics), so successive PRs can track the
-// performance trajectory of the hot path from a stable artifact instead
-// of scraping log text.
+// and appends a machine-readable JSON record (commit, timestamp, name,
+// ns/op, B/op, allocs/op plus any custom metrics) to a history file, so
+// successive PRs accrue the performance trajectory of the hot path in a
+// stable artifact instead of scraping log text.
 //
 // It can also act as an allocation-regression gate: with
 // -assert-zero-alloc, every matching benchmark must report 0 allocs/op
-// or the run exits non-zero. CI points this at the steady-state FCM
-// benchmark so a change that reintroduces per-event allocation fails
-// loudly.
+// or the run exits non-zero. CI points this at the steady-state FCM and
+// bank batch benchmarks so a change that reintroduces per-event
+// allocation fails loudly.
 //
 // Usage (from the module root):
 //
-//	go run ./cmd/vpbench                       # BENCH_core.json from BenchmarkPredict*
+//	go run ./cmd/vpbench                       # append to BENCH_core.json from BenchmarkPredict*
 //	go run ./cmd/vpbench -bench 'BenchmarkServe' -benchtime 1x -out BENCH_serve.json
 //	go run ./cmd/vpbench -assert-zero-alloc 'BenchmarkPredictFCM3Steady$'
 package main
@@ -29,9 +29,10 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 )
 
-// BenchResult is one benchmark line in the report.
+// BenchResult is one benchmark line in a record.
 type BenchResult struct {
 	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
 	Name        string  `json:"name"`
@@ -44,8 +45,13 @@ type BenchResult struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Report is the top-level JSON artifact.
+// Report is one run's record: where and when it ran plus its results.
 type Report struct {
+	// Commit is the HEAD commit SHA at run time (empty outside a git
+	// checkout) and Time the run's UTC timestamp — together they place
+	// the record on the perf trajectory.
+	Commit     string        `json:"commit,omitempty"`
+	Time       string        `json:"time"`
 	GoVersion  string        `json:"go_version"`
 	GOOS       string        `json:"goos"`
 	GOARCH     string        `json:"goarch"`
@@ -54,6 +60,17 @@ type Report struct {
 	Benchtime  string        `json:"benchtime"`
 	Benchmarks []BenchResult `json:"benchmarks"`
 }
+
+// History is the top-level JSON artifact: one record per vpbench run,
+// appended in run order so the file accrues the trajectory across PRs.
+type History struct {
+	Schema  int      `json:"schema"`
+	Entries []Report `json:"entries"`
+}
+
+// historySchema identifies the artifact layout; bumped if the shape of
+// entries ever changes incompatibly.
+const historySchema = 1
 
 // benchLine matches one `go test -bench` result row:
 //
@@ -100,12 +117,46 @@ func parseBenchOutput(out []byte) []BenchResult {
 	return results
 }
 
+// headCommit returns the checkout's HEAD SHA, best-effort: perf records
+// remain useful (just unplaced) outside a git checkout.
+func headCommit() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// loadHistory reads an existing history file. A file written by the old
+// single-report vpbench (a bare Report object, no "entries" key) is
+// migrated into the first history entry, so trajectories started before
+// the format change are not lost.
+func loadHistory(path string) (History, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return History{Schema: historySchema}, nil
+		}
+		return History{}, err
+	}
+	var h History
+	if err := json.Unmarshal(data, &h); err == nil && h.Entries != nil {
+		h.Schema = historySchema
+		return h, nil
+	}
+	var legacy Report
+	if err := json.Unmarshal(data, &legacy); err == nil && len(legacy.Benchmarks) > 0 {
+		return History{Schema: historySchema, Entries: []Report{legacy}}, nil
+	}
+	return History{}, fmt.Errorf("%s is neither a vpbench history nor a legacy report", path)
+}
+
 func main() {
 	var (
 		bench     = flag.String("bench", "BenchmarkPredict", "benchmark regex passed to go test -bench")
 		benchtime = flag.String("benchtime", "100x", "benchtime passed to go test (e.g. 100x, 1s)")
 		pkg       = flag.String("pkg", ".", "package to benchmark (module-root package holds the predictor benchmarks)")
-		out       = flag.String("out", "BENCH_core.json", "output JSON path ('' or '-' for stdout)")
+		out       = flag.String("out", "BENCH_core.json", "history JSON path to append to ('' or '-' prints only this run to stdout)")
 		count     = flag.Int("count", 1, "benchmark repetition count")
 		assertRE  = flag.String("assert-zero-alloc", "", "regex of benchmarks that must report 0 allocs/op; non-zero exit on violation or no match")
 	)
@@ -129,6 +180,8 @@ func main() {
 	}
 
 	report := Report{
+		Commit:     headCommit(),
+		Time:       time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
@@ -142,19 +195,31 @@ func main() {
 		os.Exit(1)
 	}
 
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "vpbench: %v\n", err)
-		os.Exit(1)
-	}
-	data = append(data, '\n')
 	if *out == "" || *out == "-" {
-		os.Stdout.Write(data)
-	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "vpbench: %v\n", err)
-		os.Exit(1)
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vpbench: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(append(data, '\n'))
 	} else {
-		fmt.Fprintf(os.Stderr, "vpbench: wrote %s (%d benchmarks)\n", *out, len(report.Benchmarks))
+		hist, err := loadHistory(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vpbench: %v\n", err)
+			os.Exit(1)
+		}
+		hist.Entries = append(hist.Entries, report)
+		data, err := json.MarshalIndent(hist, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vpbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "vpbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "vpbench: appended to %s (%d benchmarks, %d records)\n",
+			*out, len(report.Benchmarks), len(hist.Entries))
 	}
 
 	if *assertRE != "" {

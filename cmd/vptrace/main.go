@@ -170,21 +170,32 @@ func replay(args []string) {
 		fatal(err)
 	}
 	ps := make([]core.Predictor, len(facs))
-	correct := make([]uint64, len(facs))
 	for i, fac := range facs {
 		ps[i] = fac.New()
 	}
-	var total uint64
+	// Each trace batch goes through the same core.Bank batch path the
+	// serving tier and warm-restart replay use; the SoA scratch is reused
+	// across batches.
+	bank := core.NewBank(ps...)
+	var pcs, vals []uint64
 	err = r.ForEachBatch(0, func(evs []trace.Event) error {
-		for _, ev := range evs {
-			total++
-			core.StepBank(ps, correct, ev.PC, ev.Value)
+		if cap(pcs) < len(evs) {
+			pcs = make([]uint64, len(evs))
+			vals = make([]uint64, len(evs))
 		}
+		pcs, vals = pcs[:len(evs)], vals[:len(evs)]
+		for j, ev := range evs {
+			pcs[j] = ev.PC
+			vals[j] = ev.Value
+		}
+		bank.StepBatch(pcs, vals)
 		return nil
 	})
 	if err != nil {
 		fatal(err)
 	}
+	total := bank.Events()
+	correct := bank.Correct()
 	fmt.Printf("%s: %d events\n", r.Header.Benchmark, total)
 	for i, fac := range facs {
 		pct := 0.0
@@ -315,9 +326,7 @@ func drive(args []string) {
 				fatal(fmt.Errorf("verify: snapshot bank %q does not match server bank %q",
 					got, strings.Join(res.Predictors, ",")))
 			}
-			for _, ev := range evs {
-				bank.Step(ev.PC, ev.Value)
-			}
+			bank.StepBatch(evs)
 			correct = bank.Correct()
 			mode = fmt.Sprintf("replay warm from snapshot %s (%d events of prior learning)", snap.Meta.ID, snap.Meta.Events)
 		} else {
@@ -330,10 +339,22 @@ func drive(args []string) {
 			for i, fac := range facs {
 				ps[i] = fac.New()
 			}
-			correct = make([]uint64, len(facs))
-			for _, ev := range evs {
-				core.StepBank(ps, correct, ev.PC, ev.Value)
+			// Cold replay rides the same batch path as the server's shard
+			// loop, in bounded chunks so scratch memory stays constant.
+			bank := core.NewBank(ps...)
+			const chunk = 4096
+			pcs := make([]uint64, chunk)
+			vals := make([]uint64, chunk)
+			for off := 0; off < len(evs); off += chunk {
+				end := min(off+chunk, len(evs))
+				m := end - off
+				for j := 0; j < m; j++ {
+					pcs[j] = evs[off+j].PC
+					vals[j] = evs[off+j].Value
+				}
+				bank.StepBatch(pcs[:m], vals[:m])
 			}
+			correct = bank.Correct()
 			mode = "replay from cold tables"
 		}
 		mismatches := 0

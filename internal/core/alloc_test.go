@@ -46,3 +46,46 @@ func TestPredictorsSteadyStateZeroAlloc(t *testing.T) {
 // NonStride4 is a fixed period-4 non-stride value pattern (3 1 4 1 would
 // alias a stride; these do not).
 var NonStride4 = []uint64{3, 1, 4, 7}
+
+// TestBankSteadyStateZeroAlloc extends the steady-state property to the
+// batch execution layer: once every PC, context and value has been seen
+// and the grouping arenas have grown to the batch size, Bank.StepBatch
+// allocates nothing.
+func TestBankSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	rns := NonStride4
+	b := NewBank(
+		NewLastValue(),
+		NewStride2Delta(),
+		NewFCM(3),
+		NewStrideFCMHybrid(3),
+	)
+	const batch = 1024
+	pcs := make([]uint64, batch)
+	vals := make([]uint64, batch)
+	counts := make([]uint64, 4)
+	bits := [][]uint64{nil, nil, make([]uint64, (batch+63)/64), nil}
+	fill := func(base int) {
+		for j := 0; j < batch; j++ {
+			i := base + j
+			pc := uint64(i % 48)
+			pcs[j] = pc
+			vals[j] = rns[(uint64(i/48)+pc)%4]
+		}
+	}
+	for it := 0; it < 16; it++ { // warm every PC, context and arena
+		fill(it * batch)
+		b.StepBatch(pcs, vals)
+	}
+	it := 16
+	allocs := testing.AllocsPerRun(100, func() {
+		fill(it * batch)
+		b.StepBatchCollect(pcs, vals, counts, bits)
+		it++
+	})
+	if allocs != 0 {
+		t.Fatalf("bank steady state allocates %.1f allocs per batch", allocs)
+	}
+}

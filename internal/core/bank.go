@@ -1,0 +1,293 @@
+package core
+
+// This file is the batch-first execution layer. A Bank owns a predictor
+// set, its per-predictor correct counters and the reusable scratch arenas
+// batching needs; StepBatch is the single step path shared by the engine's
+// fan-out workers, the serving tier's shard loop, warm-restart replay and
+// the offline Run/RunSequence wrappers, so none of them can drift from the
+// paper's predict → compare → update protocol.
+//
+// The batch is grouped by PC before any predictor sees it: one probe of
+// the bank's pc table per event builds contiguous same-PC value runs, and
+// each predictor with a native batch kernel (BatchPredictor) then pays a
+// single probe of its own table per distinct PC per batch instead of one
+// per event, with a fused predict/compare/update inner loop over the run.
+// Grouping reorders events across PCs — never within one — which is
+// exactly the transformation PC-local predictors are invariant under (the
+// same property that lets the serving tier shard by hash(pc)). Predictors
+// without a kernel are fed per event in original stream order, so
+// cross-PC (aliasing) predictors like the bounded FCM stay bit-exact too.
+
+// BatchPredictor is implemented by predictors with a native fused batch
+// kernel over a same-PC run of values.
+//
+// StepRun applies the paper's per-event protocol — predict, compare,
+// update — to every value in order, for the single static instruction at
+// pc. hits must have len(values) slots; hits[k] is set to 1 when the
+// prediction for values[k] was correct and 0 otherwise, and the return
+// value is the total number of correct predictions.
+//
+// Implementing this interface asserts that the predictor's state is
+// strictly per-PC (NamedFactory.PCLocal): a Bank may reorder events
+// across PCs between kernels, never within one PC. A predictor whose
+// safety is conditional (e.g. a hybrid over arbitrary components) may
+// additionally implement BatchSafe() bool; when it reports false the bank
+// falls back to the per-event path.
+type BatchPredictor interface {
+	Predictor
+	StepRun(pc uint64, values []uint64, hits []byte) uint64
+}
+
+// batchOf returns p's native batch kernel when it has one and its batched
+// execution is currently safe, nil otherwise.
+func batchOf(p Predictor) BatchPredictor {
+	bp, ok := p.(BatchPredictor)
+	if !ok {
+		return nil
+	}
+	if g, ok := p.(interface{ BatchSafe() bool }); ok && !g.BatchSafe() {
+		return nil
+	}
+	return bp
+}
+
+// b2u8 is the branch-free bool→{0,1} conversion the kernels' inner
+// compare/count loops are written around.
+func b2u8(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// stepOne applies the per-event protocol for one predictor and returns 1
+// on a correct prediction. It is the per-event reference the batch
+// kernels are parity-tested against (bank_parity_test.go) and the
+// fallback path for predictors without a native kernel.
+func stepOne(p Predictor, pc, value uint64) uint64 {
+	pred, ok := p.Predict(pc)
+	p.Update(pc, value)
+	if ok && pred == value {
+		return 1
+	}
+	return 0
+}
+
+// Bank executes a predictor set over batched (pc, value) streams,
+// accumulating per-predictor correct counts. All scratch is owned by the
+// bank and reused, so StepBatch is allocation-free in steady state. A
+// Bank is not safe for concurrent use; give each goroutine its own.
+type Bank struct {
+	preds   []Predictor
+	runs    []BatchPredictor // per predictor; nil = per-event fallback
+	correct []uint64
+	events  uint64
+
+	// Grouping arenas. idx maps a PC to a dense handle that persists
+	// across batches (it only ever grows, like predictor tables); epoch
+	// stamps mark which handles appeared in the current batch so nothing
+	// is cleared between batches.
+	idx    pcTable
+	epoch  []uint64 // per handle: stamp of the last batch that saw it
+	gid    []int32  // per handle: group index within the current batch
+	stamp  uint64   // current batch number
+	egid   []int32  // per event: its group index
+	gpc    []uint64 // per group: the PC
+	cnt    []int32  // per group: event count, then the fill cursor
+	starts []int32  // per group: offset of its run (len = groups+1)
+	order  []int32  // event indices, grouped by PC, per-PC order kept
+	gvals  []uint64 // values, gathered into contiguous same-PC runs
+	hits   []byte   // per-event hit scratch, grouped order
+}
+
+// NewBank builds a bank over the given predictors. The slice is retained.
+func NewBank(preds ...Predictor) *Bank {
+	b := &Bank{
+		preds:   preds,
+		runs:    make([]BatchPredictor, len(preds)),
+		correct: make([]uint64, len(preds)),
+	}
+	for i, p := range preds {
+		b.runs[i] = batchOf(p)
+	}
+	return b
+}
+
+// Predictors returns the bank's predictors in counter order. The returned
+// slice is the bank's own; callers must not mutate it.
+func (b *Bank) Predictors() []Predictor { return b.preds }
+
+// Correct returns a copy of the per-predictor correct counts accumulated
+// since construction or the last Reset.
+func (b *Bank) Correct() []uint64 { return append([]uint64(nil), b.correct...) }
+
+// Events returns how many events the bank has stepped.
+func (b *Bank) Events() uint64 { return b.events }
+
+// StepBatch applies the predict → compare → update protocol to every
+// event, accumulating correct counts. Events beyond min(len(pcs),
+// len(values)) are ignored.
+func (b *Bank) StepBatch(pcs, values []uint64) {
+	b.StepBatchCollect(pcs, values, nil, nil)
+}
+
+// StepBatchCollect is StepBatch with per-batch outputs: when counts is
+// non-nil, this batch's per-predictor hits are added into it; when
+// bits[i] is non-nil (len(bits) must equal the predictor count), its
+// first ⌈n/64⌉ words are overwritten with predictor i's per-event
+// correctness, bit j set when event j (in the caller's original order)
+// was predicted correctly.
+func (b *Bank) StepBatchCollect(pcs, values, counts []uint64, bits [][]uint64) {
+	n := len(pcs)
+	if len(values) < n {
+		n = len(values)
+	}
+	if n == 0 {
+		return
+	}
+	b.events += uint64(n)
+	native := false
+	for _, r := range b.runs {
+		if r != nil {
+			native = true
+			break
+		}
+	}
+	needOrder := false
+	if bits != nil {
+		for i, r := range b.runs {
+			if r != nil && bits[i] != nil {
+				needOrder = true
+				break
+			}
+		}
+	}
+	if native {
+		b.group(pcs[:n], values[:n], needOrder)
+	}
+	nw := (n + 63) / 64
+	for i, p := range b.preds {
+		var bs []uint64
+		if bits != nil && bits[i] != nil {
+			bs = bits[i][:nw]
+			clear(bs)
+		}
+		var hit uint64
+		if r := b.runs[i]; r != nil {
+			hits := b.hits[:n]
+			for g := 0; g+1 < len(b.starts); g++ {
+				lo, hi := b.starts[g], b.starts[g+1]
+				hit += r.StepRun(b.gpc[g], b.gvals[lo:hi], hits[lo:hi])
+			}
+			if bs != nil {
+				for k, idx := range b.order[:n] {
+					if hits[k] != 0 {
+						bs[idx>>6] |= 1 << (uint(idx) & 63)
+					}
+				}
+			}
+		} else {
+			for j := 0; j < n; j++ {
+				h := stepOne(p, pcs[j], values[j])
+				hit += h
+				if bs != nil && h != 0 {
+					bs[j>>6] |= 1 << (uint(j) & 63)
+				}
+			}
+		}
+		b.correct[i] += hit
+		if counts != nil {
+			counts[i] += hit
+		}
+	}
+}
+
+// group buckets one batch by PC: a counting sort over the bank's pc
+// table, stable within each PC, leaving contiguous per-PC value runs in
+// gvals. The original event index of every grouped slot is recorded in
+// order only when a bitset output needs the scatter map back to stream
+// positions (needOrder).
+func (b *Bank) group(pcs, values []uint64, needOrder bool) {
+	n := len(pcs)
+	b.stamp++
+	b.gpc = b.gpc[:0]
+	b.cnt = b.cnt[:0]
+	if cap(b.egid) < n {
+		b.egid = make([]int32, n)
+	}
+	egid := b.egid[:n]
+	for j, pc := range pcs {
+		h, ok := b.idx.lookup(pc)
+		if !ok {
+			h = b.idx.insert(pc)
+			b.epoch = append(b.epoch, 0)
+			b.gid = append(b.gid, 0)
+		}
+		if b.epoch[h] != b.stamp {
+			b.epoch[h] = b.stamp
+			b.gid[h] = int32(len(b.gpc))
+			b.gpc = append(b.gpc, pc)
+			b.cnt = append(b.cnt, 0)
+		}
+		g := b.gid[h]
+		b.cnt[g]++
+		egid[j] = g
+	}
+	ng := len(b.gpc)
+	if cap(b.starts) < ng+1 {
+		b.starts = make([]int32, ng+1)
+	}
+	starts := b.starts[:ng+1]
+	starts[0] = 0
+	for g := 0; g < ng; g++ {
+		starts[g+1] = starts[g] + b.cnt[g]
+	}
+	b.starts = starts
+	if cap(b.order) < n {
+		b.order = make([]int32, n)
+		b.gvals = make([]uint64, n)
+		b.hits = make([]byte, n)
+	}
+	gvals := b.gvals[:n]
+	fill := b.cnt // repurpose the counts as fill cursors
+	copy(fill, starts[:ng])
+	if needOrder {
+		order := b.order[:n]
+		for j := 0; j < n; j++ {
+			g := egid[j]
+			at := fill[g]
+			order[at] = int32(j)
+			gvals[at] = values[j]
+			fill[g] = at + 1
+		}
+		return
+	}
+	for j := 0; j < n; j++ {
+		g := egid[j]
+		at := fill[g]
+		gvals[at] = values[j]
+		fill[g] = at + 1
+	}
+}
+
+// Reset clears the correct counters, the event count and the grouping
+// index (keeping all capacity), and resets every predictor that supports
+// in-place reset. It reports whether every predictor was reset; when
+// false the caller must rebuild the non-Resetter predictors itself.
+func (b *Bank) Reset() bool {
+	ok := true
+	for _, p := range b.preds {
+		if r, can := p.(Resetter); can {
+			r.Reset()
+		} else {
+			ok = false
+		}
+	}
+	clear(b.correct)
+	b.events = 0
+	b.idx.reset()
+	b.epoch = b.epoch[:0]
+	b.gid = b.gid[:0]
+	b.stamp = 0
+	return ok
+}

@@ -334,12 +334,15 @@ func (p *FCM) Predict(pc uint64) (uint64, bool) {
 	if !ok {
 		return 0, false
 	}
-	v, _, ok := p.lookupCtx(&p.pcs[h], h)
+	v, _, _, ok := p.lookupCtx(&p.pcs[h], h)
 	return v, ok
 }
 
-// lookupCtx returns the predicted value and the order that matched.
-func (p *FCM) lookupCtx(s *fcmPCState, pcIdx int32) (value uint64, matched int, ok bool) {
+// lookupCtx returns the predicted value, the order that matched and the
+// matched context's handle within that order's store (so the following
+// update does not re-probe it). Context slabs only append, so the handle
+// stays valid across the update's own inserts.
+func (p *FCM) lookupCtx(s *fcmPCState, pcIdx int32) (value uint64, matched int, hnd int32, ok bool) {
 	lowest := p.order
 	if p.blend {
 		lowest = 0
@@ -348,36 +351,29 @@ func (p *FCM) lookupCtx(s *fcmPCState, pcIdx int32) (value uint64, matched int, 
 		if o > int(s.n) {
 			continue
 		}
-		var c *fcmCtxEnt
+		var h int32
 		if o == 0 {
 			if s.ctx0 < 0 {
 				continue
 			}
-			c = &p.ords[0].ctxs[s.ctx0]
+			h = s.ctx0
 		} else {
-			hnd := p.ords[o].find(pcIdx, s.sigs[o], s.hist[int(s.n)-o:s.n])
-			if hnd < 0 {
+			h = p.ords[o].find(pcIdx, s.sigs[o], s.hist[int(s.n)-o:s.n])
+			if h < 0 {
 				continue
 			}
-			c = &p.ords[o].ctxs[hnd]
 		}
-		if c.nvals > 0 {
-			return c.bestVal, o, true
+		if c := &p.ords[o].ctxs[h]; c.nvals > 0 {
+			return c.bestVal, o, h, true
 		}
 	}
-	return 0, -1, false
+	return 0, -1, -1, false
 }
 
-// Update implements Predictor, applying lazy exclusion: the matched order
-// and all higher orders are updated; lower orders are left untouched.
-func (p *FCM) Update(pc uint64, value uint64) {
-	pcIdx, ok := p.idx.lookup(pc)
-	if !ok {
-		pcIdx = p.idx.insert(pc)
-		p.pcs = append(p.pcs, fcmPCState{pc: pc, ctx0: -1})
-	}
-	s := &p.pcs[pcIdx]
-	_, matched, hit := p.lookupCtx(s, pcIdx)
+// updateCtxs applies lazy exclusion for one observed value: the matched
+// order (whose context handle lookupCtx already found) and all higher
+// orders are updated, then the history and rolling signatures advance.
+func (p *FCM) updateCtxs(s *fcmPCState, pcIdx int32, value uint64, matched int, mhnd int32, hit bool) {
 	low := 0
 	if hit && p.blend {
 		low = matched
@@ -390,12 +386,15 @@ func (p *FCM) Update(pc uint64, value uint64) {
 			continue
 		}
 		var hnd int32
-		if o == 0 {
+		switch {
+		case hit && o == matched:
+			hnd = mhnd
+		case o == 0:
 			if s.ctx0 < 0 {
 				s.ctx0 = p.ords[0].insertPlain(pcIdx)
 			}
 			hnd = s.ctx0
-		} else {
+		default:
 			st := &p.ords[o]
 			key := s.hist[int(s.n)-o : s.n]
 			hnd = st.find(pcIdx, s.sigs[o], key)
@@ -407,6 +406,46 @@ func (p *FCM) Update(pc uint64, value uint64) {
 	}
 	s.pushValue(value, p.order)
 	s.updates++
+}
+
+// Update implements Predictor, applying lazy exclusion: the matched order
+// and all higher orders are updated; lower orders are left untouched.
+func (p *FCM) Update(pc uint64, value uint64) {
+	pcIdx, ok := p.idx.lookup(pc)
+	if !ok {
+		pcIdx = p.idx.insert(pc)
+		p.pcs = append(p.pcs, fcmPCState{pc: pc, ctx0: -1})
+	}
+	s := &p.pcs[pcIdx]
+	_, matched, mhnd, hit := p.lookupCtx(s, pcIdx)
+	p.updateCtxs(s, pcIdx, value, matched, mhnd, hit)
+}
+
+// StepRun implements BatchPredictor. Beyond the single pc-table probe per
+// run, the fused loop walks the context orders once per event — the walk
+// serves both the prediction and the update's matched-order/lazy-
+// exclusion decision — where the Predict/Update pair walks them twice.
+func (p *FCM) StepRun(pc uint64, values []uint64, hits []byte) uint64 {
+	if len(values) == 0 {
+		return 0
+	}
+	pcIdx, ok := p.idx.lookup(pc)
+	if !ok {
+		pcIdx = p.idx.insert(pc)
+		p.pcs = append(p.pcs, fcmPCState{pc: pc, ctx0: -1})
+	}
+	// p.pcs cannot grow during the run (only the insert above appends),
+	// so the state pointer is loop-invariant.
+	s := &p.pcs[pcIdx]
+	var n uint64
+	for k, v := range values {
+		pred, matched, mhnd, okc := p.lookupCtx(s, pcIdx)
+		h := b2u8(okc && pred == v)
+		hits[k] = h
+		n += uint64(h)
+		p.updateCtxs(s, pcIdx, v, matched, mhnd, okc)
+	}
+	return n
 }
 
 // addValue increments the count for v in c's run (appending on first

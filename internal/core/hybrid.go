@@ -22,6 +22,12 @@ type Hybrid struct {
 	idx      pcTable
 	pcs      []uint64
 	counters []int16
+	// chits is StepRun's per-component hit scratch (len(components) ×
+	// run length); sv/sok hold one event's component predictions on the
+	// per-event fallback path. Neither is predictor state.
+	chits []byte
+	sv    []uint64
+	sok   []bool
 }
 
 // NewHybrid builds a chooser hybrid over the given components. Counter
@@ -100,6 +106,121 @@ func (p *Hybrid) Update(pc uint64, value uint64) {
 	for _, c := range p.components {
 		c.Update(pc, value)
 	}
+}
+
+// BatchSafe reports whether every component has a native batch kernel,
+// which is what makes the hybrid's own batched execution safe: a kernel
+// asserts strictly per-PC state, and the chooser's counters are per-PC
+// already. A hybrid over a cross-PC component (e.g. the bounded FCM)
+// reports false and the bank falls back to per-event stepping in
+// original stream order.
+func (p *Hybrid) BatchSafe() bool {
+	for _, c := range p.components {
+		if batchOf(c) == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// StepRun implements BatchPredictor. Component state evolves
+// independently of the chooser, so each component's kernel runs over the
+// whole run first, recording per-event correctness; the chooser loop then
+// replays those hit bytes in order — component ci correct at event k is
+// exactly the condition that bumps counter ci, and the hybrid's own hit
+// at k is the then-best component's hit byte.
+func (p *Hybrid) StepRun(pc uint64, values []uint64, hits []byte) uint64 {
+	if len(values) == 0 {
+		return 0
+	}
+	nc := len(p.components)
+	h, ok := p.idx.lookup(pc)
+	if !ok {
+		h = p.idx.insert(pc)
+		p.pcs = append(p.pcs, pc)
+		for range p.components {
+			p.counters = append(p.counters, 0)
+		}
+	}
+	if !p.BatchSafe() {
+		// Direct callers of StepRun assert run-level ordering themselves;
+		// step the run per event so non-batch components stay exact.
+		return p.stepRunPerEvent(pc, values, hits, h)
+	}
+	need := nc * len(values)
+	if cap(p.chits) < need {
+		p.chits = make([]byte, need)
+	}
+	ch := p.chits[:need]
+	for ci, c := range p.components {
+		c.(BatchPredictor).StepRun(pc, values, ch[ci*len(values):(ci+1)*len(values)])
+	}
+	counters := p.row(h)
+	var n uint64
+	for k := range values {
+		bestIdx, bestCount := 0, int16(-1)
+		for ci := range counters {
+			if counters[ci] > bestCount {
+				bestIdx, bestCount = ci, counters[ci]
+			}
+		}
+		hb := ch[bestIdx*len(values)+k]
+		hits[k] = hb
+		n += uint64(hb)
+		for ci := range counters {
+			if ch[ci*len(values)+k] != 0 {
+				if counters[ci] < p.max {
+					counters[ci]++
+				}
+			} else if counters[ci] > 0 {
+				counters[ci]--
+			}
+		}
+	}
+	return n
+}
+
+// stepRunPerEvent is StepRun's event-at-a-time flavor for hybrids whose
+// components lack batch kernels. Each component still predicts exactly
+// once per event — the prediction feeds both the chooser scoring and, for
+// the best component, the hybrid's own output — where the Predict/Update
+// pair predicts twice.
+func (p *Hybrid) stepRunPerEvent(pc uint64, values []uint64, hits []byte, h int32) uint64 {
+	nc := len(p.components)
+	if cap(p.sv) < nc {
+		p.sv = make([]uint64, nc)
+		p.sok = make([]bool, nc)
+	}
+	sv, sok := p.sv[:nc], p.sok[:nc]
+	counters := p.row(h)
+	var n uint64
+	for k, v := range values {
+		bestIdx, bestCount := 0, int16(-1)
+		for ci := range counters {
+			if counters[ci] > bestCount {
+				bestIdx, bestCount = ci, counters[ci]
+			}
+		}
+		for ci, c := range p.components {
+			sv[ci], sok[ci] = c.Predict(pc)
+		}
+		hb := b2u8(sok[bestIdx] && sv[bestIdx] == v)
+		hits[k] = hb
+		n += uint64(hb)
+		for ci := range counters {
+			if sok[ci] && sv[ci] == v {
+				if counters[ci] < p.max {
+					counters[ci]++
+				}
+			} else if counters[ci] > 0 {
+				counters[ci]--
+			}
+		}
+		for _, c := range p.components {
+			c.Update(pc, v)
+		}
+	}
+	return n
 }
 
 // Reset implements Resetter.

@@ -39,6 +39,35 @@ func (p *LastValue) Update(pc uint64, value uint64) {
 	p.vals = append(p.vals, value)
 }
 
+// StepRun implements BatchPredictor: one table probe for the whole run,
+// then a branch-free compare/count loop — within a same-PC run the
+// prediction for values[k] is simply values[k-1].
+func (p *LastValue) StepRun(pc uint64, values []uint64, hits []byte) uint64 {
+	if len(values) == 0 {
+		return 0
+	}
+	k := 0
+	i, ok := p.idx.lookup(pc)
+	if !ok {
+		i = p.idx.insert(pc)
+		p.pcs = append(p.pcs, pc)
+		p.vals = append(p.vals, values[0])
+		hits[0] = 0
+		k = 1
+	}
+	prev := p.vals[i]
+	var n uint64
+	for ; k < len(values); k++ {
+		v := values[k]
+		h := b2u8(prev == v)
+		hits[k] = h
+		n += uint64(h)
+		prev = v
+	}
+	p.vals[i] = prev
+	return n
+}
+
 // Reset implements Resetter.
 func (p *LastValue) Reset() {
 	p.idx.reset()
@@ -162,6 +191,45 @@ func (p *LastValueCounter) Update(pc uint64, value uint64) {
 	}
 }
 
+// StepRun implements BatchPredictor: the entry is read once, carried
+// through the run in registers and written back at the end.
+func (p *LastValueCounter) StepRun(pc uint64, values []uint64, hits []byte) uint64 {
+	if len(values) == 0 {
+		return 0
+	}
+	k := 0
+	i, ok := p.idx.lookup(pc)
+	if !ok {
+		i = p.idx.insert(pc)
+		p.pcs = append(p.pcs, pc)
+		p.entries = append(p.entries, lvcEntry{value: values[0], count: 0})
+		hits[0] = 0
+		k = 1
+	}
+	e := p.entries[i]
+	var n uint64
+	for ; k < len(values); k++ {
+		v := values[k]
+		if e.value == v {
+			hits[k] = 1
+			n++
+			if e.count < p.max {
+				e.count++
+			}
+			continue
+		}
+		hits[k] = 0
+		if e.count > 0 {
+			e.count--
+		}
+		if e.count <= p.threshold {
+			e.value = v
+		}
+	}
+	p.entries[i] = e
+	return n
+}
+
 // Reset implements Resetter.
 func (p *LastValueCounter) Reset() {
 	p.idx.reset()
@@ -281,6 +349,41 @@ func (p *LastValueConsecutive) Update(pc uint64, value uint64) {
 	if e.runLength >= p.required {
 		e.value = e.candidate
 	}
+}
+
+// StepRun implements BatchPredictor.
+func (p *LastValueConsecutive) StepRun(pc uint64, values []uint64, hits []byte) uint64 {
+	if len(values) == 0 {
+		return 0
+	}
+	k := 0
+	i, ok := p.idx.lookup(pc)
+	if !ok {
+		i = p.idx.insert(pc)
+		p.pcs = append(p.pcs, pc)
+		p.entries = append(p.entries, lvcons{value: values[0], candidate: values[0], runLength: p.required})
+		hits[0] = 0
+		k = 1
+	}
+	e := p.entries[i]
+	var n uint64
+	for ; k < len(values); k++ {
+		v := values[k]
+		h := b2u8(e.value == v)
+		hits[k] = h
+		n += uint64(h)
+		if v == e.candidate {
+			e.runLength++
+		} else {
+			e.candidate = v
+			e.runLength = 1
+		}
+		if e.runLength >= p.required {
+			e.value = e.candidate
+		}
+	}
+	p.entries[i] = e
+	return n
 }
 
 // Reset implements Resetter.

@@ -110,43 +110,55 @@ func (a Accuracy) Percent() float64 { return a.Rate() * 100 }
 
 // StepBank applies the paper's protocol — predict, compare, update — for
 // one event across a bank of predictors, incrementing correct[i] when
-// predictor i was right. It is the single definition of "offline replay"
-// shared by vptrace replay, the drive -verify check and the serving
-// layer's parity tests, so they can never drift apart.
+// predictor i was right. It is the per-event edge of the batch execution
+// layer: it steps through the same stepOne helper Bank's fallback path
+// uses, and bank_parity_test.go pins it against every native batch
+// kernel, so offline replay, the drive -verify check and the serving
+// layer can never drift apart. Streams long enough to batch should go
+// through Bank.StepBatch instead.
 func StepBank(ps []Predictor, correct []uint64, pc, value uint64) {
 	for i, p := range ps {
-		pred, ok := p.Predict(pc)
-		if ok && pred == value {
-			correct[i]++
-		}
-		p.Update(pc, value)
+		correct[i] += stepOne(p, pc, value)
 	}
 }
 
+// runChunk bounds the batch the Run wrappers feed the bank at once, so a
+// multi-million-event stream does not force an equally large grouping
+// arena.
+const runChunk = 4096
+
 // Run drives a predictor over a value stream and returns its accuracy.
-// It applies the paper's protocol: predict, compare, then update.
+// It is a thin wrapper over the batch path: the stream is fed to a
+// single-predictor Bank in bounded chunks.
 func Run(p Predictor, pcs []uint64, values []uint64) Accuracy {
-	var acc Accuracy
 	n := len(pcs)
 	if len(values) < n {
 		n = len(values)
 	}
-	for i := 0; i < n; i++ {
-		pred, ok := p.Predict(pcs[i])
-		acc.Observe(ok && pred == values[i])
-		p.Update(pcs[i], values[i])
+	b := NewBank(p)
+	for off := 0; off < n; off += runChunk {
+		end := off + runChunk
+		if end > n {
+			end = n
+		}
+		b.StepBatch(pcs[off:end], values[off:end])
 	}
-	return acc
+	return Accuracy{Correct: b.correct[0], Total: uint64(n)}
 }
 
 // RunSequence drives a predictor over a single-instruction value sequence
 // (all events share one PC), the setting of the paper's Table 1 analysis.
+// Like Run it wraps the batch path; with one static instruction each
+// chunk is a single maximal same-PC run.
 func RunSequence(p Predictor, values []uint64) Accuracy {
-	var acc Accuracy
-	for _, v := range values {
-		pred, ok := p.Predict(0)
-		acc.Observe(ok && pred == v)
-		p.Update(0, v)
+	b := NewBank(p)
+	var pcs [runChunk]uint64 // all zero: the sequence's single PC
+	for off := 0; off < len(values); off += runChunk {
+		end := off + runChunk
+		if end > len(values) {
+			end = len(values)
+		}
+		b.StepBatch(pcs[:end-off], values[off:end])
 	}
-	return acc
+	return Accuracy{Correct: b.correct[0], Total: uint64(len(values))}
 }

@@ -63,6 +63,38 @@ func (p *StrideSimple) Update(pc uint64, value uint64) {
 	}
 }
 
+// StepRun implements BatchPredictor: one table probe per run, the entry
+// carried through the loop and written back once.
+func (p *StrideSimple) StepRun(pc uint64, values []uint64, hits []byte) uint64 {
+	if len(values) == 0 {
+		return 0
+	}
+	k := 0
+	i, ok := p.idx.lookup(pc)
+	if !ok {
+		i = p.idx.insert(pc)
+		p.pcs = append(p.pcs, pc)
+		p.entries = append(p.entries, strideEntry{last: values[0], seen: 1})
+		hits[0] = 0
+		k = 1
+	}
+	e := p.entries[i]
+	var n uint64
+	for ; k < len(values); k++ {
+		v := values[k]
+		h := b2u8(e.seen != 0 && e.last+e.stride == v)
+		hits[k] = h
+		n += uint64(h)
+		e.stride = v - e.last
+		e.last = v
+		if e.seen < 2 {
+			e.seen++
+		}
+	}
+	p.entries[i] = e
+	return n
+}
+
 // Reset implements Resetter.
 func (p *StrideSimple) Reset() {
 	p.idx.reset()
@@ -194,6 +226,49 @@ func (p *Stride2Delta) Update(pc uint64, value uint64) {
 		e.s1Count = 1
 	}
 	e.last = value
+}
+
+// StepRun implements BatchPredictor.
+func (p *Stride2Delta) StepRun(pc uint64, values []uint64, hits []byte) uint64 {
+	if len(values) == 0 {
+		return 0
+	}
+	k := 0
+	i, ok := p.idx.lookup(pc)
+	if !ok {
+		i = p.idx.insert(pc)
+		p.pcs = append(p.pcs, pc)
+		p.entries = append(p.entries, s2Entry{last: values[0], seen: 1})
+		hits[0] = 0
+		k = 1
+	}
+	e := p.entries[i]
+	var n uint64
+	for ; k < len(values); k++ {
+		v := values[k]
+		h := b2u8(e.seen >= 2 && e.last+e.s2 == v)
+		hits[k] = h
+		n += uint64(h)
+		delta := v - e.last
+		switch {
+		case e.seen == 1:
+			e.s1, e.s2, e.s1Count = delta, delta, 1
+			e.seen = 2
+		case delta == e.s1:
+			if e.s1Count < 2 {
+				e.s1Count++
+			}
+			if e.s1Count >= 2 {
+				e.s2 = delta
+			}
+		default:
+			e.s1 = delta
+			e.s1Count = 1
+		}
+		e.last = v
+	}
+	p.entries[i] = e
+	return n
 }
 
 // Reset implements Resetter.
@@ -334,6 +409,51 @@ func (p *StrideCounter) Update(pc uint64, value uint64) {
 	if e.seen < 2 {
 		e.seen++
 	}
+}
+
+// StepRun implements BatchPredictor.
+func (p *StrideCounter) StepRun(pc uint64, values []uint64, hits []byte) uint64 {
+	if len(values) == 0 {
+		return 0
+	}
+	k := 0
+	i, ok := p.idx.lookup(pc)
+	if !ok {
+		i = p.idx.insert(pc)
+		p.pcs = append(p.pcs, pc)
+		p.entries = append(p.entries, scEntry{last: values[0], seen: 1})
+		hits[0] = 0
+		k = 1
+	}
+	e := p.entries[i]
+	var n uint64
+	for ; k < len(values); k++ {
+		v := values[k]
+		predicted := e.last + e.stride
+		h := b2u8(e.seen != 0 && predicted == v)
+		hits[k] = h
+		n += uint64(h)
+		if e.seen >= 1 {
+			if predicted == v {
+				if e.count < p.max {
+					e.count++
+				}
+			} else {
+				if e.count > 0 {
+					e.count--
+				}
+				if e.count <= p.threshold {
+					e.stride = v - e.last
+				}
+			}
+		}
+		e.last = v
+		if e.seen < 2 {
+			e.seen++
+		}
+	}
+	p.entries[i] = e
+	return n
 }
 
 // Reset implements Resetter.

@@ -70,11 +70,15 @@ func RunSuite(cfg Config) (*analysis.Suite, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One arena per suite worker: predictor tables, grouping
+			// arenas, batch buffers and bitsets are reset in place
+			// between benchmarks instead of reallocated per run.
+			ar := newArena()
 			for i := range idx {
 				if cfg.Progress != nil {
 					cfg.Progress(workloads[i].Name)
 				}
-				results[i], errs[i] = RunBenchmark(workloads[i], acfg, cfg.BatchSize)
+				results[i], errs[i] = ar.runBenchmark(workloads[i], acfg, cfg.BatchSize)
 			}
 		}()
 	}

@@ -18,6 +18,11 @@ const DefaultBatchSize = sim.DefaultBatchSize
 // cannot run unboundedly ahead of slow predictor banks (backpressure).
 const chanDepth = 4
 
+// bitsRing is the number of correctness bitsets each tracked worker
+// rotates through instead of allocating one per batch: at most chanDepth
+// sit in the channel, the merger holds one, and one is being filled.
+const bitsRing = chanDepth + 2
+
 // batch is one refcounted slice of value events shared read-only by all
 // predictor workers and the merger; the last consumer returns it to the
 // pool.
@@ -32,6 +37,65 @@ func (b *batch) release(pool *sync.Pool) {
 	}
 }
 
+// workerState is one predictor bank's reusable execution state: the
+// single-predictor core.Bank (whose grouping arenas and predictor tables
+// persist across benchmark runs via Reset) plus the worker's own SoA and
+// bitset scratch. Each bank worker goroutine owns exactly one.
+type workerState struct {
+	fac     core.Factory
+	bank    *core.Bank
+	pcs     []uint64
+	vals    []uint64
+	bitsArg [][]uint64 // 1-slot reusable argument for StepBatchCollect
+	ring    [][]uint64 // tracked workers: rotation of bitsets sent to the merger
+	ringIdx int
+	scratch []uint64 // untracked workers: private bitset, never leaves the worker
+}
+
+// arena holds everything a benchmark run can reuse from the previous one
+// executed on the same goroutine: one workerState per standard predictor
+// and the shared batch pool. RunSuite gives each suite worker its own
+// arena, so back-to-back benchmarks pay no per-run reallocation of
+// predictor tables, grouping arenas, event buffers or bitsets.
+type arena struct {
+	ws   []*workerState
+	pool *sync.Pool
+}
+
+func newArena() *arena {
+	facs := core.StandardFactories()
+	a := &arena{
+		ws: make([]*workerState, len(facs)),
+		pool: &sync.Pool{New: func() any {
+			return &batch{}
+		}},
+	}
+	for i, f := range facs {
+		ws := &workerState{
+			fac:     f,
+			bank:    core.NewBank(f.New()),
+			bitsArg: make([][]uint64, 1),
+		}
+		switch i {
+		case analysis.TrackedL, analysis.TrackedS, analysis.TrackedF:
+			ws.ring = make([][]uint64, bitsRing)
+		}
+		a.ws[i] = ws
+	}
+	return a
+}
+
+// reset readies the arena for a fresh benchmark: every predictor's tables
+// are cleared in place (all standard predictors implement core.Resetter;
+// a hypothetical one that doesn't is rebuilt from its factory).
+func (a *arena) reset() {
+	for _, ws := range a.ws {
+		if !ws.bank.Reset() {
+			ws.bank = core.NewBank(ws.fac.New())
+		}
+	}
+}
+
 // RunBenchmark executes one workload with the fan-out topology:
 //
 //	simulator ──batches──► bank worker (l)    ──bitsets──┐
@@ -41,28 +105,30 @@ func (b *batch) release(pool *sync.Pool) {
 //	    │     ──batches──► bank worker (fcm3) ──bitsets──┤
 //	    └─────batches────────────────────────────────────┘
 //
-// Each bank worker owns one predictor and its accuracy tallies; the three
-// tracked banks additionally emit one correctness bit per event, from
-// which the merger rebuilds the exact per-event subset masks and
-// per-static-instruction records of the serial path. All channels are
-// FIFO, so every consumer observes events in program order and the result
-// is identical to analysis.RunBenchmark.
+// Each bank worker owns one single-predictor core.Bank and steps every
+// batch through Bank.StepBatchCollect — the same batch path the serving
+// tier and warm-restart replay use — reading per-event correctness back
+// from the bank's bitset output to tally per-category accuracy; the three
+// tracked banks forward their bitsets so the merger can rebuild the exact
+// per-event subset masks and per-static-instruction records of the serial
+// path. All channels are FIFO, so every consumer observes events in
+// program order and the result is identical to analysis.RunBenchmark.
 func RunBenchmark(w *bench.Workload, cfg analysis.Config, batchSize int) (*analysis.BenchResult, error) {
+	return newArena().runBenchmark(w, cfg, batchSize)
+}
+
+func (a *arena) runBenchmark(w *bench.Workload, cfg analysis.Config, batchSize int) (*analysis.BenchResult, error) {
 	cfg = cfg.WithDefaults()
 	if batchSize <= 0 {
 		batchSize = DefaultBatchSize
 	}
+	a.reset()
 	res := analysis.NewBenchResult(w.Name, cfg.Opt)
-	facs := core.StandardFactories()
 
-	pool := &sync.Pool{New: func() any {
-		return &batch{ev: make([]sim.ValueEvent, 0, batchSize)}
-	}}
-
-	ins := make([]chan *batch, len(facs))
+	ins := make([]chan *batch, len(a.ws))
 	var bitsL, bitsS, bitsF chan []uint64
 	var wg sync.WaitGroup
-	for i, f := range facs {
+	for i, ws := range a.ws {
 		ins[i] = make(chan *batch, chanDepth)
 		var out chan []uint64
 		switch i {
@@ -77,13 +143,13 @@ func RunBenchmark(w *bench.Workload, cfg analysis.Config, batchSize int) (*analy
 			bitsF = out
 		}
 		wg.Add(1)
-		go bankWorker(&wg, f.New(), res.Acc[analysis.PredictorNames[i]], ins[i], out, pool)
+		go bankWorker(&wg, ws, res.Acc[analysis.PredictorNames[i]], ins[i], out, a.pool)
 	}
 
 	mergeIn := make(chan *batch, chanDepth)
 	uniq := analysis.NewUniqueTracker(cfg.UniqueValueCap)
 	mergeDone := make(chan struct{})
-	go merge(res, uniq, mergeIn, bitsL, bitsS, bitsF, pool, mergeDone)
+	go merge(res, uniq, mergeIn, bitsL, bitsS, bitsF, a.pool, mergeDone)
 
 	simRes, err := w.Run(bench.RunConfig{
 		Opt:       cfg.Opt,
@@ -93,7 +159,7 @@ func RunBenchmark(w *bench.Workload, cfg analysis.Config, batchSize int) (*analy
 		OnValues: func(evs []sim.ValueEvent) {
 			// The simulator reuses its batch buffer, so copy into a pooled
 			// one owned by the fan-out for the lifetime of the refcount.
-			b := pool.Get().(*batch)
+			b := a.pool.Get().(*batch)
 			b.ev = append(b.ev[:0], evs...)
 			b.refs.Store(int32(len(ins) + 1))
 			for _, in := range ins {
@@ -120,27 +186,49 @@ func RunBenchmark(w *bench.Workload, cfg analysis.Config, batchSize int) (*analy
 	return res, nil
 }
 
-// bankWorker drives one predictor over the batch stream, tallying its
-// accuracy in place (each worker owns its CatAccuracy, so tallies need no
-// locks). Tracked banks emit one correctness bit per event on out.
-func bankWorker(wg *sync.WaitGroup, p core.Predictor, acc *analysis.CatAccuracy,
+// bankWorker drives one predictor bank over the batch stream through the
+// shared batch path, tallying its accuracy in place (each worker owns its
+// CatAccuracy, so tallies need no locks). Tracked banks forward one
+// correctness bitset per batch on out, drawn from a fixed ring: the
+// bounded out channel plus the merger's strictly sequential consumption
+// guarantee at most bitsRing bitsets are live at once, so the ring is
+// reused without synchronization or allocation.
+func bankWorker(wg *sync.WaitGroup, ws *workerState, acc *analysis.CatAccuracy,
 	in <-chan *batch, out chan<- []uint64, pool *sync.Pool) {
 	defer wg.Done()
 	for b := range in {
+		n := len(b.ev)
+		if cap(ws.pcs) < n {
+			ws.pcs = make([]uint64, n)
+			ws.vals = make([]uint64, n)
+		}
+		pcs, vals := ws.pcs[:n], ws.vals[:n]
+		for j := range b.ev {
+			pcs[j] = b.ev[j].PC
+			vals[j] = b.ev[j].Value
+		}
+		nw := (n + 63) / 64
 		var bits []uint64
 		if out != nil {
-			bits = make([]uint64, (len(b.ev)+63)/64)
-		}
-		for j := range b.ev {
-			ev := &b.ev[j]
-			pred, ok := p.Predict(ev.PC)
-			correct := ok && pred == ev.Value
-			acc.Overall.Observe(correct)
-			acc.PerCat[ev.Cat].Observe(correct)
-			if correct && bits != nil {
-				bits[j>>6] |= 1 << (uint(j) & 63)
+			bits = ws.ring[ws.ringIdx]
+			if cap(bits) < nw {
+				bits = make([]uint64, nw)
+				ws.ring[ws.ringIdx] = bits
 			}
-			p.Update(ev.PC, ev.Value)
+			ws.ringIdx = (ws.ringIdx + 1) % bitsRing
+		} else {
+			if cap(ws.scratch) < nw {
+				ws.scratch = make([]uint64, nw)
+			}
+			bits = ws.scratch
+		}
+		bits = bits[:nw]
+		ws.bitsArg[0] = bits
+		ws.bank.StepBatchCollect(pcs, vals, nil, ws.bitsArg)
+		for j := range b.ev {
+			correct := bits[j>>6]&(1<<(uint(j)&63)) != 0
+			acc.Overall.Observe(correct)
+			acc.PerCat[b.ev[j].Cat].Observe(correct)
 		}
 		if out != nil {
 			out <- bits

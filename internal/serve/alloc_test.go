@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"testing"
+)
+
+// TestClientSteadyStateZeroAlloc pins the client-side half of the
+// serving hot path (the ROADMAP's "client-side (driver) buffer pooling"
+// item): once the send scratch, receive scratch and result buffers have
+// grown to the workload's batch size, a synchronous send → flush →
+// receive round trip allocates nothing on the client goroutine. The
+// server side's steady state is covered separately (its pending/event
+// buffers are pooled); AllocsPerRun only counts the calling goroutine.
+func TestClientSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	s, err := New(Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0", ""); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const batch = 512
+	evs := make([]Event, batch)
+	fill := func(base int) {
+		for j := range evs {
+			evs[j] = Event{PC: uint64((base + j) % 64 * 4), Value: uint64((base + j) % 7)}
+		}
+	}
+	var res BatchResult
+	roundTrip := func(base int) {
+		fill(base)
+		if err := c.Send(evs); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RecvInto(&res); err != nil {
+			t.Fatal(err)
+		}
+		if res.Events != batch {
+			t.Fatalf("server tallied %d events, want %d", res.Events, batch)
+		}
+	}
+	for i := 0; i < 8; i++ { // warm client scratch and server tables
+		roundTrip(i * batch)
+	}
+	i := 8
+	allocs := testing.AllocsPerRun(50, func() {
+		roundTrip(i * batch)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("client round trip allocates %.1f allocs in steady state", allocs)
+	}
+}

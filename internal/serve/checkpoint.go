@@ -134,12 +134,25 @@ func (s *Server) RestoredFrom() string { return s.restoredID }
 // It is the offline half of the warm-restart parity check: feed it the
 // post-checkpoint remainder of a stream and its tallies must match what
 // a server restored from the same snapshot returns for that remainder.
+// Replay runs through core.Bank.StepBatch — the same batch path the
+// server's shard loop uses — so online serving and offline warm replay
+// execute identical code.
 type WarmBank struct {
-	names   []string
-	shards  [][]core.Predictor
-	correct []uint64
-	events  uint64
+	names  []string
+	shards []*core.Bank
+	events uint64
+	// Batch scratch: shard bucketing counters/cursors and the SoA split,
+	// grouped by shard, all reused across StepBatch calls.
+	cnt   []int
+	pos   []int
+	spcs  []uint64
+	svals []uint64
+	one   [2]uint64 // Step's 1-event batch (pc, value)
 }
+
+// warmChunk bounds the events one StepBatch call buckets at once, so
+// replaying a multi-million-event stream keeps constant scratch memory.
+const warmChunk = 4096
 
 // NewWarmBank builds the per-shard banks from a snapshot, resolving
 // predictors through the registry.
@@ -153,12 +166,13 @@ func NewWarmBank(snap *snapshot.Snapshot) (*WarmBank, error) {
 		facs[i] = fac
 	}
 	b := &WarmBank{
-		names:   append([]string(nil), snap.Meta.Predictors...),
-		shards:  make([][]core.Predictor, snap.Meta.Shards),
-		correct: make([]uint64, len(facs)),
+		names:  append([]string(nil), snap.Meta.Predictors...),
+		shards: make([]*core.Bank, snap.Meta.Shards),
+		cnt:    make([]int, snap.Meta.Shards),
+		pos:    make([]int, snap.Meta.Shards),
 	}
 	for si := range b.shards {
-		bank := make([]core.Predictor, len(facs))
+		preds := make([]core.Predictor, len(facs))
 		for pi, fac := range facs {
 			p := fac.New()
 			st, ok := p.(core.Stateful)
@@ -168,29 +182,89 @@ func NewWarmBank(snap *snapshot.Snapshot) (*WarmBank, error) {
 			if err := st.LoadState(bytes.NewReader(snap.Shards[si].Preds[pi].State)); err != nil {
 				return nil, fmt.Errorf("serve: shard %d predictor %q: %w", si, fac.Name, err)
 			}
-			bank[pi] = p
+			preds[pi] = p
 		}
-		b.shards[si] = bank
+		b.shards[si] = core.NewBank(preds...)
 	}
 	return b, nil
 }
 
 // Step applies one event to the owning shard's bank, tallying correct
-// predictions exactly like the server's shard loop.
+// predictions exactly like the server's shard loop. Streams long enough
+// to batch should go through StepBatch.
 func (b *WarmBank) Step(pc, value uint64) {
 	bank := b.shards[0]
 	if len(b.shards) > 1 {
 		bank = b.shards[ShardOf(pc, len(b.shards))]
 	}
-	core.StepBank(bank, b.correct, pc, value)
+	b.one[0], b.one[1] = pc, value
+	bank.StepBatch(b.one[:1], b.one[1:2])
 	b.events++
+}
+
+// StepBatch replays a batch of events: each chunk is bucketed stably by
+// owning shard (the transformation the server's dispatch applies) and
+// fed to the per-shard banks through the shared batch path.
+func (b *WarmBank) StepBatch(evs []Event) {
+	nshards := len(b.shards)
+	for off := 0; off < len(evs); off += warmChunk {
+		chunk := evs[off:min(off+warmChunk, len(evs))]
+		n := len(chunk)
+		if cap(b.spcs) < n {
+			b.spcs = make([]uint64, n)
+			b.svals = make([]uint64, n)
+		}
+		pcs, vals := b.spcs[:n], b.svals[:n]
+		if nshards == 1 {
+			for j, ev := range chunk {
+				pcs[j] = ev.PC
+				vals[j] = ev.Value
+			}
+			b.shards[0].StepBatch(pcs, vals)
+			b.events += uint64(n)
+			continue
+		}
+		for i := range b.cnt {
+			b.cnt[i] = 0
+		}
+		for _, ev := range chunk {
+			b.cnt[ShardOf(ev.PC, nshards)]++
+		}
+		o := 0
+		for i, c := range b.cnt {
+			b.pos[i] = o
+			o += c
+		}
+		for _, ev := range chunk {
+			sh := ShardOf(ev.PC, nshards)
+			pcs[b.pos[sh]] = ev.PC
+			vals[b.pos[sh]] = ev.Value
+			b.pos[sh]++
+		}
+		o = 0
+		for i, c := range b.cnt {
+			if c > 0 {
+				b.shards[i].StepBatch(pcs[o:o+c], vals[o:o+c])
+			}
+			o += c
+		}
+		b.events += uint64(n)
+	}
 }
 
 // Predictors returns the bank's predictor names in tally order.
 func (b *WarmBank) Predictors() []string { return append([]string(nil), b.names...) }
 
 // Correct returns the per-predictor correct tallies since construction.
-func (b *WarmBank) Correct() []uint64 { return append([]uint64(nil), b.correct...) }
+func (b *WarmBank) Correct() []uint64 {
+	out := make([]uint64, len(b.names))
+	for _, bank := range b.shards {
+		for i, c := range bank.Correct() {
+			out[i] += c
+		}
+	}
+	return out
+}
 
 // Events returns how many events have been stepped.
 func (b *WarmBank) Events() uint64 { return b.events }

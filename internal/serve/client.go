@@ -82,21 +82,39 @@ func (c *Client) Send(evs []Event) error {
 func (c *Client) Flush() error { return c.bw.Flush() }
 
 // Recv reads the next result, in send order. After CloseWrite, io.EOF
-// signals that every outstanding result has been received.
+// signals that every outstanding result has been received. The returned
+// Correct slice is freshly allocated; loops that drain many results
+// should use RecvInto.
 func (c *Client) Recv() (BatchResult, error) {
+	res := BatchResult{Correct: make([]uint64, len(c.preds))}
+	if err := c.RecvInto(&res); err != nil {
+		return BatchResult{}, err
+	}
+	return res, nil
+}
+
+// RecvInto is Recv reusing the caller's result: res.Correct is resized in
+// place (reallocated only when its capacity is short), so a loop that
+// passes the same BatchResult receives with zero allocation in steady
+// state.
+func (c *Client) RecvInto(res *BatchResult) error {
 	frame, err := readFrame(c.br, c.rbuf)
 	if err != nil {
-		return BatchResult{}, err
+		return err
 	}
 	c.rbuf = frame[:0]
 	switch frame[0] {
 	case msgResult:
-		events, correct, err := decodeResult(frame[1:], len(c.preds))
-		return BatchResult{Events: events, Correct: correct}, err
+		if cap(res.Correct) < len(c.preds) {
+			res.Correct = make([]uint64, len(c.preds))
+		}
+		res.Correct = res.Correct[:len(c.preds)]
+		res.Events, err = decodeResultInto(frame[1:], res.Correct)
+		return err
 	case msgError:
-		return BatchResult{}, errors.New("serve: server error: " + decodeError(frame[1:]))
+		return errors.New("serve: server error: " + decodeError(frame[1:]))
 	default:
-		return BatchResult{}, fmt.Errorf("serve: unexpected message type %d", frame[0])
+		return fmt.Errorf("serve: unexpected message type %d", frame[0])
 	}
 }
 
@@ -128,10 +146,12 @@ func (c *Client) CloseWrite() error {
 // Close tears the connection down.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// drainEOF is a helper for tests: Recv until EOF, summing results.
+// drainEOF receives until EOF, summing results through one reused
+// BatchResult so the drain loop does not allocate per response.
 func (c *Client) drainEOF(sum *BatchResult) error {
+	var r BatchResult
 	for {
-		r, err := c.Recv()
+		err := c.RecvInto(&r)
 		if errors.Is(err, io.EOF) {
 			return nil
 		}

@@ -61,10 +61,14 @@ func (r *DriveResult) EventsPerSec() float64 {
 
 // clientRunner owns one connection: a sender goroutine streams batches
 // from work, then half-closes; the receiver (run's own goroutine) drains
-// results until EOF.
+// results until EOF. Spent batch buffers flow back to the producer over
+// free — Send copies the events onto the wire, so a buffer is reusable
+// the moment Send returns — which makes the drive loop's buffer
+// management allocation-free in steady state.
 type clientRunner struct {
 	c       *Client
 	work    chan []Event
+	free    chan []Event
 	sum     BatchResult
 	sent    uint64
 	sendErr error
@@ -77,7 +81,13 @@ func startRunner(addr string) (*clientRunner, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &clientRunner{c: c, work: make(chan []Event, 8)}
+	r := &clientRunner{
+		c:    c,
+		work: make(chan []Event, 8),
+		// One slot per in-flight work entry plus the producer's and the
+		// sender's own, so recycling never blocks.
+		free: make(chan []Event, 10),
+	}
 	r.wg.Add(2)
 	go func() { // sender
 		defer r.wg.Done()
@@ -87,6 +97,10 @@ func startRunner(addr string) (*clientRunner, error) {
 				if err := r.c.Send(b); err != nil {
 					r.sendErr = err
 				}
+			}
+			select {
+			case r.free <- b[:0]:
+			default:
 			}
 		}
 		if err := r.c.CloseWrite(); err != nil && r.sendErr == nil {
@@ -158,7 +172,11 @@ func Drive(cfg DriveConfig, next func() (Event, bool)) (*DriveResult, error) {
 		bufs[cl] = append(bufs[cl], ev)
 		if len(bufs[cl]) == batch {
 			runners[cl].work <- bufs[cl]
-			bufs[cl] = make([]Event, 0, batch)
+			select {
+			case bufs[cl] = <-runners[cl].free: // recycled, cap == batch
+			default:
+				bufs[cl] = make([]Event, 0, batch)
+			}
 		}
 	}
 	for i, b := range bufs {

@@ -36,15 +36,18 @@ const (
 
 // writeFrame emits one length-prefixed frame. Oversized payloads are
 // rejected locally — the peer would refuse them anyway, and payloads past
-// 4 GiB would silently wrap the uint32 length prefix.
+// 4 GiB would silently wrap the uint32 length prefix. The prefix goes
+// byte-wise into the bufio buffer: a stack [4]byte would escape into the
+// writer's interface call and put one allocation on every frame.
 func writeFrame(w *bufio.Writer, payload []byte) error {
 	if len(payload) > maxFrame {
 		return fmt.Errorf("serve: frame payload %d bytes exceeds limit %d (use a smaller batch)", len(payload), maxFrame)
 	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+	n := uint32(len(payload))
+	for shift := 0; shift < 32; shift += 8 {
+		if err := w.WriteByte(byte(n >> shift)); err != nil {
+			return err
+		}
 	}
 	_, err := w.Write(payload)
 	return err
@@ -52,15 +55,21 @@ func writeFrame(w *bufio.Writer, payload []byte) error {
 
 // readFrame reads one frame into buf (grown as needed) and returns the
 // payload. A clean io.EOF before the length prefix means the peer is done.
+// The prefix is peeked out of the bufio buffer rather than ReadFull'd
+// into a scratch array, for the same no-allocation reason as writeFrame.
 func readFrame(r *bufio.Reader, buf []byte) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		if errors.Is(err, io.ErrUnexpectedEOF) {
+	hdr, err := r.Peek(4)
+	if err != nil {
+		// Match io.ReadFull's contract: a clean EOF before the prefix
+		// passes through, EOF mid-prefix is ErrUnexpectedEOF, and any
+		// real transport error (reset, timeout) propagates verbatim.
+		if errors.Is(err, io.EOF) && len(hdr) > 0 {
 			return nil, io.ErrUnexpectedEOF
 		}
-		return nil, err // io.EOF passes through
+		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	n := binary.LittleEndian.Uint32(hdr)
+	r.Discard(4)
 	if n == 0 || n > maxFrame {
 		return nil, fmt.Errorf("serve: bad frame length %d", n)
 	}
@@ -195,21 +204,32 @@ func appendResult(buf []byte, events uint64, correct []uint64) []byte {
 // decodeResult parses a result payload (after the type byte) for a server
 // configured with npred predictors.
 func decodeResult(p []byte, npred int) (events uint64, correct []uint64, err error) {
-	events, p, err = uvarint(p)
+	correct = make([]uint64, npred)
+	events, err = decodeResultInto(p, correct)
 	if err != nil {
 		return 0, nil, err
 	}
-	correct = make([]uint64, npred)
+	return events, correct, nil
+}
+
+// decodeResultInto is decodeResult into a caller-owned correct slice
+// (len(correct) fixes the expected predictor count), the allocation-free
+// steady state of the client's receive path.
+func decodeResultInto(p []byte, correct []uint64) (events uint64, err error) {
+	events, p, err = uvarint(p)
+	if err != nil {
+		return 0, err
+	}
 	for i := range correct {
 		correct[i], p, err = uvarint(p)
 		if err != nil {
-			return 0, nil, err
+			return 0, err
 		}
 	}
 	if len(p) != 0 {
-		return 0, nil, fmt.Errorf("serve: %d trailing bytes in result frame", len(p))
+		return 0, fmt.Errorf("serve: %d trailing bytes in result frame", len(p))
 	}
-	return events, correct, nil
+	return events, nil
 }
 
 func appendError(buf []byte, msg string) []byte {

@@ -68,17 +68,22 @@ type shardStateMsg struct {
 // shard owns one partition of predictor state. All access happens on the
 // shard's own goroutine, fed through a bounded FIFO mailbox — the shard
 // loop itself takes no locks (dispatchers hold the shared checkpoint cut
-// lock while mailing), mirroring internal/engine's batched fan-out.
+// lock while mailing), mirroring internal/engine's batched fan-out. The
+// predictor bank executes through core.Bank.StepBatchCollect, the same
+// batch path the engine and warm-restart replay use.
 type shard struct {
 	id      int
 	names   []string // registry names, bank order (snapshot identity)
 	preds   []core.Predictor
+	bank    *core.Bank
 	acc     []core.Accuracy
 	pcs     core.PCSet
 	events  uint64
 	mailbox chan shardMsg
 	stopped chan struct{}
 	scratch []uint64 // per-request correct counts, reused
+	spcs    []uint64 // SoA split of one sub-batch, reused
+	svals   []uint64
 }
 
 func newShard(id int, facs []core.NamedFactory, depth int) *shard {
@@ -95,12 +100,16 @@ func newShard(id int, facs []core.NamedFactory, depth int) *shard {
 		sh.names[i] = f.Name
 		sh.preds[i] = f.New()
 	}
+	sh.bank = core.NewBank(sh.preds...)
 	return sh
 }
 
 // run consumes the mailbox until it is closed. One sub-batch applies the
 // paper's protocol — predict, compare, update — for every predictor in the
-// bank, tallying both shard-lifetime accuracy and the request's reply.
+// bank through the batch path, tallying both shard-lifetime accuracy and
+// the request's reply. The mailbox is FIFO and sub-batches preserve
+// request order, so every predictor still observes each PC's exact value
+// subsequence.
 func (sh *shard) run() {
 	defer close(sh.stopped)
 	for msg := range sh.mailbox {
@@ -112,24 +121,27 @@ func (sh *shard) run() {
 			msg.state <- sh.captureState()
 			continue
 		}
+		n := len(msg.events)
+		if cap(sh.spcs) < n {
+			sh.spcs = make([]uint64, n)
+			sh.svals = make([]uint64, n)
+		}
+		pcs, vals := sh.spcs[:n], sh.svals[:n]
+		for j := range msg.events {
+			sh.pcs.Add(msg.events[j].PC)
+			pcs[j] = msg.events[j].PC
+			vals[j] = msg.events[j].Value
+		}
 		counts := sh.scratch
 		for i := range counts {
 			counts[i] = 0
 		}
-		for j := range msg.events {
-			ev := &msg.events[j]
-			sh.pcs.Add(ev.PC)
-			for i, p := range sh.preds {
-				pred, ok := p.Predict(ev.PC)
-				correct := ok && pred == ev.Value
-				sh.acc[i].Observe(correct)
-				if correct {
-					counts[i]++
-				}
-				p.Update(ev.PC, ev.Value)
-			}
+		sh.bank.StepBatchCollect(pcs, vals, counts, nil)
+		for i := range sh.acc {
+			sh.acc[i].Correct += counts[i]
+			sh.acc[i].Total += uint64(n)
 		}
-		sh.events += uint64(len(msg.events))
+		sh.events += uint64(n)
 		msg.req.finish(counts)
 	}
 }
@@ -225,6 +237,7 @@ func (sh *shard) restore(st snapshot.ShardState, facs []core.NamedFactory, nshar
 		pcs.Add(pc)
 	}
 	sh.preds, sh.acc, sh.pcs, sh.events = preds, acc, pcs, st.Events
+	sh.bank = core.NewBank(preds...)
 	return nil
 }
 
