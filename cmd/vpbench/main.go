@@ -50,11 +50,16 @@ type Report struct {
 	// Commit is the HEAD commit SHA at run time (empty outside a git
 	// checkout) and Time the run's UTC timestamp — together they place
 	// the record on the perf trajectory.
-	Commit     string        `json:"commit,omitempty"`
-	Time       string        `json:"time"`
-	GoVersion  string        `json:"go_version"`
-	GOOS       string        `json:"goos"`
-	GOARCH     string        `json:"goarch"`
+	Commit    string `json:"commit,omitempty"`
+	Time      string `json:"time"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// GOMAXPROCS and NumCPU pin the parallelism the numbers were measured
+	// at — ns/op from hosts with different core counts are not comparable,
+	// and the -N benchmark-name suffix alone does not record the machine.
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
 	Package    string        `json:"package"`
 	Bench      string        `json:"bench"`
 	Benchtime  string        `json:"benchtime"`
@@ -185,6 +190,8 @@ func main() {
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Package:    *pkg,
 		Bench:      *bench,
 		Benchtime:  *benchtime,

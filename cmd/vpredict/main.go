@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -40,6 +41,7 @@ func main() {
 		batch   = flag.Int("batch", engine.DefaultBatchSize, "value events per delivery batch (engine path; -workers 1 uses per-event delivery)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		quiet   = flag.Bool("q", false, "suppress progress output")
+		metrics = flag.Bool("metrics", false, "dump engine instrumentation (Prometheus text) to stderr after the run")
 	)
 	flag.Parse()
 
@@ -74,5 +76,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vpredict:", err)
 		os.Exit(1)
+	}
+	if *metrics {
+		// The engine's fan-out counters and worker-busy histograms live on
+		// the process-wide default registry.
+		obs.Default.WritePrometheus(os.Stderr)
 	}
 }

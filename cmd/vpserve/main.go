@@ -31,24 +31,29 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/snapshot"
 )
 
 func main() {
 	addr := flag.String("addr", ":9747", "binary-protocol listen address")
-	httpAddr := flag.String("http", ":9748", "HTTP /stats + /healthz + /snapshot listen address (empty = disabled)")
+	httpAddr := flag.String("http", ":9748", "HTTP /stats + /healthz + /metrics + /events + /snapshot + pprof listen address (empty = disabled)")
 	shards := flag.Int("shards", 0, "predictor-state shards (0 = GOMAXPROCS, or the snapshot's layout with -restore)")
 	preds := flag.String("pred", "l,s2,fcm1,fcm2,fcm3", "comma-separated predictor bank")
 	mailbox := flag.Int("mailbox", 0, "per-shard mailbox depth (0 = default)")
 	ckptDir := flag.String("checkpoint-dir", "", "directory for predictor-state snapshots (enables checkpointing)")
 	ckptEvery := flag.Duration("checkpoint-interval", 0, "write a checkpoint this often (0 = only on shutdown/trigger; needs -checkpoint-dir)")
 	restore := flag.String("restore", "", "warm-restart from this snapshot file, or the newest snapshot in this directory")
+	logLevel := flag.String("log-level", "info", "minimum log level (debug|info|warn|error)")
+	blockRate := flag.Int("block-profile-rate", 0, "runtime.SetBlockProfileRate argument for /debug/pprof/block (0 = off)")
+	mutexFrac := flag.Int("mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction argument for /debug/pprof/mutex (0 = off)")
 	list := flag.Bool("list", false, "list known predictors and exit")
 	flag.Parse()
 
@@ -62,6 +67,18 @@ func main() {
 		}
 		return
 	}
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	log := obs.NewLogger(os.Stderr, lvl)
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
+	if *mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(*mutexFrac)
+	}
+
 	explicit := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if *ckptEvery > 0 && *ckptDir == "" {
@@ -102,8 +119,8 @@ func main() {
 		if !explicit["pred"] {
 			*preds = strings.Join(snap.Meta.Predictors, ",")
 		}
-		fmt.Fprintf(os.Stderr, "vpserve: restoring snapshot %s (%d events, %d shards) from %s\n",
-			snap.Meta.ID, snap.Meta.Events, snap.Meta.Shards, path)
+		log.Info("restoring snapshot", "id", snap.Meta.ID, "events", snap.Meta.Events,
+			"shards", snap.Meta.Shards, "path", path)
 	}
 
 	facs, err := core.ParseFactories(*preds)
@@ -115,6 +132,7 @@ func main() {
 		Predictors:    facs,
 		MailboxDepth:  *mailbox,
 		CheckpointDir: *ckptDir,
+		Logger:        log,
 	})
 	if err != nil {
 		fatal(err)
@@ -127,10 +145,10 @@ func main() {
 	if err := s.Start(*addr, *httpAddr); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "vpserve: serving on %s (predictors %s)\n",
-		s.Addr(), strings.Join(s.Predictors(), ","))
+	log.Info("serving", "addr", s.Addr(), "predictors", strings.Join(s.Predictors(), ","), "shards", *shards)
 	if h := s.HTTPAddr(); h != nil {
-		fmt.Fprintf(os.Stderr, "vpserve: stats on http://%s/stats\n", h)
+		log.Info("admin endpoints", "stats", fmt.Sprintf("http://%s/stats", h),
+			"metrics", fmt.Sprintf("http://%s/metrics", h), "pprof", fmt.Sprintf("http://%s/debug/pprof/", h))
 	}
 
 	// Periodic checkpoints, stopped before shutdown so the final
@@ -147,12 +165,10 @@ func main() {
 				case <-tickerDone:
 					return
 				case <-t.C:
-					info, err := s.WriteCheckpoint(*ckptDir)
-					if err != nil {
-						fmt.Fprintf(os.Stderr, "vpserve: checkpoint failed: %v\n", err)
-						continue
+					if _, err := s.WriteCheckpoint(*ckptDir); err != nil {
+						// The server logs successful checkpoints itself.
+						log.Error("checkpoint failed", "err", err)
 					}
-					fmt.Fprintf(os.Stderr, "vpserve: checkpoint %s (%d events) -> %s\n", info.ID, info.Events, info.Path)
 				}
 			}
 		}()
@@ -174,9 +190,17 @@ func main() {
 		fatal(err)
 	}
 	if info.Path != "" {
-		fmt.Fprintf(os.Stderr, "vpserve: final checkpoint %s (%d events) -> %s\n", info.ID, info.Events, info.Path)
+		log.Info("final checkpoint", "id", info.ID, "events", info.Events, "path", info.Path)
 	}
-	fmt.Fprintf(os.Stderr, "vpserve: %d events over %d unique PCs\n", snapStats.Events, snapStats.UniquePCs)
+	log.Info("served", "events", snapStats.Events, "unique_pcs", snapStats.UniquePCs)
+	if lat := s.BatchLatency(); lat.Count > 0 {
+		log.Info("shard batch latency",
+			"batches", lat.Count,
+			"p50", time.Duration(lat.Quantile(0.50)).Round(time.Microsecond),
+			"p90", time.Duration(lat.Quantile(0.90)).Round(time.Microsecond),
+			"p99", time.Duration(lat.Quantile(0.99)).Round(time.Microsecond),
+			"max", time.Duration(lat.Max).Round(time.Microsecond))
+	}
 	for _, ps := range snapStats.Predictors {
 		fmt.Fprintf(os.Stderr, "  %-8s %6.2f%%  (%d/%d)\n", ps.Name, ps.AccuracyPct, ps.Correct, ps.Total)
 	}

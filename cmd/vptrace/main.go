@@ -21,10 +21,12 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
@@ -177,6 +179,7 @@ func replay(args []string) {
 	// serving tier and warm-restart replay use; the SoA scratch is reused
 	// across batches.
 	bank := core.NewBank(ps...)
+	lat := obs.NewHistogram()
 	var pcs, vals []uint64
 	err = r.ForEachBatch(0, func(evs []trace.Event) error {
 		if cap(pcs) < len(evs) {
@@ -188,7 +191,9 @@ func replay(args []string) {
 			pcs[j] = ev.PC
 			vals[j] = ev.Value
 		}
+		t0 := time.Now()
 		bank.StepBatch(pcs, vals)
+		lat.ObserveInt(time.Since(t0).Nanoseconds())
 		return nil
 	})
 	if err != nil {
@@ -197,6 +202,13 @@ func replay(args []string) {
 	total := bank.Events()
 	correct := bank.Correct()
 	fmt.Printf("%s: %d events\n", r.Header.Benchmark, total)
+	if s := lat.Snapshot(); s.Count > 0 {
+		fmt.Printf("  batch latency: p50=%s p90=%s p99=%s max=%s (%d batches)\n",
+			time.Duration(s.Quantile(0.50)).Round(time.Microsecond),
+			time.Duration(s.Quantile(0.90)).Round(time.Microsecond),
+			time.Duration(s.Quantile(0.99)).Round(time.Microsecond),
+			time.Duration(s.Max).Round(time.Microsecond), s.Count)
+	}
 	for i, fac := range facs {
 		pct := 0.0
 		if total > 0 {
@@ -284,6 +296,9 @@ func drive(args []string) {
 	}
 	fmt.Printf("%s: drove %d events through %s (%d clients): %.0f events/sec\n",
 		label, res.Events, *addr, max(*clients, 1), res.EventsPerSec())
+	if lat := res.LatencySummary(); lat != "" {
+		fmt.Printf("  request latency: %s (%d batches)\n", lat, res.Latency.Count)
+	}
 	for i, name := range res.Predictors {
 		fmt.Printf("  %-6s %6.2f%%  (%d/%d)\n", name, res.AccuracyPct(i), res.Correct[i], res.Events)
 	}

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -44,6 +46,7 @@ func (b *batch) release(pool *sync.Pool) {
 type workerState struct {
 	fac     core.Factory
 	bank    *core.Bank
+	busy    *obs.Histogram // vp_engine_worker_busy_ns{pred}
 	pcs     []uint64
 	vals    []uint64
 	bitsArg [][]uint64 // 1-slot reusable argument for StepBatchCollect
@@ -74,6 +77,7 @@ func newArena() *arena {
 		ws := &workerState{
 			fac:     f,
 			bank:    core.NewBank(f.New()),
+			busy:    workerBusyHist(f.Name),
 			bitsArg: make([][]uint64, 1),
 		}
 		switch i {
@@ -157,6 +161,9 @@ func (a *arena) runBenchmark(w *bench.Workload, cfg analysis.Config, batchSize i
 		MaxEvents: cfg.Events,
 		BatchSize: batchSize,
 		OnValues: func(evs []sim.ValueEvent) {
+			metBatches.Inc()
+			metEvents.Add(uint64(len(evs)))
+			metFill.Observe(uint64(len(evs)))
 			// The simulator reuses its batch buffer, so copy into a pooled
 			// one owned by the fan-out for the lifetime of the refcount.
 			b := a.pool.Get().(*batch)
@@ -224,7 +231,9 @@ func bankWorker(wg *sync.WaitGroup, ws *workerState, acc *analysis.CatAccuracy,
 		}
 		bits = bits[:nw]
 		ws.bitsArg[0] = bits
+		t0 := time.Now()
 		ws.bank.StepBatchCollect(pcs, vals, nil, ws.bitsArg)
+		ws.busy.ObserveInt(time.Since(t0).Nanoseconds())
 		for j := range b.ev {
 			correct := bits[j>>6]&(1<<(uint(j)&63)) != 0
 			acc.Overall.Observe(correct)

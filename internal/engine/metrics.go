@@ -1,0 +1,25 @@
+package engine
+
+import "repro/internal/obs"
+
+// Fan-out instrumentation, registered on the process-wide default
+// registry so one-shot drivers (vpredict, vpbench) can dump it after a
+// run without plumbing a registry through every call. All cells are
+// shared across concurrent benchmark runs; the per-batch updates are
+// uncontended atomic adds.
+var (
+	metBatches = obs.Default.Counter("vp_engine_batches_total",
+		"simulator batches fanned out to the predictor bank workers")
+	metEvents = obs.Default.Counter("vp_engine_events_total",
+		"value events fanned out to the predictor bank workers")
+	metFill = obs.Default.Histogram("vp_engine_batch_events",
+		"events per fanned-out batch (fill relative to the configured batch size)")
+)
+
+// workerBusyHist returns the per-predictor bank-worker busy-time
+// histogram — ns spent inside StepBatchCollect, the measure of how
+// evenly the fan-out keeps its workers utilized.
+func workerBusyHist(pred string) *obs.Histogram {
+	return obs.Default.Histogram("vp_engine_worker_busy_ns",
+		"ns per batch inside StepBatchCollect, per bank worker", "pred", pred)
+}

@@ -1,0 +1,55 @@
+package obs
+
+import "testing"
+
+// TestObsHotPathZeroAlloc pins the package's core contract: every
+// write-side operation the serving batch loop performs — counter adds,
+// gauge stores, high-water updates, EWMA gauge stores, histogram
+// observes — allocates nothing. Matches the alloc gates in internal/core
+// and internal/serve, so instrumentation can never regress the 0
+// allocs/op hot path.
+func TestObsHotPathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	r := NewRegistry()
+	c := r.Counter("vp_alloc_total", "c", "shard", "0")
+	g := r.Gauge("vp_alloc_depth", "g", "shard", "0")
+	f := r.FloatGauge("vp_alloc_rate", "f", "shard", "0")
+	h := r.Histogram("vp_alloc_ns", "h")
+	i := uint64(0)
+	allocs := testing.AllocsPerRun(500, func() {
+		c.Add(3)
+		c.Inc()
+		g.Set(int64(i % 128))
+		g.SetMax(int64(i % 128))
+		f.Set(float64(i) * 0.5)
+		h.Observe(i * 7)
+		h.ObserveInt(int64(i))
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("obs hot path allocates %.1f allocs per op, want 0", allocs)
+	}
+}
+
+// TestHistSnapZeroAllocAccumulate covers the scrape-side primitive the
+// server's latency summary uses in a loop: accumulating histograms into
+// a caller-owned snapshot allocates nothing either.
+func TestHistSnapZeroAllocAccumulate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	h := NewHistogram()
+	for v := uint64(0); v < 100; v++ {
+		h.Observe(v)
+	}
+	var s HistSnap
+	allocs := testing.AllocsPerRun(200, func() {
+		s = HistSnap{}
+		h.AddTo(&s)
+	})
+	if allocs != 0 {
+		t.Fatalf("HistSnap accumulate allocates %.1f allocs per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the fixed bucket count of every Histogram: bucket 0
+// holds observations of exactly 0 and bucket i (i ≥ 1) holds values in
+// [2^(i-1), 2^i). 40 octaves cover 1 ns .. ~9 minutes for latencies and
+// 1 B .. ~512 GiB for sizes, so one fixed layout serves every unit the
+// system observes and any two histograms merge bucket-by-bucket.
+const NumBuckets = 40
+
+// Histogram is a fixed-bucket log2-scale histogram. Observe is a few
+// uncontended atomic adds and never allocates; snapshots and merging
+// happen on the read side. A Histogram is typically single-writer (one
+// per shard) but is safe for concurrent writers too.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// NewHistogram returns an empty histogram (usable standalone; use
+// Registry.Histogram to expose one).
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketOf maps a value to its bucket index: bits.Len64 puts 0 in
+// bucket 0 and v in bucket ⌊log2 v⌋+1, clamped into the last bucket.
+func bucketOf(v uint64) int {
+	b := bits.Len64(v)
+	if b >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return b
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+	for {
+		cur := h.max.Load()
+		if v <= cur {
+			return
+		}
+		if h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// ObserveInt records a non-negative int (negative values clamp to 0).
+func (h *Histogram) ObserveInt(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.Observe(uint64(v))
+}
+
+// Snapshot returns a consistent-enough copy for reporting: each field is
+// loaded atomically, but fields are not cut at a single instant (an
+// in-flight Observe may appear in count but not yet in its bucket; the
+// skew is at most the writers in flight during the read).
+func (h *Histogram) Snapshot() HistSnap {
+	var s HistSnap
+	h.AddTo(&s)
+	return s
+}
+
+// AddTo accumulates this histogram into an existing snapshot — the merge
+// primitive per-shard histograms use at scrape time.
+func (h *Histogram) AddTo(s *HistSnap) {
+	s.Count += h.count.Load()
+	s.Sum += h.sum.Load()
+	if m := h.max.Load(); m > s.Max {
+		s.Max = m
+	}
+	for i := range h.buckets {
+		s.Buckets[i] += h.buckets[i].Load()
+	}
+}
+
+// HistSnap is a point-in-time histogram state, mergeable by addition.
+type HistSnap struct {
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+	Buckets [NumBuckets]uint64
+}
+
+// Merge adds other into s.
+func (s *HistSnap) Merge(other *HistSnap) {
+	s.Count += other.Count
+	s.Sum += other.Sum
+	if other.Max > s.Max {
+		s.Max = other.Max
+	}
+	for i := range s.Buckets {
+		s.Buckets[i] += other.Buckets[i]
+	}
+}
+
+// Mean returns the average observed value (0 when empty).
+func (s HistSnap) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// bucketBounds returns bucket i's value range [lo, hi] inclusive.
+func bucketBounds(i int) (lo, hi uint64) {
+	if i == 0 {
+		return 0, 0
+	}
+	lo = uint64(1) << (i - 1)
+	hi = lo<<1 - 1
+	return lo, hi
+}
+
+// BucketUpper returns bucket i's inclusive upper bound (the Prometheus
+// `le` boundary).
+func BucketUpper(i int) uint64 {
+	_, hi := bucketBounds(i)
+	return hi
+}
+
+// Quantile returns the approximate p-quantile (0 < p ≤ 1) by linear
+// interpolation inside the containing log2 bucket, clamped to the exact
+// observed maximum. Returns 0 when the histogram is empty.
+func (s HistSnap) Quantile(p float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := p * float64(s.Count)
+	if target < 1 {
+		target = 1
+	}
+	var cum float64
+	for i := 0; i < NumBuckets; i++ {
+		n := float64(s.Buckets[i])
+		if n == 0 {
+			continue
+		}
+		if cum+n >= target {
+			lo, hi := bucketBounds(i)
+			v := float64(lo) + (float64(hi)-float64(lo))*(target-cum)/n
+			if fm := float64(s.Max); v > fm {
+				v = fm
+			}
+			return v
+		}
+		cum += n
+	}
+	return float64(s.Max)
+}
+
+func floatBits(v float64) uint64     { return math.Float64bits(v) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the bucket layout: 0 lands in
+// bucket 0, powers of two open a fresh bucket, and 2^k-1 closes one.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4}, {15, 4},
+		{1 << 20, 21}, {1<<21 - 1, 21},
+		{1 << 62, NumBuckets - 1}, // clamps into the last bucket
+		{^uint64(0), NumBuckets - 1},
+	}
+	for _, c := range cases {
+		h := NewHistogram()
+		h.Observe(c.v)
+		s := h.Snapshot()
+		if s.Buckets[c.bucket] != 1 {
+			got := -1
+			for i, n := range s.Buckets {
+				if n != 0 {
+					got = i
+				}
+			}
+			t.Errorf("Observe(%d): bucket %d, want %d", c.v, got, c.bucket)
+		}
+		if c.bucket < NumBuckets-1 {
+			if hi := BucketUpper(c.bucket); c.v > hi {
+				t.Errorf("value %d above its bucket's le bound %d", c.v, hi)
+			}
+		}
+	}
+	// The le bound of bucket i must admit every value the bucket holds.
+	for i := 1; i < NumBuckets-1; i++ {
+		hi := BucketUpper(i)
+		if bucketOf(hi) != i || bucketOf(hi+1) != i+1 {
+			t.Errorf("bucket %d upper bound %d misplaced (len=%d)", i, hi, bits.Len64(hi))
+		}
+	}
+}
+
+func TestHistogramSnapshotAndMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for _, v := range []uint64{1, 2, 3, 100} {
+		a.Observe(v)
+	}
+	for _, v := range []uint64{50, 5000} {
+		b.Observe(v)
+	}
+	var merged HistSnap
+	a.AddTo(&merged)
+	b.AddTo(&merged)
+	if merged.Count != 6 || merged.Sum != 1+2+3+100+50+5000 || merged.Max != 5000 {
+		t.Fatalf("merged = count %d sum %d max %d", merged.Count, merged.Sum, merged.Max)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(&sb)
+	if sa != merged {
+		t.Fatal("HistSnap.Merge disagrees with Histogram.AddTo")
+	}
+	for i := range merged.Buckets {
+		if want := sa.Buckets[i]; merged.Buckets[i] != want {
+			t.Fatalf("bucket %d: %d vs %d", i, merged.Buckets[i], want)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram()
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	for v := uint64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.5); p50 < 250 || p50 > 750 {
+		t.Fatalf("p50 = %v, want within [250, 750] for uniform 1..1000", p50)
+	}
+	if p100 := s.Quantile(1); p100 != 1000 {
+		t.Fatalf("p100 = %v, want the exact max 1000", p100)
+	}
+	if p99 := s.Quantile(0.99); p99 > 1000 || p99 < 500 {
+		t.Fatalf("p99 = %v out of range", p99)
+	}
+	lo, hi := s.Quantile(0.25), s.Quantile(0.75)
+	if lo > hi {
+		t.Fatalf("quantiles not monotone: p25=%v > p75=%v", lo, hi)
+	}
+	// A single-valued histogram answers that value at every quantile.
+	one := NewHistogram()
+	one.Observe(42)
+	os := one.Snapshot()
+	for _, p := range []float64{0.01, 0.5, 0.999, 1} {
+		if q := os.Quantile(p); q > 42 {
+			t.Fatalf("Quantile(%v) = %v exceeds the max 42", p, q)
+		}
+	}
+	if os.Mean() != 42 {
+		t.Fatalf("mean = %v, want 42", os.Mean())
+	}
+}
+
+func TestObserveInt(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveInt(-5) // clamps to 0
+	h.ObserveInt(9)
+	s := h.Snapshot()
+	if s.Count != 2 || s.Buckets[0] != 1 || s.Sum != 9 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}

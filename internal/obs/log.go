@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log severities.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	case LevelWarn:
+		return "WARN"
+	default:
+		return "ERROR"
+	}
+}
+
+// ParseLevel maps a flag value ("debug", "info", "warn", "error") to a
+// Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// Logger is a minimal leveled structured logger: one logfmt-style line
+// per call — RFC 3339 timestamp, level, message, then key=value pairs.
+// It exists so the daemons share one output shape without pulling in a
+// logging dependency; it is not a hot-path component. A nil *Logger
+// drops everything, so optional logging needs no guards at call sites.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+	min atomic.Int32
+}
+
+// NewLogger writes lines at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	l := &Logger{w: w}
+	l.min.Store(int32(min))
+	return l
+}
+
+// SetLevel changes the minimum emitted level.
+func (l *Logger) SetLevel(min Level) {
+	if l != nil {
+		l.min.Store(int32(min))
+	}
+}
+
+// Enabled reports whether lv would be emitted.
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && int32(lv) >= l.min.Load()
+}
+
+// Debug, Info, Warn and Error emit one line with alternating key, value
+// pairs appended as key=value.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv...) }
+func (l *Logger) Info(msg string, kv ...any)  { l.log(LevelInfo, msg, kv...) }
+func (l *Logger) Warn(msg string, kv ...any)  { l.log(LevelWarn, msg, kv...) }
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv...) }
+
+func (l *Logger) log(lv Level, msg string, kv ...any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buf[:0]
+	b = time.Now().UTC().AppendFormat(b, time.RFC3339)
+	b = append(b, ' ')
+	b = append(b, lv.String()...)
+	b = append(b, ' ')
+	b = appendValue(b, msg)
+	for i := 0; i+1 < len(kv); i += 2 {
+		b = append(b, ' ')
+		b = append(b, fmt.Sprint(kv[i])...)
+		b = append(b, '=')
+		b = appendValue(b, fmt.Sprint(kv[i+1]))
+	}
+	b = append(b, '\n')
+	l.buf = b
+	l.w.Write(b)
+}
+
+// appendValue quotes values that would break the one-token-per-field
+// shape (spaces, quotes, equals signs).
+func appendValue(b []byte, s string) []byte {
+	if strings.ContainsAny(s, " \t\n\"=") {
+		return strconv.AppendQuote(b, s)
+	}
+	return append(b, s...)
+}

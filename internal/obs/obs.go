@@ -1,0 +1,259 @@
+// Package obs is the repo's dependency-free observability core: metric
+// primitives whose hot-path operations never allocate, a registry that
+// renders Prometheus text exposition on demand, a fixed-capacity
+// stage-event ring for control-plane tracing, and a small leveled
+// structured logger.
+//
+// The design splits cost between two sides. The *write* side — Counter.Add,
+// Gauge.Set, Histogram.Observe — is a handful of uncontended atomic
+// operations with zero allocation, cheap enough to sit inside the serving
+// tier's batch loop (the same loop the core alloc gates pin at 0
+// allocs/op). Per-shard metrics are registered as separate cells, one per
+// shard goroutine, so the single writer of each cell performs plain
+// (uncontended) stores on its own cache line and cross-shard aggregation
+// happens only on the *read* side: scrapes snapshot every cell and merge
+// histograms at that moment, paying the formatting and aggregation cost
+// on the (rare) /metrics request instead of the (hot) event path.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. The zero value is ready
+// to use; registry-created counters are shared by pointer.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous int64 value (depth, occupancy, timestamp).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge's current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta (e.g. +1/-1 around a connection's life).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// SetMax raises the gauge to v if v exceeds the current value — a
+// high-water mark safe to update from any number of writers.
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur {
+			return
+		}
+		if g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the gauge's current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// FloatGauge is an instantaneous float64 (rates, EWMAs), stored as raw
+// bits so Set/Load stay single atomic operations.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the gauge's current value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(floatBits(v)) }
+
+// Load returns the gauge's current value.
+func (g *FloatGauge) Load() float64 { return floatFromBits(g.bits.Load()) }
+
+// metricType tags a registry family for exposition.
+type metricType int
+
+const (
+	typeCounter metricType = iota
+	typeGauge
+	typeHistogram
+)
+
+func (t metricType) String() string {
+	switch t {
+	case typeCounter:
+		return "counter"
+	case typeGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// cell is one labeled series within a family. Exactly one of the metric
+// pointers is set (histogram cells may hold several Histograms with
+// identical labels — per-shard instances merged at scrape time).
+type cell struct {
+	labels string // rendered label set: `{k="v",...}` or ""
+	ctr    *Counter
+	gauge  *Gauge
+	fgauge *FloatGauge
+	fn     func() float64
+	hists  []*Histogram
+}
+
+// family is all cells sharing one metric name.
+type family struct {
+	name  string
+	help  string
+	typ   metricType
+	cells []*cell
+}
+
+func (f *family) cellFor(labels string) *cell {
+	for _, c := range f.cells {
+		if c.labels == labels {
+			return c
+		}
+	}
+	c := &cell{labels: labels}
+	f.cells = append(f.cells, c)
+	return c
+}
+
+// Registry holds named metric families and renders them as Prometheus
+// text exposition. Registration takes a lock; the returned metric
+// pointers are lock-free to update. Registering the same (name, labels)
+// twice returns the same metric, so independent components can share a
+// series, and registering several Histograms under one (name, labels)
+// accumulates cells that merge into a single exposed series at scrape.
+type Registry struct {
+	mu   sync.Mutex
+	fams []*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Default is the process-wide registry used by components without an
+// obvious owner (e.g. the engine fan-out's instrumentation).
+var Default = NewRegistry()
+
+func (r *Registry) familyFor(name, help string, typ metricType) *family {
+	for _, f := range r.fams {
+		if f.name == name {
+			if f.typ != typ {
+				panic(fmt.Sprintf("obs: metric %q registered as %v and %v", name, f.typ, typ))
+			}
+			return f
+		}
+	}
+	f := &family{name: name, help: help, typ: typ}
+	r.fams = append(r.fams, f)
+	return f
+}
+
+// renderLabels turns alternating key, value strings into a canonical
+// `{k="v",...}` label set (keys sorted so the same set always renders
+// identically regardless of registration order).
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: odd label key/value count")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\"", `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// Counter registers (or finds) a counter series. labels are alternating
+// key, value pairs.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.familyFor(name, help, typeCounter).cellFor(renderLabels(labels))
+	if c.ctr == nil {
+		c.ctr = &Counter{}
+	}
+	return c.ctr
+}
+
+// Gauge registers (or finds) an int64 gauge series.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.familyFor(name, help, typeGauge).cellFor(renderLabels(labels))
+	if c.gauge == nil {
+		c.gauge = &Gauge{}
+	}
+	return c.gauge
+}
+
+// FloatGauge registers (or finds) a float64 gauge series.
+func (r *Registry) FloatGauge(name, help string, labels ...string) *FloatGauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.familyFor(name, help, typeGauge).cellFor(renderLabels(labels))
+	if c.fgauge == nil {
+		c.fgauge = &FloatGauge{}
+	}
+	return c.fgauge
+}
+
+// GaugeFunc registers a gauge series computed by fn at scrape time
+// (uptime, derived ratios). fn must be safe to call concurrently.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.familyFor(name, help, typeGauge).cellFor(renderLabels(labels))
+	c.fn = fn
+}
+
+// Histogram registers a histogram cell. Several cells registered under
+// the same (name, labels) — e.g. one per shard — stay independent
+// single-writer structures on the hot path and are merged into one
+// exposed series at scrape time.
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.familyFor(name, help, typeHistogram).cellFor(renderLabels(labels))
+	h := NewHistogram()
+	c.hists = append(c.hists, h)
+	return h
+}

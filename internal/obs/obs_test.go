@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_total", "help", "k", "v")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("t_total", "help", "k", "v"); again != c {
+		t.Fatal("re-registering the same (name, labels) must return the same counter")
+	}
+	g := r.Gauge("t_gauge", "help")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Load(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	g.SetMax(3)
+	if got := g.Load(); got != 5 {
+		t.Fatalf("SetMax lowered the gauge to %d", got)
+	}
+	g.SetMax(9)
+	if got := g.Load(); got != 9 {
+		t.Fatalf("SetMax = %d, want 9", got)
+	}
+	f := r.FloatGauge("t_fgauge", "help")
+	f.Set(0.25)
+	if got := f.Load(); got != 0.25 {
+		t.Fatalf("float gauge = %v, want 0.25", got)
+	}
+}
+
+// sampleLine matches one Prometheus exposition sample.
+var sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\n]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\n]*")*\})? [-+]?([0-9.eE+-]+|Inf|NaN)$`)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("vp_test_total", "a counter", "shard", "0").Add(3)
+	r.Counter("vp_test_total", "a counter", "shard", "1").Add(4)
+	r.Gauge("vp_test_depth", "a gauge").Set(-2)
+	r.FloatGauge("vp_test_rate", "a rate", "pred", "fcm3").Set(0.5)
+	r.GaugeFunc("vp_test_uptime", "derived", func() float64 { return 1.5 })
+	h := r.Histogram("vp_test_ns", "a histogram")
+	h.Observe(1)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE vp_test_total counter",
+		`vp_test_total{shard="0"} 3`,
+		`vp_test_total{shard="1"} 4`,
+		"# TYPE vp_test_depth gauge",
+		"vp_test_depth -2",
+		`vp_test_rate{pred="fcm3"} 0.5`,
+		"vp_test_uptime 1.5",
+		"# TYPE vp_test_ns histogram",
+		`vp_test_ns_bucket{le="+Inf"} 2`,
+		"vp_test_ns_sum 6",
+		"vp_test_ns_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Errorf("unparseable sample line %q", line)
+		}
+	}
+}
+
+// TestMergedHistogramCells: several Histograms registered under one
+// (name, labels) must expose a single merged series.
+func TestMergedHistogramCells(t *testing.T) {
+	r := NewRegistry()
+	h0 := r.Histogram("vp_merge_ns", "merged")
+	h1 := r.Histogram("vp_merge_ns", "merged")
+	h0.Observe(2)
+	h1.Observe(100)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "vp_merge_ns_count 2") {
+		t.Fatalf("merged count missing:\n%s", out)
+	}
+	if !strings.Contains(out, "vp_merge_ns_sum 102") {
+		t.Fatalf("merged sum missing:\n%s", out)
+	}
+	if c := strings.Count(out, "# TYPE vp_merge_ns histogram"); c != 1 {
+		t.Fatalf("got %d TYPE lines, want 1", c)
+	}
+}
+
+// TestConcurrentIncrementScrape hammers every primitive from many
+// goroutines while scraping concurrently; run under -race in CI. The
+// final totals must be exact.
+func TestConcurrentIncrementScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("vp_race_total", "counter")
+	g := r.Gauge("vp_race_depth", "gauge")
+	f := r.FloatGauge("vp_race_rate", "rate")
+	h := r.Histogram("vp_race_ns", "hist")
+	const (
+		workers = 8
+		perW    = 5000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 2; w++ { // concurrent scrapers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					if err := r.WritePrometheus(io.Discard); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for i := 0; i < perW; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				g.SetMax(int64(i))
+				f.Set(float64(i))
+				h.Observe(uint64(i))
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if got := c.Load(); got != workers*perW {
+		t.Fatalf("counter = %d, want %d", got, workers*perW)
+	}
+	if s := h.Snapshot(); s.Count != workers*perW || s.Max != perW-1 {
+		t.Fatalf("hist count=%d max=%d, want %d / %d", s.Count, s.Max, workers*perW, perW-1)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4)
+	for i := 1; i <= 6; i++ {
+		r.Add(StageEvent{Kind: "k", Shard: i, TimeUnixNano: int64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := i + 3; ev.Shard != want {
+			t.Fatalf("event %d is shard %d, want %d (oldest-first)", i, ev.Shard, want)
+		}
+	}
+	if r.Total() != 6 {
+		t.Fatalf("total = %d, want 6", r.Total())
+	}
+	var nilRing *Ring
+	nilRing.Add(StageEvent{Kind: "dropped"}) // must not panic
+	if nilRing.Events() != nil || nilRing.Total() != 0 {
+		t.Fatal("nil ring must be inert")
+	}
+}
+
+func TestRingStampsTime(t *testing.T) {
+	r := NewRing(2)
+	r.Add(StageEvent{Kind: "k"})
+	if evs := r.Events(); evs[0].TimeUnixNano == 0 {
+		t.Fatal("Add must stamp TimeUnixNano when unset")
+	}
+}
+
+func TestLoggerLevelsAndFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	l.Debug("hidden")
+	l.Info("checkpoint written", "id", "abc", "bytes", 123)
+	l.Warn("odd message", "spaced key", "a value with spaces")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatal("debug line leaked past an info-level logger")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], " INFO ") || !strings.Contains(lines[0], "id=abc") || !strings.Contains(lines[0], "bytes=123") {
+		t.Fatalf("bad info line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], `"a value with spaces"`) {
+		t.Fatalf("spaced value not quoted in %q", lines[1])
+	}
+	l.SetLevel(LevelError)
+	if l.Enabled(LevelWarn) {
+		t.Fatal("warn enabled at error level")
+	}
+	var nilLogger *Logger
+	nilLogger.Info("dropped") // must not panic
+	if nilLogger.Enabled(LevelError) {
+		t.Fatal("nil logger must report disabled")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{"debug": LevelDebug, "info": LevelInfo, "warn": LevelWarn, "error": LevelError} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Fatal("ParseLevel must reject unknown levels")
+	}
+}

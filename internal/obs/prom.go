@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): # HELP / # TYPE headers, then one
+// sample line per series. Histogram cells sharing a (name, labels) pair
+// are merged here, on the read side; bucket lines are cumulative with
+// power-of-two `le` bounds and trailing empty octaves elided (the +Inf
+// bucket always present).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<14)
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.help)
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ.String())
+		bw.WriteByte('\n')
+		for _, c := range f.cells {
+			switch {
+			case c.ctr != nil:
+				writeSample(bw, f.name, "", c.labels, strconv.FormatUint(c.ctr.Load(), 10))
+			case c.gauge != nil:
+				writeSample(bw, f.name, "", c.labels, strconv.FormatInt(c.gauge.Load(), 10))
+			case c.fgauge != nil:
+				writeSample(bw, f.name, "", c.labels, formatFloat(c.fgauge.Load()))
+			case c.fn != nil:
+				writeSample(bw, f.name, "", c.labels, formatFloat(c.fn()))
+			case len(c.hists) > 0:
+				var s HistSnap
+				for _, h := range c.hists {
+					h.AddTo(&s)
+				}
+				writeHistogram(bw, f.name, c.labels, &s)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHistogram(bw *bufio.Writer, name, labels string, s *HistSnap) {
+	last := 0
+	for i := range s.Buckets {
+		if s.Buckets[i] != 0 {
+			last = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= last; i++ {
+		cum += s.Buckets[i]
+		writeSample(bw, name, "_bucket", withLE(labels, strconv.FormatUint(BucketUpper(i), 10)),
+			strconv.FormatUint(cum, 10))
+	}
+	writeSample(bw, name, "_bucket", withLE(labels, "+Inf"), strconv.FormatUint(s.Count, 10))
+	writeSample(bw, name, "_sum", labels, strconv.FormatUint(s.Sum, 10))
+	writeSample(bw, name, "_count", labels, strconv.FormatUint(s.Count, 10))
+}
+
+// withLE splices the `le` label into an already-rendered label set.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+func writeSample(bw *bufio.Writer, name, suffix, labels, value string) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	bw.WriteString(labels)
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

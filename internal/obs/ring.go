@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// StageEvent is one control-plane occurrence worth a trace entry:
+// checkpoint cuts, restores, drains, slow batches. Fields are fixed-width
+// so recording one composes no strings; Detail is reserved for cold-path
+// events (restore provenance, error text) where an allocation is fine.
+type StageEvent struct {
+	TimeUnixNano int64  `json:"time_unix_nano"`
+	Kind         string `json:"kind"`
+	Shard        int    `json:"shard"` // -1 when not shard-scoped
+	DurNs        int64  `json:"dur_ns,omitempty"`
+	N            uint64 `json:"n,omitempty"` // kind-dependent count (events, bytes)
+	Detail       string `json:"detail,omitempty"`
+}
+
+// Ring is a fixed-capacity, mutex-guarded ring of stage events. Events
+// are rare (checkpoints, restores, anomalies), so a mutex is cheaper and
+// simpler than a lock-free design; the hot path never touches the ring
+// unless something noteworthy happened.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []StageEvent
+	next  int
+	total uint64
+}
+
+// NewRing returns a ring keeping the most recent capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Ring{buf: make([]StageEvent, 0, capacity)}
+}
+
+// Add records one event, stamping TimeUnixNano if unset. Safe for
+// concurrent use; nil rings drop events so recording sites need no guard.
+func (r *Ring) Add(ev StageEvent) {
+	if r == nil {
+		return
+	}
+	if ev.TimeUnixNano == 0 {
+		ev.TimeUnixNano = time.Now().UnixNano()
+	}
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.next] = ev
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Events returns the retained events oldest-first.
+func (r *Ring) Events() []StageEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]StageEvent, 0, len(r.buf))
+	if len(r.buf) == cap(r.buf) {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// Total returns how many events have ever been recorded (including those
+// the ring has since overwritten).
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

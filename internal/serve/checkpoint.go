@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"os"
 	"slices"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/snapshot"
 )
 
@@ -45,6 +47,8 @@ func (s *Server) WriteCheckpoint(dir string) (CheckpointInfo, error) {
 		s.statsMu.Unlock()
 		return CheckpointInfo{}, errors.New("serve: server is not running")
 	}
+	cutT0 := time.Now()
+	s.health.cutStart.Store(cutT0.UnixNano())
 	s.cutMu.Lock()
 	for i, sh := range s.shards {
 		replies[i] = make(chan shardStateMsg, 1)
@@ -52,22 +56,25 @@ func (s *Server) WriteCheckpoint(dir string) (CheckpointInfo, error) {
 	}
 	s.cutMu.Unlock()
 	s.statsMu.Unlock()
-	return s.assembleCheckpoint(dir, replies)
+	return s.assembleCheckpoint(dir, replies, cutT0)
 }
 
 // checkpointShards is the shutdown-path capture: connections are already
 // drained and the mailboxes are quiet but still open, so the markers
 // need no cut lock and observe the final state.
 func (s *Server) checkpointShards(dir string) (CheckpointInfo, error) {
+	cutT0 := time.Now()
+	s.health.cutStart.Store(cutT0.UnixNano())
 	replies := make([]chan shardStateMsg, len(s.shards))
 	for i, sh := range s.shards {
 		replies[i] = make(chan shardStateMsg, 1)
 		sh.mailbox <- shardMsg{state: replies[i]}
 	}
-	return s.assembleCheckpoint(dir, replies)
+	return s.assembleCheckpoint(dir, replies, cutT0)
 }
 
-func (s *Server) assembleCheckpoint(dir string, replies []chan shardStateMsg) (CheckpointInfo, error) {
+func (s *Server) assembleCheckpoint(dir string, replies []chan shardStateMsg, cutT0 time.Time) (CheckpointInfo, error) {
+	defer s.health.cutStart.Store(0)
 	snap := &snapshot.Snapshot{
 		Meta: snapshot.Meta{
 			CreatedUnixNano: time.Now().UnixNano(),
@@ -76,20 +83,44 @@ func (s *Server) assembleCheckpoint(dir string, replies []chan shardStateMsg) (C
 		Shards: make([]snapshot.ShardState, len(replies)),
 	}
 	var firstErr error
+	var events uint64
 	for i, ch := range replies {
 		resp := <-ch // always drain every reply, even after an error
 		if resp.err != nil && firstErr == nil {
 			firstErr = resp.err
 		}
 		snap.Shards[i] = resp.st
+		events += resp.st.Events
 	}
+	cutNs := time.Since(cutT0).Nanoseconds()
+	s.metrics.ckptCutNs.ObserveInt(cutNs)
+	s.ring.Add(obs.StageEvent{Kind: evCheckpointCut, Shard: -1, DurNs: cutNs, N: events})
 	if firstErr != nil {
+		s.metrics.ckptErrors.Inc()
+		s.ring.Add(obs.StageEvent{Kind: evCheckpointError, Shard: -1, Detail: firstErr.Error()})
 		return CheckpointInfo{}, firstErr
 	}
+	encT0 := time.Now()
 	path, err := snapshot.WriteFileAtomic(dir, snap)
+	encNs := time.Since(encT0).Nanoseconds()
+	s.metrics.ckptEncodeNs.ObserveInt(encNs)
 	if err != nil {
+		s.metrics.ckptErrors.Inc()
+		s.ring.Add(obs.StageEvent{Kind: evCheckpointError, Shard: -1, DurNs: encNs, Detail: err.Error()})
 		return CheckpointInfo{}, err
 	}
+	var size int64
+	if fi, statErr := os.Stat(path); statErr == nil {
+		size = fi.Size()
+	}
+	s.metrics.ckptTotal.Inc()
+	s.metrics.ckptBytes.Add(uint64(size))
+	s.metrics.ckptLastBytes.Set(size)
+	s.metrics.ckptLastUnix.Set(time.Now().UnixNano())
+	s.ring.Add(obs.StageEvent{Kind: evCheckpointWritten, Shard: -1, DurNs: encNs, N: uint64(size), Detail: snap.Meta.ID})
+	s.log.Info("checkpoint written",
+		"id", snap.Meta.ID, "events", snap.Meta.Events, "bytes", size,
+		"cut", time.Duration(cutNs), "encode", time.Duration(encNs))
 	return CheckpointInfo{ID: snap.Meta.ID, Path: path, Events: snap.Meta.Events, Shards: len(snap.Shards)}, nil
 }
 
@@ -122,6 +153,10 @@ func (s *Server) Restore(snap *snapshot.Snapshot) error {
 	s.eventsServed.Store(events)
 	s.restoredID = snap.Meta.ID
 	s.restoredAt = time.Now()
+	s.metrics.restoreTotal.Inc()
+	s.metrics.restoredEvents.Set(int64(events))
+	s.ring.Add(obs.StageEvent{Kind: evRestore, Shard: -1, N: events, Detail: snap.Meta.ID})
+	s.log.Info("warm restore", "id", snap.Meta.ID, "events", events, "shards", len(s.shards))
 	return nil
 }
 

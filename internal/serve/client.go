@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 )
 
@@ -145,25 +144,3 @@ func (c *Client) CloseWrite() error {
 
 // Close tears the connection down.
 func (c *Client) Close() error { return c.conn.Close() }
-
-// drainEOF receives until EOF, summing results through one reused
-// BatchResult so the drain loop does not allocate per response.
-func (c *Client) drainEOF(sum *BatchResult) error {
-	var r BatchResult
-	for {
-		err := c.RecvInto(&r)
-		if errors.Is(err, io.EOF) {
-			return nil
-		}
-		if err != nil {
-			return err
-		}
-		sum.Events += r.Events
-		if sum.Correct == nil {
-			sum.Correct = make([]uint64, len(c.preds))
-		}
-		for i, v := range r.Correct {
-			sum.Correct[i] += v
-		}
-	}
-}

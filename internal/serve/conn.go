@@ -21,12 +21,15 @@ const respQueueDepth = 32
 func (s *Server) handleConn(conn net.Conn) {
 	defer conn.Close()
 	bw := bufio.NewWriterSize(conn, 1<<16)
-	if err := writeFrame(bw, appendHello(nil, len(s.shards), s.eventsServed.Load(), s.predNames)); err != nil {
+	hello := appendHello(nil, len(s.shards), s.eventsServed.Load(), s.predNames)
+	if err := writeFrame(bw, hello); err != nil {
 		return
 	}
 	if err := bw.Flush(); err != nil {
 		return
 	}
+	s.metrics.framesOut.Inc()
+	s.metrics.bytesOut.Add(uint64(4 + len(hello)))
 
 	resp := make(chan *pending, respQueueDepth)
 	writerDone := make(chan struct{})
@@ -46,6 +49,8 @@ func (s *Server) handleConn(conn net.Conn) {
 					correct[i] = p.correct[i].Load()
 				}
 				buf = appendResult(buf[:0], p.events, correct)
+				s.metrics.framesOut.Inc()
+				s.metrics.bytesOut.Add(uint64(4 + len(buf)))
 				if werr = writeFrame(bw, buf); werr == nil && len(resp) == 0 {
 					// Flush only when no further result is immediately
 					// ready, so back-to-back pipelined responses coalesce
@@ -74,17 +79,22 @@ func (s *Server) handleConn(conn net.Conn) {
 			readErr = err
 			break
 		}
+		s.metrics.framesIn.Inc()
+		s.metrics.bytesIn.Add(uint64(4 + len(frame)))
 		if frame[0] != msgEvents {
+			s.metrics.decodeErrors.Inc()
 			readErr = fmt.Errorf("serve: unexpected message type %d", frame[0])
 			break
 		}
 		scratch, err = decodeEventsInto(frame[1:], scratch[:0])
 		if err != nil {
+			s.metrics.decodeErrors.Inc()
 			readErr = err
 			break
 		}
 		p := s.dispatch(scratch, cnt, pos)
 		resp <- p
+		s.metrics.pipelineHW.SetMax(int64(len(resp)))
 	}
 	close(resp)
 	<-writerDone
@@ -107,6 +117,7 @@ func (s *Server) handleConn(conn net.Conn) {
 // same request — the cut is request-atomic.
 func (s *Server) dispatch(evs []Event, cnt, pos []int) *pending {
 	s.eventsServed.Add(uint64(len(evs)))
+	s.metrics.events.Add(uint64(len(evs)))
 	nshards := len(s.shards)
 	p := getPending()
 	if cap(p.buf) < len(evs) {

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -41,6 +42,10 @@ type DriveResult struct {
 	// tables were already trained before this drive, so the tallies are
 	// not comparable to an offline replay from cold tables.
 	ServerPriorEvents uint64
+	// Latency is the request round-trip latency distribution in ns
+	// (batch handed to the sender → matching result received), merged
+	// across every client connection. Quantile/Mean/Max summarize it.
+	Latency obs.HistSnap
 }
 
 // AccuracyPct returns predictor i's accuracy over the driven stream.
@@ -65,10 +70,18 @@ func (r *DriveResult) EventsPerSec() float64 {
 // free — Send copies the events onto the wire, so a buffer is reusable
 // the moment Send returns — which makes the drive loop's buffer
 // management allocation-free in steady state.
+//
+// Latency is measured per request: the sender records a timestamp just
+// before each Send, and — responses being FIFO — the receiver pairs the
+// oldest outstanding timestamp with each result. The timestamps ride a
+// bounded channel; every stamp is pushed before its frame is sent, so the
+// receiver's pop can never run ahead of the sender.
 type clientRunner struct {
 	c       *Client
 	work    chan []Event
 	free    chan []Event
+	lat     *obs.Histogram
+	times   chan int64
 	sum     BatchResult
 	sent    uint64
 	sendErr error
@@ -76,7 +89,7 @@ type clientRunner struct {
 	wg      sync.WaitGroup
 }
 
-func startRunner(addr string) (*clientRunner, error) {
+func startRunner(addr string, lat *obs.Histogram) (*clientRunner, error) {
 	c, err := Dial(addr)
 	if err != nil {
 		return nil, err
@@ -87,6 +100,11 @@ func startRunner(addr string) (*clientRunner, error) {
 		// One slot per in-flight work entry plus the producer's and the
 		// sender's own, so recycling never blocks.
 		free: make(chan []Event, 10),
+		lat:  lat,
+		// Far deeper than any realistic in-flight frame count; the sender
+		// flushes before blocking on a full queue, so even degenerate
+		// tiny-batch runs keep making progress.
+		times: make(chan int64, 1024),
 	}
 	r.wg.Add(2)
 	go func() { // sender
@@ -94,9 +112,7 @@ func startRunner(addr string) (*clientRunner, error) {
 		for b := range r.work {
 			r.sent += uint64(len(b))
 			if r.sendErr == nil {
-				if err := r.c.Send(b); err != nil {
-					r.sendErr = err
-				}
+				r.stampAndSend(b)
 			}
 			select {
 			case r.free <- b[:0]:
@@ -109,9 +125,66 @@ func startRunner(addr string) (*clientRunner, error) {
 	}()
 	go func() { // receiver
 		defer r.wg.Done()
-		r.recvErr = r.c.drainEOF(&r.sum)
+		r.recvErr = r.drainTimed()
 	}()
 	return r, nil
+}
+
+// stampAndSend records the send timestamp, writes the batch and flushes
+// when the producer has nothing further queued — so the measured latency
+// is wire-and-server time, not client-side buffering.
+func (r *clientRunner) stampAndSend(b []Event) {
+	t0 := time.Now().UnixNano()
+	select {
+	case r.times <- t0:
+	default:
+		// Timestamp queue full: that many frames are unflushed or
+		// unanswered. Force them onto the wire — the server keeps
+		// answering, the receiver keeps popping — then wait for a slot.
+		if err := r.c.Flush(); err != nil {
+			r.sendErr = err
+			return
+		}
+		r.times <- t0
+	}
+	if err := r.c.Send(b); err != nil {
+		r.sendErr = err
+		return
+	}
+	if len(r.work) == 0 {
+		if err := r.c.Flush(); err != nil {
+			r.sendErr = err
+		}
+	}
+}
+
+// drainTimed receives until EOF, summing results through one reused
+// BatchResult and pairing each with its send timestamp.
+func (r *clientRunner) drainTimed() error {
+	var br BatchResult
+	for {
+		err := r.c.RecvInto(&br)
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		select {
+		case t0 := <-r.times:
+			r.lat.ObserveInt(time.Now().UnixNano() - t0)
+		default:
+			// No stamp for this result — the sender hit an error after
+			// stamping a different frame; skip the sample.
+		}
+		r.sum.Events += br.Events
+		if r.sum.Correct == nil {
+			r.sum.Correct = make([]uint64, len(r.c.preds))
+		}
+		for i, v := range br.Correct {
+			r.sum.Correct[i] += v
+		}
+	}
 }
 
 func (r *clientRunner) finish() error {
@@ -142,9 +215,10 @@ func Drive(cfg DriveConfig, next func() (Event, bool)) (*DriveResult, error) {
 		batch = DefaultDriveBatch
 	}
 	start := time.Now()
+	lat := obs.NewHistogram()
 	runners := make([]*clientRunner, clients)
 	for i := range runners {
-		r, err := startRunner(cfg.Addr)
+		r, err := startRunner(cfg.Addr, lat)
 		if err != nil {
 			for _, prev := range runners[:i] {
 				close(prev.work)
@@ -202,7 +276,22 @@ func Drive(cfg DriveConfig, next func() (Event, bool)) (*DriveResult, error) {
 		return nil, firstErr
 	}
 	res.Elapsed = time.Since(start)
+	res.Latency = lat.Snapshot()
 	return res, nil
+}
+
+// LatencySummary formats the run's round-trip latency distribution as
+// "p50=… p90=… p99=… max=…" (empty string when nothing was measured) —
+// the end-of-run line vpserve drivers and `vptrace drive` print.
+func (r *DriveResult) LatencySummary() string {
+	if r.Latency.Count == 0 {
+		return ""
+	}
+	return fmt.Sprintf("p50=%s p90=%s p99=%s max=%s",
+		time.Duration(r.Latency.Quantile(0.50)).Round(time.Microsecond),
+		time.Duration(r.Latency.Quantile(0.90)).Round(time.Microsecond),
+		time.Duration(r.Latency.Quantile(0.99)).Round(time.Microsecond),
+		time.Duration(r.Latency.Max).Round(time.Microsecond))
 }
 
 // DriveEvents drives an in-memory event stream.

@@ -3,27 +3,56 @@ package serve
 import (
 	"encoding/json"
 	"net/http"
+	"net/http/pprof"
+	"time"
 )
 
-// httpHandler serves the JSON introspection endpoints:
+// httpHandler serves the introspection endpoints:
 //
-//	GET  /healthz   liveness: {"status":"ok","shards":N,"predictors":[...]}
+//	GET  /healthz   liveness + health: {"status":"ok",...} or, when a
+//	                checkpoint cut is stuck past its deadline or a shard
+//	                mailbox has sat saturated for the configured number of
+//	                monitor intervals, HTTP 503 with
+//	                {"status":"degraded","reasons":[...]}
 //	GET  /stats     full Snapshot (aggregate + per-shard accuracy, events/sec,
 //	                unique PCs, table occupancy, approximate state bytes,
-//	                restore provenance)
+//	                protocol and checkpoint counters, restore provenance)
+//	GET  /metrics   Prometheus text exposition of every vp_* series
+//	GET  /events    the stage-event trace ring (checkpoints, restores,
+//	                slow batches, drain), oldest first
 //	POST /snapshot  write a checkpoint now (requires a configured
 //	                checkpoint directory); answers with CheckpointInfo
+//	/debug/pprof/*  the standard runtime profiles
 func (s *Server) httpHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, map[string]any{
+		body := map[string]any{
 			"status":     "ok",
 			"shards":     len(s.shards),
 			"predictors": s.predNames,
-		})
+		}
+		if reasons := s.healthReasons(time.Now()); len(reasons) > 0 {
+			body["status"] = "degraded"
+			body["reasons"] = reasons
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			writeJSONBody(w, body)
+			return
+		}
+		writeJSON(w, body)
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.Stats())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.metrics.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /events", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"total":  s.ring.Total(),
+			"events": s.ring.Events(),
+		})
 	})
 	mux.HandleFunc("POST /snapshot", func(w http.ResponseWriter, r *http.Request) {
 		if s.cfg.CheckpointDir == "" {
@@ -41,6 +70,13 @@ func (s *Server) httpHandler() http.Handler {
 		}
 		writeJSON(w, info)
 	})
+	// The default-mux pprof handlers, re-homed onto this private mux so a
+	// vpserve process never exposes profiles anywhere but its admin port.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/snapshot"
 )
 
@@ -84,7 +85,29 @@ type Config struct {
 	// and is the default directory for WriteCheckpoint / Shutdown
 	// checkpoints.
 	CheckpointDir string
+	// HealthCheckpointDeadline is how long a checkpoint cut may stay in
+	// flight before /healthz reports degraded (0 = 30s).
+	HealthCheckpointDeadline time.Duration
+	// HealthSaturationIntervals is how many consecutive monitor ticks a
+	// shard mailbox may sit at capacity before /healthz reports degraded
+	// (0 = 3).
+	HealthSaturationIntervals int
+	// HealthTick is the health monitor's sampling period (0 = 1s).
+	HealthTick time.Duration
+	// EventRingSize caps the stage-event trace ring served by
+	// GET /events (0 = 256).
+	EventRingSize int
+	// Logger, when non-nil, receives the server's structured log lines
+	// (checkpoints, restores, degraded transitions).
+	Logger *obs.Logger
 }
+
+// Health configuration defaults.
+const (
+	defaultHealthCheckpointDeadline  = 30 * time.Second
+	defaultHealthSaturationIntervals = 3
+	defaultHealthTick                = time.Second
+)
 
 // Server is a running value-prediction service.
 type Server struct {
@@ -120,6 +143,17 @@ type Server struct {
 	// warm-started from (empty when cold-started); set before Start.
 	restoredID string
 	restoredAt time.Time
+
+	// metrics, ring and health are the observability plane: every series
+	// registered at construction, written lock-free from the serving
+	// layers, scraped by GET /metrics, /events and /healthz.
+	metrics *serverMetrics
+	ring    *obs.Ring
+	health  *healthState
+	log     *obs.Logger
+
+	monitorStop chan struct{}
+	monitorDone chan struct{}
 
 	connWG   sync.WaitGroup
 	acceptWG sync.WaitGroup
@@ -158,18 +192,46 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	if cfg.HealthCheckpointDeadline <= 0 {
+		cfg.HealthCheckpointDeadline = defaultHealthCheckpointDeadline
+	}
+	if cfg.HealthSaturationIntervals <= 0 {
+		cfg.HealthSaturationIntervals = defaultHealthSaturationIntervals
+	}
+	if cfg.HealthTick <= 0 {
+		cfg.HealthTick = defaultHealthTick
+	}
 	s := &Server{
 		cfg:       cfg,
 		predNames: names,
 		shards:    make([]*shard, cfg.Shards),
 		conns:     make(map[net.Conn]struct{}),
 		start:     time.Now(),
+		ring:      obs.NewRing(cfg.EventRingSize),
+		health:    newHealthState(cfg.Shards),
+		log:       cfg.Logger,
 	}
+	s.metrics = newServerMetrics(s.start, cfg.Shards, names)
 	for i := range s.shards {
 		s.shards[i] = newShard(i, cfg.Predictors, cfg.MailboxDepth)
+		s.shards[i].met = s.metrics.shards[i]
+		s.shards[i].ring = s.ring
 	}
 	return s, nil
 }
+
+// MetricsRegistry exposes the server's metric registry, the source of
+// GET /metrics; callers may register additional series on it before
+// Start.
+func (s *Server) MetricsRegistry() *obs.Registry { return s.metrics.reg }
+
+// EventRing exposes the server's stage-event trace ring (GET /events).
+func (s *Server) EventRing() *obs.Ring { return s.ring }
+
+// BatchLatency merges every shard's predict+update batch latency
+// histogram — p50/p90/p99/max of the serving hot path, the end-of-run
+// summary vpserve prints at shutdown.
+func (s *Server) BatchLatency() obs.HistSnap { return s.metrics.batchLatency() }
 
 // Predictors returns the configured predictor names in bank order.
 func (s *Server) Predictors() []string { return append([]string(nil), s.predNames...) }
@@ -208,6 +270,9 @@ func (s *Server) Start(addr, httpAddr string) error {
 	for _, sh := range s.shards {
 		go sh.run()
 	}
+	s.monitorStop = make(chan struct{})
+	s.monitorDone = make(chan struct{})
+	go s.monitor()
 	s.acceptWG.Add(1)
 	go s.acceptLoop()
 	if hl != nil {
@@ -262,9 +327,12 @@ func (s *Server) acceptLoop() {
 		s.conns[conn] = struct{}{}
 		s.connWG.Add(1)
 		s.mu.Unlock()
+		s.metrics.connsTotal.Inc()
+		s.metrics.connsOpen.Add(1)
 		go func() {
 			defer s.connWG.Done()
 			s.handleConn(conn)
+			s.metrics.connsOpen.Add(-1)
 			s.mu.Lock()
 			delete(s.conns, conn)
 			s.mu.Unlock()
@@ -308,6 +376,11 @@ func (s *Server) shutdown(ckptDir string) (CheckpointInfo, error) {
 	}
 	s.acceptWG.Wait()
 	s.connWG.Wait()
+	if s.monitorStop != nil {
+		close(s.monitorStop)
+		<-s.monitorDone
+	}
+	s.ring.Add(obs.StageEvent{Kind: evDrain, Shard: -1, N: s.eventsServed.Load()})
 	// Drain in-flight HTTP handlers (which may be mid-Stats) before the
 	// mailboxes close underneath them.
 	if s.httpSrv != nil {
@@ -337,6 +410,56 @@ func (s *Server) shutdown(ckptDir string) (CheckpointInfo, error) {
 	return info, err
 }
 
+// monitor samples each shard's mailbox between Start and shutdown: it
+// maintains the depth gauges and high-water marks and counts consecutive
+// ticks of saturation for the /healthz degraded signal. Reading len/cap
+// of a shard's mailbox is safe from here — channel length is always
+// readable, and the mailboxes outlive the monitor (shutdown stops it
+// before closing them).
+func (s *Server) monitor() {
+	defer close(s.monitorDone)
+	t := time.NewTicker(s.cfg.HealthTick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.monitorStop:
+			return
+		case <-t.C:
+			for i, sh := range s.shards {
+				d := len(sh.mailbox)
+				m := s.metrics.shards[i]
+				m.mailboxDepth.Set(int64(d))
+				m.mailboxHW.SetMax(int64(d))
+				if d >= cap(sh.mailbox) {
+					if n := s.health.sat[i].Add(1); n == int64(s.cfg.HealthSaturationIntervals) {
+						s.log.Warn("shard mailbox saturated", "shard", i, "intervals", n)
+					}
+				} else {
+					s.health.sat[i].Store(0)
+				}
+			}
+		}
+	}
+}
+
+// healthReasons returns why the server is degraded, empty when healthy.
+func (s *Server) healthReasons(now time.Time) []string {
+	var reasons []string
+	if cs := s.health.cutStart.Load(); cs != 0 {
+		if age := now.Sub(time.Unix(0, cs)); age > s.cfg.HealthCheckpointDeadline {
+			reasons = append(reasons, fmt.Sprintf(
+				"checkpoint cut in flight for %s (deadline %s)", age.Round(time.Millisecond), s.cfg.HealthCheckpointDeadline))
+		}
+	}
+	for i := range s.health.sat {
+		if n := s.health.sat[i].Load(); n >= int64(s.cfg.HealthSaturationIntervals) {
+			reasons = append(reasons, fmt.Sprintf(
+				"shard %d mailbox saturated for %d intervals", i, n))
+		}
+	}
+	return reasons
+}
+
 // Stats snapshots every shard through its mailbox (so snapshots never race
 // shard state) and aggregates. Before Start and once Close has begun it
 // returns an empty snapshot rather than touching inert or draining shards.
@@ -351,6 +474,23 @@ func (s *Server) Stats() Snapshot {
 	}
 	if !s.restoredAt.IsZero() {
 		snap.RestoredAt = s.restoredAt.UTC().Format(time.RFC3339Nano)
+	}
+	m := s.metrics
+	snap.Protocol = ProtoStats{
+		ConnsOpen:         m.connsOpen.Load(),
+		ConnsTotal:        m.connsTotal.Load(),
+		FramesIn:          m.framesIn.Load(),
+		FramesOut:         m.framesOut.Load(),
+		BytesIn:           m.bytesIn.Load(),
+		BytesOut:          m.bytesOut.Load(),
+		DecodeErrors:      m.decodeErrors.Load(),
+		PipelineHighWater: m.pipelineHW.Load(),
+	}
+	snap.Checkpoints = CkptStats{
+		Count:        m.ckptTotal.Load(),
+		Errors:       m.ckptErrors.Load(),
+		LastBytes:    m.ckptLastBytes.Load(),
+		LastUnixNano: m.ckptLastUnix.Load(),
 	}
 	replies := make([]chan ShardStats, len(s.shards))
 	s.statsMu.Lock()

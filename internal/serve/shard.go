@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/snapshot"
 )
 
@@ -84,6 +86,14 @@ type shard struct {
 	scratch []uint64 // per-request correct counts, reused
 	spcs    []uint64 // SoA split of one sub-batch, reused
 	svals   []uint64
+	// met holds this shard's metric cells (single-writer: only this
+	// goroutine and the monitor touch them); ewma is the shard-local
+	// per-predictor hit-rate EWMA state behind the exported gauges; ring
+	// receives slow-batch stage events.
+	met       *shardMetrics
+	ewma      []float64
+	ewmaReady bool
+	ring      *obs.Ring
 }
 
 func newShard(id int, facs []core.NamedFactory, depth int) *shard {
@@ -95,6 +105,7 @@ func newShard(id int, facs []core.NamedFactory, depth int) *shard {
 		mailbox: make(chan shardMsg, depth),
 		stopped: make(chan struct{}),
 		scratch: make([]uint64, len(facs)),
+		ewma:    make([]float64, len(facs)),
 	}
 	for i, f := range facs {
 		sh.names[i] = f.Name
@@ -136,13 +147,57 @@ func (sh *shard) run() {
 		for i := range counts {
 			counts[i] = 0
 		}
+		t0 := time.Now()
 		sh.bank.StepBatchCollect(pcs, vals, counts, nil)
+		stepNs := time.Since(t0).Nanoseconds()
 		for i := range sh.acc {
 			sh.acc[i].Correct += counts[i]
 			sh.acc[i].Total += uint64(n)
 		}
 		sh.events += uint64(n)
+		sh.observeBatch(pcs, counts, stepNs)
 		msg.req.finish(counts)
+	}
+}
+
+// observeBatch records one applied sub-batch into the shard's metric
+// cells: all plain stores and uncontended atomic adds, nothing
+// allocates — the instrumentation rides inside the 0 allocs/op batch
+// path. Called on the shard goroutine.
+func (sh *shard) observeBatch(pcs []uint64, counts []uint64, stepNs int64) {
+	if sh.met == nil {
+		return
+	}
+	n := len(pcs)
+	runs := 0
+	for j := range pcs {
+		if j == 0 || pcs[j] != pcs[j-1] {
+			runs++
+		}
+	}
+	m := sh.met
+	m.events.Add(uint64(n))
+	m.batches.Inc()
+	m.batchEvents.Observe(uint64(n))
+	m.batchNs.ObserveInt(stepNs)
+	m.batchPCRuns.Observe(uint64(runs))
+	m.mailboxDepth.Set(int64(len(sh.mailbox)))
+	m.mailboxHW.SetMax(int64(len(sh.mailbox)))
+	m.uniquePCs.Set(int64(sh.pcs.Len()))
+	for i, c := range counts {
+		m.predHits[i].Add(c)
+		m.predEvents[i].Add(uint64(n))
+		rate := float64(c) / float64(n)
+		if !sh.ewmaReady { // first batch seeds the EWMA
+			sh.ewma[i] = rate
+		} else {
+			sh.ewma[i] += ewmaAlpha * (rate - sh.ewma[i])
+		}
+		m.predEWMA[i].Set(sh.ewma[i])
+	}
+	sh.ewmaReady = true
+	if stepNs > slowBatchNs {
+		sh.ring.Add(obs.StageEvent{Kind: evSlowBatch, Shard: sh.id, DurNs: stepNs, N: uint64(n)})
 	}
 }
 
@@ -155,10 +210,14 @@ const approxEntryBytes = 24
 // snapshot captures the shard's stats; called on the shard goroutine.
 func (sh *shard) snapshot() ShardStats {
 	st := ShardStats{
-		Shard:      sh.id,
-		Events:     sh.events,
-		UniquePCs:  sh.pcs.Len(),
-		Predictors: make([]PredStat, len(sh.preds)),
+		Shard:        sh.id,
+		Events:       sh.events,
+		UniquePCs:    sh.pcs.Len(),
+		Predictors:   make([]PredStat, len(sh.preds)),
+		MailboxDepth: len(sh.mailbox),
+	}
+	if sh.met != nil {
+		st.MailboxHighWater = int(sh.met.mailboxHW.Load())
 	}
 	for i, p := range sh.preds {
 		ps := PredStat{
@@ -167,6 +226,9 @@ func (sh *shard) snapshot() ShardStats {
 			Total:   sh.acc[i].Total,
 		}
 		ps.AccuracyPct = sh.acc[i].Percent()
+		if sh.ewmaReady {
+			ps.HitRateEWMA = sh.ewma[i]
+		}
 		if sized, ok := p.(core.Sized); ok {
 			ps.StaticPCs, ps.TableEntries = sized.TableEntries()
 			ps.ApproxStateBytes = int64(ps.StaticPCs)*8 + int64(ps.TableEntries)*approxEntryBytes
@@ -238,6 +300,10 @@ func (sh *shard) restore(st snapshot.ShardState, facs []core.NamedFactory, nshar
 	}
 	sh.preds, sh.acc, sh.pcs, sh.events = preds, acc, pcs, st.Events
 	sh.bank = core.NewBank(preds...)
+	sh.ewmaReady = false // the EWMA reseeds from live traffic, not history
+	if sh.met != nil {
+		sh.met.uniquePCs.Set(int64(sh.pcs.Len()))
+	}
 	return nil
 }
 
@@ -254,6 +320,10 @@ type PredStat struct {
 	// ApproxStateBytes estimates the resident table footprint as
 	// entries × nominal entry width.
 	ApproxStateBytes int64 `json:"approx_state_bytes,omitempty"`
+	// HitRateEWMA is the per-batch hit-rate EWMA — the live
+	// predictability signal tracking the paper's per-predictor accuracy
+	// tables as the stream drifts (0 until the first batch lands).
+	HitRateEWMA float64 `json:"hit_rate_ewma,omitempty"`
 }
 
 // ShardStats is one shard's live view.
@@ -265,6 +335,30 @@ type ShardStats struct {
 	// ApproxStateBytes estimates this shard's resident predictor state
 	// (all banks plus the unique-PC set), entries × entry width.
 	ApproxStateBytes int64 `json:"approx_state_bytes"`
+	// MailboxDepth is the queued mailbox entries at capture;
+	// MailboxHighWater the deepest queue ever observed on this shard.
+	MailboxDepth     int `json:"mailbox_depth"`
+	MailboxHighWater int `json:"mailbox_highwater"`
+}
+
+// ProtoStats aggregates the binary protocol's transport counters.
+type ProtoStats struct {
+	ConnsOpen         int64  `json:"conns_open"`
+	ConnsTotal        uint64 `json:"conns_total"`
+	FramesIn          uint64 `json:"frames_in"`
+	FramesOut         uint64 `json:"frames_out"`
+	BytesIn           uint64 `json:"bytes_in"`
+	BytesOut          uint64 `json:"bytes_out"`
+	DecodeErrors      uint64 `json:"decode_errors"`
+	PipelineHighWater int64  `json:"pipeline_highwater"`
+}
+
+// CkptStats aggregates checkpoint activity.
+type CkptStats struct {
+	Count        uint64 `json:"count"`
+	Errors       uint64 `json:"errors"`
+	LastBytes    int64  `json:"last_bytes,omitempty"`
+	LastUnixNano int64  `json:"last_unixnano,omitempty"`
 }
 
 // Snapshot is the whole server's aggregated view plus the per-shard
@@ -281,6 +375,11 @@ type Snapshot struct {
 	PerShard     []ShardStats `json:"per_shard"`
 	// ApproxStateBytes sums the per-shard resident-state estimates.
 	ApproxStateBytes int64 `json:"approx_state_bytes"`
+	// Protocol and Checkpoints surface the transport and durability
+	// counters the /metrics endpoint exports, inlined here so a JSON
+	// /stats poll sees the same picture.
+	Protocol    ProtoStats `json:"protocol"`
+	Checkpoints CkptStats  `json:"checkpoints"`
 	// StartedAt is the server process start time (RFC 3339).
 	StartedAt string `json:"started_at"`
 	// RestoredSnapshotID and RestoredAt identify the checkpoint this
