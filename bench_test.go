@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/predstat"
 	"repro/internal/seqclass"
 	"repro/internal/serve"
 	"repro/internal/sim"
@@ -60,6 +61,7 @@ func BenchmarkFig10(b *testing.B)  { runExperiment(b, "fig10", fastSubset...) }
 func BenchmarkTable6(b *testing.B) { runExperiment(b, "table6") }
 func BenchmarkTable7(b *testing.B) { runExperiment(b, "table7") }
 func BenchmarkFig11(b *testing.B)  { runExperiment(b, "fig11") }
+func BenchmarkCeil(b *testing.B)   { runExperiment(b, "ceil", fastSubset...) }
 
 // --- component micro-benchmarks -------------------------------------------------
 
@@ -175,6 +177,33 @@ func BenchmarkBankStepBatch(b *testing.B) {
 	// Two warm passes: the second crosses the cyclic wrap seam, so the
 	// contexts spanning end-of-stream → start-of-stream exist too and the
 	// timed loop is genuinely steady-state.
+	for g := 0; g < 2*nb; g++ {
+		off := (g % nb) * bankBenchBatch
+		bank.StepBatch(pcs[off:off+bankBenchBatch], vals[off:off+bankBenchBatch])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (i % nb) * bankBenchBatch
+		bank.StepBatch(pcs[off:off+bankBenchBatch], vals[off:off+bankBenchBatch])
+	}
+	b.ReportMetric(bankBenchBatch, "events/op")
+}
+
+// BenchmarkBankStepBatchObserved is BenchmarkBankStepBatch with a
+// predictability tracker attached through the bank's run-observer hook —
+// the configuration every vpserve shard runs by default. CI gates
+// allocs/op == 0 here too; the ns/op delta against BenchmarkBankStepBatch
+// prices online predictability analytics (entropy tables at four orders,
+// ceilings, window upkeep), payable per shard, removable with -predstat
+// false. The plain benchmark itself must stay within 10% of its history:
+// a detached observer is one nil check.
+func BenchmarkBankStepBatchObserved(b *testing.B) {
+	pcs, vals := bankBenchStream()
+	nb := len(pcs) / bankBenchBatch
+	bank := core.NewBank(core.NewFCM(3))
+	tr := predstat.NewTracker(predstat.Config{PredNames: []string{"fcm3"}})
+	bank.SetObserver(tr)
 	for g := 0; g < 2*nb; g++ {
 		off := (g % nb) * bankBenchBatch
 		bank.StepBatch(pcs[off:off+bankBenchBatch], vals[off:off+bankBenchBatch])

@@ -33,17 +33,25 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id or 'all'")
-		events  = flag.Uint64("events", 500_000, "max predicted instructions per benchmark run (0 = to completion)")
-		scale   = flag.Int("scale", 1, "workload input scale factor")
-		benches = flag.String("bench", "", "comma-separated benchmark subset (default all seven)")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel benchmark workers for the suite pass (1 = serial path)")
-		batch   = flag.Int("batch", engine.DefaultBatchSize, "value events per delivery batch (engine path; -workers 1 uses per-event delivery)")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		quiet   = flag.Bool("q", false, "suppress progress output")
-		metrics = flag.Bool("metrics", false, "dump engine instrumentation (Prometheus text) to stderr after the run")
+		exp      = flag.String("exp", "all", "experiment id or 'all'")
+		events   = flag.Uint64("events", 500_000, "max predicted instructions per benchmark run (0 = to completion)")
+		scale    = flag.Int("scale", 1, "workload input scale factor")
+		benches  = flag.String("bench", "", "comma-separated benchmark subset (default all seven)")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel benchmark workers for the suite pass (1 = serial path)")
+		batch    = flag.Int("batch", engine.DefaultBatchSize, "value events per delivery batch (engine path; -workers 1 uses per-event delivery)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+		metrics  = flag.Bool("metrics", false, "dump engine instrumentation (Prometheus text) to stderr after the run")
+		logLevel = flag.String("log-level", "", "minimum log level (debug|info|warn|error; default $"+obs.LogLevelEnv+", then info)")
 	)
 	flag.Parse()
+
+	lvl, err := obs.ResolveLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpredict:", err)
+		os.Exit(1)
+	}
+	log := obs.NewLogger(os.Stderr, lvl)
 
 	if *list {
 		for _, e := range experiments.Registry() {
@@ -63,11 +71,10 @@ func main() {
 	}
 	if !*quiet {
 		cfg.Progress = func(name string) {
-			fmt.Fprintf(os.Stderr, "running %s...\n", name)
+			log.Info("running benchmark", "name", name)
 		}
 	}
 
-	var err error
 	if *exp == "all" {
 		err = experiments.RunAll(os.Stdout, cfg)
 	} else {

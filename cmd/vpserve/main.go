@@ -44,14 +44,15 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":9747", "binary-protocol listen address")
-	httpAddr := flag.String("http", ":9748", "HTTP /stats + /healthz + /metrics + /events + /snapshot + pprof listen address (empty = disabled)")
+	httpAddr := flag.String("http", ":9748", "HTTP /stats + /healthz + /metrics + /events + /predictability + /snapshot + pprof listen address (empty = disabled)")
 	shards := flag.Int("shards", 0, "predictor-state shards (0 = GOMAXPROCS, or the snapshot's layout with -restore)")
 	preds := flag.String("pred", "l,s2,fcm1,fcm2,fcm3", "comma-separated predictor bank")
 	mailbox := flag.Int("mailbox", 0, "per-shard mailbox depth (0 = default)")
 	ckptDir := flag.String("checkpoint-dir", "", "directory for predictor-state snapshots (enables checkpointing)")
 	ckptEvery := flag.Duration("checkpoint-interval", 0, "write a checkpoint this often (0 = only on shutdown/trigger; needs -checkpoint-dir)")
 	restore := flag.String("restore", "", "warm-restart from this snapshot file, or the newest snapshot in this directory")
-	logLevel := flag.String("log-level", "info", "minimum log level (debug|info|warn|error)")
+	logLevel := flag.String("log-level", "", "minimum log level (debug|info|warn|error; default $"+obs.LogLevelEnv+", then info)")
+	predstatOn := flag.Bool("predstat", true, "track per-PC predictability analytics (GET /predictability, vp_pc_entropy_bits & friends)")
 	blockRate := flag.Int("block-profile-rate", 0, "runtime.SetBlockProfileRate argument for /debug/pprof/block (0 = off)")
 	mutexFrac := flag.Int("mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction argument for /debug/pprof/mutex (0 = off)")
 	list := flag.Bool("list", false, "list known predictors and exit")
@@ -67,7 +68,7 @@ func main() {
 		}
 		return
 	}
-	lvl, err := obs.ParseLevel(*logLevel)
+	lvl, err := obs.ResolveLevel(*logLevel)
 	if err != nil {
 		fatal(err)
 	}
@@ -128,11 +129,12 @@ func main() {
 		fatal(err)
 	}
 	s, err := serve.New(serve.Config{
-		Shards:        *shards,
-		Predictors:    facs,
-		MailboxDepth:  *mailbox,
-		CheckpointDir: *ckptDir,
-		Logger:        log,
+		Shards:           *shards,
+		Predictors:       facs,
+		MailboxDepth:     *mailbox,
+		CheckpointDir:    *ckptDir,
+		Logger:           log,
+		PredstatDisabled: !*predstatOn,
 	})
 	if err != nil {
 		fatal(err)

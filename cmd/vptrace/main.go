@@ -5,15 +5,18 @@
 //	vptrace capture -bench gcc -events 1000000 -o gcc.vpt
 //	vptrace info gcc.vpt
 //	vptrace replay -pred fcm3,s2,l gcc.vpt
+//	vptrace analyze -top 10 gcc.vpt
 //	vptrace drive -addr localhost:9747 -clients 8 gcc.vpt
 //	vptrace drive -addr localhost:9747 -bench compress -events 500000
 //
 // Capture once, then replay the identical event stream against any
 // predictor configuration — the decoupling the paper's trace-driven
-// methodology relies on. drive replays a trace (or a live benchmark
-// simulation) against a running vpserve as load generation, and with
-// -verify checks the server's tallies against an offline replay of the
-// same stream.
+// methodology relies on. analyze replays with a predictability tracker
+// attached and reports the paper-style per-class accuracy-vs-ceiling
+// tables plus the hardest and easiest PCs. drive replays a trace (or a
+// live benchmark simulation) against a running vpserve as load
+// generation, and with -verify checks the server's tallies against an
+// offline replay of the same stream.
 package main
 
 import (
@@ -23,10 +26,12 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/obs"
+	"repro/internal/predstat"
 	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
@@ -44,6 +49,8 @@ func main() {
 		info(os.Args[2:])
 	case "replay":
 		replay(os.Args[2:])
+	case "analyze":
+		analyze(os.Args[2:])
 	case "drive":
 		drive(os.Args[2:])
 	default:
@@ -56,6 +63,7 @@ func usage() {
   vptrace capture -bench NAME [-opt N] [-scale N] [-events N] -o FILE
   vptrace info FILE
   vptrace replay [-pred %[1]s] FILE
+  vptrace analyze [-pred %[1]s] [-top N] [-min-events N] [-log-level LVL] FILE
   vptrace drive -addr HOST:PORT [-clients N] [-batch N] [-verify [-warm SNAP]] FILE
   vptrace drive -addr HOST:PORT -bench NAME [-opt N] [-scale N] [-events N]
 
@@ -215,6 +223,113 @@ func replay(args []string) {
 			pct = 100 * float64(correct[i]) / float64(total)
 		}
 		fmt.Printf("  %-6s %6.2f%%\n", fac.Name, pct)
+	}
+}
+
+// analyze replays a trace through a predictor bank with a predictability
+// tracker attached and reports per-class accuracy versus the entropy
+// ceilings the streams themselves permit, plus the hardest and easiest
+// PCs and per-predictor ceiling-gap attribution.
+func analyze(args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	preds := fs.String("pred", defaultPreds, "comma-separated predictors")
+	topN := fs.Int("top", 10, "hardest/easiest PCs to list")
+	minEvents := fs.Uint64("min-events", 64, "per-PC event floor below which a PC is not reported")
+	logLevel := fs.String("log-level", "", "minimum log level (debug|info|warn|error; default $"+obs.LogLevelEnv+", then info)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	lvl, err := obs.ResolveLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	log := obs.NewLogger(os.Stderr, lvl)
+	f, r := openTrace(fs.Arg(0))
+	defer f.Close()
+
+	facs, err := core.ParseFactories(*preds)
+	if err != nil {
+		fatal(err)
+	}
+	ps := make([]core.Predictor, len(facs))
+	names := make([]string, len(facs))
+	for i, fac := range facs {
+		ps[i] = fac.New()
+		names[i] = fac.Name
+	}
+	bank := core.NewBank(ps...)
+	tr := predstat.NewTracker(predstat.Config{PredNames: names, MinEvents: *minEvents})
+	bank.SetObserver(tr)
+	var pcs, vals []uint64
+	err = r.ForEachBatch(0, func(evs []trace.Event) error {
+		if cap(pcs) < len(evs) {
+			pcs = make([]uint64, len(evs))
+			vals = make([]uint64, len(evs))
+		}
+		pcs, vals = pcs[:len(evs)], vals[:len(evs)]
+		for j, ev := range evs {
+			pcs[j] = ev.PC
+			vals[j] = ev.Value
+		}
+		bank.StepBatch(pcs, vals)
+		return nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	rep := tr.Report(*topN)
+	log.Info("analyzed", "benchmark", r.Header.Benchmark, "events", rep.Events,
+		"pcs", rep.PCs, "reported", rep.Reported)
+
+	fmt.Printf("%s: %d events, %d PCs (%d with >=%d events)\n\n",
+		r.Header.Benchmark, rep.Events, rep.PCs, rep.Reported, *minEvents)
+	classTab := analysis.NewTable("accuracy vs entropy ceiling by sequence class",
+		"Class", "PCs", "Events", "Entropy (b)", "Ceiling (%)", "Best (%)", "Gap (%)")
+	for _, cls := range predstat.ClassLabels {
+		cs := rep.Classes[cls]
+		if cs == nil {
+			continue
+		}
+		classTab.AddRow(cls, fmt.Sprint(cs.PCs), fmt.Sprint(cs.Events),
+			fmt.Sprintf("%.3f", cs.EntropyBits),
+			fmt.Sprintf("%.1f", 100*cs.Ceiling),
+			fmt.Sprintf("%.1f", 100*cs.Accuracy),
+			fmt.Sprintf("%.1f", 100*(cs.Ceiling-cs.Accuracy)))
+	}
+	classTab.Render(os.Stdout)
+
+	gapTab := analysis.NewTable("per-predictor ceiling gap (judged against each predictor's own class ceiling)",
+		"Predictor", "Hit (%)", "Ceiling (%)", "Gap (%)")
+	for _, g := range rep.GapByPred {
+		if g.Events == 0 {
+			continue
+		}
+		gapTab.AddRow(g.Name,
+			fmt.Sprintf("%.1f", 100*float64(g.Hits)/float64(g.Events)),
+			fmt.Sprintf("%.1f", 100*g.CeilWeighted/float64(g.Events)),
+			fmt.Sprintf("%.1f", 100*g.Gap))
+	}
+	gapTab.Render(os.Stdout)
+
+	for _, rank := range []struct {
+		title string
+		list  []predstat.PCReport
+	}{
+		{"hardest PCs (highest conditional entropy)", rep.Hardest},
+		{"easiest PCs (lowest conditional entropy)", rep.Easiest},
+	} {
+		t := analysis.NewTable(rank.title,
+			"PC", "Class", "Events", "Entropy (b)", "Ceiling (%)", "Best", "Best (%)", "Gap (%)")
+		for _, pr := range rank.list {
+			t.AddRow(fmt.Sprintf("%#x", pr.PC), pr.Class, fmt.Sprint(pr.Events),
+				fmt.Sprintf("%.3f", pr.EntropyBits),
+				fmt.Sprintf("%.1f", 100*pr.Ceiling),
+				pr.BestPred,
+				fmt.Sprintf("%.1f", 100*pr.BestAccuracy),
+				fmt.Sprintf("%.1f", 100*pr.Gap))
+		}
+		t.Render(os.Stdout)
 	}
 }
 

@@ -89,3 +89,78 @@ func TestBankSteadyStateZeroAlloc(t *testing.T) {
 		t.Fatalf("bank steady state allocates %.1f allocs per batch", allocs)
 	}
 }
+
+// countingObserver is the cheapest possible RunObserver: it only tallies,
+// so any allocation reported by the gate below belongs to the Bank's
+// observer plumbing, not the observer itself.
+type countingObserver struct {
+	runs, events, hits uint64
+}
+
+func (o *countingObserver) ObserveRun(pc uint64, values []uint64, hits [][]byte) {
+	o.runs++
+	o.events += uint64(len(values))
+	for _, row := range hits {
+		for _, h := range row {
+			o.hits += uint64(h)
+		}
+	}
+}
+
+// TestBankObserverZeroAlloc is the CI gate for the observer hook: in
+// steady state Bank.StepBatch must allocate nothing both with a nil
+// observer (the default hot path) and with one attached (the grouped hit
+// rows and fallback scatter buffers are reused across batches). The bank
+// includes a fallback-only predictor so the original-order scratch path
+// is covered too.
+func TestBankObserverZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	rns := NonStride4
+	for _, attached := range []bool{false, true} {
+		name := "nil-observer"
+		if attached {
+			name = "attached-observer"
+		}
+		t.Run(name, func(t *testing.T) {
+			b := NewBank(
+				NewLastValue(),
+				NewStride2Delta(),
+				NewFCM(3),
+				NewBoundedFCM(3, 12, 18), // per-event fallback: scatter path
+			)
+			obs := &countingObserver{}
+			if attached {
+				b.SetObserver(obs)
+			}
+			const batch = 1024
+			pcs := make([]uint64, batch)
+			vals := make([]uint64, batch)
+			fill := func(base int) {
+				for j := 0; j < batch; j++ {
+					i := base + j
+					pc := uint64(i % 48)
+					pcs[j] = pc
+					vals[j] = rns[(uint64(i/48)+pc)%4]
+				}
+			}
+			for it := 0; it < 16; it++ {
+				fill(it * batch)
+				b.StepBatch(pcs, vals)
+			}
+			it := 16
+			allocs := testing.AllocsPerRun(100, func() {
+				fill(it * batch)
+				b.StepBatch(pcs, vals)
+				it++
+			})
+			if allocs != 0 {
+				t.Fatalf("%s: steady state allocates %.1f allocs per batch", name, allocs)
+			}
+			if attached && obs.events == 0 {
+				t.Fatal("observer saw no events")
+			}
+		})
+	}
+}

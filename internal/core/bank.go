@@ -38,6 +38,36 @@ type BatchPredictor interface {
 	StepRun(pc uint64, values []uint64, hits []byte) uint64
 }
 
+// RunObserver is an optional tap on the bank's batch execution: after a
+// batch's predictors have all stepped, ObserveRun is called once per
+// same-PC value run with the run's values (stream order preserved within
+// the PC) and, per predictor in bank order, one hit byte per value
+// (1 = that predictor predicted it correctly). Runs are delivered in the
+// batch's first-appearance PC order, and a PC's runs arrive in stream
+// order across batches, so an observer sees exactly the per-static-
+// instruction value subsequences the paper's analysis is defined over.
+//
+// The slices are the bank's reused arenas: observers must consume them
+// during the call and retain nothing. Observation rides inside the
+// zero-alloc batch path (see TestBankObserverZeroAlloc), so ObserveRun
+// implementations are expected to be allocation-free in steady state too.
+type RunObserver interface {
+	ObserveRun(pc uint64, values []uint64, hits [][]byte)
+}
+
+// SetObserver attaches (or, with nil, detaches) a run observer. Not safe
+// to call concurrently with StepBatch.
+func (b *Bank) SetObserver(o RunObserver) {
+	b.obs = o
+	if o != nil && b.obsHits == nil {
+		b.obsHits = make([][]byte, len(b.preds))
+		b.obsRows = make([][]byte, len(b.preds))
+	}
+}
+
+// Observer returns the attached run observer, nil when none.
+func (b *Bank) Observer() RunObserver { return b.obs }
+
 // batchOf returns p's native batch kernel when it has one and its batched
 // execution is currently safe, nil otherwise.
 func batchOf(p Predictor) BatchPredictor {
@@ -98,6 +128,14 @@ type Bank struct {
 	order  []int32  // event indices, grouped by PC, per-PC order kept
 	gvals  []uint64 // values, gathered into contiguous same-PC runs
 	hits   []byte   // per-event hit scratch, grouped order
+
+	// Observer state: when obs is attached every predictor's hits are
+	// retained per batch (one grouped-order row per predictor) so each
+	// same-PC run can be delivered with all predictors' outcomes at once.
+	obs     RunObserver
+	obsHits [][]byte // per predictor: grouped-order hit row, reused
+	obsRows [][]byte // per-run hits argument, refilled per run
+	obsTmp  []byte   // original-order scratch for fallback predictors
 }
 
 // NewBank builds a bank over the given predictors. The slice is retained.
@@ -146,15 +184,18 @@ func (b *Bank) StepBatchCollect(pcs, values, counts []uint64, bits [][]uint64) {
 		return
 	}
 	b.events += uint64(n)
+	observing := b.obs != nil
 	native := false
+	anyFallback := false
 	for _, r := range b.runs {
 		if r != nil {
 			native = true
-			break
+		} else {
+			anyFallback = true
 		}
 	}
-	needOrder := false
-	if bits != nil {
+	needOrder := observing && anyFallback
+	if bits != nil && !needOrder {
 		for i, r := range b.runs {
 			if r != nil && bits[i] != nil {
 				needOrder = true
@@ -162,8 +203,20 @@ func (b *Bank) StepBatchCollect(pcs, values, counts []uint64, bits [][]uint64) {
 			}
 		}
 	}
-	if native {
+	// The observer needs the grouped runs even when every predictor takes
+	// the per-event fallback, so grouping is forced while one is attached.
+	if native || observing {
 		b.group(pcs[:n], values[:n], needOrder)
+	}
+	if observing {
+		for i := range b.obsHits {
+			if cap(b.obsHits[i]) < n {
+				b.obsHits[i] = make([]byte, n)
+			}
+		}
+		if anyFallback && cap(b.obsTmp) < n {
+			b.obsTmp = make([]byte, n)
+		}
 	}
 	nw := (n + 63) / 64
 	for i, p := range b.preds {
@@ -175,6 +228,9 @@ func (b *Bank) StepBatchCollect(pcs, values, counts []uint64, bits [][]uint64) {
 		var hit uint64
 		if r := b.runs[i]; r != nil {
 			hits := b.hits[:n]
+			if observing {
+				hits = b.obsHits[i][:n]
+			}
 			for g := 0; g+1 < len(b.starts); g++ {
 				lo, hi := b.starts[g], b.starts[g+1]
 				hit += r.StepRun(b.gpc[g], b.gvals[lo:hi], hits[lo:hi])
@@ -187,17 +243,44 @@ func (b *Bank) StepBatchCollect(pcs, values, counts []uint64, bits [][]uint64) {
 				}
 			}
 		} else {
+			// Fallback predictors must see the stream in original order
+			// (cross-PC state); when observing, their per-event hits are
+			// recorded in stream order first and scattered into grouped
+			// order afterwards through the same order map the bitsets use.
+			var tmp []byte
+			if observing {
+				tmp = b.obsTmp[:n]
+			}
 			for j := 0; j < n; j++ {
 				h := stepOne(p, pcs[j], values[j])
 				hit += h
+				if tmp != nil {
+					tmp[j] = byte(h)
+				}
 				if bs != nil && h != 0 {
 					bs[j>>6] |= 1 << (uint(j) & 63)
+				}
+			}
+			if observing {
+				row := b.obsHits[i][:n]
+				for at, idx := range b.order[:n] {
+					row[at] = tmp[idx]
 				}
 			}
 		}
 		b.correct[i] += hit
 		if counts != nil {
 			counts[i] += hit
+		}
+	}
+	if observing {
+		rows := b.obsRows
+		for g := 0; g+1 < len(b.starts); g++ {
+			lo, hi := b.starts[g], b.starts[g+1]
+			for i := range rows {
+				rows[i] = b.obsHits[i][lo:hi]
+			}
+			b.obs.ObserveRun(b.gpc[g], b.gvals[lo:hi], rows)
 		}
 	}
 }

@@ -128,6 +128,29 @@ func onePerPC(pcs []uint64) map[uint64]int {
 	return out
 }
 
+// PCIndex maps PCs to dense int32 handles assigned in insertion order —
+// the flat-slab primitive every predictor's storage is built on, exported
+// so sibling packages (e.g. the predictability tracker) can keep their
+// own parallel slabs in lockstep without reinventing the probe loop.
+// The zero value is an empty index.
+type PCIndex struct {
+	t pcTable
+}
+
+// Lookup returns the handle for pc, if present.
+func (x *PCIndex) Lookup(pc uint64) (int32, bool) { return x.t.lookup(pc) }
+
+// Insert adds pc (which must not be present) and returns its new handle:
+// always the current Len, so callers grow their slabs by one entry per
+// insert.
+func (x *PCIndex) Insert(pc uint64) int32 { return x.t.insert(pc) }
+
+// Len returns the number of tracked PCs.
+func (x *PCIndex) Len() int { return x.t.len() }
+
+// Reset empties the index in place, keeping capacity.
+func (x *PCIndex) Reset() { x.t.reset() }
+
 // PCSet is an open-addressed set of PCs for hot-path membership tracking
 // (the serving tier's unique-PC accounting): Add is allocation-free in
 // steady state, unlike inserting into a map[uint64]struct{} on every

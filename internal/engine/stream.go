@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/sim"
+)
+
+// StreamConfig parameterizes RunStream.
+type StreamConfig struct {
+	// Benchmark names the workload (compress, gcc, ...).
+	Benchmark string
+	// Opt is the compiler optimization level (bench.RefOpt for the
+	// paper's standard runs; the zero value is an -O0 build).
+	Opt int
+	// Scale is the input scale factor (default 1).
+	Scale int
+	// Events caps delivered value events (0 = run to completion).
+	Events uint64
+	// BatchSize bounds events per delivered batch (0 = DefaultBatchSize).
+	BatchSize int
+}
+
+// RunStream simulates one benchmark and delivers its value-event stream
+// as (pcs, vals) SoA batches — the shape core.Bank.StepBatch consumes —
+// without materializing the trace. The slices are reused across calls;
+// callers must consume them before returning. It returns the number of
+// events delivered.
+func RunStream(cfg StreamConfig, fn func(pcs, vals []uint64)) (uint64, error) {
+	w := bench.ByName(cfg.Benchmark)
+	if w == nil {
+		return 0, fmt.Errorf("engine: unknown benchmark %q", cfg.Benchmark)
+	}
+	bs := cfg.BatchSize
+	if bs <= 0 {
+		bs = DefaultBatchSize
+	}
+	pcs := make([]uint64, bs)
+	vals := make([]uint64, bs)
+	var total uint64
+	_, err := w.Run(bench.RunConfig{
+		Opt:       cfg.Opt,
+		Scale:     cfg.Scale,
+		MaxEvents: cfg.Events,
+		BatchSize: bs,
+		OnValues: func(evs []sim.ValueEvent) {
+			n := len(evs)
+			for j, ev := range evs {
+				pcs[j] = ev.PC
+				vals[j] = ev.Value
+			}
+			total += uint64(n)
+			fn(pcs[:n], vals[:n])
+		},
+	})
+	return total, err
+}

@@ -63,6 +63,7 @@ func Registry() []*Experiment {
 		{ID: "table6", Title: "Table 6: Sensitivity of gcc to different input files", Run: runTable6},
 		{ID: "table7", Title: "Table 7: Sensitivity of gcc to input flags", Run: runTable7},
 		{ID: "fig11", Title: "Figure 11: Sensitivity of gcc to the fcm order", Run: runFig11},
+		{ID: "ceil", Title: "Predictability ceilings: per-class accuracy vs entropy ceiling", Run: runCeil},
 	}
 }
 

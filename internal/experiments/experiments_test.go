@@ -13,7 +13,7 @@ func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 	want := []string{
 		"table1", "fig1", "fig2", "table2", "table4", "table5",
 		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-		"table6", "table7", "fig11",
+		"table6", "table7", "fig11", "ceil",
 	}
 	got := IDs()
 	if len(got) != len(want) {
@@ -102,6 +102,28 @@ func TestSuiteExperimentsRender(t *testing.T) {
 			if !strings.Contains(sb.String(), w) {
 				t.Errorf("%s output missing %q:\n%s", c.id, w, sb.String())
 			}
+		}
+	}
+}
+
+// TestCeilExperiment runs the predictability-ceiling experiment on a
+// small budget and checks both tables render with class rows, entropy and
+// ceiling columns, and per-predictor gap columns.
+func TestCeilExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ceil experiment in -short mode")
+	}
+	var sb strings.Builder
+	if err := RunOne(&sb, "ceil", smallCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Entropy (b)", "Ceiling (%)", "Best (%)", "Gap (%)",
+		"compress", "m88ksim", "fcm3", "sequence class",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ceil output missing %q:\n%s", want, out)
 		}
 	}
 }

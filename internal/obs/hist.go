@@ -54,6 +54,19 @@ func (h *Histogram) Observe(v uint64) {
 	}
 }
 
+// Reset zeroes the histogram. It is meant for scrape-rebuilt
+// distributions (cleared and refilled inside an OnScrape hook by the
+// cell's single writer); resetting while writers are observing loses the
+// in-flight observations but stays internally consistent per field.
+func (h *Histogram) Reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
 // ObserveInt records a non-negative int (negative values clamp to 0).
 func (h *Histogram) ObserveInt(v int64) {
 	if v < 0 {

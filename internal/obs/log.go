@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -47,6 +48,28 @@ func ParseLevel(s string) (Level, error) {
 		return LevelError, nil
 	}
 	return LevelInfo, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// LogLevelEnv is the environment variable the daemons honor when no
+// -log-level flag is given.
+const LogLevelEnv = "VP_LOG_LEVEL"
+
+// ResolveLevel resolves the effective log level for a command: an
+// explicit flag value wins, otherwise $VP_LOG_LEVEL applies, otherwise
+// info. Unknown values — from either source — are an error naming the
+// valid levels.
+func ResolveLevel(flagValue string) (Level, error) {
+	if flagValue != "" {
+		return ParseLevel(flagValue)
+	}
+	if env := os.Getenv(LogLevelEnv); env != "" {
+		lv, err := ParseLevel(env)
+		if err != nil {
+			return lv, fmt.Errorf("%s: %w", LogLevelEnv, err)
+		}
+		return lv, nil
+	}
+	return LevelInfo, nil
 }
 
 // Logger is a minimal leveled structured logger: one logfmt-style line

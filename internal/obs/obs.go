@@ -137,8 +137,20 @@ func (f *family) cellFor(labels string) *cell {
 // series, and registering several Histograms under one (name, labels)
 // accumulates cells that merge into a single exposed series at scrape.
 type Registry struct {
-	mu   sync.Mutex
-	fams []*family
+	mu    sync.Mutex
+	fams  []*family
+	hooks []func()
+}
+
+// OnScrape registers fn to run at the start of every WritePrometheus
+// call, before families are snapshotted. Hooks refresh scrape-derived
+// series (distributions rebuilt from live state, aggregated gauges) so
+// their cost lands on the rare /metrics request, not the event path. fn
+// may register metrics and update cells; it must not call WritePrometheus.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hooks = append(r.hooks, fn)
 }
 
 // NewRegistry returns an empty registry.

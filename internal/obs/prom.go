@@ -15,6 +15,12 @@ import (
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<14)
 	r.mu.Lock()
+	hooks := append(make([]func(), 0, len(r.hooks)), r.hooks...)
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	r.mu.Lock()
 	fams := append([]*family(nil), r.fams...)
 	r.mu.Unlock()
 	for _, f := range fams {

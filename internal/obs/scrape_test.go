@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOnScrapeHook: hooks run before families render, so a scrape sees
+// the values the hook just wrote — including a Reset+refill histogram.
+func TestOnScrapeHook(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_scrapes", "scrape count")
+	h := r.Histogram("test_dist", "rebuilt per scrape")
+	n := int64(0)
+	r.OnScrape(func() {
+		n++
+		g.Set(n)
+		h.Reset()
+		h.Observe(uint64(10 * n))
+	})
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "test_scrapes 1\n") || !strings.Contains(out, "test_scrapes 2\n") {
+		t.Fatalf("hook did not run per scrape:\n%s", out)
+	}
+	// The histogram must show exactly one observation each time (Reset
+	// cleared the first scrape's fill), with sums 10 then 20.
+	if !strings.Contains(out, "test_dist_sum 10\n") || !strings.Contains(out, "test_dist_sum 20\n") {
+		t.Fatalf("histogram not rebuilt per scrape:\n%s", out)
+	}
+	if strings.Count(out, "test_dist_count 1\n") != 2 {
+		t.Fatalf("histogram count not reset between scrapes:\n%s", out)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(5)
+	h.Observe(100)
+	h.Reset()
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Max != 0 {
+		t.Fatalf("reset left state: %+v", s)
+	}
+	for i, b := range s.Buckets {
+		if b != 0 {
+			t.Fatalf("bucket %d not cleared", i)
+		}
+	}
+	h.Observe(7)
+	if s := h.Snapshot(); s.Count != 1 || s.Sum != 7 || s.Max != 7 {
+		t.Fatalf("histogram unusable after reset: %+v", s)
+	}
+}
+
+func TestResolveLevel(t *testing.T) {
+	t.Setenv(LogLevelEnv, "")
+	if lv, err := ResolveLevel(""); err != nil || lv != LevelInfo {
+		t.Fatalf("default: %v %v", lv, err)
+	}
+	if lv, err := ResolveLevel("debug"); err != nil || lv != LevelDebug {
+		t.Fatalf("flag: %v %v", lv, err)
+	}
+	t.Setenv(LogLevelEnv, "warn")
+	if lv, err := ResolveLevel(""); err != nil || lv != LevelWarn {
+		t.Fatalf("env fallback: %v %v", lv, err)
+	}
+	// Flag beats env.
+	if lv, err := ResolveLevel("error"); err != nil || lv != LevelError {
+		t.Fatalf("flag over env: %v %v", lv, err)
+	}
+	// Unknown values error and name the valid levels.
+	if _, err := ResolveLevel("loud"); err == nil || !strings.Contains(err.Error(), "debug|info|warn|error") {
+		t.Fatalf("unknown flag value: %v", err)
+	}
+	t.Setenv(LogLevelEnv, "quiet")
+	if _, err := ResolveLevel(""); err == nil || !strings.Contains(err.Error(), LogLevelEnv) {
+		t.Fatalf("unknown env value should name the variable: %v", err)
+	}
+}

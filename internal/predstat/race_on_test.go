@@ -1,0 +1,7 @@
+//go:build race
+
+package predstat
+
+// raceEnabled reports whether the race detector instrumented this build;
+// allocation-count assertions are skipped under it.
+const raceEnabled = true

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 )
 
@@ -19,7 +20,13 @@ import (
 //	                protocol and checkpoint counters, restore provenance)
 //	GET  /metrics   Prometheus text exposition of every vp_* series
 //	GET  /events    the stage-event trace ring (checkpoints, restores,
-//	                slow batches, drain), oldest first
+//	                slow batches, predictability gaps, drain), oldest
+//	                first; ?n= keeps only the most recent N and ?kind=
+//	                filters by event kind
+//	GET  /predictability  merged predictability report: top-N (?n=,
+//	                default 10) hardest and easiest PCs with sequence
+//	                class, entropy ceiling and realized accuracy, plus
+//	                per-class event tallies and per-predictor ceiling gaps
 //	POST /snapshot  write a checkpoint now (requires a configured
 //	                checkpoint directory); answers with CheckpointInfo
 //	/debug/pprof/*  the standard runtime profiles
@@ -49,9 +56,48 @@ func (s *Server) httpHandler() http.Handler {
 		s.metrics.reg.WritePrometheus(w)
 	})
 	mux.HandleFunc("GET /events", func(w http.ResponseWriter, r *http.Request) {
+		evs := s.ring.Events()
+		if kind := r.URL.Query().Get("kind"); kind != "" {
+			kept := evs[:0]
+			for _, ev := range evs {
+				if ev.Kind == kind {
+					kept = append(kept, ev)
+				}
+			}
+			evs = kept
+		}
+		if nStr := r.URL.Query().Get("n"); nStr != "" {
+			n, err := strconv.Atoi(nStr)
+			if err != nil || n < 0 {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusBadRequest)
+				writeJSONBody(w, map[string]any{"error": "n must be a non-negative integer"})
+				return
+			}
+			if n < len(evs) {
+				evs = evs[len(evs)-n:] // most recent N, still oldest first
+			}
+		}
 		writeJSON(w, map[string]any{
 			"total":  s.ring.Total(),
-			"events": s.ring.Events(),
+			"events": evs,
+		})
+	})
+	mux.HandleFunc("GET /predictability", func(w http.ResponseWriter, r *http.Request) {
+		topN := 10
+		if nStr := r.URL.Query().Get("n"); nStr != "" {
+			n, err := strconv.Atoi(nStr)
+			if err != nil || n <= 0 {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusBadRequest)
+				writeJSONBody(w, map[string]any{"error": "n must be a positive integer"})
+				return
+			}
+			topN = n
+		}
+		writeJSON(w, map[string]any{
+			"enabled": !s.cfg.PredstatDisabled,
+			"report":  s.PredictabilityReport(topN),
 		})
 	})
 	mux.HandleFunc("POST /snapshot", func(w http.ResponseWriter, r *http.Request) {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/predstat"
 )
 
 // Stage-event kinds the server records into its obs ring; dumped by
@@ -75,6 +76,12 @@ type serverMetrics struct {
 	restoreTotal   *obs.Counter   // vp_restore_total
 	restoredEvents *obs.Gauge     // vp_restored_events
 
+	// Predictability families, rebuilt from the shard trackers by an
+	// OnScrape hook (scrape-derived, not hot-path-written).
+	pcEntropy      *obs.Histogram        // vp_pc_entropy_bits (millibits)
+	seqclassEvents map[string]*obs.Gauge // vp_seqclass_events{class}
+	predCeilingGap []*obs.FloatGauge     // vp_pred_ceiling_gap{pred}
+
 	shards []*shardMetrics
 }
 
@@ -108,6 +115,18 @@ func newServerMetrics(start time.Time, nshards int, predNames []string) *serverM
 	r.GaugeFunc("vp_uptime_seconds", "seconds since the server was built", func() float64 {
 		return time.Since(start).Seconds()
 	})
+	m.pcEntropy = r.Histogram("vp_pc_entropy_bits",
+		"per-PC conditional entropy rate in millibits/value (order-k ceiling estimate), rebuilt each scrape")
+	m.seqclassEvents = make(map[string]*obs.Gauge, len(predstat.ClassLabels))
+	for _, cls := range predstat.ClassLabels {
+		m.seqclassEvents[cls] = r.Gauge("vp_seqclass_events",
+			"events at PCs whose trailing window carries this sequence class", "class", cls)
+	}
+	m.predCeilingGap = make([]*obs.FloatGauge, len(predNames))
+	for pi, name := range predNames {
+		m.predCeilingGap[pi] = r.FloatGauge("vp_pred_ceiling_gap",
+			"events-weighted gap between each predictor's class ceiling and its realized hit rate", "pred", name)
+	}
 	for i := range m.shards {
 		sid := strconv.Itoa(i)
 		sm := &shardMetrics{

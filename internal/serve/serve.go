@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/predstat"
 	"repro/internal/snapshot"
 )
 
@@ -100,6 +101,12 @@ type Config struct {
 	// Logger, when non-nil, receives the server's structured log lines
 	// (checkpoints, restores, degraded transitions).
 	Logger *obs.Logger
+	// Predstat configures the per-shard predictability trackers (entropy
+	// ceilings, sequence classes, ceiling-gap attribution); the zero
+	// value means defaults. Set PredstatDisabled to turn the subsystem
+	// off entirely (no observer attached to the banks).
+	Predstat         predstat.Config
+	PredstatDisabled bool
 }
 
 // Health configuration defaults.
@@ -216,8 +223,70 @@ func New(cfg Config) (*Server, error) {
 		s.shards[i] = newShard(i, cfg.Predictors, cfg.MailboxDepth)
 		s.shards[i].met = s.metrics.shards[i]
 		s.shards[i].ring = s.ring
+		if !cfg.PredstatDisabled {
+			pcfg := cfg.Predstat
+			pcfg.PredNames = names
+			pcfg.Ring = s.ring
+			pcfg.Shard = i
+			s.shards[i].pstat = predstat.NewTracker(pcfg)
+			s.shards[i].bank.SetObserver(s.shards[i].pstat)
+		}
+	}
+	if !cfg.PredstatDisabled {
+		// Predictability families are rebuilt from the live trackers on
+		// each scrape, so their cost lands on /metrics, not the event path.
+		s.metrics.reg.OnScrape(s.fillPredstatMetrics)
 	}
 	return s, nil
+}
+
+// fillPredstatMetrics refreshes the scrape-derived predictability
+// families from a fresh cross-shard report.
+func (s *Server) fillPredstatMetrics() {
+	rep := s.PredictabilityReport(1)
+	m := s.metrics
+	m.pcEntropy.Reset()
+	for _, bits := range rep.EntropyBits {
+		mb := int64(bits * 1000) // millibits: keeps sub-bit resolution in log2 buckets
+		m.pcEntropy.ObserveInt(mb)
+	}
+	for _, cls := range predstat.ClassLabels {
+		m.seqclassEvents[cls].Set(int64(rep.ClassEvents[cls]))
+	}
+	for i, g := range rep.GapByPred {
+		if i < len(m.predCeilingGap) {
+			m.predCeilingGap[i].Set(g.Gap)
+		}
+	}
+}
+
+// PredictabilityReport gathers every shard's predictability tracker
+// through its mailbox (never racing shard state) and merges them, keeping
+// the topN hardest/easiest PCs. Before Start and once Close has begun it
+// returns an empty report; likewise when the subsystem is disabled.
+func (s *Server) PredictabilityReport(topN int) *predstat.Report {
+	rep := &predstat.Report{}
+	if s.cfg.PredstatDisabled {
+		return rep
+	}
+	replies := make([]chan *predstat.Report, len(s.shards))
+	s.statsMu.Lock()
+	s.mu.Lock()
+	live := s.started && !s.closed
+	s.mu.Unlock()
+	if !live {
+		s.statsMu.Unlock()
+		return rep
+	}
+	for i, sh := range s.shards {
+		replies[i] = make(chan *predstat.Report, 1)
+		sh.mailbox <- shardMsg{pstat: replies[i], pstatN: topN}
+	}
+	s.statsMu.Unlock()
+	for i := range s.shards {
+		rep.Merge(<-replies[i], topN)
+	}
+	return rep
 }
 
 // MetricsRegistry exposes the server's metric registry, the source of

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/predstat"
 	"repro/internal/snapshot"
 )
 
@@ -57,8 +58,10 @@ func (p *pending) finish(counts []uint64) {
 type shardMsg struct {
 	events []Event
 	req    *pending
-	snap   chan<- ShardStats    // non-nil = stats request
-	state  chan<- shardStateMsg // non-nil = checkpoint capture request
+	snap   chan<- ShardStats       // non-nil = stats request
+	state  chan<- shardStateMsg    // non-nil = checkpoint capture request
+	pstat  chan<- *predstat.Report // non-nil = predictability report request
+	pstatN int                     // ranking size for pstat requests
 }
 
 // shardStateMsg is one shard's reply to a checkpoint capture.
@@ -94,6 +97,10 @@ type shard struct {
 	ewma      []float64
 	ewmaReady bool
 	ring      *obs.Ring
+	// pstat, when non-nil, is this shard's predictability tracker,
+	// attached to the bank as its run observer (single-writer: only the
+	// shard goroutine touches it).
+	pstat *predstat.Tracker
 }
 
 func newShard(id int, facs []core.NamedFactory, depth int) *shard {
@@ -130,6 +137,14 @@ func (sh *shard) run() {
 		}
 		if msg.state != nil {
 			msg.state <- sh.captureState()
+			continue
+		}
+		if msg.pstat != nil {
+			if sh.pstat != nil {
+				msg.pstat <- sh.pstat.Report(msg.pstatN)
+			} else {
+				msg.pstat <- &predstat.Report{}
+			}
 			continue
 		}
 		n := len(msg.events)
@@ -301,6 +316,13 @@ func (sh *shard) restore(st snapshot.ShardState, facs []core.NamedFactory, nshar
 	sh.preds, sh.acc, sh.pcs, sh.events = preds, acc, pcs, st.Events
 	sh.bank = core.NewBank(preds...)
 	sh.ewmaReady = false // the EWMA reseeds from live traffic, not history
+	if sh.pstat != nil {
+		// Predictability estimates describe observed live traffic, which a
+		// restore replaces wholesale: restart them from scratch and keep
+		// the tracker attached to the rebuilt bank.
+		sh.pstat.Reset()
+		sh.bank.SetObserver(sh.pstat)
+	}
 	if sh.met != nil {
 		sh.met.uniquePCs.Set(int64(sh.pcs.Len()))
 	}
