@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"regexp"
@@ -122,6 +123,57 @@ func parseBenchOutput(out []byte) []BenchResult {
 	return results
 }
 
+// bestPriorNs returns the fastest ns/op ever recorded for benchmark name
+// across the prior history entries, considering only records measured in
+// a comparable environment (same GOOS/GOARCH/GOMAXPROCS — ns/op across
+// machines or parallelism settings are not comparable). ok is false when
+// no prior record has the benchmark.
+func bestPriorNs(prior []Report, cur Report, name string) (best float64, ok bool) {
+	for _, rep := range prior {
+		if rep.GOOS != cur.GOOS || rep.GOARCH != cur.GOARCH || rep.GOMAXPROCS != cur.GOMAXPROCS {
+			continue
+		}
+		for _, b := range rep.Benchmarks {
+			if b.Name != name || b.NsPerOp <= 0 {
+				continue
+			}
+			if !ok || b.NsPerOp < best {
+				best, ok = b.NsPerOp, true
+			}
+		}
+	}
+	return best, ok
+}
+
+// ratchetCheck is the ns/op regression gate: every benchmark in cur
+// matching re must stay within pct percent of the best comparable prior
+// record. Benchmarks with no history pass with a note (the first run
+// seeds the ratchet). Returns the number of regressions and whether re
+// matched any benchmark at all.
+func ratchetCheck(prior []Report, cur Report, re *regexp.Regexp, pct float64, w io.Writer) (violations int, matched bool) {
+	for _, b := range cur.Benchmarks {
+		if !re.MatchString(b.Name) {
+			continue
+		}
+		matched = true
+		best, ok := bestPriorNs(prior, cur, b.Name)
+		if !ok {
+			fmt.Fprintf(w, "vpbench: ratchet %s: no comparable history, seeding at %.1f ns/op\n", b.Name, b.NsPerOp)
+			continue
+		}
+		limit := best * (1 + pct/100)
+		if b.NsPerOp > limit {
+			fmt.Fprintf(w, "vpbench: FAIL ratchet %s: %.1f ns/op exceeds best %.1f by more than %.0f%% (limit %.1f)\n",
+				b.Name, b.NsPerOp, best, pct, limit)
+			violations++
+		} else {
+			fmt.Fprintf(w, "vpbench: ok   ratchet %s: %.1f ns/op vs best %.1f (limit %.1f)\n",
+				b.Name, b.NsPerOp, best, limit)
+		}
+	}
+	return violations, matched
+}
+
 // headCommit returns the checkout's HEAD SHA, best-effort: perf records
 // remain useful (just unplaced) outside a git checkout.
 func headCommit() string {
@@ -158,14 +210,20 @@ func loadHistory(path string) (History, error) {
 
 func main() {
 	var (
-		bench     = flag.String("bench", "BenchmarkPredict", "benchmark regex passed to go test -bench")
-		benchtime = flag.String("benchtime", "100x", "benchtime passed to go test (e.g. 100x, 1s)")
-		pkg       = flag.String("pkg", ".", "package to benchmark (module-root package holds the predictor benchmarks)")
-		out       = flag.String("out", "BENCH_core.json", "history JSON path to append to ('' or '-' prints only this run to stdout)")
-		count     = flag.Int("count", 1, "benchmark repetition count")
-		assertRE  = flag.String("assert-zero-alloc", "", "regex of benchmarks that must report 0 allocs/op; non-zero exit on violation or no match")
+		bench      = flag.String("bench", "BenchmarkPredict", "benchmark regex passed to go test -bench")
+		benchtime  = flag.String("benchtime", "100x", "benchtime passed to go test (e.g. 100x, 1s)")
+		pkg        = flag.String("pkg", ".", "package to benchmark (module-root package holds the predictor benchmarks)")
+		out        = flag.String("out", "BENCH_core.json", "history JSON path to append to ('' or '-' prints only this run to stdout)")
+		count      = flag.Int("count", 1, "benchmark repetition count")
+		assertRE   = flag.String("assert-zero-alloc", "", "regex of benchmarks that must report 0 allocs/op; non-zero exit on violation or no match")
+		ratchetRE  = flag.String("ratchet", "", "regex of benchmarks whose ns/op must stay within -ratchet-pct of the best comparable history record; non-zero exit on regression (requires a history -out)")
+		ratchetPct = flag.Float64("ratchet-pct", 15, "allowed ns/op regression over the historical best, in percent")
 	)
 	flag.Parse()
+	if *ratchetRE != "" && (*out == "" || *out == "-") {
+		fmt.Fprintln(os.Stderr, "vpbench: -ratchet requires a history file (-out)")
+		os.Exit(1)
+	}
 
 	args := []string{
 		"test", "-run=^$",
@@ -202,6 +260,7 @@ func main() {
 		os.Exit(1)
 	}
 
+	var prior []Report
 	if *out == "" || *out == "-" {
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -215,6 +274,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "vpbench: %v\n", err)
 			os.Exit(1)
 		}
+		prior = append(prior, hist.Entries...)
 		hist.Entries = append(hist.Entries, report)
 		data, err := json.MarshalIndent(hist, "", "  ")
 		if err != nil {
@@ -254,6 +314,22 @@ func main() {
 			os.Exit(1)
 		}
 		if failed {
+			os.Exit(1)
+		}
+	}
+
+	if *ratchetRE != "" {
+		re, err := regexp.Compile(*ratchetRE)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vpbench: bad -ratchet regex: %v\n", err)
+			os.Exit(1)
+		}
+		violations, matched := ratchetCheck(prior, report, re, *ratchetPct, os.Stderr)
+		if !matched {
+			fmt.Fprintf(os.Stderr, "vpbench: -ratchet %q matched no benchmark\n", *ratchetRE)
+			os.Exit(1)
+		}
+		if violations > 0 {
 			os.Exit(1)
 		}
 	}

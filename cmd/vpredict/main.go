@@ -88,5 +88,13 @@ func main() {
 		// The engine's fan-out counters and worker-busy histograms live on
 		// the process-wide default registry.
 		obs.Default.WritePrometheus(os.Stderr)
+		// Per-stage span totals from the fan-out tracer: the offline
+		// counterpart of the serving tier's GET /trace stage summary.
+		if stats := engine.TraceStageSummary(); len(stats) > 0 {
+			fmt.Fprintln(os.Stderr, "# fan-out stage spans (stage spans total_ns)")
+			for _, st := range stats {
+				fmt.Fprintf(os.Stderr, "#   %-8s %10d %14d\n", st.Stage, st.Spans, st.Ns)
+			}
+		}
 	}
 }

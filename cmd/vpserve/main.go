@@ -44,7 +44,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":9747", "binary-protocol listen address")
-	httpAddr := flag.String("http", ":9748", "HTTP /stats + /healthz + /metrics + /events + /predictability + /snapshot + pprof listen address (empty = disabled)")
+	httpAddr := flag.String("http", ":9748", "HTTP /stats + /healthz + /metrics + /events + /trace + /predictability + /snapshot + pprof listen address (empty = disabled)")
 	shards := flag.Int("shards", 0, "predictor-state shards (0 = GOMAXPROCS, or the snapshot's layout with -restore)")
 	preds := flag.String("pred", "l,s2,fcm1,fcm2,fcm3", "comma-separated predictor bank")
 	mailbox := flag.Int("mailbox", 0, "per-shard mailbox depth (0 = default)")
@@ -53,6 +53,9 @@ func main() {
 	restore := flag.String("restore", "", "warm-restart from this snapshot file, or the newest snapshot in this directory")
 	logLevel := flag.String("log-level", "", "minimum log level (debug|info|warn|error; default $"+obs.LogLevelEnv+", then info)")
 	predstatOn := flag.Bool("predstat", true, "track per-PC predictability analytics (GET /predictability, vp_pc_entropy_bits & friends)")
+	traceSlow := flag.Duration("trace-slow", 0, "floor of the adaptive slow-request trace threshold (0 = 10ms); slower traced requests are retained in GET /trace")
+	traceRetain := flag.Int("trace-retain", 0, "retained-trace flight-recorder capacity (0 = 64)")
+	traceRing := flag.Int("trace-span-ring", 0, "provisional span ring size per shard lane (0 = 4096)")
 	blockRate := flag.Int("block-profile-rate", 0, "runtime.SetBlockProfileRate argument for /debug/pprof/block (0 = off)")
 	mutexFrac := flag.Int("mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction argument for /debug/pprof/mutex (0 = off)")
 	list := flag.Bool("list", false, "list known predictors and exit")
@@ -135,6 +138,9 @@ func main() {
 		CheckpointDir:    *ckptDir,
 		Logger:           log,
 		PredstatDisabled: !*predstatOn,
+		TraceSlowNs:      traceSlow.Nanoseconds(),
+		TraceRetain:      *traceRetain,
+		TraceSpanRing:    *traceRing,
 	})
 	if err != nil {
 		fatal(err)

@@ -346,12 +346,20 @@ func drive(args []string) {
 	opt := fs.Int("opt", bench.RefOpt, "compiler optimization level (with -bench)")
 	scale := fs.Int("scale", 1, "input scale factor (with -bench)")
 	events := fs.Uint64("events", 0, "event cap (with -bench; 0 = run to completion)")
+	traced := fs.Bool("trace", false, "mint a trace context per request; slow requests are retained in the server's GET /trace")
+	traceSample := fs.Int("trace-sample", 1024, "with -trace, head-sample 1 in N requests for retention regardless of latency (1 = retain all)")
 	fs.Parse(args)
 	if *warm != "" && !*verify {
 		fatal(fmt.Errorf("-warm only affects verification; pass -verify with it"))
 	}
 
 	cfg := serve.DriveConfig{Addr: *addr, Clients: *clients, BatchSize: *batch}
+	if *traced {
+		if *traceSample <= 0 {
+			fatal(fmt.Errorf("-trace-sample must be positive"))
+		}
+		cfg.TraceSample = *traceSample
+	}
 
 	// -verify needs the stream twice (once online, once offline), and a
 	// live -bench run produces it in memory anyway; a plain trace drive
@@ -413,6 +421,19 @@ func drive(args []string) {
 		label, res.Events, *addr, max(*clients, 1), res.EventsPerSec())
 	if lat := res.LatencySummary(); lat != "" {
 		fmt.Printf("  request latency: %s (%d batches)\n", lat, res.Latency.Count)
+	}
+	if len(res.SlowTraces) > 0 {
+		// The ids past the run's p99 — the ones worth pasting into the
+		// server's GET /trace (they are exactly what tail sampling keeps).
+		p99 := int64(res.Latency.Quantile(0.99))
+		printed := 0
+		for _, st := range res.SlowTraces {
+			if st.DurNs < p99 && printed > 0 {
+				break
+			}
+			fmt.Printf("  p99+ trace %s  %s\n", st.TraceID, time.Duration(st.DurNs).Round(time.Microsecond))
+			printed++
+		}
 	}
 	for i, name := range res.Predictors {
 		fmt.Printf("  %-6s %6.2f%%  (%d/%d)\n", name, res.AccuracyPct(i), res.Correct[i], res.Events)

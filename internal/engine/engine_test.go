@@ -92,3 +92,31 @@ func TestRunBenchmarkBudget(t *testing.T) {
 		t.Fatal("no predictors tallied")
 	}
 }
+
+// TestFanOutStageSpans checks that a fan-out run records spans for every
+// stage of the offline pipeline (sim fan-out, per-predictor bank steps,
+// merge), and that the bank stage saw one span per worker per batch.
+func TestFanOutStageSpans(t *testing.T) {
+	before := map[string]uint64{}
+	for _, st := range engine.TraceStageSummary() {
+		before[st.Stage] = st.Spans
+	}
+	if _, err := engine.RunBenchmark(bench.Compress(), analysis.Config{Events: 4_000}, 512); err != nil {
+		t.Fatal(err)
+	}
+	after := map[string]uint64{}
+	for _, st := range engine.TraceStageSummary() {
+		after[st.Stage] = st.Spans
+	}
+	simN := after["sim"] - before["sim"]
+	if simN == 0 {
+		t.Fatal("no sim fan-out spans recorded")
+	}
+	if mergeN := after["merge"] - before["merge"]; mergeN != simN {
+		t.Errorf("merge spans = %d, want one per batch (%d)", mergeN, simN)
+	}
+	wantBank := simN * uint64(len(analysis.PredictorNames))
+	if bankN := after["bank"] - before["bank"]; bankN != wantBank {
+		t.Errorf("bank spans = %d, want %d (batches x predictors)", bankN, wantBank)
+	}
+}

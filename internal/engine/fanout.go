@@ -10,6 +10,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/obs"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/sim"
 )
 
@@ -27,10 +28,13 @@ const bitsRing = chanDepth + 2
 
 // batch is one refcounted slice of value events shared read-only by all
 // predictor workers and the merger; the last consumer returns it to the
-// pool.
+// pool. Every batch carries a trace context minted at fan-out so the
+// bank workers and merger can record their stage spans against it.
 type batch struct {
-	ev   []sim.ValueEvent
-	refs atomic.Int32
+	ev     []sim.ValueEvent
+	refs   atomic.Int32
+	ctx    otrace.Context
+	sentNs int64
 }
 
 func (b *batch) release(pool *sync.Pool) {
@@ -46,6 +50,7 @@ func (b *batch) release(pool *sync.Pool) {
 type workerState struct {
 	fac     core.Factory
 	bank    *core.Bank
+	idx     int            // predictor index: span lane, Pred label
 	busy    *obs.Histogram // vp_engine_worker_busy_ns{pred}
 	pcs     []uint64
 	vals    []uint64
@@ -77,6 +82,7 @@ func newArena() *arena {
 		ws := &workerState{
 			fac:     f,
 			bank:    core.NewBank(f.New()),
+			idx:     i,
 			busy:    workerBusyHist(f.Name),
 			bitsArg: make([][]uint64, 1),
 		}
@@ -169,10 +175,26 @@ func (a *arena) runBenchmark(w *bench.Workload, cfg analysis.Config, batchSize i
 			b := a.pool.Get().(*batch)
 			b.ev = append(b.ev[:0], evs...)
 			b.refs.Store(int32(len(ins) + 1))
+			// Capture the context locally: once the last consumer releases
+			// the batch to the pool its fields must not be read here.
+			ctx, sentNs := otrace.Mint(), time.Now().UnixNano()
+			b.ctx, b.sentNs = ctx, sentNs
 			for _, in := range ins {
 				in <- b
 			}
 			mergeIn <- b
+			// Root span covers copy + fan-out enqueue: its duration is the
+			// backpressure the simulator felt delivering this batch.
+			tracer.Record(simLane(), otrace.Span{
+				TraceID: ctx.TraceID,
+				SpanID:  ctx.SpanID,
+				Stage:   otrace.StageSim,
+				Shard:   -1,
+				Pred:    -1,
+				Start:   sentNs,
+				Dur:     time.Now().UnixNano() - sentNs,
+				N:       uint64(len(evs)),
+			})
 		},
 	})
 	for _, in := range ins {
@@ -233,7 +255,19 @@ func bankWorker(wg *sync.WaitGroup, ws *workerState, acc *analysis.CatAccuracy,
 		ws.bitsArg[0] = bits
 		t0 := time.Now()
 		ws.bank.StepBatchCollect(pcs, vals, nil, ws.bitsArg)
-		ws.busy.ObserveInt(time.Since(t0).Nanoseconds())
+		stepNs := time.Since(t0).Nanoseconds()
+		ws.busy.ObserveInt(stepNs)
+		tracer.Record(ws.idx, otrace.Span{
+			TraceID: b.ctx.TraceID,
+			SpanID:  b.ctx.SpanID + 2 + uint64(ws.idx),
+			Parent:  b.ctx.SpanID,
+			Stage:   otrace.StageBank,
+			Shard:   -1,
+			Pred:    int32(ws.idx),
+			Start:   t0.UnixNano(),
+			Dur:     stepNs,
+			N:       uint64(n),
+		})
 		for j := range b.ev {
 			correct := bits[j>>6]&(1<<(uint(j)&63)) != 0
 			acc.Overall.Observe(correct)
@@ -259,6 +293,7 @@ func merge(res *analysis.BenchResult, uniq *analysis.UniqueTracker,
 	defer close(done)
 	for b := range in {
 		lb, sb, fb := <-bitsL, <-bitsS, <-bitsF
+		t0 := time.Now()
 		for j := range b.ev {
 			ev := &b.ev[j]
 			bit := uint64(1) << (uint(j) & 63)
@@ -275,6 +310,17 @@ func merge(res *analysis.BenchResult, uniq *analysis.UniqueTracker,
 			res.RecordEvent(ev.Cat, ev.PC, mask)
 			uniq.Observe(ev.PC, ev.Value)
 		}
+		tracer.Record(mergeLane(), otrace.Span{
+			TraceID: b.ctx.TraceID,
+			SpanID:  b.ctx.SpanID + 1,
+			Parent:  b.ctx.SpanID,
+			Stage:   otrace.StageMerge,
+			Shard:   -1,
+			Pred:    -1,
+			Start:   t0.UnixNano(),
+			Dur:     time.Since(t0).Nanoseconds(),
+			N:       uint64(len(b.ev)),
+		})
 		b.release(pool)
 	}
 }

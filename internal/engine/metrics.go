@@ -1,6 +1,10 @@
 package engine
 
-import "repro/internal/obs"
+import (
+	"repro/internal/core"
+	"repro/internal/obs"
+	otrace "repro/internal/obs/trace"
+)
 
 // Fan-out instrumentation, registered on the process-wide default
 // registry so one-shot drivers (vpredict, vpbench) can dump it after a
@@ -15,6 +19,31 @@ var (
 	metFill = obs.Default.Histogram("vp_engine_batch_events",
 		"events per fanned-out batch (fill relative to the configured batch size)")
 )
+
+// numWorkers is the fan-out width: one bank worker per standard
+// predictor, fixed for the life of the process.
+var numWorkers = len(core.StandardFactories())
+
+// tracer records the same stage spans for the offline fan-out that the
+// serving tier records for requests, so vpredict -metrics can put
+// offline and online stage cost side by side. Lane layout: one
+// single-writer lane per bank worker, then the simulator's fan-out lane
+// and the merger's lane. Shared across concurrent benchmark runs (lanes
+// are internally locked; spans from concurrent runs interleave but the
+// per-stage aggregates stay exact).
+var tracer = otrace.NewRecorder(otrace.Config{
+	Lanes:    numWorkers + 2,
+	Registry: obs.Default,
+})
+
+func simLane() int   { return numWorkers }
+func mergeLane() int { return numWorkers + 1 }
+
+// TraceStageSummary returns the per-stage span aggregates of every
+// fan-out run so far (sim fan-out, per-predictor bank steps, merge).
+func TraceStageSummary() []otrace.StageStat {
+	return tracer.StageSummary()
+}
 
 // workerBusyHist returns the per-predictor bank-worker busy-time
 // histogram — ns spent inside StepBatchCollect, the measure of how

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// Names of the runtime/metrics samples the bridge reads, in the fixed
+// order of goSamples.
+const (
+	goMetricGoroutines = "/sched/goroutines:goroutines"
+	goMetricHeapBytes  = "/memory/classes/heap/objects:bytes"
+	goMetricGCCycles   = "/gc/cycles/total:gc-cycles"
+	goMetricGCPause    = "/gc/pauses:seconds"
+	goMetricSchedLat   = "/sched/latencies:seconds"
+)
+
+// RegisterGoRuntime bridges the Go runtime's own telemetry into r as
+// vp_go_* families, refreshed lazily by an OnScrape hook so an idle
+// process pays nothing between scrapes:
+//
+//	vp_go_goroutines         gauge      live goroutines
+//	vp_go_heap_bytes         gauge      bytes of live heap objects
+//	vp_go_gc_cycles_total    counter    completed GC cycles
+//	vp_go_gc_pause_ns        histogram  stop-the-world pause durations
+//	vp_go_sched_latency_ns   histogram  goroutine runnable-to-running latency
+//
+// The two histograms mirror the runtime's cumulative distributions:
+// each scrape clears and refills them from the runtime's buckets (one
+// bulk ObserveN per bucket at its midpoint), so quantiles are over the
+// process lifetime, bucketized twice (runtime buckets, then log2).
+func RegisterGoRuntime(r *Registry) {
+	goroutines := r.Gauge("vp_go_goroutines", "live goroutines")
+	heapBytes := r.Gauge("vp_go_heap_bytes", "bytes of live heap objects")
+	gcCycles := r.Counter("vp_go_gc_cycles_total", "completed GC cycles since process start")
+	gcPause := r.Histogram("vp_go_gc_pause_ns", "ns per GC stop-the-world pause, process lifetime")
+	schedLat := r.Histogram("vp_go_sched_latency_ns", "ns a runnable goroutine waited to run, process lifetime")
+
+	samples := []metrics.Sample{
+		{Name: goMetricGoroutines},
+		{Name: goMetricHeapBytes},
+		{Name: goMetricGCCycles},
+		{Name: goMetricGCPause},
+		{Name: goMetricSchedLat},
+	}
+	r.OnScrape(func() {
+		metrics.Read(samples)
+		for _, s := range samples {
+			switch s.Name {
+			case goMetricGoroutines:
+				if s.Value.Kind() == metrics.KindUint64 {
+					goroutines.Set(int64(s.Value.Uint64()))
+				}
+			case goMetricHeapBytes:
+				if s.Value.Kind() == metrics.KindUint64 {
+					heapBytes.Set(int64(s.Value.Uint64()))
+				}
+			case goMetricGCCycles:
+				if s.Value.Kind() == metrics.KindUint64 {
+					// Counter cells only add; store the delta since the
+					// last scrape to track the runtime's cumulative count.
+					if v := s.Value.Uint64(); v > gcCycles.Load() {
+						gcCycles.Add(v - gcCycles.Load())
+					}
+				}
+			case goMetricGCPause:
+				if s.Value.Kind() == metrics.KindFloat64Histogram {
+					refillFromRuntime(gcPause, s.Value.Float64Histogram())
+				}
+			case goMetricSchedLat:
+				if s.Value.Kind() == metrics.KindFloat64Histogram {
+					refillFromRuntime(schedLat, s.Value.Float64Histogram())
+				}
+			}
+		}
+	})
+}
+
+// refillFromRuntime rebuilds h from a runtime/metrics cumulative
+// histogram: clear, then one bulk observation per non-empty runtime
+// bucket at the bucket's midpoint converted from seconds to ns.
+// Only the scrape hook writes h, so the reset/refill is single-writer.
+func refillFromRuntime(h *Histogram, rh *metrics.Float64Histogram) {
+	if rh == nil {
+		return
+	}
+	h.Reset()
+	for i, n := range rh.Counts {
+		if n == 0 {
+			continue
+		}
+		lo, hi := rh.Buckets[i], rh.Buckets[i+1]
+		mid := (lo + hi) / 2
+		// The edge buckets are unbounded; fall back to the finite side.
+		if math.IsInf(lo, -1) {
+			mid = hi
+		}
+		if math.IsInf(hi, 1) {
+			mid = lo
+		}
+		if mid < 0 || math.IsNaN(mid) || math.IsInf(mid, 0) {
+			mid = 0
+		}
+		h.ObserveN(uint64(mid*1e9), n)
+	}
+}

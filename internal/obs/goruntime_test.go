@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRegisterGoRuntime(t *testing.T) {
+	r := NewRegistry()
+	RegisterGoRuntime(r)
+	runtime.GC() // guarantee at least one GC cycle and pause sample
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"vp_go_goroutines ",
+		"vp_go_heap_bytes ",
+		"vp_go_gc_cycles_total ",
+		"vp_go_gc_pause_ns_count ",
+		"vp_go_sched_latency_ns_count ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// The gauges must reflect a live process: at least this goroutine,
+	// a non-empty heap, and the forced GC cycle.
+	for _, line := range strings.Split(out, "\n") {
+		if v, ok := strings.CutPrefix(line, "vp_go_goroutines "); ok && v == "0" {
+			t.Error("vp_go_goroutines = 0, want > 0")
+		}
+		if v, ok := strings.CutPrefix(line, "vp_go_gc_cycles_total "); ok && v == "0" {
+			t.Error("vp_go_gc_cycles_total = 0, want > 0 after runtime.GC")
+		}
+	}
+	// A second scrape must not double-count the cumulative histograms.
+	var buf2 bytes.Buffer
+	if err := r.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramObserveN(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveN(100, 5)
+	h.ObserveN(0, 0) // no-op
+	s := h.Snapshot()
+	if s.Count != 5 || s.Sum != 500 || s.Max != 100 {
+		t.Fatalf("snapshot = %+v, want count 5 sum 500 max 100", s)
+	}
+	if s.Buckets[bucketOf(100)] != 5 {
+		t.Fatalf("bucket count = %d, want 5", s.Buckets[bucketOf(100)])
+	}
+}

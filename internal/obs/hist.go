@@ -67,6 +67,27 @@ func (h *Histogram) Reset() {
 	}
 }
 
+// ObserveN records n observations of value v in one call — the bulk
+// primitive for mirroring an external histogram (e.g. runtime/metrics
+// buckets) into this one without n separate Observe calls.
+func (h *Histogram) ObserveN(v, n uint64) {
+	if n == 0 {
+		return
+	}
+	h.buckets[bucketOf(v)].Add(n)
+	h.sum.Add(v * n)
+	h.count.Add(n)
+	for {
+		cur := h.max.Load()
+		if v <= cur {
+			return
+		}
+		if h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // ObserveInt records a non-negative int (negative values clamp to 0).
 func (h *Histogram) ObserveInt(v int64) {
 	if v < 0 {

@@ -10,6 +10,10 @@ import (
 // so recording one composes no strings; Detail is reserved for cold-path
 // events (restore provenance, error text) where an allocation is fine.
 type StageEvent struct {
+	// Seq is the event's 1-based position in the ring's lifetime sequence,
+	// assigned by Add. Pollers resume from where they left off by passing
+	// their last seen Seq to EventsSince (the /events ?since= cursor).
+	Seq          uint64 `json:"seq"`
 	TimeUnixNano int64  `json:"time_unix_nano"`
 	Kind         string `json:"kind"`
 	Shard        int    `json:"shard"` // -1 when not shard-scoped
@@ -47,13 +51,14 @@ func (r *Ring) Add(ev StageEvent) {
 		ev.TimeUnixNano = time.Now().UnixNano()
 	}
 	r.mu.Lock()
+	r.total++
+	ev.Seq = r.total
 	if len(r.buf) < cap(r.buf) {
 		r.buf = append(r.buf, ev)
 	} else {
 		r.buf[r.next] = ev
 		r.next = (r.next + 1) % cap(r.buf)
 	}
-	r.total++
 	r.mu.Unlock()
 }
 
@@ -72,6 +77,23 @@ func (r *Ring) Events() []StageEvent {
 		out = append(out, r.buf...)
 	}
 	return out
+}
+
+// EventsSince returns the retained events with Seq > since, oldest
+// first. A poller that remembers the last Seq it saw tails the ring
+// without re-reading old events; since 0 returns everything retained.
+func (r *Ring) EventsSince(since uint64) []StageEvent {
+	if r == nil {
+		return nil
+	}
+	evs := r.Events()
+	// Seqs are assigned in order, so the retained window is sorted:
+	// find the first event past the cursor.
+	lo := 0
+	for lo < len(evs) && evs[lo].Seq <= since {
+		lo++
+	}
+	return evs[lo:]
 }
 
 // Total returns how many events have ever been recorded (including those

@@ -1,0 +1,53 @@
+package obs
+
+import "testing"
+
+func TestRingSeqAssignment(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 6; i++ {
+		r.Add(StageEvent{Kind: "k"})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	// Seqs are 1-based and dense; the ring keeps the most recent 4 of 6.
+	for i, ev := range evs {
+		if want := uint64(3 + i); ev.Seq != want {
+			t.Fatalf("event %d Seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+	if r.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", r.Total())
+	}
+}
+
+func TestRingEventsSince(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 5; i++ {
+		r.Add(StageEvent{Kind: "k"})
+	}
+	if got := r.EventsSince(0); len(got) != 5 {
+		t.Fatalf("since 0 returned %d, want 5", len(got))
+	}
+	got := r.EventsSince(3)
+	if len(got) != 2 || got[0].Seq != 4 || got[1].Seq != 5 {
+		t.Fatalf("since 3 returned %+v", got)
+	}
+	if got := r.EventsSince(5); len(got) != 0 {
+		t.Fatalf("since last_seq should be empty, got %+v", got)
+	}
+	// A cursor older than the retained window returns the whole window.
+	small := NewRing(2)
+	for i := 0; i < 5; i++ {
+		small.Add(StageEvent{Kind: "k"})
+	}
+	if got := small.EventsSince(1); len(got) != 2 || got[0].Seq != 4 {
+		t.Fatalf("overwritten cursor returned %+v", got)
+	}
+	// Nil ring stays inert.
+	var nr *Ring
+	if nr.EventsSince(0) != nil {
+		t.Fatal("nil ring EventsSince should be nil")
+	}
+}

@@ -1,0 +1,35 @@
+package trace
+
+import "testing"
+
+// TestSpanRecordZeroAlloc gates the provisional-record hot path: writing
+// a span into a lane ring (including the per-stage aggregate updates)
+// must not allocate, and neither must minting a context or evaluating
+// the retain decision for a dropped trace.
+func TestSpanRecordZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	r := NewRecorder(Config{Lanes: 2, SpanRing: 64, Retain: 4, SlowNs: 1 << 60})
+	m := NewMinter(1, 0)
+	ctx := m.Next()
+	sp := Span{TraceID: ctx.TraceID, SpanID: ctx.SpanID, Stage: StageShard, Shard: 0, Dur: 100, N: 8}
+	if n := testing.AllocsPerRun(200, func() {
+		r.Record(0, sp)
+	}); n != 0 {
+		t.Fatalf("Record allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		c := m.Next()
+		_ = r.RetainReason(c, 10, "")
+	}); n != 0 {
+		t.Fatalf("mint+retain decision allocates %v/op", n)
+	}
+	// Nil recorder fast path.
+	var nr *Recorder
+	if n := testing.AllocsPerRun(200, func() {
+		nr.Record(0, sp)
+	}); n != 0 {
+		t.Fatalf("nil Record allocates %v/op", n)
+	}
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Perfetto (chrome://tracing) rendering: retained traces become Chrome
+// trace-event JSON — one "X" (complete) event per span, timestamps and
+// durations in microseconds, laid out on one synthetic process with one
+// thread row per shard plus rows for the connection/driver edge and the
+// checkpoint machinery. Named thread rows come from "M" metadata events.
+
+const (
+	perfettoTidConn       = 0  // conn / enqueue / sim / merge edge work
+	perfettoTidShardBase  = 1  // shard s renders on tid 1+s
+	perfettoTidCheckpoint = 99 // checkpoint cut + encode
+)
+
+func perfettoTid(sp *Span) int {
+	switch sp.Stage {
+	case StageCheckpointCut, StageCheckpointEncode:
+		return perfettoTidCheckpoint
+	}
+	if sp.Shard >= 0 {
+		return perfettoTidShardBase + int(sp.Shard)
+	}
+	return perfettoTidConn
+}
+
+// WritePerfetto renders traces as a Chrome trace-event JSON object
+// loadable in Perfetto or chrome://tracing. Spans from different traces
+// share the timeline (real wall-clock placement), so cut interference
+// and queueing overlap are visible across requests.
+func WritePerfetto(w io.Writer, traces []Retained) error {
+	var b strings.Builder
+	b.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`)
+	first := true
+	emit := func(s string) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(s)
+	}
+	// Thread-name metadata for every tid that appears.
+	seenTid := map[int]string{}
+	for ti := range traces {
+		for si := range traces[ti].Spans {
+			sp := &traces[ti].Spans[si]
+			tid := perfettoTid(sp)
+			if _, ok := seenTid[tid]; ok {
+				continue
+			}
+			switch {
+			case tid == perfettoTidConn:
+				seenTid[tid] = "edge"
+			case tid == perfettoTidCheckpoint:
+				seenTid[tid] = "checkpoint"
+			default:
+				seenTid[tid] = fmt.Sprintf("shard %d", tid-perfettoTidShardBase)
+			}
+		}
+	}
+	for tid, name := range seenTid {
+		emit(fmt.Sprintf(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%q}}`, tid, name))
+	}
+	for ti := range traces {
+		tr := &traces[ti]
+		for si := range tr.Spans {
+			sp := &tr.Spans[si]
+			// ts/dur are float64 microseconds in the trace-event format;
+			// sub-µs durations round up to 0.001 so they stay visible.
+			tsUs := float64(sp.Start) / 1e3
+			durUs := float64(sp.Dur) / 1e3
+			if durUs < 0.001 {
+				durUs = 0.001
+			}
+			emit(fmt.Sprintf(
+				`{"ph":"X","pid":1,"tid":%d,"name":%q,"cat":%q,"ts":%.3f,"dur":%.3f,"args":{"trace_id":%q,"n":%d,"shard":%d,"pred":%d}}`,
+				perfettoTid(sp), sp.Stage.String(), tr.Reason, tsUs, durUs,
+				tr.TraceID, sp.N, sp.Shard, sp.Pred))
+		}
+	}
+	b.WriteString(`]}`)
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package trace
+
+// raceEnabled reports whether the race detector is active; alloc-count
+// tests skip under -race because instrumentation allocates.
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package trace
+
+const raceEnabled = true

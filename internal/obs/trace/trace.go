@@ -1,0 +1,471 @@
+// Package trace is the request-level half of the observability plane: a
+// zero-alloc span layer threaded through the serving and offline
+// execution paths, with tail-based sampling into a retained flight
+// recorder.
+//
+// The aggregate metrics in internal/obs answer "how is the population
+// doing"; this package answers "where did *this* slow request spend its
+// time". A Context (64-bit trace id, span id, sampled flag) is minted by
+// the client or driver, rides the wire protocol, and every stage the
+// request crosses — connection decode, mailbox enqueue, shard dequeue,
+// core.Bank batch step, checkpoint-cut interference — records one fixed-
+// width Span into a per-lane ring. Rings are bounded and overwritten, so
+// recording is provisional: only traces that finish slow (adaptive
+// threshold), hit a degraded path, or carry the head-sampling flag are
+// Promoted — their spans copied out of the rings into the retained
+// flight-recorder buffer that GET /trace and the Perfetto export serve.
+// Steady-state overhead is a handful of uncontended mutex'd stores per
+// traced request and nothing at all for untraced ones.
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Flags carried in a Context (wire byte).
+const (
+	// FlagSampled marks a head-sampled trace: retained regardless of how
+	// fast it finished, so a steady trickle of ordinary requests is always
+	// inspectable alongside the tail-sampled pathological ones.
+	FlagSampled = 1 << 0
+)
+
+// Context is one request's trace identity: minted at the edge (client,
+// driver, or the server itself for internal work like checkpoints) and
+// propagated through every stage the request crosses. The zero Context
+// means "untraced" — stages record nothing for it.
+type Context struct {
+	TraceID uint64
+	SpanID  uint64
+	Flags   uint8
+}
+
+// Valid reports whether the context identifies a trace.
+func (c Context) Valid() bool { return c.TraceID != 0 }
+
+// Sampled reports the head-sampling flag.
+func (c Context) Sampled() bool { return c.Flags&FlagSampled != 0 }
+
+// mix64 is the splitmix64 finalizer — the id generator behind minting.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Minter mints trace contexts from a counter run through splitmix64, so
+// ids are unique per minter and well-mixed without coordination. Not safe
+// for concurrent use; give each connection or runner its own.
+type Minter struct {
+	state uint64
+	n     uint64
+	// headEvery head-samples every headEvery-th minted context (0 = never).
+	headEvery uint64
+}
+
+// NewMinter seeds a minter. headEvery > 0 sets FlagSampled on every
+// headEvery-th context (the 1-in-N head-sampling rate).
+func NewMinter(seed uint64, headEvery int) *Minter {
+	m := &Minter{state: seed}
+	if headEvery > 0 {
+		m.headEvery = uint64(headEvery)
+	}
+	return m
+}
+
+// Next mints the next context. A zero TraceID draw is skipped so minted
+// contexts are always Valid.
+func (m *Minter) Next() Context {
+	m.state++
+	id := mix64(m.state)
+	for id == 0 {
+		m.state++
+		id = mix64(m.state)
+	}
+	ctx := Context{TraceID: id, SpanID: mix64(id)}
+	m.n++
+	if m.headEvery > 0 && m.n%m.headEvery == 0 {
+		ctx.Flags |= FlagSampled
+	}
+	return ctx
+}
+
+// Mint mints one context from the process-wide sequence — for internal
+// work (checkpoints) that has no client-held minter. Safe for concurrent
+// use.
+func Mint() Context {
+	id := mix64(globalMint.Add(1) ^ 0x9e3779b97f4a7c15)
+	for id == 0 {
+		id = mix64(globalMint.Add(1) ^ 0x9e3779b97f4a7c15)
+	}
+	return Context{TraceID: id, SpanID: mix64(id)}
+}
+
+var globalMint atomic.Uint64
+
+// Stage identifies where in the request path a span was recorded. The
+// same stages serve online (vpserve) and offline (engine) execution, so
+// their per-stage costs are directly comparable.
+type Stage uint8
+
+const (
+	// StageConn is the whole server-side request: events frame decoded →
+	// result ready to write.
+	StageConn Stage = iota
+	// StageEnqueue is the dispatch step: checkpoint cut-lock acquisition
+	// plus mailing every shard sub-batch — where backpressure and cut
+	// interference surface.
+	StageEnqueue
+	// StageShard is one sub-batch from mailbox send to applied: queue wait
+	// plus execution on the owning shard.
+	StageShard
+	// StageBank is the core.Bank batch step itself (predict + compare +
+	// update for the whole bank).
+	StageBank
+	// StageCheckpointCut is a checkpoint's capture: markers mailed → every
+	// shard's state gathered.
+	StageCheckpointCut
+	// StageCheckpointEncode is a checkpoint's encode + atomic file write.
+	StageCheckpointEncode
+	// StageSim is the offline engine's simulator-side batch delivery
+	// (copy + fan-out enqueue to the bank workers).
+	StageSim
+	// StageMerge is the offline engine's merger join for one batch.
+	StageMerge
+	// NumStages bounds the enum; new stages go before it.
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"conn", "enqueue", "shard", "bank",
+	"checkpoint_cut", "checkpoint_encode", "sim", "merge",
+}
+
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// Span is one stage crossing of one trace. Fields are fixed-width so
+// recording composes no strings and a ring slot assignment is a plain
+// struct store.
+type Span struct {
+	TraceID uint64 `json:"trace_id,omitempty"`
+	SpanID  uint64 `json:"span_id"`
+	Parent  uint64 `json:"parent,omitempty"`
+	Stage   Stage  `json:"-"`
+	// StageName mirrors Stage for JSON consumers.
+	StageName string `json:"stage"`
+	// Shard is the owning shard, -1 when the span is not shard-scoped.
+	Shard int32 `json:"shard"`
+	// Pred is a predictor index for per-predictor spans (engine bank
+	// workers), -1 otherwise.
+	Pred  int32 `json:"pred,omitempty"`
+	Start int64 `json:"start_unix_nano"`
+	Dur   int64 `json:"dur_ns"`
+	// N is the span's event count.
+	N uint64 `json:"n,omitempty"`
+}
+
+// lane is one writer's fixed-capacity span ring. Writes are expected to
+// come from a single goroutine (shard lanes) or a small set (the shared
+// control lane); the mutex makes either race-free while staying
+// allocation-free and a few nanoseconds when uncontended.
+type lane struct {
+	mu   sync.Mutex
+	buf  []Span
+	next int
+	full bool
+}
+
+func (l *lane) add(sp Span) {
+	l.mu.Lock()
+	l.buf[l.next] = sp
+	l.next++
+	if l.next == len(l.buf) {
+		l.next = 0
+		l.full = true
+	}
+	l.mu.Unlock()
+}
+
+// collect appends every retained span of traceID to dst, oldest first.
+func (l *lane) collect(traceID uint64, dst []Span) []Span {
+	l.mu.Lock()
+	n := l.next
+	if l.full {
+		n = len(l.buf)
+	}
+	start := 0
+	if l.full {
+		start = l.next
+	}
+	for i := 0; i < n; i++ {
+		sp := &l.buf[(start+i)%len(l.buf)]
+		if sp.TraceID == traceID {
+			dst = append(dst, *sp)
+		}
+	}
+	l.mu.Unlock()
+	return dst
+}
+
+// Retained is one promoted trace in the flight recorder: its identity,
+// why it was kept, and the spans copied out of the rings at promotion.
+type Retained struct {
+	// TraceID is the trace id rendered as 16 hex digits — the form drivers
+	// print and operators paste into ?min_ns= queries' neighbor, /trace.
+	TraceID string `json:"trace_id"`
+	// Reason is why the trace was retained: "slow", "head", "checkpoint",
+	// or a degraded-path marker ("mailbox_saturated", "decode_error").
+	Reason string `json:"reason"`
+	Start  int64  `json:"start_unix_nano"`
+	DurNs  int64  `json:"dur_ns"`
+	Events uint64 `json:"events,omitempty"`
+	Spans  []Span `json:"spans"`
+}
+
+// StageStat is one stage's lifetime aggregate — the offline/online
+// comparability summary.
+type StageStat struct {
+	Stage string `json:"stage"`
+	Spans uint64 `json:"spans"`
+	Ns    uint64 `json:"ns"`
+}
+
+// Config parameterizes a Recorder.
+type Config struct {
+	// Lanes is the writer-lane count (shards + 1 shared control lane in
+	// the server; predictor workers + sim + merge in the engine). Min 1.
+	Lanes int
+	// SpanRing is each lane's span capacity (0 = 4096).
+	SpanRing int
+	// Retain is the flight recorder's trace capacity (0 = 64).
+	Retain int
+	// SlowNs is the initial tail-sampling threshold; a request whose total
+	// duration reaches it is promoted (0 = 50ms). Serving layers adapt it
+	// from live latency quantiles via SetSlowNs.
+	SlowNs int64
+	// Registry, when non-nil, receives the per-stage span/ns counter
+	// families (vp_trace_spans_total, vp_trace_stage_ns_total).
+	Registry *obs.Registry
+}
+
+// Recorder owns the span lanes, the per-stage aggregates and the
+// flight recorder. All methods are nil-safe so instrumentation sites
+// need no "is tracing on" guards.
+type Recorder struct {
+	lanes  []lane
+	slowNs atomic.Int64
+
+	// Per-stage lifetime aggregates, updated on every Record — the
+	// cross-run summary vpredict -metrics dumps and /metrics exports.
+	stageSpans [NumStages]*obs.Counter
+	stageNs    [NumStages]*obs.Counter
+
+	fmu      sync.Mutex
+	flight   []Retained // ring, next at fnext
+	fnext    int
+	ffull    bool
+	promoted atomic.Uint64
+}
+
+// NewRecorder builds a recorder.
+func NewRecorder(cfg Config) *Recorder {
+	if cfg.Lanes < 1 {
+		cfg.Lanes = 1
+	}
+	if cfg.SpanRing <= 0 {
+		cfg.SpanRing = 4096
+	}
+	if cfg.Retain <= 0 {
+		cfg.Retain = 64
+	}
+	if cfg.SlowNs <= 0 {
+		cfg.SlowNs = int64(50 * time.Millisecond)
+	}
+	r := &Recorder{
+		lanes:  make([]lane, cfg.Lanes),
+		flight: make([]Retained, 0, cfg.Retain),
+	}
+	r.slowNs.Store(cfg.SlowNs)
+	for i := range r.lanes {
+		r.lanes[i].buf = make([]Span, cfg.SpanRing)
+	}
+	reg := cfg.Registry
+	for st := Stage(0); st < NumStages; st++ {
+		if reg != nil {
+			r.stageSpans[st] = reg.Counter("vp_trace_spans_total",
+				"spans recorded, per request-path stage", "stage", st.String())
+			r.stageNs[st] = reg.Counter("vp_trace_stage_ns_total",
+				"ns spent inside recorded spans, per request-path stage", "stage", st.String())
+		} else {
+			r.stageSpans[st] = &obs.Counter{}
+			r.stageNs[st] = &obs.Counter{}
+		}
+	}
+	return r
+}
+
+// Record writes one span into the given lane ring and folds it into the
+// stage aggregates. Zero-alloc; nil recorders and invalid lanes drop the
+// span. The StageName field is filled here so callers build bare structs.
+func (r *Recorder) Record(laneIdx int, sp Span) {
+	if r == nil || laneIdx < 0 || laneIdx >= len(r.lanes) {
+		return
+	}
+	sp.StageName = sp.Stage.String() // constant string: no allocation
+	r.lanes[laneIdx].add(sp)
+	if sp.Stage < NumStages {
+		r.stageSpans[sp.Stage].Inc()
+		r.stageNs[sp.Stage].Add(uint64(sp.Dur))
+	}
+}
+
+// SlowNs returns the current tail-sampling threshold.
+func (r *Recorder) SlowNs() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.slowNs.Load()
+}
+
+// SetSlowNs updates the tail-sampling threshold (adaptive callers feed a
+// live latency quantile; values <= 0 are ignored).
+func (r *Recorder) SetSlowNs(ns int64) {
+	if r == nil || ns <= 0 {
+		return
+	}
+	r.slowNs.Store(ns)
+}
+
+// RetainReason decides tail promotion for a finished request: a degraded
+// marker wins, then the slow threshold, then the head-sampling flag.
+// Empty means the trace is dropped (its ring spans simply age out).
+func (r *Recorder) RetainReason(ctx Context, durNs int64, degraded string) string {
+	if r == nil || !ctx.Valid() {
+		return ""
+	}
+	if degraded != "" {
+		return degraded
+	}
+	if durNs >= r.slowNs.Load() {
+		return "slow"
+	}
+	if ctx.Sampled() {
+		return "head"
+	}
+	return ""
+}
+
+// Promote copies every span of ctx's trace out of the lane rings into
+// the retained flight recorder. The caller must have finished recording
+// the trace's spans (for the server: the request's done signal has been
+// consumed, so every shard's spans happened-before). Promotion is the
+// cold path — it allocates — but runs only for the slow, degraded or
+// head-sampled minority.
+func (r *Recorder) Promote(ctx Context, start, durNs int64, events uint64, reason string) {
+	if r == nil || !ctx.Valid() {
+		return
+	}
+	var spans []Span
+	for i := range r.lanes {
+		spans = r.lanes[i].collect(ctx.TraceID, spans)
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	ret := Retained{
+		TraceID: hex16(ctx.TraceID),
+		Reason:  reason,
+		Start:   start,
+		DurNs:   durNs,
+		Events:  events,
+		Spans:   spans,
+	}
+	r.fmu.Lock()
+	if len(r.flight) < cap(r.flight) {
+		r.flight = append(r.flight, ret)
+	} else {
+		r.flight[r.fnext] = ret
+		r.fnext = (r.fnext + 1) % cap(r.flight)
+		r.ffull = true
+	}
+	r.fmu.Unlock()
+	r.promoted.Add(1)
+}
+
+// Promoted returns how many traces have ever been promoted (including
+// ones the flight recorder has since evicted).
+func (r *Recorder) Promoted() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.promoted.Load()
+}
+
+// Traces returns the retained traces, newest first, keeping only those
+// with DurNs >= minNs, at most n (n <= 0 = all).
+func (r *Recorder) Traces(minNs int64, n int) []Retained {
+	if r == nil {
+		return nil
+	}
+	r.fmu.Lock()
+	all := make([]Retained, 0, len(r.flight))
+	if r.ffull {
+		all = append(all, r.flight[r.fnext:]...)
+		all = append(all, r.flight[:r.fnext]...)
+	} else {
+		all = append(all, r.flight...)
+	}
+	r.fmu.Unlock()
+	// all is oldest-first; filter and reverse into newest-first.
+	out := make([]Retained, 0, len(all))
+	for i := len(all) - 1; i >= 0; i-- {
+		if all[i].DurNs >= minNs {
+			out = append(out, all[i])
+		}
+		if n > 0 && len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+// StageSummary returns the lifetime per-stage aggregates, in stage order,
+// stages never recorded elided.
+func (r *Recorder) StageSummary() []StageStat {
+	if r == nil {
+		return nil
+	}
+	out := make([]StageStat, 0, NumStages)
+	for st := Stage(0); st < NumStages; st++ {
+		if c := r.stageSpans[st].Load(); c > 0 {
+			out = append(out, StageStat{Stage: st.String(), Spans: c, Ns: r.stageNs[st].Load()})
+		}
+	}
+	return out
+}
+
+const hexDigits = "0123456789abcdef"
+
+// hex16 renders an id as 16 lowercase hex digits (what %016x prints).
+func hex16(v uint64) string {
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// Hex16 is hex16 exported for drivers printing trace ids.
+func Hex16(v uint64) string { return hex16(v) }

@@ -1,0 +1,300 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestMinterUniqueAndHeadSampled(t *testing.T) {
+	m := NewMinter(7, 4)
+	seen := map[uint64]bool{}
+	sampled := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		ctx := m.Next()
+		if !ctx.Valid() {
+			t.Fatalf("minted invalid context at %d", i)
+		}
+		if seen[ctx.TraceID] {
+			t.Fatalf("duplicate trace id %016x", ctx.TraceID)
+		}
+		seen[ctx.TraceID] = true
+		if ctx.Sampled() {
+			sampled++
+		}
+	}
+	if sampled != n/4 {
+		t.Fatalf("head sampled %d of %d, want %d", sampled, n, n/4)
+	}
+	// headEvery = 0 never samples.
+	m0 := NewMinter(7, 0)
+	for i := 0; i < 100; i++ {
+		if m0.Next().Sampled() {
+			t.Fatal("headEvery=0 minted a sampled context")
+		}
+	}
+}
+
+func TestMintGlobalValid(t *testing.T) {
+	a, b := Mint(), Mint()
+	if !a.Valid() || !b.Valid() || a.TraceID == b.TraceID {
+		t.Fatalf("global mint broken: %+v %+v", a, b)
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	for st := Stage(0); st < NumStages; st++ {
+		if st.String() == "unknown" || st.String() == "" {
+			t.Fatalf("stage %d has no name", st)
+		}
+	}
+	if Stage(200).String() != "unknown" {
+		t.Fatal("out-of-range stage should be unknown")
+	}
+}
+
+func TestRecordPromoteCollect(t *testing.T) {
+	r := NewRecorder(Config{Lanes: 3, SpanRing: 16, Retain: 8, SlowNs: 1000})
+	ctx := Mint()
+	// Spans spread across lanes, recorded out of Start order.
+	r.Record(1, Span{TraceID: ctx.TraceID, SpanID: 2, Stage: StageShard, Shard: 1, Start: 200, Dur: 50, N: 4})
+	r.Record(2, Span{TraceID: ctx.TraceID, SpanID: 3, Stage: StageBank, Shard: 2, Start: 300, Dur: 20, N: 4})
+	r.Record(0, Span{TraceID: ctx.TraceID, SpanID: 1, Stage: StageConn, Shard: -1, Start: 100, Dur: 400, N: 8})
+	// Noise from another trace must not leak in.
+	other := Mint()
+	r.Record(1, Span{TraceID: other.TraceID, SpanID: 9, Stage: StageShard, Shard: 1, Start: 250, Dur: 1})
+
+	r.Promote(ctx, 100, 400, 8, "slow")
+	got := r.Traces(0, 0)
+	if len(got) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(got))
+	}
+	tr := got[0]
+	if tr.TraceID != Hex16(ctx.TraceID) || tr.Reason != "slow" || tr.DurNs != 400 || tr.Events != 8 {
+		t.Fatalf("bad retained header: %+v", tr)
+	}
+	if len(tr.Spans) != 3 {
+		t.Fatalf("collected %d spans, want 3: %+v", len(tr.Spans), tr.Spans)
+	}
+	// Sorted by Start, with StageName filled at record time.
+	wantStages := []string{"conn", "shard", "bank"}
+	for i, sp := range tr.Spans {
+		if sp.StageName != wantStages[i] {
+			t.Fatalf("span %d stage %q, want %q", i, sp.StageName, wantStages[i])
+		}
+	}
+	if r.Promoted() != 1 {
+		t.Fatalf("Promoted() = %d, want 1", r.Promoted())
+	}
+}
+
+func TestSpanRingOverwrite(t *testing.T) {
+	r := NewRecorder(Config{Lanes: 1, SpanRing: 4, Retain: 4})
+	ctx := Mint()
+	// 6 spans into a ring of 4: the first two age out.
+	for i := 0; i < 6; i++ {
+		r.Record(0, Span{TraceID: ctx.TraceID, SpanID: uint64(i + 1), Stage: StageShard, Start: int64(i)})
+	}
+	r.Promote(ctx, 0, 0, 0, "head")
+	got := r.Traces(0, 0)
+	if len(got) != 1 || len(got[0].Spans) != 4 {
+		t.Fatalf("want 4 surviving spans, got %+v", got)
+	}
+	if got[0].Spans[0].SpanID != 3 || got[0].Spans[3].SpanID != 6 {
+		t.Fatalf("wrong survivors: %+v", got[0].Spans)
+	}
+}
+
+func TestFlightRecorderEvictionAndFilters(t *testing.T) {
+	r := NewRecorder(Config{Lanes: 1, SpanRing: 8, Retain: 3})
+	for i := 0; i < 5; i++ {
+		ctx := Mint()
+		r.Record(0, Span{TraceID: ctx.TraceID, Stage: StageConn, Start: int64(i), Dur: int64(i) * 100})
+		r.Promote(ctx, int64(i), int64(i)*100, 1, "slow")
+	}
+	all := r.Traces(0, 0)
+	if len(all) != 3 {
+		t.Fatalf("retain=3 kept %d", len(all))
+	}
+	// Newest first: durations 400, 300, 200.
+	if all[0].DurNs != 400 || all[2].DurNs != 200 {
+		t.Fatalf("order wrong: %+v", all)
+	}
+	if got := r.Traces(300, 0); len(got) != 2 {
+		t.Fatalf("min_ns filter kept %d, want 2", len(got))
+	}
+	if got := r.Traces(0, 1); len(got) != 1 || got[0].DurNs != 400 {
+		t.Fatalf("n filter wrong: %+v", got)
+	}
+	if r.Promoted() != 5 {
+		t.Fatalf("Promoted() = %d, want 5", r.Promoted())
+	}
+}
+
+func TestRetainReasonPriority(t *testing.T) {
+	r := NewRecorder(Config{Lanes: 1, SlowNs: 1000})
+	slow := Context{TraceID: 1, SpanID: 1}
+	head := Context{TraceID: 2, SpanID: 2, Flags: FlagSampled}
+	if got := r.RetainReason(slow, 2000, "mailbox_saturated"); got != "mailbox_saturated" {
+		t.Fatalf("degraded should win, got %q", got)
+	}
+	if got := r.RetainReason(slow, 2000, ""); got != "slow" {
+		t.Fatalf("slow threshold, got %q", got)
+	}
+	if got := r.RetainReason(head, 10, ""); got != "head" {
+		t.Fatalf("head flag, got %q", got)
+	}
+	if got := r.RetainReason(slow, 10, ""); got != "" {
+		t.Fatalf("fast unflagged should drop, got %q", got)
+	}
+	if got := r.RetainReason(Context{}, 1<<40, "x"); got != "" {
+		t.Fatalf("invalid context should drop, got %q", got)
+	}
+	r.SetSlowNs(5)
+	if got := r.RetainReason(slow, 10, ""); got != "slow" {
+		t.Fatalf("after SetSlowNs, got %q", got)
+	}
+	r.SetSlowNs(0) // ignored
+	if r.SlowNs() != 5 {
+		t.Fatalf("SetSlowNs(0) should be ignored, got %d", r.SlowNs())
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(0, Span{TraceID: 1})
+	r.Promote(Context{TraceID: 1}, 0, 0, 0, "slow")
+	r.SetSlowNs(1)
+	if r.SlowNs() != 0 || r.RetainReason(Context{TraceID: 1}, 1, "") != "" ||
+		r.Traces(0, 0) != nil || r.StageSummary() != nil || r.Promoted() != 0 {
+		t.Fatal("nil recorder must be inert")
+	}
+}
+
+func TestRecordOutOfRangeLane(t *testing.T) {
+	r := NewRecorder(Config{Lanes: 1, SpanRing: 4})
+	r.Record(-1, Span{TraceID: 1, Stage: StageConn})
+	r.Record(5, Span{TraceID: 1, Stage: StageConn})
+	r.Promote(Context{TraceID: 1, SpanID: 1}, 0, 0, 0, "head")
+	if got := r.Traces(0, 0); len(got) != 1 || len(got[0].Spans) != 0 {
+		t.Fatalf("out-of-range lanes must drop spans: %+v", got)
+	}
+}
+
+func TestStageSummaryAndRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := NewRecorder(Config{Lanes: 1, Registry: reg})
+	r.Record(0, Span{TraceID: 1, Stage: StageConn, Dur: 100})
+	r.Record(0, Span{TraceID: 1, Stage: StageConn, Dur: 50})
+	r.Record(0, Span{TraceID: 1, Stage: StageBank, Dur: 7})
+	sum := r.StageSummary()
+	if len(sum) != 2 {
+		t.Fatalf("summary %+v, want 2 stages", sum)
+	}
+	if sum[0].Stage != "conn" || sum[0].Spans != 2 || sum[0].Ns != 150 {
+		t.Fatalf("conn stat wrong: %+v", sum[0])
+	}
+	if sum[1].Stage != "bank" || sum[1].Spans != 1 || sum[1].Ns != 7 {
+		t.Fatalf("bank stat wrong: %+v", sum[1])
+	}
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	text := buf.String()
+	for _, want := range []string{
+		`vp_trace_spans_total{stage="conn"} 2`,
+		`vp_trace_stage_ns_total{stage="conn"} 150`,
+		`vp_trace_spans_total{stage="bank"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestHex16(t *testing.T) {
+	if got := Hex16(0); got != "0000000000000000" {
+		t.Fatalf("Hex16(0) = %q", got)
+	}
+	if got := Hex16(0xdeadbeef12345678); got != "deadbeef12345678" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestWritePerfetto(t *testing.T) {
+	r := NewRecorder(Config{Lanes: 2, SpanRing: 16, Retain: 4})
+	ctx := Mint()
+	r.Record(0, Span{TraceID: ctx.TraceID, SpanID: 1, Stage: StageConn, Shard: -1, Pred: -1, Start: 1_000_000, Dur: 500_000, N: 8})
+	r.Record(1, Span{TraceID: ctx.TraceID, SpanID: 2, Stage: StageShard, Shard: 0, Pred: -1, Start: 1_100_000, Dur: 100})
+	r.Record(1, Span{TraceID: ctx.TraceID, SpanID: 3, Stage: StageBank, Shard: 0, Pred: -1, Start: 1_150_000, Dur: 10})
+	r.Record(0, Span{TraceID: ctx.TraceID, SpanID: 4, Stage: StageCheckpointCut, Shard: -1, Pred: -1, Start: 1_200_000, Dur: 300})
+	r.Promote(ctx, 1_000_000, 500_000, 8, "slow")
+
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, r.Traces(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Name string         `json:"name"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("perfetto output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var xEvents, mEvents int
+	names := map[string]bool{}
+	tids := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			xEvents++
+			names[ev.Name] = true
+			tids[ev.Name] = ev.Tid
+			if ev.Dur <= 0 {
+				t.Fatalf("span %q has non-positive dur %v", ev.Name, ev.Dur)
+			}
+		case "M":
+			mEvents++
+		}
+	}
+	if xEvents != 4 || mEvents == 0 {
+		t.Fatalf("got %d X events, %d M events", xEvents, mEvents)
+	}
+	for _, want := range []string{"conn", "shard", "bank", "checkpoint_cut"} {
+		if !names[want] {
+			t.Fatalf("missing span %q in perfetto output", want)
+		}
+	}
+	if tids["shard"] != perfettoTidShardBase || tids["bank"] != perfettoTidShardBase {
+		t.Fatalf("shard-scoped spans on wrong tid: %+v", tids)
+	}
+	if tids["checkpoint_cut"] != perfettoTidCheckpoint || tids["conn"] != perfettoTidConn {
+		t.Fatalf("edge/checkpoint tids wrong: %+v", tids)
+	}
+	// ts is µs: 1ms start → 1000µs.
+	if doc.TraceEvents == nil {
+		t.Fatal("no events")
+	}
+}
+
+func TestWritePerfettoEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty perfetto doc invalid: %v", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/snapshot"
 )
 
@@ -56,7 +57,7 @@ func (s *Server) WriteCheckpoint(dir string) (CheckpointInfo, error) {
 	}
 	s.cutMu.Unlock()
 	s.statsMu.Unlock()
-	return s.assembleCheckpoint(dir, replies, cutT0)
+	return s.assembleCheckpoint(dir, replies, cutT0, otrace.Mint())
 }
 
 // checkpointShards is the shutdown-path capture: connections are already
@@ -70,10 +71,14 @@ func (s *Server) checkpointShards(dir string) (CheckpointInfo, error) {
 		replies[i] = make(chan shardStateMsg, 1)
 		sh.mailbox <- shardMsg{state: replies[i]}
 	}
-	return s.assembleCheckpoint(dir, replies, cutT0)
+	return s.assembleCheckpoint(dir, replies, cutT0, otrace.Mint())
 }
 
-func (s *Server) assembleCheckpoint(dir string, replies []chan shardStateMsg, cutT0 time.Time) (CheckpointInfo, error) {
+// assembleCheckpoint drains the shard replies and writes the snapshot.
+// tctx is the checkpoint's own minted trace: cut and encode become spans
+// on the control lane and the trace is always retained, so checkpoint
+// interference shows up in GET /trace alongside the requests it delayed.
+func (s *Server) assembleCheckpoint(dir string, replies []chan shardStateMsg, cutT0 time.Time, tctx otrace.Context) (CheckpointInfo, error) {
 	defer s.health.cutStart.Store(0)
 	snap := &snapshot.Snapshot{
 		Meta: snapshot.Meta{
@@ -95,15 +100,28 @@ func (s *Server) assembleCheckpoint(dir string, replies []chan shardStateMsg, cu
 	cutNs := time.Since(cutT0).Nanoseconds()
 	s.metrics.ckptCutNs.ObserveInt(cutNs)
 	s.ring.Add(obs.StageEvent{Kind: evCheckpointCut, Shard: -1, DurNs: cutNs, N: events})
+	cutStartNs := cutT0.UnixNano()
+	s.tracer.Record(s.controlLane(), otrace.Span{
+		TraceID: tctx.TraceID, SpanID: tctx.SpanID,
+		Stage: otrace.StageCheckpointCut, Shard: -1, Pred: -1,
+		Start: cutStartNs, Dur: cutNs, N: events,
+	})
 	if firstErr != nil {
 		s.metrics.ckptErrors.Inc()
 		s.ring.Add(obs.StageEvent{Kind: evCheckpointError, Shard: -1, Detail: firstErr.Error()})
+		s.tracer.Promote(tctx, cutStartNs, cutNs, events, "checkpoint_error")
 		return CheckpointInfo{}, firstErr
 	}
 	encT0 := time.Now()
 	path, err := snapshot.WriteFileAtomic(dir, snap)
 	encNs := time.Since(encT0).Nanoseconds()
 	s.metrics.ckptEncodeNs.ObserveInt(encNs)
+	s.tracer.Record(s.controlLane(), otrace.Span{
+		TraceID: tctx.TraceID, SpanID: tctx.SpanID + 1, Parent: tctx.SpanID,
+		Stage: otrace.StageCheckpointEncode, Shard: -1, Pred: -1,
+		Start: encT0.UnixNano(), Dur: encNs, N: events,
+	})
+	s.tracer.Promote(tctx, cutStartNs, cutNs+encNs, events, "checkpoint")
 	if err != nil {
 		s.metrics.ckptErrors.Inc()
 		s.ring.Add(obs.StageEvent{Kind: evCheckpointError, Shard: -1, DurNs: encNs, Detail: err.Error()})

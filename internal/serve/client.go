@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net"
+
+	otrace "repro/internal/obs/trace"
 )
 
 // Client speaks the binary protocol to a running Server.
@@ -74,6 +76,19 @@ func (c *Client) Shards() int { return c.shards }
 // fills or Flush/CloseWrite is called).
 func (c *Client) Send(evs []Event) error {
 	c.sbuf = appendEvents(c.sbuf[:0], evs)
+	return writeFrame(c.bw, c.sbuf)
+}
+
+// SendTraced is Send carrying a trace context: the server records spans
+// for this request at every stage it crosses and tail-samples it into
+// GET /trace when it finishes slow, hits a degraded path, or carries the
+// head-sampling flag. Invalid (zero) contexts fall back to a plain
+// untraced events frame.
+func (c *Client) SendTraced(evs []Event, ctx otrace.Context) error {
+	if !ctx.Valid() {
+		return c.Send(evs)
+	}
+	c.sbuf = appendEventsTraced(c.sbuf[:0], evs, ctx)
 	return writeFrame(c.bw, c.sbuf)
 }
 

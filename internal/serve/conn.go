@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"time"
+
+	otrace "repro/internal/obs/trace"
 )
 
 // respQueueDepth bounds pipelining per connection: at most this many
@@ -33,6 +36,7 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	resp := make(chan *pending, respQueueDepth)
 	writerDone := make(chan struct{})
+	ctl := s.controlLane()
 	go func() {
 		defer close(writerDone)
 		var buf []byte
@@ -44,6 +48,23 @@ func (s *Server) handleConn(conn net.Conn) {
 		// references its buffers anymore.
 		for p := range resp {
 			<-p.done
+			// The request is complete: observe whole-request latency (the
+			// adaptive slow threshold's input) and, for traced requests,
+			// record the root span and make the tail-sampling decision.
+			// Every shard span happened-before the done signal, so a
+			// promotion here collects a complete trace.
+			durNs := time.Now().UnixNano() - p.start
+			s.metrics.requestNs.ObserveInt(durNs)
+			if p.ctx.Valid() {
+				s.tracer.Record(ctl, otrace.Span{
+					TraceID: p.ctx.TraceID, SpanID: p.ctx.SpanID,
+					Stage: otrace.StageConn, Shard: -1, Pred: -1,
+					Start: p.start, Dur: durNs, N: p.events,
+				})
+				if reason := s.tracer.RetainReason(p.ctx, durNs, p.degraded); reason != "" {
+					s.tracer.Promote(p.ctx, p.start, durNs, p.events, reason)
+				}
+			}
 			if werr == nil {
 				for i := range p.correct {
 					correct[i] = p.correct[i].Load()
@@ -81,18 +102,37 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 		s.metrics.framesIn.Inc()
 		s.metrics.bytesIn.Add(uint64(4 + len(frame)))
-		if frame[0] != msgEvents {
+		var tctx otrace.Context
+		body := frame[1:]
+		switch frame[0] {
+		case msgEvents:
+		case msgEventsTraced:
+			tctx, body, err = decodeTraceHeader(frame[1:])
+			if err != nil {
+				s.metrics.decodeErrors.Inc()
+				readErr = err
+				break
+			}
+		default:
 			s.metrics.decodeErrors.Inc()
 			readErr = fmt.Errorf("serve: unexpected message type %d", frame[0])
+		}
+		if readErr != nil {
 			break
 		}
-		scratch, err = decodeEventsInto(frame[1:], scratch[:0])
+		scratch, err = decodeEventsInto(body, scratch[:0])
 		if err != nil {
 			s.metrics.decodeErrors.Inc()
+			// A traced frame whose body failed to decode is a degraded
+			// path: retain a (span-less) trace so the client's id lookup
+			// finds what happened to it.
+			if tctx.Valid() {
+				s.tracer.Promote(tctx, time.Now().UnixNano(), 0, 0, "decode_error")
+			}
 			readErr = err
 			break
 		}
-		p := s.dispatch(scratch, cnt, pos)
+		p := s.dispatch(scratch, cnt, pos, tctx)
 		resp <- p
 		s.metrics.pipelineHW.SetMax(int64(len(resp)))
 	}
@@ -115,11 +155,19 @@ func (s *Server) handleConn(conn net.Conn) {
 // The shared cut lock is held across the sends so a concurrent
 // checkpoint's capture markers can never land between two shards of the
 // same request — the cut is request-atomic.
-func (s *Server) dispatch(evs []Event, cnt, pos []int) *pending {
+//
+// tctx is the request's wire-carried trace context (zero = untraced).
+// For traced requests dispatch records an enqueue span (bucketing +
+// cut-lock acquisition + mailbox sends — where backpressure and
+// checkpoint interference surface) and marks the request degraded when
+// it lands on an already-full mailbox.
+func (s *Server) dispatch(evs []Event, cnt, pos []int, tctx otrace.Context) *pending {
+	startNs := time.Now().UnixNano()
 	s.eventsServed.Add(uint64(len(evs)))
 	s.metrics.events.Add(uint64(len(evs)))
 	nshards := len(s.shards)
 	p := getPending()
+	p.ctx, p.start, p.degraded = tctx, startNs, ""
 	if cap(p.buf) < len(evs) {
 		p.buf = make([]Event, len(evs))
 	}
@@ -131,8 +179,13 @@ func (s *Server) dispatch(evs []Event, cnt, pos []int) *pending {
 		s.cutMu.RLock()
 		defer s.cutMu.RUnlock()
 		if len(evs) > 0 {
-			s.shards[0].mailbox <- shardMsg{events: owned, req: p}
+			sh := s.shards[0]
+			if tctx.Valid() && len(sh.mailbox) == cap(sh.mailbox) {
+				p.degraded = "mailbox_saturated"
+			}
+			sh.mailbox <- shardMsg{events: owned, req: p, ctx: tctx, sentNs: startNs}
 		}
+		s.recordEnqueue(tctx, startNs, len(evs))
 		return p
 	}
 	for i := range cnt {
@@ -163,10 +216,28 @@ func (s *Server) dispatch(evs []Event, cnt, pos []int) *pending {
 		if c == 0 {
 			continue
 		}
-		s.shards[i].mailbox <- shardMsg{events: owned[off : off+c], req: p}
+		sh := s.shards[i]
+		if tctx.Valid() && len(sh.mailbox) == cap(sh.mailbox) {
+			p.degraded = "mailbox_saturated"
+		}
+		sh.mailbox <- shardMsg{events: owned[off : off+c], req: p, ctx: tctx, sentNs: startNs}
 		off += c
 	}
+	s.recordEnqueue(tctx, startNs, len(evs))
 	return p
+}
+
+// recordEnqueue closes a traced request's dispatch span: shard
+// bucketing, cut-lock acquisition and every mailbox send.
+func (s *Server) recordEnqueue(tctx otrace.Context, startNs int64, events int) {
+	if !tctx.Valid() {
+		return
+	}
+	s.tracer.Record(s.controlLane(), otrace.Span{
+		TraceID: tctx.TraceID, SpanID: tctx.SpanID + 1, Parent: tctx.SpanID,
+		Stage: otrace.StageEnqueue, Shard: -1, Pred: -1,
+		Start: startNs, Dur: time.Now().UnixNano() - startNs, N: uint64(events),
+	})
 }
 
 func boolToInt(b bool) int {

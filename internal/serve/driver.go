@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/obs"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/trace"
 )
 
@@ -29,6 +31,19 @@ type DriveConfig struct {
 	Clients int
 	// BatchSize is events per request frame (0 = DefaultDriveBatch).
 	BatchSize int
+	// TraceSample, when > 0, sends every request with a minted trace
+	// context (so the server's tail sampler sees all of them) and
+	// head-samples one in TraceSample — those are retained server-side
+	// regardless of latency. 1 retains every request; 0 drives untraced.
+	TraceSample int
+}
+
+// SlowTrace identifies one of the slowest traced requests of a drive:
+// the trace id to look up in the server's GET /trace, and the
+// client-observed round-trip time.
+type SlowTrace struct {
+	TraceID string `json:"trace_id"`
+	DurNs   int64  `json:"dur_ns"`
 }
 
 // DriveResult aggregates a whole run.
@@ -46,6 +61,10 @@ type DriveResult struct {
 	// (batch handed to the sender → matching result received), merged
 	// across every client connection. Quantile/Mean/Max summarize it.
 	Latency obs.HistSnap
+	// SlowTraces are the slowest traced requests of the run (client-side
+	// round-trip), slowest first — the ids to paste into the server's
+	// GET /trace. Empty when TraceSample was 0.
+	SlowTraces []SlowTrace
 }
 
 // AccuracyPct returns predictor i's accuracy over the driven stream.
@@ -81,7 +100,9 @@ type clientRunner struct {
 	work    chan []Event
 	free    chan []Event
 	lat     *obs.Histogram
-	times   chan int64
+	times   chan sendStamp
+	minter  *otrace.Minter // nil = drive untraced
+	slow    [slowTrackK]slowSlot
 	sum     BatchResult
 	sent    uint64
 	sendErr error
@@ -89,7 +110,37 @@ type clientRunner struct {
 	wg      sync.WaitGroup
 }
 
-func startRunner(addr string, lat *obs.Histogram) (*clientRunner, error) {
+// sendStamp pairs a request's send timestamp with its trace id (0 when
+// untraced); responses are FIFO, so the receiver pops stamps in order.
+type sendStamp struct {
+	t0 int64
+	id uint64
+}
+
+// slowTrackK bounds the per-runner slowest-request tracking — constant
+// memory however long the drive runs.
+const slowTrackK = 16
+
+type slowSlot struct {
+	id uint64
+	ns int64
+}
+
+// noteSlow keeps the K slowest traced requests; called only from the
+// receiver goroutine, so no locking.
+func (r *clientRunner) noteSlow(id uint64, ns int64) {
+	minI := 0
+	for i := 1; i < slowTrackK; i++ {
+		if r.slow[i].ns < r.slow[minI].ns {
+			minI = i
+		}
+	}
+	if ns > r.slow[minI].ns {
+		r.slow[minI] = slowSlot{id: id, ns: ns}
+	}
+}
+
+func startRunner(addr string, lat *obs.Histogram, minter *otrace.Minter) (*clientRunner, error) {
 	c, err := Dial(addr)
 	if err != nil {
 		return nil, err
@@ -104,7 +155,8 @@ func startRunner(addr string, lat *obs.Histogram) (*clientRunner, error) {
 		// Far deeper than any realistic in-flight frame count; the sender
 		// flushes before blocking on a full queue, so even degenerate
 		// tiny-batch runs keep making progress.
-		times: make(chan int64, 1024),
+		times:  make(chan sendStamp, 1024),
+		minter: minter,
 	}
 	r.wg.Add(2)
 	go func() { // sender
@@ -134,9 +186,13 @@ func startRunner(addr string, lat *obs.Histogram) (*clientRunner, error) {
 // when the producer has nothing further queued — so the measured latency
 // is wire-and-server time, not client-side buffering.
 func (r *clientRunner) stampAndSend(b []Event) {
-	t0 := time.Now().UnixNano()
+	var ctx otrace.Context
+	if r.minter != nil {
+		ctx = r.minter.Next()
+	}
+	st := sendStamp{t0: time.Now().UnixNano(), id: ctx.TraceID}
 	select {
-	case r.times <- t0:
+	case r.times <- st:
 	default:
 		// Timestamp queue full: that many frames are unflushed or
 		// unanswered. Force them onto the wire — the server keeps
@@ -145,9 +201,9 @@ func (r *clientRunner) stampAndSend(b []Event) {
 			r.sendErr = err
 			return
 		}
-		r.times <- t0
+		r.times <- st
 	}
-	if err := r.c.Send(b); err != nil {
+	if err := r.c.SendTraced(b, ctx); err != nil {
 		r.sendErr = err
 		return
 	}
@@ -171,8 +227,12 @@ func (r *clientRunner) drainTimed() error {
 			return err
 		}
 		select {
-		case t0 := <-r.times:
-			r.lat.ObserveInt(time.Now().UnixNano() - t0)
+		case st := <-r.times:
+			ns := time.Now().UnixNano() - st.t0
+			r.lat.ObserveInt(ns)
+			if st.id != 0 {
+				r.noteSlow(st.id, ns)
+			}
 		default:
 			// No stamp for this result — the sender hit an error after
 			// stamping a different frame; skip the sample.
@@ -218,7 +278,13 @@ func Drive(cfg DriveConfig, next func() (Event, bool)) (*DriveResult, error) {
 	lat := obs.NewHistogram()
 	runners := make([]*clientRunner, clients)
 	for i := range runners {
-		r, err := startRunner(cfg.Addr, lat)
+		var minter *otrace.Minter
+		if cfg.TraceSample > 0 {
+			// Per-runner minter (the sender goroutine owns it), seeded so
+			// ids never collide across runners of the same drive.
+			minter = otrace.NewMinter(uint64(start.UnixNano())+uint64(i)<<32, cfg.TraceSample)
+		}
+		r, err := startRunner(cfg.Addr, lat, minter)
 		if err != nil {
 			for _, prev := range runners[:i] {
 				close(prev.work)
@@ -277,6 +343,23 @@ func Drive(cfg DriveConfig, next func() (Event, bool)) (*DriveResult, error) {
 	}
 	res.Elapsed = time.Since(start)
 	res.Latency = lat.Snapshot()
+	if cfg.TraceSample > 0 {
+		var all []slowSlot
+		for _, r := range runners {
+			for _, sl := range r.slow {
+				if sl.id != 0 {
+					all = append(all, sl)
+				}
+			}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].ns > all[j].ns })
+		if len(all) > slowTrackK {
+			all = all[:slowTrackK]
+		}
+		for _, sl := range all {
+			res.SlowTraces = append(res.SlowTraces, SlowTrace{TraceID: otrace.Hex16(sl.id), DurNs: sl.ns})
+		}
+	}
 	return res, nil
 }
 

@@ -6,6 +6,9 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"time"
+
+	"repro/internal/obs"
+	otrace "repro/internal/obs/trace"
 )
 
 // httpHandler serves the introspection endpoints:
@@ -21,8 +24,18 @@ import (
 //	GET  /metrics   Prometheus text exposition of every vp_* series
 //	GET  /events    the stage-event trace ring (checkpoints, restores,
 //	                slow batches, predictability gaps, drain), oldest
-//	                first; ?n= keeps only the most recent N and ?kind=
-//	                filters by event kind
+//	                first; ?n= keeps only the most recent N, ?kind=
+//	                filters by event kind, and ?since= resumes after a
+//	                previously seen sequence number (the response's
+//	                last_seq), so pollers tail the ring without
+//	                re-reading old events
+//	GET  /trace     retained request traces (tail-sampled slow/degraded
+//	                requests, head-sampled ones, checkpoints), newest
+//	                first, each with its recorded spans; ?min_ns= keeps
+//	                only traces at least that slow, ?n= caps the count
+//	GET  /trace/perfetto  the same traces as Chrome trace-event JSON —
+//	                save the body to a file and open it in
+//	                https://ui.perfetto.dev or chrome://tracing
 //	GET  /predictability  merged predictability report: top-N (?n=,
 //	                default 10) hardest and easiest PCs with sequence
 //	                class, entropy ceiling and realized accuracy, plus
@@ -56,7 +69,19 @@ func (s *Server) httpHandler() http.Handler {
 		s.metrics.reg.WritePrometheus(w)
 	})
 	mux.HandleFunc("GET /events", func(w http.ResponseWriter, r *http.Request) {
-		evs := s.ring.Events()
+		var evs []obs.StageEvent
+		if sinceStr := r.URL.Query().Get("since"); sinceStr != "" {
+			since, err := strconv.ParseUint(sinceStr, 10, 64)
+			if err != nil {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusBadRequest)
+				writeJSONBody(w, map[string]any{"error": "since must be a non-negative integer (a previously returned last_seq)"})
+				return
+			}
+			evs = s.ring.EventsSince(since)
+		} else {
+			evs = s.ring.Events()
+		}
 		if kind := r.URL.Query().Get("kind"); kind != "" {
 			kept := evs[:0]
 			for _, ev := range evs {
@@ -78,10 +103,34 @@ func (s *Server) httpHandler() http.Handler {
 				evs = evs[len(evs)-n:] // most recent N, still oldest first
 			}
 		}
+		// last_seq is the newest sequence number ever assigned — the
+		// cursor a poller passes back as ?since= on its next poll.
 		writeJSON(w, map[string]any{
-			"total":  s.ring.Total(),
-			"events": evs,
+			"total":    s.ring.Total(),
+			"last_seq": s.ring.Total(),
+			"events":   evs,
 		})
+	})
+	mux.HandleFunc("GET /trace", func(w http.ResponseWriter, r *http.Request) {
+		minNs, n, ok := traceFilters(w, r)
+		if !ok {
+			return
+		}
+		writeJSON(w, map[string]any{
+			"slow_ns":  s.tracer.SlowNs(),
+			"promoted": s.tracer.Promoted(),
+			"stages":   s.tracer.StageSummary(),
+			"traces":   s.tracer.Traces(minNs, n),
+		})
+	})
+	mux.HandleFunc("GET /trace/perfetto", func(w http.ResponseWriter, r *http.Request) {
+		minNs, n, ok := traceFilters(w, r)
+		if !ok {
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="vpserve-trace.json"`)
+		otrace.WritePerfetto(w, s.tracer.Traces(minNs, n))
 	})
 	mux.HandleFunc("GET /predictability", func(w http.ResponseWriter, r *http.Request) {
 		topN := 10
@@ -124,6 +173,33 @@ func (s *Server) httpHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// traceFilters parses the shared /trace query parameters (?min_ns=,
+// ?n=), answering 400 itself when they are malformed.
+func traceFilters(w http.ResponseWriter, r *http.Request) (minNs int64, n int, ok bool) {
+	q := r.URL.Query()
+	if v := q.Get("min_ns"); v != "" {
+		parsed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || parsed < 0 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadRequest)
+			writeJSONBody(w, map[string]any{"error": "min_ns must be a non-negative integer"})
+			return 0, 0, false
+		}
+		minNs = parsed
+	}
+	if v := q.Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 0 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadRequest)
+			writeJSONBody(w, map[string]any{"error": "n must be a non-negative integer"})
+			return 0, 0, false
+		}
+		n = parsed
+	}
+	return minNs, n, true
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -66,6 +66,12 @@ type serverMetrics struct {
 	decodeErrors *obs.Counter // vp_conn_decode_errors_total
 	pipelineHW   *obs.Gauge   // vp_conn_pipeline_highwater
 
+	// requestNs is whole-request latency (events frame decoded → result
+	// ready): the distribution the adaptive trace slow threshold tracks.
+	// Multi-writer (every conn writer observes into it); obs.Histogram is
+	// atomic, so that is safe and allocation-free.
+	requestNs *obs.Histogram // vp_request_ns
+
 	ckptTotal      *obs.Counter   // vp_checkpoint_total
 	ckptErrors     *obs.Counter   // vp_checkpoint_errors_total
 	ckptCutNs      *obs.Histogram // vp_checkpoint_cut_ns (markers mailed -> all shard states gathered)
@@ -87,6 +93,9 @@ type serverMetrics struct {
 
 func newServerMetrics(start time.Time, nshards int, predNames []string) *serverMetrics {
 	r := obs.NewRegistry()
+	// Runtime telemetry (vp_go_*) rides the same scrape so /metrics shows
+	// GC pauses and scheduler latency next to the request-path families.
+	obs.RegisterGoRuntime(r)
 	m := &serverMetrics{
 		reg:        r,
 		events:     r.Counter("vp_events_total", "events dispatched to shards over the server's lifetime"),
@@ -99,6 +108,8 @@ func newServerMetrics(start time.Time, nshards int, predNames []string) *serverM
 		bytesOut:     r.Counter("vp_conn_bytes_out_total", "protocol bytes sent (incl. length prefixes)"),
 		decodeErrors: r.Counter("vp_conn_decode_errors_total", "frames rejected as malformed"),
 		pipelineHW:   r.Gauge("vp_conn_pipeline_highwater", "deepest per-connection response pipeline observed"),
+
+		requestNs: r.Histogram("vp_request_ns", "ns per request, frame decoded to result ready (all shards joined)"),
 
 		ckptTotal:      r.Counter("vp_checkpoint_total", "checkpoints written"),
 		ckptErrors:     r.Counter("vp_checkpoint_errors_total", "checkpoint attempts that failed"),

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	otrace "repro/internal/obs/trace"
 )
 
 // Wire protocol: every message is a length-prefixed frame — a little-endian
@@ -14,6 +16,7 @@ import (
 //
 //	server → client on connect:   hello   (version, shard count, predictor names)
 //	client → server, repeated:    events  (count, count × (uvarint pc, uvarint value))
+//	client → server, repeated:    eventsT (trace id, span id, flags, then the events body)
 //	server → client, in order:    result  (count, per-predictor correct counts)
 //	server → client on error:     error   (message), then the connection closes
 //
@@ -21,13 +24,26 @@ import (
 // frames before reading results; the server answers strictly in request
 // order. A client that is done sending half-closes the write side; the
 // server flushes the remaining results and closes.
+//
+// Version history:
+//
+//	v1: hello / events / result / error.
+//	v2: adds eventsT — an events frame prefixed by a 17-byte trace
+//	    header (8-byte LE trace id, 8-byte LE span id, 1 flags byte).
+//	    v1 frames remain valid and are served as untraced; v1 clients
+//	    reject a v2 hello, which is the intended "upgrade me" signal.
 const (
-	protoVersion = 1
+	protoVersion = 2
 
-	msgHello  = 1
-	msgEvents = 2
-	msgResult = 3
-	msgError  = 4
+	msgHello        = 1
+	msgEvents       = 2
+	msgResult       = 3
+	msgError        = 4
+	msgEventsTraced = 5
+
+	// traceHeaderLen is the fixed eventsT prefix after the type byte:
+	// trace id + span id + flags.
+	traceHeaderLen = 8 + 8 + 1
 
 	// maxFrame bounds a single frame payload (64 MiB) so a corrupt or
 	// hostile length prefix cannot trigger an absurd allocation.
@@ -106,8 +122,10 @@ func decodeHello(p []byte) (shards int, priorEvents uint64, preds []string, err 
 	if len(p) < 1 {
 		return 0, 0, nil, io.ErrUnexpectedEOF
 	}
-	if p[0] != protoVersion {
-		return 0, 0, nil, fmt.Errorf("serve: protocol version %d, want %d", p[0], protoVersion)
+	// v1 servers are still speakable-to: they just never see traced
+	// frames, because a client keys SendTraced availability off this.
+	if p[0] != 1 && p[0] != protoVersion {
+		return 0, 0, nil, fmt.Errorf("serve: protocol version %d, want 1..%d", p[0], protoVersion)
 	}
 	p = p[1:]
 	ns, p, err := uvarint(p)
@@ -190,6 +208,35 @@ func decodeEventsInto(p []byte, dst []Event) ([]Event, error) {
 // decodeEvents is decodeEventsInto with a fresh destination.
 func decodeEvents(p []byte) ([]Event, error) {
 	return decodeEventsInto(p, nil)
+}
+
+// appendEventsTraced encodes a v2 traced events frame: the fixed trace
+// header, then the same body appendEvents produces.
+func appendEventsTraced(buf []byte, evs []Event, ctx otrace.Context) []byte {
+	buf = append(buf, msgEventsTraced)
+	buf = binary.LittleEndian.AppendUint64(buf, ctx.TraceID)
+	buf = binary.LittleEndian.AppendUint64(buf, ctx.SpanID)
+	buf = append(buf, ctx.Flags)
+	buf = binary.AppendUvarint(buf, uint64(len(evs)))
+	for _, ev := range evs {
+		buf = binary.AppendUvarint(buf, ev.PC)
+		buf = binary.AppendUvarint(buf, ev.Value)
+	}
+	return buf
+}
+
+// decodeTraceHeader splits an eventsT payload (after the type byte) into
+// its trace context and the events body that follows.
+func decodeTraceHeader(p []byte) (otrace.Context, []byte, error) {
+	if len(p) < traceHeaderLen {
+		return otrace.Context{}, nil, io.ErrUnexpectedEOF
+	}
+	ctx := otrace.Context{
+		TraceID: binary.LittleEndian.Uint64(p),
+		SpanID:  binary.LittleEndian.Uint64(p[8:]),
+		Flags:   p[16],
+	}
+	return ctx, p[traceHeaderLen:], nil
 }
 
 func appendResult(buf []byte, events uint64, correct []uint64) []byte {

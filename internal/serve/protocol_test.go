@@ -5,6 +5,8 @@ import (
 	"bytes"
 	"encoding/binary"
 	"testing"
+
+	otrace "repro/internal/obs/trace"
 )
 
 func TestHelloRoundTrip(t *testing.T) {
@@ -35,6 +37,74 @@ func TestEventsRoundTrip(t *testing.T) {
 		if out[i] != in[i] {
 			t.Fatalf("event %d = %+v, want %+v", i, out[i], in[i])
 		}
+	}
+}
+
+func TestEventsTracedRoundTrip(t *testing.T) {
+	in := []Event{{PC: 0x400, Value: 42}, {PC: 1 << 62, Value: ^uint64(0)}}
+	ctx := otrace.Context{TraceID: 0xdeadbeef12345678, SpanID: 0xabc, Flags: otrace.FlagSampled}
+	buf := appendEventsTraced(nil, in, ctx)
+	if buf[0] != msgEventsTraced {
+		t.Fatalf("type byte = %d", buf[0])
+	}
+	got, body, err := decodeTraceHeader(buf[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ctx {
+		t.Fatalf("context = %+v, want %+v", got, ctx)
+	}
+	out, err := decodeEvents(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) || out[0] != in[0] || out[1] != in[1] {
+		t.Fatalf("events = %+v, want %+v", out, in)
+	}
+	// The traced body past the header is bit-identical to the untraced
+	// encoding — both frame versions share one events codec.
+	untraced := appendEvents(nil, in)
+	if !bytes.Equal(body, untraced[1:]) {
+		t.Fatal("traced body diverges from untraced encoding")
+	}
+}
+
+func TestDecodeTraceHeaderMalformed(t *testing.T) {
+	// Header shorter than the fixed 17 bytes.
+	for n := 0; n < traceHeaderLen; n++ {
+		if _, _, err := decodeTraceHeader(make([]byte, n)); err == nil {
+			t.Fatalf("truncated trace header (%d bytes) accepted", n)
+		}
+	}
+	// Valid header, corrupt body.
+	ctx := otrace.Context{TraceID: 1, SpanID: 2}
+	buf := appendEventsTraced(nil, []Event{{PC: 1, Value: 2}}, ctx)
+	_, body, err := decodeTraceHeader(buf[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeEvents(append(body[:len(body):len(body)], 0xFF)); err == nil {
+		t.Fatal("trailing bytes in traced body accepted")
+	}
+}
+
+func TestHelloAcceptsBothVersions(t *testing.T) {
+	// A v1 hello (old server) must still decode on a new client.
+	buf := appendHello(nil, 3, 9, []string{"l"})
+	v1 := append([]byte{}, buf[1:]...)
+	v1[0] = 1
+	shards, prior, preds, err := decodeHello(v1)
+	if err != nil {
+		t.Fatalf("v1 hello rejected: %v", err)
+	}
+	if shards != 3 || prior != 9 || len(preds) != 1 {
+		t.Fatalf("v1 hello decoded wrong: %d %d %v", shards, prior, preds)
+	}
+	// Unknown future version still rejected.
+	v9 := append([]byte{}, buf[1:]...)
+	v9[0] = 9
+	if _, _, _, err := decodeHello(v9); err == nil {
+		t.Fatal("future protocol version accepted")
 	}
 }
 

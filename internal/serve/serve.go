@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/predstat"
 	"repro/internal/snapshot"
 )
@@ -107,6 +108,17 @@ type Config struct {
 	// off entirely (no observer attached to the banks).
 	Predstat         predstat.Config
 	PredstatDisabled bool
+	// TraceSpanRing caps each trace lane's provisional span ring
+	// (0 = 4096 spans per lane; one lane per shard plus a control lane).
+	TraceSpanRing int
+	// TraceRetain caps the retained-trace flight recorder served by
+	// GET /trace (0 = 64 traces).
+	TraceRetain int
+	// TraceSlowNs is the floor of the tail-sampling slow threshold: a
+	// traced request whose total latency reaches the threshold is
+	// retained. The monitor adapts the threshold upward to the live
+	// p99 of vp_request_ns, never below this floor (0 = 10ms).
+	TraceSlowNs int64
 }
 
 // Health configuration defaults.
@@ -115,6 +127,11 @@ const (
 	defaultHealthSaturationIntervals = 3
 	defaultHealthTick                = time.Second
 )
+
+// defaultTraceSlowNs is the tail-sampling threshold floor: generous next
+// to the µs-scale steady state, so retained traces mean something even
+// before the adaptive p99 has data.
+const defaultTraceSlowNs = int64(10 * time.Millisecond)
 
 // Server is a running value-prediction service.
 type Server struct {
@@ -158,6 +175,10 @@ type Server struct {
 	ring    *obs.Ring
 	health  *healthState
 	log     *obs.Logger
+	// tracer records request spans: lane i belongs to shard i's goroutine,
+	// lane len(shards) is the shared control lane (conn writers, dispatch,
+	// checkpoints). GET /trace serves its flight recorder.
+	tracer *otrace.Recorder
 
 	monitorStop chan struct{}
 	monitorDone chan struct{}
@@ -208,6 +229,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.HealthTick <= 0 {
 		cfg.HealthTick = defaultHealthTick
 	}
+	if cfg.TraceSlowNs <= 0 {
+		cfg.TraceSlowNs = defaultTraceSlowNs
+	}
 	s := &Server{
 		cfg:       cfg,
 		predNames: names,
@@ -219,10 +243,18 @@ func New(cfg Config) (*Server, error) {
 		log:       cfg.Logger,
 	}
 	s.metrics = newServerMetrics(s.start, cfg.Shards, names)
+	s.tracer = otrace.NewRecorder(otrace.Config{
+		Lanes:    cfg.Shards + 1,
+		SpanRing: cfg.TraceSpanRing,
+		Retain:   cfg.TraceRetain,
+		SlowNs:   cfg.TraceSlowNs,
+		Registry: s.metrics.reg,
+	})
 	for i := range s.shards {
 		s.shards[i] = newShard(i, cfg.Predictors, cfg.MailboxDepth)
 		s.shards[i].met = s.metrics.shards[i]
 		s.shards[i].ring = s.ring
+		s.shards[i].tracer = s.tracer
 		if !cfg.PredstatDisabled {
 			pcfg := cfg.Predstat
 			pcfg.PredNames = names
@@ -304,6 +336,14 @@ func (s *Server) BatchLatency() obs.HistSnap { return s.metrics.batchLatency() }
 
 // Predictors returns the configured predictor names in bank order.
 func (s *Server) Predictors() []string { return append([]string(nil), s.predNames...) }
+
+// Tracer exposes the server's span recorder (GET /trace's source).
+func (s *Server) Tracer() *otrace.Recorder { return s.tracer }
+
+// controlLane is the tracer lane shared by non-shard writers: conn
+// readers/writers (dispatch enqueue + whole-request spans) and the
+// checkpoint machinery. Shard i writes lane i.
+func (s *Server) controlLane() int { return len(s.shards) }
 
 // Start launches the shard goroutines and begins accepting on addr
 // (binary protocol). When httpAddr is non-empty, /stats and /healthz are
@@ -506,6 +546,16 @@ func (s *Server) monitor() {
 				} else {
 					s.health.sat[i].Store(0)
 				}
+			}
+			// Adapt the tail-sampling slow threshold to the live request
+			// latency: a trace is "slow" when it lands past today's p99,
+			// never below the configured floor.
+			if snap := s.metrics.requestNs.Snapshot(); snap.Count > 0 {
+				ns := int64(snap.Quantile(0.99))
+				if ns < s.cfg.TraceSlowNs {
+					ns = s.cfg.TraceSlowNs
+				}
+				s.tracer.SetSlowNs(ns)
 			}
 		}
 	}

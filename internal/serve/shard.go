@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/predstat"
 	"repro/internal/snapshot"
 )
@@ -22,6 +23,14 @@ type pending struct {
 	correct   []atomic.Uint64 // per predictor, summed across shards
 	remaining atomic.Int32    // shards still working on this request
 	done      chan struct{}   // one-slot, signalled once per request
+	// Trace state: the request's wire-carried context (zero = untraced),
+	// its dispatch timestamp, and a degraded-path marker the dispatcher
+	// sets (e.g. "mailbox_saturated"). Written by the conn reader before
+	// the request is mailed, read by the conn writer after the done
+	// signal — both ordered by the resp channel + done handoff.
+	ctx      otrace.Context
+	start    int64
+	degraded string
 }
 
 // init readies a pooled pending for one request of the given part count.
@@ -62,6 +71,11 @@ type shardMsg struct {
 	state  chan<- shardStateMsg    // non-nil = checkpoint capture request
 	pstat  chan<- *predstat.Report // non-nil = predictability report request
 	pstatN int                     // ranking size for pstat requests
+	// ctx and sentNs carry the request's trace identity into the shard:
+	// the shard loop records a queue-wait+execute span (sentNs → applied)
+	// and a bank-step span when ctx is valid.
+	ctx    otrace.Context
+	sentNs int64
 }
 
 // shardStateMsg is one shard's reply to a checkpoint capture.
@@ -101,6 +115,9 @@ type shard struct {
 	// attached to the bank as its run observer (single-writer: only the
 	// shard goroutine touches it).
 	pstat *predstat.Tracker
+	// tracer receives this shard's request spans on lane id (single
+	// writer: the shard goroutine).
+	tracer *otrace.Recorder
 }
 
 func newShard(id int, facs []core.NamedFactory, depth int) *shard {
@@ -165,6 +182,22 @@ func (sh *shard) run() {
 		t0 := time.Now()
 		sh.bank.StepBatchCollect(pcs, vals, counts, nil)
 		stepNs := time.Since(t0).Nanoseconds()
+		if msg.ctx.Valid() {
+			t0u := t0.UnixNano()
+			// Shard span: mailed → applied (queue wait + execution);
+			// bank span: the core.Bank step alone. Both on this shard's
+			// lane, so the writes never contend with other shards.
+			sh.tracer.Record(sh.id, otrace.Span{
+				TraceID: msg.ctx.TraceID, SpanID: msg.ctx.SpanID + uint64(sh.id)*2 + 2, Parent: msg.ctx.SpanID,
+				Stage: otrace.StageShard, Shard: int32(sh.id), Pred: -1,
+				Start: msg.sentNs, Dur: t0u + stepNs - msg.sentNs, N: uint64(n),
+			})
+			sh.tracer.Record(sh.id, otrace.Span{
+				TraceID: msg.ctx.TraceID, SpanID: msg.ctx.SpanID + uint64(sh.id)*2 + 3, Parent: msg.ctx.SpanID,
+				Stage: otrace.StageBank, Shard: int32(sh.id), Pred: -1,
+				Start: t0u, Dur: stepNs, N: uint64(n),
+			})
+		}
 		for i := range sh.acc {
 			sh.acc[i].Correct += counts[i]
 			sh.acc[i].Total += uint64(n)
