@@ -16,6 +16,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/core/kernel"
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/predstat"
@@ -239,6 +240,34 @@ func BenchmarkBankStepEvents(b *testing.B) {
 		}
 	}
 	b.ReportMetric(bankBenchBatch, "events/op")
+}
+
+// BenchmarkKernelCompareCount measures the raw compare+count kernel the
+// predictor StepRun paths are built on: one 4096-lane constant-equality
+// pass (hit bytes out, popcount back). Under -tags vpasmkernel on amd64
+// this exercises the AVX2 variant; otherwise the portable SWAR path. CI
+// ratchets ns/op here under both tag sets, so neither implementation can
+// silently regress.
+func BenchmarkKernelCompareCount(b *testing.B) {
+	const lanes = 4096
+	values := make([]uint64, lanes)
+	hits := make([]byte, lanes)
+	for i := range values {
+		if i%3 == 0 {
+			values[i] = 7
+		} else {
+			values[i] = uint64(i)
+		}
+	}
+	b.SetBytes(lanes * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var n uint64
+	for i := 0; i < b.N; i++ {
+		n += kernel.CompareConstCount(values, 7, hits)
+	}
+	_ = n
+	b.ReportMetric(lanes, "events/op")
 }
 
 // BenchmarkSimulator measures raw simulation speed (instructions/op).

@@ -188,6 +188,7 @@ func replay(args []string) {
 	// across batches.
 	bank := core.NewBank(ps...)
 	lat := obs.NewHistogram()
+	var stepNs int64 // predictor time only, excluding trace decode
 	var pcs, vals []uint64
 	err = r.ForEachBatch(0, func(evs []trace.Event) error {
 		if cap(pcs) < len(evs) {
@@ -201,7 +202,9 @@ func replay(args []string) {
 		}
 		t0 := time.Now()
 		bank.StepBatch(pcs, vals)
-		lat.ObserveInt(time.Since(t0).Nanoseconds())
+		d := time.Since(t0).Nanoseconds()
+		stepNs += d
+		lat.ObserveInt(d)
 		return nil
 	})
 	if err != nil {
@@ -211,11 +214,15 @@ func replay(args []string) {
 	correct := bank.Correct()
 	fmt.Printf("%s: %d events\n", r.Header.Benchmark, total)
 	if s := lat.Snapshot(); s.Count > 0 {
-		fmt.Printf("  batch latency: p50=%s p90=%s p99=%s max=%s (%d batches)\n",
+		eps := 0.0
+		if stepNs > 0 {
+			eps = float64(total) / (float64(stepNs) / 1e9)
+		}
+		fmt.Printf("  batch latency: p50=%s p90=%s p99=%s max=%s (%d batches, %.0f events/sec)\n",
 			time.Duration(s.Quantile(0.50)).Round(time.Microsecond),
 			time.Duration(s.Quantile(0.90)).Round(time.Microsecond),
 			time.Duration(s.Quantile(0.99)).Round(time.Microsecond),
-			time.Duration(s.Max).Round(time.Microsecond), s.Count)
+			time.Duration(s.Max).Round(time.Microsecond), s.Count, eps)
 	}
 	for i, fac := range facs {
 		pct := 0.0
@@ -420,7 +427,8 @@ func drive(args []string) {
 	fmt.Printf("%s: drove %d events through %s (%d clients): %.0f events/sec\n",
 		label, res.Events, *addr, max(*clients, 1), res.EventsPerSec())
 	if lat := res.LatencySummary(); lat != "" {
-		fmt.Printf("  request latency: %s (%d batches)\n", lat, res.Latency.Count)
+		fmt.Printf("  request latency: %s (%d batches, %.0f events/sec)\n",
+			lat, res.Latency.Count, res.EventsPerSec())
 	}
 	if len(res.SlowTraces) > 0 {
 		// The ids past the run's p99 — the ones worth pasting into the

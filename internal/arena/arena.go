@@ -1,0 +1,176 @@
+// Package arena provides an opt-in mmap-backed allocator for the large,
+// pointer-free slabs behind predictor tables. Multi-GB context and value
+// slabs are append-only working state the collector can never shrink or
+// move; keeping them on the Go heap makes every GC cycle walk gigabytes of
+// arrays that contain no pointers. Backing them with anonymous private
+// mappings takes them out of the heap entirely — the GC neither scans nor
+// accounts them — while the slices handed back behave like ordinary Go
+// slices, so slab contents (and therefore SaveState bytes and predictions)
+// are identical under either backend.
+//
+// Contract: only pointer-free element types may be arena-allocated. The
+// collector does not see mapped memory, so a pointer stored there keeps
+// nothing alive. Callers must also hold no aliases of a slice's backing
+// array when passing it to Grow or Free — the old mapping is unmapped
+// eagerly, not when the GC gets around to it.
+//
+// A nil *Arena is valid everywhere and means "plain heap": Make and Grow
+// degrade to make/append semantics, Free and Release are no-ops. New
+// returns nil for Kind Heap (and on platforms without mmap), so callers
+// thread one pointer through unconditionally and pay nothing unless mmap
+// was requested.
+package arena
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"unsafe"
+)
+
+// Kind selects the backing store for slab allocations.
+type Kind uint8
+
+const (
+	// Heap is ordinary GC-managed allocation.
+	Heap Kind = iota
+	// Mmap backs allocations at or above MmapThreshold with anonymous
+	// private mappings outside the Go heap.
+	Mmap
+)
+
+// ParseKind maps the -arena flag spelling to a Kind. The empty string
+// means Heap, the default.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "", "heap":
+		return Heap, nil
+	case "mmap":
+		return Mmap, nil
+	}
+	return Heap, fmt.Errorf("unknown arena kind %q (want heap or mmap)", s)
+}
+
+// String returns the flag spelling of k.
+func (k Kind) String() string {
+	if k == Mmap {
+		return "mmap"
+	}
+	return "heap"
+}
+
+// MmapThreshold is the allocation size in bytes below which even an Mmap
+// arena uses the heap: small slabs are cheap for the GC and would waste
+// most of a page. A variable so tests can force tiny slabs through the
+// mapped path.
+var MmapThreshold = 64 << 10
+
+// Arena tracks the live mappings of one owner (one predictor store). It is
+// safe for concurrent use, and a finalizer unmaps everything if the owner
+// is collected without an explicit Release.
+type Arena struct {
+	mu      sync.Mutex
+	regions map[uintptr][]byte // backing base address → full mapping
+}
+
+// New returns an arena of the given kind, or nil — the heap stand-in —
+// when kind is Heap or the platform has no mmap.
+func New(kind Kind) *Arena {
+	if kind != Mmap || !mmapSupported {
+		return nil
+	}
+	a := &Arena{regions: make(map[uintptr][]byte)}
+	runtime.SetFinalizer(a, (*Arena).Release)
+	return a
+}
+
+// Release unmaps every live region. The owner must have dropped all
+// slices into them first. Safe on nil and idempotent.
+func (a *Arena) Release() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for base, b := range a.regions {
+		munmapBytes(b)
+		delete(a.regions, base)
+	}
+}
+
+// Mapped returns the total bytes currently mapped (0 for nil/heap).
+func (a *Arena) Mapped() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, b := range a.regions {
+		n += len(b)
+	}
+	return n
+}
+
+// free unmaps the region based at p if this arena owns it.
+func (a *Arena) free(p unsafe.Pointer) {
+	if a == nil || p == nil {
+		return
+	}
+	a.mu.Lock()
+	b, ok := a.regions[uintptr(p)]
+	if ok {
+		delete(a.regions, uintptr(p))
+	}
+	a.mu.Unlock()
+	if ok {
+		munmapBytes(b)
+	}
+}
+
+// Make returns a zeroed slice of n elements of pointer-free type T,
+// mapped when the arena and size call for it, heap-allocated otherwise
+// (including when the mapping fails — the heap is always a correct
+// fallback).
+func Make[T any](a *Arena, n int) []T {
+	var zero T
+	size := n * int(unsafe.Sizeof(zero))
+	if a == nil || size < MmapThreshold {
+		return make([]T, n)
+	}
+	b, err := mmapBytes(size)
+	if err != nil {
+		return make([]T, n)
+	}
+	base := unsafe.Pointer(&b[0])
+	a.mu.Lock()
+	a.regions[uintptr(base)] = b
+	a.mu.Unlock()
+	return unsafe.Slice((*T)(base), n)
+}
+
+// Grow returns s with capacity for at least n more elements, preserving
+// length and contents, so a subsequent append up to that capacity cannot
+// reallocate. When s must move, the new backing comes from the arena and
+// an arena-owned old backing is unmapped immediately — the caller must
+// hold no other slices aliasing it, and must not read the old backing
+// after Grow returns (re-slice the result, never the original).
+func Grow[T any](a *Arena, s []T, n int) []T {
+	if cap(s)-len(s) >= n {
+		return s
+	}
+	newCap := max(len(s)+n, 2*cap(s), 8)
+	t := Make[T](a, newCap)
+	copy(t, s)
+	Free(a, s)
+	return t[:len(s)]
+}
+
+// Free returns s's backing to the arena if the arena owns it; a no-op for
+// nil arenas and heap-backed slices. The caller must hold no aliases.
+func Free[T any](a *Arena, s []T) {
+	if a == nil || cap(s) == 0 {
+		return
+	}
+	a.free(unsafe.Pointer(unsafe.SliceData(s[:cap(s)])))
+}

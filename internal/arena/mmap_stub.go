@@ -1,0 +1,11 @@
+//go:build !unix
+
+package arena
+
+import "errors"
+
+const mmapSupported = false
+
+func mmapBytes(n int) ([]byte, error) { return nil, errors.New("mmap unsupported") }
+
+func munmapBytes(b []byte) error { return nil }

@@ -1,0 +1,15 @@
+//go:build unix
+
+package arena
+
+import "syscall"
+
+const mmapSupported = true
+
+func mmapBytes(n int) ([]byte, error) {
+	return syscall.Mmap(-1, 0, n,
+		syscall.PROT_READ|syscall.PROT_WRITE,
+		syscall.MAP_ANON|syscall.MAP_PRIVATE)
+}
+
+func munmapBytes(b []byte) error { return syscall.Munmap(b) }

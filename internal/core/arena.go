@@ -1,0 +1,24 @@
+package core
+
+import "repro/internal/arena"
+
+// slabArenaKind is the backing used for predictor slab growth by stores
+// constructed after SetSlabArena. Heap keeps ordinary GC-scanned
+// allocation; Mmap moves large slabs into anonymous mappings the
+// collector never walks, which matters once context tables reach
+// gigabytes: the slabs are pointer-free arrays the GC can neither move
+// nor shrink, so scanning them is pure overhead.
+var slabArenaKind = arena.Heap
+
+// SetSlabArena selects the slab allocation backend ("heap" or "mmap")
+// for predictors created from now on; existing predictors keep their
+// backing. Slab contents are identical under either backend — SaveState
+// bytes and predictions do not change.
+func SetSlabArena(name string) error {
+	k, err := arena.ParseKind(name)
+	if err != nil {
+		return err
+	}
+	slabArenaKind = k
+	return nil
+}

@@ -18,6 +18,8 @@ package core
 // without a kernel are fed per event in original stream order, so
 // cross-PC (aliasing) predictors like the bounded FCM stay bit-exact too.
 
+import "repro/internal/core/kernel"
+
 // BatchPredictor is implemented by predictors with a native fused batch
 // kernel over a same-PC run of values.
 //
@@ -88,6 +90,13 @@ func b2u8(b bool) byte {
 		return 1
 	}
 	return 0
+}
+
+// roundUp8 rounds a buffer length up to a multiple of 8 — the SWAR
+// kernels' block width — so grouped runs of any length sit in buffers
+// with whole blocks of capacity behind them.
+func roundUp8(n int) int {
+	return (n + 7) &^ 7
 }
 
 // stepOne applies the per-event protocol for one predictor and returns 1
@@ -211,11 +220,11 @@ func (b *Bank) StepBatchCollect(pcs, values, counts []uint64, bits [][]uint64) {
 	if observing {
 		for i := range b.obsHits {
 			if cap(b.obsHits[i]) < n {
-				b.obsHits[i] = make([]byte, n)
+				b.obsHits[i] = make([]byte, roundUp8(n))
 			}
 		}
 		if anyFallback && cap(b.obsTmp) < n {
-			b.obsTmp = make([]byte, n)
+			b.obsTmp = make([]byte, roundUp8(n))
 		}
 	}
 	nw := (n + 63) / 64
@@ -236,11 +245,7 @@ func (b *Bank) StepBatchCollect(pcs, values, counts []uint64, bits [][]uint64) {
 				hit += r.StepRun(b.gpc[g], b.gvals[lo:hi], hits[lo:hi])
 			}
 			if bs != nil {
-				for k, idx := range b.order[:n] {
-					if hits[k] != 0 {
-						bs[idx>>6] |= 1 << (uint(idx) & 63)
-					}
-				}
+				kernel.Scatter(hits, b.order[:n], bs)
 			}
 		} else {
 			// Fallback predictors must see the stream in original order
@@ -296,7 +301,7 @@ func (b *Bank) group(pcs, values []uint64, needOrder bool) {
 	b.gpc = b.gpc[:0]
 	b.cnt = b.cnt[:0]
 	if cap(b.egid) < n {
-		b.egid = make([]int32, n)
+		b.egid = make([]int32, roundUp8(n))
 	}
 	egid := b.egid[:n]
 	for j, pc := range pcs {
@@ -326,10 +331,14 @@ func (b *Bank) group(pcs, values []uint64, needOrder bool) {
 		starts[g+1] = starts[g] + b.cnt[g]
 	}
 	b.starts = starts
+	// Run buffers are sized to a multiple of 8, so word-parallel
+	// kernels always have whole blocks of capacity behind any
+	// odd-length run and never need a scalar tail-guard copy.
 	if cap(b.order) < n {
-		b.order = make([]int32, n)
-		b.gvals = make([]uint64, n)
-		b.hits = make([]byte, n)
+		na := roundUp8(n)
+		b.order = make([]int32, na)
+		b.gvals = make([]uint64, na)
+		b.hits = make([]byte, na)
 	}
 	gvals := b.gvals[:n]
 	fill := b.cnt // repurpose the counts as fill cursors

@@ -5,6 +5,9 @@ import (
 	"io"
 	"math/bits"
 	"sort"
+
+	"repro/internal/arena"
+	"repro/internal/core/kernel"
 )
 
 // MaxFCMOrder bounds the context length supported by FCM predictors. The
@@ -40,13 +43,17 @@ type FCM struct {
 }
 
 // fcmStore is the FCM's entire mutable storage, grouped so LoadState can
-// build a fresh store and swap it in atomically.
+// build a fresh store and swap it in atomically. Every pointer-free slab
+// (pcs, vals, the per-order ctxs/keys/slots, the pcTable slots) grows
+// through the store's arena; vidx stays on the heap because fcmValIdx
+// holds a slice header the collector must see.
 type fcmStore struct {
-	idx  pcTable
-	pcs  []fcmPCState    // per-PC slab, indexed by pcTable handles
-	ords []fcmOrderStore // per-order context stores, index 0..order
-	vals []fcmVal        // shared (value, count) slab; each context owns one contiguous run
-	vidx []fcmValIdx     // value→ordinal indexes of promoted (large) contexts
+	idx   pcTable
+	pcs   []fcmPCState    // per-PC slab, indexed by pcTable handles
+	ords  []fcmOrderStore // per-order context stores, index 0..order
+	vals  []fcmVal        // shared (value, count) slab; each context owns one contiguous run
+	vidx  []fcmValIdx     // value→ordinal indexes of promoted (large) contexts
+	arena *arena.Arena    // slab backing; nil = plain heap
 }
 
 // fcmPCState is the per-static-instruction state: the value history, the
@@ -66,10 +73,16 @@ type fcmPCState struct {
 // context values (order values per context) for alias-free verification.
 // Order 0 uses only the slab (its single per-PC context is addressed
 // directly through fcmPCState.ctx0).
+//
+// Context handles are assigned in insertion order, and within a
+// steady-state run a PC re-touches its contexts in the order it first
+// learned them — so the ctxs and keys slab offsets a run walks are
+// monotonically increasing, which the hardware prefetcher follows.
 type fcmOrderStore struct {
-	slots []int32     // context handle+1; 0 = empty
-	ctxs  []fcmCtxEnt // context slab
-	keys  []uint64    // exact context values, order per context
+	slots []int32      // context handle+1; 0 = empty
+	ctxs  []fcmCtxEnt  // context slab; handle order = insertion order
+	keys  []uint64     // exact context values, order per context
+	arena *arena.Arena // shared with the owning fcmStore; nil = heap
 }
 
 // fcmCtxEnt is one context's entry: its signature and owner (for probing
@@ -136,9 +149,9 @@ func (t *fcmValIdx) lookup(v uint64) (int32, bool) {
 
 // insert records v at ord; when v is already present the first ordinal is
 // kept, mirroring the find-first semantics of the linear scan.
-func (t *fcmValIdx) insert(v uint64, ord int32) {
+func (t *fcmValIdx) insert(a *arena.Arena, v uint64, ord int32) {
 	if 4*(t.n+1) > 3*len(t.slots) {
-		t.grow()
+		t.grow(a)
 	}
 	mask := uint64(len(t.slots) - 1)
 	for i := mix64(v) & mask; ; i = (i + 1) & mask {
@@ -154,13 +167,13 @@ func (t *fcmValIdx) insert(v uint64, ord int32) {
 	}
 }
 
-func (t *fcmValIdx) grow() {
+func (t *fcmValIdx) grow(a *arena.Arena) {
 	size := 4 * fcmHashThreshold
 	if len(t.slots) > 0 {
 		size = 2 * len(t.slots)
 	}
 	old := t.slots
-	t.slots = make([]vhSlot, size)
+	t.slots = arena.Make[vhSlot](a, size)
 	mask := uint64(size - 1)
 	for _, s := range old {
 		if s.ref == 0 {
@@ -173,6 +186,7 @@ func (t *fcmValIdx) grow() {
 			}
 		}
 	}
+	arena.Free(a, old)
 }
 
 // Rolling signature: sig(v1..vo) = Σ sigMix(vi)·sigMult^(o-i) mod 2^64.
@@ -222,7 +236,15 @@ func NewFCMNoBlend(order int) *FCM {
 }
 
 func newFCMStore(order int) fcmStore {
-	return fcmStore{ords: make([]fcmOrderStore, order+1)}
+	st := fcmStore{
+		ords:  make([]fcmOrderStore, order+1),
+		arena: arena.New(slabArenaKind),
+	}
+	st.idx.arena = st.arena
+	for i := range st.ords {
+		st.ords[i].arena = st.arena
+	}
+	return st
 }
 
 // Name implements Predictor.
@@ -289,8 +311,8 @@ func (st *fcmOrderStore) insert(pcIdx int32, sig uint64, key []uint64) int32 {
 		st.grow()
 	}
 	h := int32(len(st.ctxs))
-	st.ctxs = append(st.ctxs, fcmCtxEnt{sig: sig, pcIdx: pcIdx})
-	st.keys = append(st.keys, key...)
+	st.ctxs = append(arena.Grow(st.arena, st.ctxs, 1), fcmCtxEnt{sig: sig, pcIdx: pcIdx})
+	st.keys = append(arena.Grow(st.arena, st.keys, len(key)), key...)
 	mask := uint64(len(st.slots) - 1)
 	for i := ctxSlotHash(sig, pcIdx) & mask; ; i = (i + 1) & mask {
 		if st.slots[i] == 0 {
@@ -304,7 +326,7 @@ func (st *fcmOrderStore) insert(pcIdx int32, sig uint64, key []uint64) int32 {
 // fcmPCState.ctx0, never probed).
 func (st *fcmOrderStore) insertPlain(pcIdx int32) int32 {
 	h := int32(len(st.ctxs))
-	st.ctxs = append(st.ctxs, fcmCtxEnt{pcIdx: pcIdx})
+	st.ctxs = append(arena.Grow(st.arena, st.ctxs, 1), fcmCtxEnt{pcIdx: pcIdx})
 	return h
 }
 
@@ -313,7 +335,8 @@ func (st *fcmOrderStore) grow() {
 	if len(st.slots) > 0 {
 		size = 2 * len(st.slots)
 	}
-	st.slots = make([]int32, size)
+	old := st.slots
+	st.slots = arena.Make[int32](st.arena, size)
 	mask := uint64(size - 1)
 	for h := range st.ctxs {
 		c := &st.ctxs[h]
@@ -324,6 +347,7 @@ func (st *fcmOrderStore) grow() {
 			}
 		}
 	}
+	arena.Free(st.arena, old)
 }
 
 // Predict implements Predictor. With blending, the highest order whose
@@ -414,7 +438,7 @@ func (p *FCM) Update(pc uint64, value uint64) {
 	pcIdx, ok := p.idx.lookup(pc)
 	if !ok {
 		pcIdx = p.idx.insert(pc)
-		p.pcs = append(p.pcs, fcmPCState{pc: pc, ctx0: -1})
+		p.pcs = append(arena.Grow(p.arena, p.pcs, 1), fcmPCState{pc: pc, ctx0: -1})
 	}
 	s := &p.pcs[pcIdx]
 	_, matched, mhnd, hit := p.lookupCtx(s, pcIdx)
@@ -425,6 +449,11 @@ func (p *FCM) Update(pc uint64, value uint64) {
 // run, the fused loop walks the context orders once per event — the walk
 // serves both the prediction and the update's matched-order/lazy-
 // exclusion decision — where the Predict/Update pair walks them twice.
+// Constant stretches (the paper's dominant sequence class) take a bulk
+// fast path: once the history is saturated with the repeated value and
+// the top-order context predicts it, the per-event step is a fixed
+// point of the whole state except one counter, so the entire stretch
+// collapses to a single counter addition.
 func (p *FCM) StepRun(pc uint64, values []uint64, hits []byte) uint64 {
 	if len(values) == 0 {
 		return 0
@@ -432,20 +461,58 @@ func (p *FCM) StepRun(pc uint64, values []uint64, hits []byte) uint64 {
 	pcIdx, ok := p.idx.lookup(pc)
 	if !ok {
 		pcIdx = p.idx.insert(pc)
-		p.pcs = append(p.pcs, fcmPCState{pc: pc, ctx0: -1})
+		p.pcs = append(arena.Grow(p.arena, p.pcs, 1), fcmPCState{pc: pc, ctx0: -1})
 	}
 	// p.pcs cannot grow during the run (only the insert above appends),
 	// so the state pointer is loop-invariant.
 	s := &p.pcs[pcIdx]
+	order := p.order
 	var n uint64
-	for k, v := range values {
+	k := 0
+	for k < len(values) {
+		v := values[k]
 		pred, matched, mhnd, okc := p.lookupCtx(s, pcIdx)
+		// Bulk precondition: the top order matched (which implies the
+		// history is full), every history value equals v, and the
+		// prediction is v. Each scalar step would then (a) hit, (b)
+		// update only the matched top-order context under lazy
+		// exclusion, (c) bump exactly its cached best value — runs
+		// hold distinct values, so the scan lands on ordinal best —
+		// and (d) push v into a history already saturated with v,
+		// which leaves hist and every rolling signature bit-identical.
+		// The whole constant prefix is therefore one count addition.
+		if okc && pred == v && matched == order && histConst(s, v, order) {
+			m := kernel.ConstPrefixLen(values[k:], v)
+			c := &p.ords[order].ctxs[mhnd]
+			e := &p.vals[c.valOff+c.best]
+			e.count += uint32(m)
+			c.bestCnt = e.count
+			s.updates += uint64(m)
+			kernel.SetOnes(hits[k : k+m])
+			n += uint64(m)
+			k += m
+			continue
+		}
 		h := b2u8(okc && pred == v)
 		hits[k] = h
 		n += uint64(h)
 		p.updateCtxs(s, pcIdx, v, matched, mhnd, okc)
+		k++
 	}
 	return n
+}
+
+// histConst reports whether every valid history value equals v. Newest
+// first, so a broken constant stretch exits on the first compare. The
+// caller guarantees the history is full (a top-order context match
+// implies s.n == order).
+func histConst(s *fcmPCState, v uint64, order int) bool {
+	for i := order - 1; i >= 0; i-- {
+		if s.hist[i] != v {
+			return false
+		}
+	}
+	return true
 }
 
 // addValue increments the count for v in c's run (appending on first
@@ -459,7 +526,7 @@ func (st *fcmStore) addValue(c *fcmCtxEnt, v uint64) {
 			return
 		}
 		st.appendNewValue(c, v)
-		st.vidx[c.vh-1].insert(v, c.nvals-1)
+		st.vidx[c.vh-1].insert(st.arena, v, c.nvals-1)
 		return
 	}
 	run := st.vals[c.valOff : c.valOff+c.nvals]
@@ -504,7 +571,7 @@ func (st *fcmStore) promote(c *fcmCtxEnt) {
 	t := &st.vidx[h]
 	run := st.vals[c.valOff : c.valOff+c.nvals]
 	for i := range run {
-		t.insert(run[i].value, int32(i))
+		t.insert(st.arena, run[i].value, int32(i))
 	}
 	c.vh = h + 1
 }
@@ -518,6 +585,10 @@ func (st *fcmStore) relocateRun(c *fcmCtxEnt) {
 	if c.valCap > 0 {
 		newCap = 2 * c.valCap
 	}
+	// Grow first, then copy within the (possibly relocated) slab: the
+	// source run must be re-sliced from the grown slab, because Grow
+	// unmaps a replaced arena backing as soon as it has copied it.
+	st.vals = arena.Grow(st.arena, st.vals, int(newCap))
 	off := int32(len(st.vals))
 	st.vals = append(st.vals, st.vals[c.valOff:c.valOff+c.nvals]...)
 	for i := c.nvals; i < newCap; i++ {
@@ -723,7 +794,7 @@ func (p *FCM) LoadState(r io.Reader) error {
 			return errState(p.Name(), errDuplicatePC(pc))
 		}
 		pcIdx := store.idx.insert(pc)
-		store.pcs = append(store.pcs, fcmPCState{pc: pc, ctx0: -1})
+		store.pcs = append(arena.Grow(store.arena, store.pcs, 1), fcmPCState{pc: pc, ctx0: -1})
 		s := &store.pcs[pcIdx]
 		s.n = int32(d.count(uint64(p.order)))
 		for j := 0; j < int(s.n); j++ {
@@ -786,6 +857,7 @@ func (p *FCM) LoadState(r io.Reader) error {
 	if err := d.expectEOF(); err != nil {
 		return errState(p.Name(), err)
 	}
+	p.fcmStore.arena.Release()
 	p.fcmStore = store
 	return nil
 }

@@ -1,0 +1,89 @@
+//go:build vpasmkernel && amd64
+
+#include "textflag.h"
+
+// maskBytes4 maps a 4-bit VMOVMSKPD lane mask to the corresponding
+// four 0/1 hit bytes, little-endian (lane 0 = lowest byte).
+DATA maskBytes4<>+0(SB)/4, $0x00000000
+DATA maskBytes4<>+4(SB)/4, $0x00000001
+DATA maskBytes4<>+8(SB)/4, $0x00000100
+DATA maskBytes4<>+12(SB)/4, $0x00000101
+DATA maskBytes4<>+16(SB)/4, $0x00010000
+DATA maskBytes4<>+20(SB)/4, $0x00010001
+DATA maskBytes4<>+24(SB)/4, $0x00010100
+DATA maskBytes4<>+28(SB)/4, $0x00010101
+DATA maskBytes4<>+32(SB)/4, $0x01000000
+DATA maskBytes4<>+36(SB)/4, $0x01000001
+DATA maskBytes4<>+40(SB)/4, $0x01000100
+DATA maskBytes4<>+44(SB)/4, $0x01000101
+DATA maskBytes4<>+48(SB)/4, $0x01010000
+DATA maskBytes4<>+52(SB)/4, $0x01010001
+DATA maskBytes4<>+56(SB)/4, $0x01010100
+DATA maskBytes4<>+60(SB)/4, $0x01010101
+GLOBL maskBytes4<>(SB), RODATA|NOPTR, $64
+
+// func compareConstCountAVX2(values *uint64, n int, pred uint64, hits *byte) uint64
+//
+// Four 64-bit lanes per iteration: VPCMPEQQ against the broadcast
+// prediction, VMOVMSKPD folds the lane results to a 4-bit mask,
+// POPCNT accumulates the hit count, and a 16-entry table expands the
+// mask to four hit bytes stored with a single MOVL. The scalar tail
+// handles n % 4 events; nothing is read or written past n.
+TEXT ·compareConstCountAVX2(SB), NOSPLIT, $0-40
+	MOVQ values+0(FP), SI
+	MOVQ n+8(FP), CX
+	MOVQ pred+16(FP), AX
+	MOVQ hits+24(FP), DI
+	VPBROADCASTQ pred+16(FP), Y0
+	LEAQ maskBytes4<>(SB), R12
+	XORQ R9, R9             // hit count
+	XORQ DX, DX             // event index
+loop4:
+	LEAQ 4(DX), BX
+	CMPQ BX, CX
+	JGT  tail
+	VMOVDQU (SI)(DX*8), Y1
+	VPCMPEQQ Y0, Y1, Y1
+	VMOVMSKPD Y1, R8
+	POPCNTL R8, R10
+	ADDQ R10, R9
+	MOVL (R12)(R8*4), R11
+	MOVL R11, (DI)(DX*1)
+	MOVQ BX, DX
+	JMP  loop4
+tail:
+	CMPQ DX, CX
+	JGE  done
+	MOVQ (SI)(DX*8), BX
+	XORQ R10, R10
+	CMPQ BX, AX
+	JNE  store
+	INCQ R10
+store:
+	MOVB R10, (DI)(DX*1)
+	ADDQ R10, R9
+	INCQ DX
+	JMP  tail
+done:
+	VZEROUPPER
+	MOVQ R9, ret+32(FP)
+	RET
+
+// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

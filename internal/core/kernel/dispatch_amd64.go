@@ -1,0 +1,59 @@
+//go:build vpasmkernel && amd64
+
+package kernel
+
+// Assembly dispatch (build tag vpasmkernel): CPUID feature detection
+// picks the AVX2 compare+count kernel at startup; CPUs without AVX2
+// (or without OS-enabled YMM state) fall back to the portable SWAR
+// path, so the tag is always safe to enable.
+
+var useAVX2 = detectAVX2()
+
+// cpuid and xgetbv are implemented in compare_amd64.s.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+// compareConstCountAVX2 is implemented in compare_amd64.s. values and
+// hits must both have at least n elements; n may be 0.
+//
+//go:noescape
+func compareConstCountAVX2(values *uint64, n int, pred uint64, hits *byte) uint64
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c, _ := cpuid(1, 0)
+	const (
+		popcntBit  = 1 << 23
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if c&popcntBit == 0 || c&osxsaveBit == 0 || c&avxBit == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX/YMM) must both be OS-enabled.
+	if lo, _ := xgetbv(); lo&6 != 6 {
+		return false
+	}
+	_, b, _, _ := cpuid(7, 0)
+	const avx2Bit = 1 << 5
+	return b&avx2Bit != 0
+}
+
+func compareConstCount(values []uint64, pred uint64, hits []byte) uint64 {
+	if useAVX2 && len(values) >= 4 {
+		_ = hits[len(values)-1]
+		return compareConstCountAVX2(&values[0], len(values), pred, &hits[0])
+	}
+	return compareConstCountSWAR(values, pred, hits)
+}
+
+// Impl reports the active compare+count implementation.
+func Impl() string {
+	if useAVX2 {
+		return "avx2"
+	}
+	return "swar"
+}

@@ -1,0 +1,14 @@
+//go:build !vpasmkernel || !amd64
+
+package kernel
+
+// Default dispatch: every kernel runs the portable SWAR path. The
+// vpasmkernel build tag on amd64 swaps compareConstCount for the
+// runtime-dispatched assembly variant (see dispatch_amd64.go).
+
+func compareConstCount(values []uint64, pred uint64, hits []byte) uint64 {
+	return compareConstCountSWAR(values, pred, hits)
+}
+
+// Impl reports the active compare+count implementation.
+func Impl() string { return "swar" }

@@ -1,6 +1,10 @@
 package core
 
-import "io"
+import (
+	"io"
+
+	"repro/internal/core/kernel"
+)
 
 // LastValue is the paper's simplest computational predictor: the identity
 // function on the previous value. This variant always updates (no
@@ -40,8 +44,8 @@ func (p *LastValue) Update(pc uint64, value uint64) {
 }
 
 // StepRun implements BatchPredictor: one table probe for the whole run,
-// then a branch-free compare/count loop — within a same-PC run the
-// prediction for values[k] is simply values[k-1].
+// then the word-parallel adjacent compare+count kernel — within a
+// same-PC run the prediction for values[k] is simply values[k-1].
 func (p *LastValue) StepRun(pc uint64, values []uint64, hits []byte) uint64 {
 	if len(values) == 0 {
 		return 0
@@ -55,16 +59,8 @@ func (p *LastValue) StepRun(pc uint64, values []uint64, hits []byte) uint64 {
 		hits[0] = 0
 		k = 1
 	}
-	prev := p.vals[i]
-	var n uint64
-	for ; k < len(values); k++ {
-		v := values[k]
-		h := b2u8(prev == v)
-		hits[k] = h
-		n += uint64(h)
-		prev = v
-	}
-	p.vals[i] = prev
+	n := kernel.CompareAdjacentCount(p.vals[i], values[k:], hits[k:])
+	p.vals[i] = values[len(values)-1]
 	return n
 }
 
@@ -208,14 +204,20 @@ func (p *LastValueCounter) StepRun(pc uint64, values []uint64, hits []byte) uint
 	}
 	e := p.entries[i]
 	var n uint64
-	for ; k < len(values); k++ {
-		v := values[k]
-		if e.value == v {
-			hits[k] = 1
-			n++
-			if e.count < p.max {
-				e.count++
+	// Segment loop: every maximal stretch of events equal to the stored
+	// value is a block of guaranteed hits (the counter only saturates
+	// upward), applied in bulk via the prefix kernel; the mismatch event
+	// that ends a segment runs the scalar hysteresis step.
+	for k < len(values) {
+		if m := kernel.ConstPrefixLen(values[k:], e.value); m > 0 {
+			kernel.SetOnes(hits[k : k+m])
+			n += uint64(m)
+			if c := int(e.count) + m; c >= int(p.max) {
+				e.count = p.max
+			} else {
+				e.count = int8(c)
 			}
+			k += m
 			continue
 		}
 		hits[k] = 0
@@ -223,8 +225,9 @@ func (p *LastValueCounter) StepRun(pc uint64, values []uint64, hits []byte) uint
 			e.count--
 		}
 		if e.count <= p.threshold {
-			e.value = v
+			e.value = values[k]
 		}
+		k++
 	}
 	p.entries[i] = e
 	return n
@@ -367,8 +370,19 @@ func (p *LastValueConsecutive) StepRun(pc uint64, values []uint64, hits []byte) 
 	}
 	e := p.entries[i]
 	var n uint64
-	for ; k < len(values); k++ {
+	for k < len(values) {
 		v := values[k]
+		// Steady state: prediction and candidate agree and the stream
+		// repeats them — every event is a hit that only extends the
+		// candidate run, so the whole stretch applies in bulk.
+		if e.value == e.candidate && v == e.value {
+			m := kernel.ConstPrefixLen(values[k:], v)
+			kernel.SetOnes(hits[k : k+m])
+			n += uint64(m)
+			e.runLength += m
+			k += m
+			continue
+		}
 		h := b2u8(e.value == v)
 		hits[k] = h
 		n += uint64(h)
@@ -381,6 +395,7 @@ func (p *LastValueConsecutive) StepRun(pc uint64, values []uint64, hits []byte) 
 		if e.runLength >= p.required {
 			e.value = e.candidate
 		}
+		k++
 	}
 	p.entries[i] = e
 	return n

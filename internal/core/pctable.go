@@ -1,6 +1,10 @@
 package core
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/arena"
+)
 
 // This file holds the flat storage primitives shared by every predictor in
 // the package: an open-addressed PC index and the small hash/sort helpers
@@ -41,6 +45,7 @@ type pcSlot struct {
 type pcTable struct {
 	slots []pcSlot
 	n     int
+	arena *arena.Arena // optional slab backing for the slot array; nil = heap
 }
 
 // lookup returns the handle for pc, if present.
@@ -82,7 +87,7 @@ func (t *pcTable) grow() {
 		size = 2 * len(t.slots)
 	}
 	old := t.slots
-	t.slots = make([]pcSlot, size)
+	t.slots = arena.Make[pcSlot](t.arena, size)
 	mask := uint64(size - 1)
 	for _, s := range old {
 		if s.ref == 0 {
@@ -95,6 +100,7 @@ func (t *pcTable) grow() {
 			}
 		}
 	}
+	arena.Free(t.arena, old)
 }
 
 // reset empties the table in place, keeping the slot array's capacity.

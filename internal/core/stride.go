@@ -1,6 +1,10 @@
 package core
 
-import "io"
+import (
+	"io"
+
+	"repro/internal/core/kernel"
+)
 
 // The stride and last-value predictors share the package's flat layout:
 // one open-addressed pc→handle table per predictor plus a contiguous
@@ -79,16 +83,28 @@ func (p *StrideSimple) StepRun(pc uint64, values []uint64, hits []byte) uint64 {
 		k = 1
 	}
 	e := p.entries[i]
-	var n uint64
-	for ; k < len(values); k++ {
-		v := values[k]
-		h := b2u8(e.seen != 0 && e.last+e.stride == v)
-		hits[k] = h
-		n += uint64(h)
-		e.stride = v - e.last
-		e.last = v
-		if e.seen < 2 {
-			e.seen++
+	// The always-update predictor's whole run is one kernel call: the
+	// prediction for rest[0] is last+stride, for rest[1] it is
+	// 2*rest[0]-last, and from there on 2*rest[j-1]-rest[j-2].
+	rest := values[k:]
+	n := kernel.CompareStrideCount(e.last, e.stride, rest, hits[k:])
+	if e.seen == 0 && len(rest) > 0 && hits[k] != 0 {
+		// A restored-but-empty entry makes no prediction for its first
+		// event; the kernel scored it, so take it back.
+		hits[k] = 0
+		n--
+	}
+	if m := len(rest); m > 0 {
+		if m >= 2 {
+			e.stride = rest[m-1] - rest[m-2]
+		} else {
+			e.stride = rest[0] - e.last
+		}
+		e.last = rest[m-1]
+		if s := int(e.seen) + m; s >= 2 {
+			e.seen = 2
+		} else {
+			e.seen = uint8(s)
 		}
 	}
 	p.entries[i] = e
@@ -244,7 +260,24 @@ func (p *Stride2Delta) StepRun(pc uint64, values []uint64, hits []byte) uint64 {
 	}
 	e := p.entries[i]
 	var n uint64
-	for ; k < len(values); k++ {
+	for k < len(values) {
+		// Steady state: both strides agree, so a hit implies delta ==
+		// s1 == s2 and the step only saturates s1Count — the whole
+		// strided stretch applies in bulk via the prefix kernel.
+		if e.seen == 2 && e.s1 == e.s2 {
+			if m := kernel.StridePrefixLen(e.last, e.s2, values[k:]); m > 0 {
+				kernel.SetOnes(hits[k : k+m])
+				n += uint64(m)
+				if c := int(e.s1Count) + m; c >= 2 {
+					e.s1Count = 2
+				} else {
+					e.s1Count = uint8(c)
+				}
+				e.last = values[k+m-1]
+				k += m
+				continue
+			}
+		}
 		v := values[k]
 		h := b2u8(e.seen >= 2 && e.last+e.s2 == v)
 		hits[k] = h
@@ -266,6 +299,7 @@ func (p *Stride2Delta) StepRun(pc uint64, values []uint64, hits []byte) uint64 {
 			e.s1Count = 1
 		}
 		e.last = v
+		k++
 	}
 	p.entries[i] = e
 	return n
@@ -427,30 +461,47 @@ func (p *StrideCounter) StepRun(pc uint64, values []uint64, hits []byte) uint64 
 	}
 	e := p.entries[i]
 	var n uint64
-	for ; k < len(values); k++ {
-		v := values[k]
-		predicted := e.last + e.stride
-		h := b2u8(e.seen != 0 && predicted == v)
-		hits[k] = h
-		n += uint64(h)
-		if e.seen >= 1 {
-			if predicted == v {
-				if e.count < p.max {
-					e.count++
-				}
+	if e.seen == 0 && k < len(values) {
+		// A restored-but-empty entry: no prediction, no counter logic.
+		hits[k] = 0
+		e.last = values[k]
+		e.seen = 1
+		k++
+	}
+	// Segment loop: a stretch that follows the sticky stride is all
+	// hits and only saturates the counter, applied in bulk; the
+	// mismatch ending it runs the scalar hysteresis step.
+	for k < len(values) {
+		if m := kernel.StridePrefixLen(e.last, e.stride, values[k:]); m > 0 {
+			kernel.SetOnes(hits[k : k+m])
+			n += uint64(m)
+			if c := int(e.count) + m; c >= int(p.max) {
+				e.count = p.max
 			} else {
-				if e.count > 0 {
-					e.count--
-				}
-				if e.count <= p.threshold {
-					e.stride = v - e.last
-				}
+				e.count = int8(c)
 			}
+			e.last = values[k+m-1]
+			if s := int(e.seen) + m; s >= 2 {
+				e.seen = 2
+			} else {
+				e.seen = uint8(s)
+			}
+			k += m
+			continue
+		}
+		v := values[k]
+		hits[k] = 0
+		if e.count > 0 {
+			e.count--
+		}
+		if e.count <= p.threshold {
+			e.stride = v - e.last
 		}
 		e.last = v
 		if e.seen < 2 {
 			e.seen++
 		}
+		k++
 	}
 	p.entries[i] = e
 	return n

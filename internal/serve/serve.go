@@ -119,6 +119,11 @@ type Config struct {
 	// retained. The monitor adapts the threshold upward to the live
 	// p99 of vp_request_ns, never below this floor (0 = 10ms).
 	TraceSlowNs int64
+	// Arena selects the predictor slab backing: "heap" (or empty, the
+	// default) for ordinary GC-managed slabs, "mmap" to back large slabs
+	// with anonymous mappings the collector never scans. Process-global:
+	// it applies to every predictor constructed after New.
+	Arena string
 }
 
 // Health configuration defaults.
@@ -190,6 +195,9 @@ type Server struct {
 // New validates the configuration and builds the shard set (not yet
 // listening; call Start).
 func New(cfg Config) (*Server, error) {
+	if err := core.SetSlabArena(cfg.Arena); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
 	if cfg.Shards <= 0 {
 		cfg.Shards = runtime.GOMAXPROCS(0)
 	}
