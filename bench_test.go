@@ -12,6 +12,7 @@ import (
 	"io"
 	"os"
 	"testing"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/bench"
@@ -582,6 +583,133 @@ func BenchmarkServeCheckpoint(b *testing.B) {
 		b.StartTimer()
 	}
 	b.ReportMetric(float64(len(evs)), "events/op")
+}
+
+// deltaBenchStream builds the delta-checkpoint workload: a wide static
+// PC set (8192 PCs) so each predictor's canonical state spans many
+// chunks, plus a hot stream over the lowest ~5% of those PCs. The hot
+// set is contiguous in the ascending-PC canonical order, so steady-state
+// mutation dirties a small clustered band of chunks — the access pattern
+// (few hot instructions, stable table membership) delta checkpoints are
+// built for.
+var deltaStreamOnce struct {
+	train, hot []serve.Event
+}
+
+func deltaBenchStream() (train, hot []serve.Event) {
+	if deltaStreamOnce.train != nil {
+		return deltaStreamOnce.train, deltaStreamOnce.hot
+	}
+	rns := seqclass.NonStridePeriod(5, 4)
+	const (
+		pcCount = 8192
+		hotPCs  = pcCount * 5 / 100
+		n       = 256_000
+	)
+	val := func(pc uint64, i int) uint64 {
+		switch pc % 3 {
+		case 0:
+			return uint64(i) * 8
+		case 1:
+			return 42
+		default:
+			return rns[i%4]
+		}
+	}
+	train = make([]serve.Event, n)
+	for i := range train {
+		pc := uint64((i % pcCount) * 4)
+		train[i] = serve.Event{PC: pc, Value: val(pc, i)}
+	}
+	hot = make([]serve.Event, 4096)
+	for i := range hot {
+		pc := uint64((i % hotPCs) * 4)
+		hot[i] = serve.Event{PC: pc, Value: val(pc, n+i)}
+	}
+	deltaStreamOnce.train, deltaStreamOnce.hot = train, hot
+	return train, hot
+}
+
+// BenchmarkSnapshotDeltaEncode measures an incremental checkpoint cut on
+// a loaded delta-mode server when ~5% of PCs have mutated since the
+// previous cut: per op, the hot PC band is re-driven (untimed) and then
+// one delta is cut (timed) — dirty-chunk serialization, content-hash
+// dedup of the clean remainder, and the streaming file write. The
+// full-cut reference over the same mutation pattern is measured during
+// setup and reported as full_cut_ns and full_bytes; bytes_x and time_x
+// are the full/delta ratios, with ≥5× the acceptance bar for both. CI
+// ratchets ns/op here, so the clean-chunk skip path cannot silently
+// decay back into a full serialization.
+func BenchmarkSnapshotDeltaEncode(b *testing.B) {
+	train, hot := deltaBenchStream()
+	dir := b.TempDir()
+	s, err := serve.New(serve.Config{Shards: 4, CheckpointDir: dir, DeltaCheckpoints: true, FullEvery: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0", ""); err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := serve.DriveEvents(train, serve.DriveConfig{Addr: s.Addr().String(), Clients: 4}); err != nil {
+		b.Fatal(err)
+	}
+	mutate := func() {
+		if _, err := serve.DriveEvents(hot, serve.DriveConfig{Addr: s.Addr().String()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	size := func(path string) int64 {
+		fi, err := os.Stat(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		os.Remove(path) // keep the temp dir from filling the disk
+		return fi.Size()
+	}
+
+	// Full-cut reference over the identical state and mutation pattern.
+	var fullNs, fullBytes int64
+	const refIters = 3
+	for i := 0; i < refIters; i++ {
+		mutate()
+		t0 := time.Now()
+		info, err := s.WriteFullCheckpoint(dir)
+		fullNs += int64(time.Since(t0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		fullBytes += size(info.Path)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var deltaNs, deltaBytes int64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		mutate()
+		b.StartTimer()
+		t0 := time.Now()
+		info, err := s.WriteCheckpoint(dir)
+		deltaNs += int64(time.Since(t0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if info.Kind != "delta" {
+			b.Fatalf("expected a delta cut, got kind %q", info.Kind)
+		}
+		b.StopTimer()
+		deltaBytes += size(info.Path)
+		b.StartTimer()
+	}
+	fullCutNs := float64(fullNs) / refIters
+	fullSz := float64(fullBytes) / refIters
+	deltaSz := float64(deltaBytes) / float64(b.N)
+	b.ReportMetric(fullCutNs, "full_cut_ns")
+	b.ReportMetric(fullSz, "full_bytes")
+	b.ReportMetric(deltaSz, "delta_bytes/op")
+	b.ReportMetric(fullSz/deltaSz, "bytes_x")
+	b.ReportMetric(fullCutNs/(float64(deltaNs)/float64(b.N)), "time_x")
 }
 
 // BenchmarkFullPass measures the all-collector analysis pass used by the

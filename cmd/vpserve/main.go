@@ -15,10 +15,21 @@
 //	vpserve -checkpoint-dir /var/lib/vpserve -checkpoint-interval 30s
 //	vpserve -checkpoint-dir /var/lib/vpserve -restore /var/lib/vpserve
 //
-// -restore accepts a snapshot file or a directory (the newest snapshot
-// wins); unless overridden, the shard count and predictor bank are taken
-// from the snapshot. POST /snapshot on the HTTP endpoint triggers an
-// immediate checkpoint. Drive it with the load generator:
+// With -checkpoint-delta checkpoints become incremental: each cut stores
+// only the state chunks dirtied since the previous one (the rest dedup
+// to content-hash references into the chain) and every
+// -checkpoint-full-every deltas a full checkpoint roots a fresh chain
+// and sweeps the superseded files:
+//
+//	vpserve -checkpoint-dir /var/lib/vpserve -checkpoint-interval 30s \
+//	        -checkpoint-delta -checkpoint-full-every 8
+//
+// -restore accepts a checkpoint file or a directory (the newest
+// checkpoint of either generation wins); delta chains are resolved back
+// through their parents automatically. Unless overridden, the shard
+// count and predictor bank are taken from the snapshot. POST /snapshot
+// on the HTTP endpoint triggers an immediate checkpoint (?full=1 forces
+// a full cut). Drive it with the load generator:
 //
 //	vptrace capture -bench gcc -events 1000000 -o gcc.vpt
 //	vptrace drive -addr localhost:9747 -clients 8 gcc.vpt
@@ -50,6 +61,8 @@ func main() {
 	mailbox := flag.Int("mailbox", 0, "per-shard mailbox depth (0 = default)")
 	ckptDir := flag.String("checkpoint-dir", "", "directory for predictor-state snapshots (enables checkpointing)")
 	ckptEvery := flag.Duration("checkpoint-interval", 0, "write a checkpoint this often (0 = only on shutdown/trigger; needs -checkpoint-dir)")
+	ckptDelta := flag.Bool("checkpoint-delta", false, "write incremental (delta-chain) checkpoints: only state chunks dirtied since the previous cut are stored, the rest dedup to content-hash references")
+	ckptFullEvery := flag.Int("checkpoint-full-every", 0, "with -checkpoint-delta, force a full checkpoint after this many deltas and sweep the superseded chain (0 = 8)")
 	restore := flag.String("restore", "", "warm-restart from this snapshot file, or the newest snapshot in this directory")
 	logLevel := flag.String("log-level", "", "minimum log level (debug|info|warn|error; default $"+obs.LogLevelEnv+", then info)")
 	predstatOn := flag.Bool("predstat", true, "track per-PC predictability analytics (GET /predictability, vp_pc_entropy_bits & friends)")
@@ -110,12 +123,13 @@ func main() {
 		path := *restore
 		if st, err := os.Stat(path); err == nil && st.IsDir() {
 			var err error
-			if path, err = snapshot.Latest(path); err != nil {
+			if path, err = snapshot.LatestAny(path); err != nil {
 				fatal(err)
 			}
 		}
+		var chain *snapshot.ChainInfo
 		var err error
-		if snap, err = snapshot.ReadFile(path); err != nil {
+		if snap, chain, err = snapshot.ResolveChain(path); err != nil {
 			fatal(err)
 		}
 		if !explicit["shards"] {
@@ -125,7 +139,7 @@ func main() {
 			*preds = strings.Join(snap.Meta.Predictors, ",")
 		}
 		log.Info("restoring snapshot", "id", snap.Meta.ID, "events", snap.Meta.Events,
-			"shards", snap.Meta.Shards, "path", path)
+			"shards", snap.Meta.Shards, "chain_depth", chain.Depth, "path", path)
 	}
 
 	facs, err := core.ParseFactories(*preds)
@@ -137,6 +151,8 @@ func main() {
 		Predictors:       facs,
 		MailboxDepth:     *mailbox,
 		CheckpointDir:    *ckptDir,
+		DeltaCheckpoints: *ckptDelta,
+		FullEvery:        *ckptFullEvery,
 		Logger:           log,
 		PredstatDisabled: !*predstatOn,
 		TraceSlowNs:      traceSlow.Nanoseconds(),

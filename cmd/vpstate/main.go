@@ -16,6 +16,13 @@
 // table growth, and which PCs appeared, vanished or changed. export
 // emits everything as JSON for scripting, with -pcs including the full
 // per-PC entry counts.
+//
+// All three commands accept either generation of checkpoint: a v1
+// .vpsnap snapshot, or a v2 .vpdelta delta whose parent chain is
+// resolved from the same directory (and each link CRC-verified). For a
+// delta, info additionally reports the parent ID, chain depth, file
+// count, and the tip's dirty ratio — how many chunks were stored inline
+// versus deduplicated to content-hash references.
 package main
 
 import (
@@ -123,15 +130,17 @@ func aggregate(snap *snapshot.Snapshot) ([]*predAgg, error) {
 	return aggs, nil
 }
 
-func readSnap(path string) *snapshot.Snapshot {
-	snap, err := snapshot.ReadFile(path)
+// readSnap opens a checkpoint of either generation: a v1 snapshot as-is,
+// a v2 delta with its parent chain resolved from the same directory.
+func readSnap(path string) (*snapshot.Snapshot, *snapshot.ChainInfo) {
+	snap, chain, err := snapshot.ResolveChain(path)
 	if err != nil {
 		fatal(err)
 	}
-	return snap
+	return snap, chain
 }
 
-func printMeta(snap *snapshot.Snapshot) {
+func printMeta(snap *snapshot.Snapshot, chain *snapshot.ChainInfo) {
 	m := snap.Meta
 	fmt.Printf("snapshot:   %s (format v%d)\n", m.ID, m.FormatVersion)
 	fmt.Printf("created:    %s\n", time.Unix(0, m.CreatedUnixNano).UTC().Format(time.RFC3339Nano))
@@ -143,6 +152,44 @@ func printMeta(snap *snapshot.Snapshot) {
 	}
 	fmt.Printf("unique PCs: %d\n", pcs)
 	fmt.Printf("state:      %d bytes encoded\n", snap.StateBytes())
+	printChain(chain)
+}
+
+// printChain summarizes a delta chain: kind, parentage, depth, and the
+// tip's chunk table split into dirty (inline) and clean (referenced)
+// chunks. Prints nothing for a v1 snapshot.
+func printChain(chain *snapshot.ChainInfo) {
+	if chain == nil || chain.Tip == nil {
+		return
+	}
+	tip := chain.Tip
+	kind := "full"
+	if tip.Meta.ParentID != "" {
+		kind = "delta"
+		fmt.Printf("kind:       %s (parent %s)\n", kind, tip.Meta.ParentID)
+	} else {
+		fmt.Printf("kind:       %s\n", kind)
+	}
+	fmt.Printf("chain:      depth %d, %d file(s)\n", chain.Depth, len(chain.Files))
+	st := tip.Stats()
+	total := st.Inline + st.Refs
+	if total > 0 {
+		fmt.Printf("chunks:     %d dirty (%d bytes inline), %d clean refs (%d bytes deduped), %.1f%% dirty\n",
+			st.Inline, st.InlineBytes, st.Refs, st.RefBytes, 100*float64(st.Inline)/float64(total))
+	}
+}
+
+// chainSuffix is the compact chain annotation diff appends to each
+// side's header line; empty for a v1 snapshot.
+func chainSuffix(chain *snapshot.ChainInfo) string {
+	if chain == nil || chain.Tip == nil {
+		return ""
+	}
+	if chain.Tip.Meta.ParentID == "" {
+		return "  [full]"
+	}
+	return fmt.Sprintf("  [delta chain: depth %d, %d files, parent %s]",
+		chain.Depth, len(chain.Files), chain.Tip.Meta.ParentID)
 }
 
 func info(args []string) {
@@ -152,8 +199,8 @@ func info(args []string) {
 	if fs.NArg() != 1 {
 		usage()
 	}
-	snap := readSnap(fs.Arg(0))
-	printMeta(snap)
+	snap, chain := readSnap(fs.Arg(0))
+	printMeta(snap, chain)
 	aggs, err := aggregate(snap)
 	if err != nil {
 		fatal(err)
@@ -215,11 +262,12 @@ func diff(args []string) {
 	if fs.NArg() != 2 {
 		usage()
 	}
-	oldSnap, newSnap := readSnap(fs.Arg(0)), readSnap(fs.Arg(1))
-	fmt.Printf("old: %s  %12d events  (%s)\n", oldSnap.Meta.ID, oldSnap.Meta.Events,
-		time.Unix(0, oldSnap.Meta.CreatedUnixNano).UTC().Format(time.RFC3339))
-	fmt.Printf("new: %s  %12d events  (%s)\n", newSnap.Meta.ID, newSnap.Meta.Events,
-		time.Unix(0, newSnap.Meta.CreatedUnixNano).UTC().Format(time.RFC3339))
+	oldSnap, oldChain := readSnap(fs.Arg(0))
+	newSnap, newChain := readSnap(fs.Arg(1))
+	fmt.Printf("old: %s  %12d events  (%s)%s\n", oldSnap.Meta.ID, oldSnap.Meta.Events,
+		time.Unix(0, oldSnap.Meta.CreatedUnixNano).UTC().Format(time.RFC3339), chainSuffix(oldChain))
+	fmt.Printf("new: %s  %12d events  (%s)%s\n", newSnap.Meta.ID, newSnap.Meta.Events,
+		time.Unix(0, newSnap.Meta.CreatedUnixNano).UTC().Format(time.RFC3339), chainSuffix(newChain))
 	fmt.Printf("     %+d events\n\n", int64(newSnap.Meta.Events)-int64(oldSnap.Meta.Events))
 
 	oldAggs, err := aggregate(oldSnap)
@@ -329,7 +377,7 @@ func export(args []string) {
 	if fs.NArg() != 1 {
 		usage()
 	}
-	snap := readSnap(fs.Arg(0))
+	snap, chain := readSnap(fs.Arg(0))
 	aggs, err := aggregate(snap)
 	if err != nil {
 		fatal(err)
@@ -339,14 +387,36 @@ func export(args []string) {
 		*predAgg
 		PCs map[string]int `json:"pc_entries,omitempty"`
 	}
+	type exportChain struct {
+		ParentID     string `json:"parent_id,omitempty"`
+		Depth        int    `json:"depth"`
+		Files        int    `json:"files"`
+		DirtyChunks  int    `json:"dirty_chunks"`
+		DirtyBytes   int    `json:"dirty_bytes"`
+		CleanRefs    int    `json:"clean_refs"`
+		DedupedBytes int    `json:"deduped_bytes"`
+	}
 	out := struct {
 		Meta       snapshot.Meta `json:"meta"`
 		Created    string        `json:"created"`
+		Chain      *exportChain  `json:"chain,omitempty"`
 		Shards     []exportShard `json:"shards"`
 		Predictors []exportPred  `json:"predictors"`
 	}{
 		Meta:    snap.Meta,
 		Created: time.Unix(0, snap.Meta.CreatedUnixNano).UTC().Format(time.RFC3339Nano),
+	}
+	if chain != nil && chain.Tip != nil {
+		st := chain.Tip.Stats()
+		out.Chain = &exportChain{
+			ParentID:     chain.Tip.Meta.ParentID,
+			Depth:        chain.Depth,
+			Files:        len(chain.Files),
+			DirtyChunks:  st.Inline,
+			DirtyBytes:   st.InlineBytes,
+			CleanRefs:    st.Refs,
+			DedupedBytes: st.RefBytes,
+		}
 	}
 	for _, sh := range snap.Shards {
 		es := exportShard{Shard: sh.Shard, Events: sh.Events, UniquePCs: len(sh.PCs)}

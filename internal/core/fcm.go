@@ -40,6 +40,28 @@ type FCM struct {
 	order int
 	blend bool
 	fcmStore
+	// saveOrder caches the ascending-PC handle order between chunked
+	// saves; revalidated against the current pcs slab on every use, so
+	// LoadState's store swap and Reset invalidate it naturally.
+	saveOrder []int32
+	// groupCache caches each order's ctx→PC bucketing between chunked
+	// saves. A context's owning PC never changes and the ctx slabs are
+	// append-only between resets, so the bucketing (and any canonical
+	// sorting already done on its buckets) stays valid while the PC and
+	// context counts are unchanged — which is exactly the steady state
+	// delta checkpoints cut in. Reset and LoadState discard it
+	// explicitly: counts alone could alias across a store swap.
+	groupCache []fcmGroupCache
+}
+
+// fcmGroupCache is one order's cached ctx→PC bucketing. Bucket h is
+// grouped[starts[h]:starts[h+1]]; sorted[h] records that the bucket is
+// already in canonical key order.
+type fcmGroupCache struct {
+	nctx    int
+	grouped []int32
+	starts  []int32
+	sorted  []bool
 }
 
 // fcmStore is the FCM's entire mutable storage, grouped so LoadState can
@@ -631,6 +653,7 @@ func (s *fcmPCState) pushValue(v uint64, order int) {
 // Reset implements Resetter: every slab and table is emptied in place,
 // keeping capacity.
 func (p *FCM) Reset() {
+	p.groupCache = nil
 	p.idx.reset()
 	p.pcs = p.pcs[:0]
 	p.vals = p.vals[:0]
@@ -679,10 +702,10 @@ func (st *fcmOrderStore) ctxKeyLess(o int, a, b int32) bool {
 	return false
 }
 
-// groupCtxsByPC buckets one order's context handles by owning PC handle
-// (counting sort), each bucket sorted in canonical key order. Bucket i is
+// bucketCtxsByPC buckets one order's context handles by owning PC handle
+// (counting sort only, buckets unsorted). Bucket i is
 // out[starts[i]:starts[i+1]].
-func (st *fcmOrderStore) groupCtxsByPC(o, npc int) (out []int32, starts []int32) {
+func (st *fcmOrderStore) bucketCtxsByPC(npc int) (out []int32, starts []int32) {
 	starts = make([]int32, npc+1)
 	for i := range st.ctxs {
 		starts[st.ctxs[i].pcIdx+1]++
@@ -698,9 +721,21 @@ func (st *fcmOrderStore) groupCtxsByPC(o, npc int) (out []int32, starts []int32)
 		out[fill[pcIdx]] = int32(i)
 		fill[pcIdx]++
 	}
+	return out, starts
+}
+
+// sortBucket puts one PC's bucket into canonical key order.
+func (st *fcmOrderStore) sortBucket(o int, bucket []int32) {
+	sort.Slice(bucket, func(a, b int) bool { return st.ctxKeyLess(o, bucket[a], bucket[b]) })
+}
+
+// groupCtxsByPC buckets one order's context handles by owning PC handle
+// (counting sort), each bucket sorted in canonical key order. Bucket i is
+// out[starts[i]:starts[i+1]].
+func (st *fcmOrderStore) groupCtxsByPC(o, npc int) (out []int32, starts []int32) {
+	out, starts = st.bucketCtxsByPC(npc)
 	for i := 0; i < npc; i++ {
-		bucket := out[starts[i]:starts[i+1]]
-		sort.Slice(bucket, func(a, b int) bool { return st.ctxKeyLess(o, bucket[a], bucket[b]) })
+		st.sortBucket(o, out[starts[i]:starts[i+1]])
 	}
 	return out, starts
 }
@@ -767,6 +802,94 @@ func (p *FCM) SaveState(w io.Writer) error {
 		}
 	}
 	return e.flushTo(w)
+}
+
+// cachedPCHandles is sortedPCHandles with the saveOrder cache: a cached
+// permutation of matching length that is still strictly ascending over
+// the current pcs slab is the sorted order (the slab is append-only
+// between resets), so a linear pass revalidates it.
+func (p *FCM) cachedPCHandles() []int32 {
+	hs := p.saveOrder
+	if len(hs) == len(p.pcs) {
+		ok := true
+		var prev uint64
+		for i, h := range hs {
+			pc := p.pcs[h].pc
+			if i > 0 && pc <= prev {
+				ok = false
+				break
+			}
+			prev = pc
+		}
+		if ok {
+			return hs
+		}
+	}
+	hs = p.sortedPCHandles()
+	p.saveOrder = hs
+	return hs
+}
+
+// SaveStateChunks implements ChunkedStateful: the exact SaveState stream
+// split at per-PC record boundaries. Context handles are counting-sorted
+// into per-PC buckets through groupCache — rebuilt only when contexts or
+// PCs were added since the previous save — and each bucket's canonical
+// key sort runs lazily, only when its PC's record is actually encoded. A
+// steady-state delta save therefore skips the record encode of every
+// clean chunk and pays no per-save bucketing at all.
+func (p *FCM) SaveStateChunks(cs *ChunkSaver) error {
+	var hdr stateEncoder
+	hdr.uvarint(uint64(p.order))
+	blend := uint64(0)
+	if p.blend {
+		blend = 1
+	}
+	hdr.uvarint(blend)
+	hdr.uvarint(uint64(len(p.pcs)))
+	npc := len(p.pcs)
+	if p.groupCache == nil {
+		p.groupCache = make([]fcmGroupCache, p.order+1)
+	}
+	for o := 1; o <= p.order; o++ {
+		c := &p.groupCache[o]
+		if c.nctx != len(p.ords[o].ctxs) || len(c.starts) != npc+1 {
+			c.grouped, c.starts = p.ords[o].bucketCtxsByPC(npc)
+			c.sorted = make([]bool, npc)
+			c.nctx = len(p.ords[o].ctxs)
+		}
+	}
+	hs := p.cachedPCHandles()
+	return chunkedSave(cs, hs, func(h int32) uint64 { return p.pcs[h].pc }, &hdr,
+		func(e *stateEncoder, h int32) {
+			s := &p.pcs[h]
+			e.uvarint(uint64(s.n))
+			for i := 0; i < int(s.n); i++ {
+				e.uvarint(s.hist[i])
+			}
+			e.uvarint(s.updates)
+			if s.ctx0 >= 0 {
+				e.uvarint(1)
+				p.encodeCtx(e, &p.ords[0].ctxs[s.ctx0])
+			} else {
+				e.uvarint(0)
+			}
+			for o := 1; o <= p.order; o++ {
+				st := &p.ords[o]
+				c := &p.groupCache[o]
+				bucket := c.grouped[c.starts[h]:c.starts[h+1]]
+				if !c.sorted[h] {
+					st.sortBucket(o, bucket)
+					c.sorted[h] = true
+				}
+				e.uvarint(uint64(len(bucket)))
+				for _, ch := range bucket {
+					for _, kv := range st.keys[int(ch)*o : (int(ch)+1)*o] {
+						e.le64(kv)
+					}
+					p.encodeCtx(e, &st.ctxs[ch])
+				}
+			}
+		})
 }
 
 // LoadState implements Stateful. The stream is decoded into a fresh store
@@ -859,6 +982,7 @@ func (p *FCM) LoadState(r io.Reader) error {
 	}
 	p.fcmStore.arena.Release()
 	p.fcmStore = store
+	p.groupCache = nil
 	return nil
 }
 

@@ -13,6 +13,9 @@ type LastValue struct {
 	idx  pcTable
 	pcs  []uint64
 	vals []uint64
+	// saveOrder caches the ascending-PC handle order between chunked
+	// saves; revalidated by cachedSortedHandles on every use.
+	saveOrder []int32
 }
 
 // NewLastValue returns an empty always-update last value predictor.
@@ -131,6 +134,7 @@ type LastValueCounter struct {
 	entries   []lvcEntry
 	max       int8
 	threshold int8
+	saveOrder []int32 // chunked-save handle-order cache
 }
 
 type lvcEntry struct {
@@ -300,10 +304,11 @@ func (p *LastValueCounter) PCEntries() map[uint64]int { return onePerPC(p.pcs) }
 // observed a fixed number of times in succession ("changes to a new
 // prediction only after it has been consistently observed").
 type LastValueConsecutive struct {
-	idx      pcTable
-	pcs      []uint64
-	entries  []lvcons
-	required int
+	idx       pcTable
+	pcs       []uint64
+	entries   []lvcons
+	required  int
+	saveOrder []int32 // chunked-save handle-order cache
 }
 
 type lvcons struct {

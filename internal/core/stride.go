@@ -19,6 +19,9 @@ type StrideSimple struct {
 	idx     pcTable
 	pcs     []uint64
 	entries []strideEntry
+	// saveOrder caches the ascending-PC handle order between chunked
+	// saves; revalidated by cachedSortedHandles on every use.
+	saveOrder []int32
 }
 
 type strideEntry struct {
@@ -179,9 +182,10 @@ func (p *StrideSimple) PCEntries() map[uint64]int { return onePerPC(p.pcs) }
 // twice in a row. Repeated stride sequences then cost one misprediction
 // per iteration and the stride changes only on consistent evidence.
 type Stride2Delta struct {
-	idx     pcTable
-	pcs     []uint64
-	entries []s2Entry
+	idx       pcTable
+	pcs       []uint64
+	entries   []s2Entry
+	saveOrder []int32 // chunked-save handle-order cache
 }
 
 type s2Entry struct {
@@ -380,6 +384,7 @@ type StrideCounter struct {
 	entries   []scEntry
 	max       int8
 	threshold int8
+	saveOrder []int32 // chunked-save handle-order cache
 }
 
 type scEntry struct {

@@ -25,6 +25,16 @@ type CheckpointInfo struct {
 	Events uint64 `json:"events"`
 	// Shards is the shard count of the captured layout.
 	Shards int `json:"shards"`
+	// Kind is "full" or "delta" (v1 checkpoints are always full).
+	Kind string `json:"kind"`
+	// Depth is the chain depth of this checkpoint (0 for a full);
+	// ParentID names the previous chain link, empty for a full.
+	Depth    int    `json:"depth,omitempty"`
+	ParentID string `json:"parent_id,omitempty"`
+	// ChunksWritten / ChunksDeduped split this checkpoint's chunk table
+	// into inline chunks and content-hash references (delta mode only).
+	ChunksWritten int `json:"chunks_written,omitempty"`
+	ChunksDeduped int `json:"chunks_deduped,omitempty"`
 }
 
 // WriteCheckpoint captures the full predictor state of a running server
@@ -36,9 +46,24 @@ type CheckpointInfo struct {
 // underneath; only dispatching pauses for the instant the markers are
 // mailed.
 func (s *Server) WriteCheckpoint(dir string) (CheckpointInfo, error) {
+	return s.writeCheckpoint(dir, false)
+}
+
+// WriteFullCheckpoint is WriteCheckpoint with a forced full cut: in
+// delta mode it roots a fresh chain (POST /snapshot?full=1); otherwise
+// it is identical to WriteCheckpoint.
+func (s *Server) WriteFullCheckpoint(dir string) (CheckpointInfo, error) {
+	return s.writeCheckpoint(dir, true)
+}
+
+func (s *Server) writeCheckpoint(dir string, forceFull bool) (CheckpointInfo, error) {
 	if dir == "" {
 		return CheckpointInfo{}, errors.New("serve: no checkpoint directory configured")
 	}
+	// One checkpoint at a time: the chain state must advance atomically
+	// from plan to written file.
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
 	replies := make([]chan shardStateMsg, len(s.shards))
 	s.statsMu.Lock()
 	s.mu.Lock()
@@ -48,37 +73,52 @@ func (s *Server) WriteCheckpoint(dir string) (CheckpointInfo, error) {
 		s.statsMu.Unlock()
 		return CheckpointInfo{}, errors.New("serve: server is not running")
 	}
+	plans := s.planCut(forceFull)
 	cutT0 := time.Now()
 	s.health.cutStart.Store(cutT0.UnixNano())
 	s.cutMu.Lock()
 	for i, sh := range s.shards {
 		replies[i] = make(chan shardStateMsg, 1)
-		sh.mailbox <- shardMsg{state: replies[i]}
+		msg := shardMsg{state: replies[i]}
+		if plans != nil {
+			msg.plan = plans[i]
+		}
+		sh.mailbox <- msg
 	}
 	s.cutMu.Unlock()
 	s.statsMu.Unlock()
-	return s.assembleCheckpoint(dir, replies, cutT0, otrace.Mint())
+	return s.assembleCheckpoint(dir, replies, plans, cutT0, otrace.Mint())
 }
 
 // checkpointShards is the shutdown-path capture: connections are already
 // drained and the mailboxes are quiet but still open, so the markers
 // need no cut lock and observe the final state.
 func (s *Server) checkpointShards(dir string) (CheckpointInfo, error) {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	plans := s.planCut(false)
 	cutT0 := time.Now()
 	s.health.cutStart.Store(cutT0.UnixNano())
 	replies := make([]chan shardStateMsg, len(s.shards))
 	for i, sh := range s.shards {
 		replies[i] = make(chan shardStateMsg, 1)
-		sh.mailbox <- shardMsg{state: replies[i]}
+		msg := shardMsg{state: replies[i]}
+		if plans != nil {
+			msg.plan = plans[i]
+		}
+		sh.mailbox <- msg
 	}
-	return s.assembleCheckpoint(dir, replies, cutT0, otrace.Mint())
+	return s.assembleCheckpoint(dir, replies, plans, cutT0, otrace.Mint())
 }
 
 // assembleCheckpoint drains the shard replies and writes the snapshot.
 // tctx is the checkpoint's own minted trace: cut and encode become spans
 // on the control lane and the trace is always retained, so checkpoint
 // interference shows up in GET /trace alongside the requests it delayed.
-func (s *Server) assembleCheckpoint(dir string, replies []chan shardStateMsg, cutT0 time.Time, tctx otrace.Context) (CheckpointInfo, error) {
+func (s *Server) assembleCheckpoint(dir string, replies []chan shardStateMsg, plans []*deltaPlan, cutT0 time.Time, tctx otrace.Context) (CheckpointInfo, error) {
+	if plans != nil {
+		return s.assembleDelta(dir, replies, plans, cutT0, tctx)
+	}
 	defer s.health.cutStart.Store(0)
 	snap := &snapshot.Snapshot{
 		Meta: snapshot.Meta{
@@ -131,15 +171,15 @@ func (s *Server) assembleCheckpoint(dir string, replies []chan shardStateMsg, cu
 	if fi, statErr := os.Stat(path); statErr == nil {
 		size = fi.Size()
 	}
-	s.metrics.ckptTotal.Inc()
-	s.metrics.ckptBytes.Add(uint64(size))
+	s.metrics.ckptTotal["full"].Inc()
+	s.metrics.ckptBytes["full"].Add(uint64(size))
 	s.metrics.ckptLastBytes.Set(size)
 	s.metrics.ckptLastUnix.Set(time.Now().UnixNano())
 	s.ring.Add(obs.StageEvent{Kind: evCheckpointWritten, Shard: -1, DurNs: encNs, N: uint64(size), Detail: snap.Meta.ID})
 	s.log.Info("checkpoint written",
 		"id", snap.Meta.ID, "events", snap.Meta.Events, "bytes", size,
 		"cut", time.Duration(cutNs), "encode", time.Duration(encNs))
-	return CheckpointInfo{ID: snap.Meta.ID, Path: path, Events: snap.Meta.Events, Shards: len(snap.Shards)}, nil
+	return CheckpointInfo{ID: snap.Meta.ID, Path: path, Events: snap.Meta.Events, Shards: len(snap.Shards), Kind: "full"}, nil
 }
 
 // Restore loads a decoded snapshot into a server that has not started

@@ -1,0 +1,275 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/snapshot"
+)
+
+// checkpointFiles lists the checkpoint files (either generation) in dir.
+func checkpointFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var out []string
+	for _, pat := range []string{"*" + snapshot.Ext, "*" + snapshot.DeltaExt} {
+		m, err := filepath.Glob(filepath.Join(dir, pat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, m...)
+	}
+	return out
+}
+
+// TestKillAndRestoreParityDeltaChain is the delta-checkpoint acceptance
+// test: serve a stream in segments, cutting a full checkpoint then K
+// deltas along the way, kill the server mid-chain, restore a new one by
+// resolving full + deltas, and serve the remainder — the remainder's
+// predictions must be bit-identical to an uninterrupted run, at several
+// shard counts. Verified the same three ways as the v1 parity test:
+// tallies, offline WarmBank replay, and final drained state bytes.
+func TestKillAndRestoreParityDeltaChain(t *testing.T) {
+	evs, _ := capturedStream(t)
+	cut := len(evs) * 2 / 3
+	const segs = 4 // one full + three deltas before the kill
+
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			dir := t.TempDir()
+
+			// Uninterrupted reference run, final state checkpointed at exit.
+			refFinalDir := t.TempDir()
+			ref, err := New(Config{Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.Start("127.0.0.1:0", ""); err != nil {
+				t.Fatal(err)
+			}
+			full := driveAll(t, ref, evs, 2)
+			refFinal, err := ref.Shutdown(refFinalDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Interrupted delta-mode run: drive in segments, checkpoint
+			// after each, kill after the last.
+			a, err := New(Config{Shards: shards, DeltaCheckpoints: true, FullEvery: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Start("127.0.0.1:0", ""); err != nil {
+				t.Fatal(err)
+			}
+			var prefixCorrect []uint64
+			var infos []CheckpointInfo
+			for si := 0; si < segs; si++ {
+				lo, hi := cut*si/segs, cut*(si+1)/segs
+				res := driveAll(t, a, evs[lo:hi], 2)
+				if prefixCorrect == nil {
+					prefixCorrect = make([]uint64, len(res.Correct))
+				}
+				for i, c := range res.Correct {
+					prefixCorrect[i] += c
+				}
+				info, err := a.WriteCheckpoint(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				infos = append(infos, info)
+			}
+			if infos[0].Kind != "full" || infos[0].Depth != 0 || infos[0].ParentID != "" {
+				t.Fatalf("first checkpoint is not a chain root: %+v", infos[0])
+			}
+			for i := 1; i < segs; i++ {
+				if infos[i].Kind != "delta" || infos[i].Depth != i || infos[i].ParentID != infos[i-1].ID {
+					t.Fatalf("checkpoint %d does not extend the chain: %+v (parent %+v)", i, infos[i], infos[i-1])
+				}
+			}
+			st := a.Stats()
+			if st.Checkpoints.Full != 1 || st.Checkpoints.Deltas != segs-1 || st.Checkpoints.ChainDepth != segs-1 {
+				t.Fatalf("stats checkpoint block = %+v", st.Checkpoints)
+			}
+			if err := a.Close(); err != nil { // the "kill": no graceful checkpoint
+				t.Fatal(err)
+			}
+
+			// Restart from the newest checkpoint, resolving its chain.
+			latest, err := snapshot.LatestAny(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if latest != infos[segs-1].Path {
+				t.Fatalf("LatestAny = %s, want tip %s", latest, infos[segs-1].Path)
+			}
+			snap, chain, err := snapshot.ResolveChain(latest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if chain.Depth != segs-1 || len(chain.Files) != segs {
+				t.Fatalf("chain depth %d over %d files, want %d over %d", chain.Depth, len(chain.Files), segs-1, segs)
+			}
+			if snap.Meta.Events != uint64(cut) {
+				t.Fatalf("resolved chain carries %d events, want %d", snap.Meta.Events, cut)
+			}
+			b, err := New(Config{Shards: shards, DeltaCheckpoints: true, FullEvery: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Restore(snap); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Start("127.0.0.1:0", ""); err != nil {
+				t.Fatal(err)
+			}
+			suffix := driveAll(t, b, evs[cut:], 2)
+			if suffix.ServerPriorEvents != uint64(cut) {
+				t.Fatalf("restored server reported %d prior events, want %d", suffix.ServerPriorEvents, cut)
+			}
+
+			// 1. prefix + suffix must equal the uninterrupted tallies.
+			for i, name := range full.Predictors {
+				if got, want := prefixCorrect[i]+suffix.Correct[i], full.Correct[i]; got != want {
+					t.Errorf("%s: interrupted %d correct, uninterrupted %d", name, got, want)
+				}
+			}
+
+			// 2. The offline warm bank must reproduce the suffix exactly.
+			warm, err := NewWarmBank(snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			warm.StepBatch(evs[cut:])
+			if !reflect.DeepEqual(warm.Correct(), suffix.Correct) {
+				t.Errorf("warm bank replay %v, restored server %v", warm.Correct(), suffix.Correct)
+			}
+
+			// 3. The restored server's final drained state must be
+			// byte-identical to the uninterrupted server's. Both finals go
+			// through ResolveChain, which reads either generation.
+			bFinalDir := t.TempDir()
+			bFinal, err := b.Shutdown(bFinalDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refSnap, _, err := snapshot.ResolveChain(refFinal.Path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bSnap, _, err := snapshot.ResolveChain(bFinal.Path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(refSnap.Shards, bSnap.Shards) {
+				t.Error("final predictor state differs between interrupted and uninterrupted runs")
+			}
+			if refSnap.Meta.Events != bSnap.Meta.Events || bSnap.Meta.Events != uint64(len(evs)) {
+				t.Errorf("final events %d vs %d, want %d", refSnap.Meta.Events, bSnap.Meta.Events, len(evs))
+			}
+		})
+	}
+}
+
+// TestDeltaCheckpointCleanChunkSkip pins the mechanism the format exists
+// for: after a full checkpoint, traffic touching a single PC must yield
+// a delta that stores only the few dirty chunks inline, dedups the rest
+// to references, resolves bit-identically to a forced full cut of the
+// same state, and is swept (with its root) once that full lands.
+func TestDeltaCheckpointCleanChunkSkip(t *testing.T) {
+	evs, _ := capturedStream(t)
+	dir := t.TempDir()
+	s, err := New(Config{Shards: 2, DeltaCheckpoints: true, CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0", ""); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	driveAll(t, s, evs, 2)
+	fullInfo, err := s.WriteCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullInfo.Kind != "full" {
+		t.Fatalf("first checkpoint kind %q", fullInfo.Kind)
+	}
+
+	// Touch exactly one PC: at most one chunk per predictor dirties on
+	// its owning shard, everything else must skip clean.
+	hot := make([]Event, 0, 256)
+	for _, ev := range evs {
+		if ev.PC == evs[0].PC {
+			hot = append(hot, ev)
+		}
+		if len(hot) == 256 {
+			break
+		}
+	}
+	driveAll(t, s, hot, 1)
+	deltaInfo, err := s.WriteCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deltaInfo.Kind != "delta" || deltaInfo.ParentID != fullInfo.ID || deltaInfo.Depth != 1 {
+		t.Fatalf("second checkpoint did not chain: %+v", deltaInfo)
+	}
+	if deltaInfo.ChunksDeduped == 0 {
+		t.Fatal("single-PC delta deduped no chunks")
+	}
+	if deltaInfo.ChunksWritten >= fullInfo.ChunksWritten {
+		t.Fatalf("delta wrote %d chunks inline, full wrote %d", deltaInfo.ChunksWritten, fullInfo.ChunksWritten)
+	}
+	fullSize := fileSize(t, fullInfo.Path)
+	deltaSize := fileSize(t, deltaInfo.Path)
+	if deltaSize >= fullSize {
+		t.Fatalf("delta file %d bytes, full %d", deltaSize, fullSize)
+	}
+
+	// Resolve the chain now — the forced full below sweeps it away.
+	chainSnap, chain, err := snapshot.ResolveChain(deltaInfo.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain.Depth != 1 || len(chain.Files) != 2 {
+		t.Fatalf("chain = %+v", chain)
+	}
+
+	// A forced full of the identical state must materialize the exact
+	// same bytes the chain resolves to.
+	forced, err := s.WriteFullCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.Kind != "full" || forced.Depth != 0 {
+		t.Fatalf("forced checkpoint = %+v", forced)
+	}
+	forcedSnap, _, err := snapshot.ResolveChain(forced.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(chainSnap.Shards, forcedSnap.Shards) {
+		t.Error("chain-resolved state differs from a forced full cut of the same state")
+	}
+	if chainSnap.Meta.Events != forcedSnap.Meta.Events {
+		t.Errorf("events %d vs %d", chainSnap.Meta.Events, forcedSnap.Meta.Events)
+	}
+
+	// The full superseded the old chain: GC must leave only the new root.
+	files := checkpointFiles(t, dir)
+	if len(files) != 1 || files[0] != forced.Path {
+		t.Fatalf("after full, dir holds %v, want only %s", files, forced.Path)
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}

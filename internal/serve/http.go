@@ -41,7 +41,9 @@ import (
 //	                class, entropy ceiling and realized accuracy, plus
 //	                per-class event tallies and per-predictor ceiling gaps
 //	POST /snapshot  write a checkpoint now (requires a configured
-//	                checkpoint directory); answers with CheckpointInfo
+//	                checkpoint directory); answers with CheckpointInfo.
+//	                ?full=1 forces a full cut even in delta mode,
+//	                rooting a fresh chain
 //	/debug/pprof/*  the standard runtime profiles
 func (s *Server) httpHandler() http.Handler {
 	mux := http.NewServeMux()
@@ -156,7 +158,13 @@ func (s *Server) httpHandler() http.Handler {
 			writeJSONBody(w, map[string]any{"error": "no checkpoint directory configured (start vpserve with -checkpoint-dir)"})
 			return
 		}
-		info, err := s.WriteCheckpoint(s.cfg.CheckpointDir)
+		var info CheckpointInfo
+		var err error
+		if r.URL.Query().Get("full") == "1" {
+			info, err = s.WriteFullCheckpoint(s.cfg.CheckpointDir)
+		} else {
+			info, err = s.WriteCheckpoint(s.cfg.CheckpointDir)
+		}
 		if err != nil {
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusInternalServerError)

@@ -72,15 +72,19 @@ type serverMetrics struct {
 	// atomic, so that is safe and allocation-free.
 	requestNs *obs.Histogram // vp_request_ns
 
-	ckptTotal      *obs.Counter   // vp_checkpoint_total
-	ckptErrors     *obs.Counter   // vp_checkpoint_errors_total
-	ckptCutNs      *obs.Histogram // vp_checkpoint_cut_ns (markers mailed -> all shard states gathered)
-	ckptEncodeNs   *obs.Histogram // vp_checkpoint_encode_ns (atomic file write)
-	ckptBytes      *obs.Counter   // vp_checkpoint_bytes_total
-	ckptLastBytes  *obs.Gauge     // vp_checkpoint_last_bytes
-	ckptLastUnix   *obs.Gauge     // vp_checkpoint_last_unixnano
-	restoreTotal   *obs.Counter   // vp_restore_total
-	restoredEvents *obs.Gauge     // vp_restored_events
+	ckptTotal         map[string]*obs.Counter // vp_checkpoint_total{kind}
+	ckptErrors        *obs.Counter            // vp_checkpoint_errors_total
+	ckptCutNs         *obs.Histogram          // vp_checkpoint_cut_ns (markers mailed -> all shard states gathered)
+	ckptEncodeNs      *obs.Histogram          // vp_checkpoint_encode_ns (atomic file write)
+	ckptBytes         map[string]*obs.Counter // vp_checkpoint_bytes_total{kind}
+	ckptLastBytes     *obs.Gauge              // vp_checkpoint_last_bytes
+	ckptLastUnix      *obs.Gauge              // vp_checkpoint_last_unixnano
+	ckptChunksWritten *obs.Counter            // vp_checkpoint_chunks_written_total
+	ckptChunksDeduped *obs.Counter            // vp_checkpoint_chunks_deduped_total
+	ckptDedupRatio    *obs.FloatGauge         // vp_checkpoint_dedupe_ratio
+	ckptChainDepth    *obs.Gauge              // vp_checkpoint_chain_depth
+	restoreTotal      *obs.Counter            // vp_restore_total
+	restoredEvents    *obs.Gauge              // vp_restored_events
 
 	// Predictability families, rebuilt from the shard trackers by an
 	// OnScrape hook (scrape-derived, not hot-path-written).
@@ -111,13 +115,27 @@ func newServerMetrics(start time.Time, nshards int, predNames []string) *serverM
 
 		requestNs: r.Histogram("vp_request_ns", "ns per request, frame decoded to result ready (all shards joined)"),
 
-		ckptTotal:      r.Counter("vp_checkpoint_total", "checkpoints written"),
-		ckptErrors:     r.Counter("vp_checkpoint_errors_total", "checkpoint attempts that failed"),
-		ckptCutNs:      r.Histogram("vp_checkpoint_cut_ns", "ns from mailing cut markers to gathering every shard's state"),
-		ckptEncodeNs:   r.Histogram("vp_checkpoint_encode_ns", "ns encoding and atomically writing a checkpoint file"),
-		ckptBytes:      r.Counter("vp_checkpoint_bytes_total", "checkpoint bytes written"),
-		ckptLastBytes:  r.Gauge("vp_checkpoint_last_bytes", "size of the most recent checkpoint"),
-		ckptLastUnix:   r.Gauge("vp_checkpoint_last_unixnano", "wall time of the most recent checkpoint"),
+		ckptTotal: map[string]*obs.Counter{
+			"full":  r.Counter("vp_checkpoint_total", "checkpoints written", "kind", "full"),
+			"delta": r.Counter("vp_checkpoint_total", "checkpoints written", "kind", "delta"),
+		},
+		ckptErrors:   r.Counter("vp_checkpoint_errors_total", "checkpoint attempts that failed"),
+		ckptCutNs:    r.Histogram("vp_checkpoint_cut_ns", "ns from mailing cut markers to gathering every shard's state"),
+		ckptEncodeNs: r.Histogram("vp_checkpoint_encode_ns", "ns encoding and atomically writing a checkpoint file"),
+		ckptBytes: map[string]*obs.Counter{
+			"full":  r.Counter("vp_checkpoint_bytes_total", "checkpoint bytes written", "kind", "full"),
+			"delta": r.Counter("vp_checkpoint_bytes_total", "checkpoint bytes written", "kind", "delta"),
+		},
+		ckptLastBytes: r.Gauge("vp_checkpoint_last_bytes", "size of the most recent checkpoint"),
+		ckptLastUnix:  r.Gauge("vp_checkpoint_last_unixnano", "wall time of the most recent checkpoint"),
+		ckptChunksWritten: r.Counter("vp_checkpoint_chunks_written_total",
+			"state chunks stored inline in delta-mode checkpoints"),
+		ckptChunksDeduped: r.Counter("vp_checkpoint_chunks_deduped_total",
+			"state chunks stored as content-hash references (clean-skipped or dedup hits)"),
+		ckptDedupRatio: r.FloatGauge("vp_checkpoint_dedupe_ratio",
+			"deduped fraction of the most recent checkpoint's chunks"),
+		ckptChainDepth: r.Gauge("vp_checkpoint_chain_depth",
+			"delta links past the live chain's full root (0 right after a full)"),
 		restoreTotal:   r.Counter("vp_restore_total", "warm restores performed"),
 		restoredEvents: r.Gauge("vp_restored_events", "events of prior learning in the restored snapshot"),
 

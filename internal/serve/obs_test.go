@@ -102,7 +102,12 @@ func TestMetricsEndpoint(t *testing.T) {
 		"vp_pred_hits_total{",
 		"vp_pred_events_total{",
 		"vp_pred_hit_rate_ewma{",
-		"vp_checkpoint_total ",
+		"vp_checkpoint_total{kind=\"full\"}",
+		"vp_checkpoint_total{kind=\"delta\"}",
+		"vp_checkpoint_chunks_written_total ",
+		"vp_checkpoint_chunks_deduped_total ",
+		"vp_checkpoint_dedupe_ratio ",
+		"vp_checkpoint_chain_depth ",
 		"vp_checkpoint_cut_ns_count ",
 		"vp_checkpoint_encode_ns_count ",
 		"vp_checkpoint_last_bytes ",
@@ -113,7 +118,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		}
 	}
 	for _, want := range []string{
-		"vp_checkpoint_total 1\n",
+		"vp_checkpoint_total{kind=\"full\"} 1\n",
 		"vp_conn_decode_errors_total 0\n",
 	} {
 		if !strings.Contains(body, want) {

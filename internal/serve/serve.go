@@ -87,6 +87,16 @@ type Config struct {
 	// and is the default directory for WriteCheckpoint / Shutdown
 	// checkpoints.
 	CheckpointDir string
+	// DeltaCheckpoints switches checkpoints to the v2 incremental format:
+	// the banks track per-PC dirty bits, each cut writes only the state
+	// chunks that changed since the chain tip (everything else dedups to
+	// content-hash references), and restore resolves full + deltas back
+	// into one snapshot.
+	DeltaCheckpoints bool
+	// FullEvery bounds a delta chain: after this many delta checkpoints
+	// the next cut is forced full, and older chain files are swept
+	// (0 = 8). Only meaningful with DeltaCheckpoints.
+	FullEvery int
 	// HealthCheckpointDeadline is how long a checkpoint cut may stay in
 	// flight before /healthz reports degraded (0 = 30s).
 	HealthCheckpointDeadline time.Duration
@@ -167,6 +177,14 @@ type Server struct {
 	// exclusively while mailing its capture markers, so the cut can never
 	// land between two shards of the same request.
 	cutMu sync.RWMutex
+	// ckptMu serializes whole checkpoints (plan, cut, assemble, chain
+	// update) against each other: the periodic ticker, POST /snapshot and
+	// shutdown may race, and the delta chain state must advance one
+	// checkpoint at a time.
+	ckptMu sync.Mutex
+	// chain is the live delta-chain state (delta mode only); mutated only
+	// under ckptMu.
+	chain chainState
 
 	// restoredID / restoredAt identify the snapshot this server was
 	// warm-started from (empty when cold-started); set before Start.
@@ -240,6 +258,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.TraceSlowNs <= 0 {
 		cfg.TraceSlowNs = defaultTraceSlowNs
 	}
+	if cfg.FullEvery <= 0 {
+		cfg.FullEvery = defaultFullEvery
+	}
 	s := &Server{
 		cfg:       cfg,
 		predNames: names,
@@ -260,6 +281,10 @@ func New(cfg Config) (*Server, error) {
 	})
 	for i := range s.shards {
 		s.shards[i] = newShard(i, cfg.Predictors, cfg.MailboxDepth)
+		if cfg.DeltaCheckpoints {
+			s.shards[i].dirtyTrack = true
+			s.shards[i].bank.SetDirtyTracking(true)
+		}
 		s.shards[i].met = s.metrics.shards[i]
 		s.shards[i].ring = s.ring
 		s.shards[i].tracer = s.tracer
@@ -613,11 +638,18 @@ func (s *Server) Stats() Snapshot {
 		DecodeErrors:      m.decodeErrors.Load(),
 		PipelineHighWater: m.pipelineHW.Load(),
 	}
+	fulls, deltas := m.ckptTotal["full"].Load(), m.ckptTotal["delta"].Load()
 	snap.Checkpoints = CkptStats{
-		Count:        m.ckptTotal.Load(),
-		Errors:       m.ckptErrors.Load(),
-		LastBytes:    m.ckptLastBytes.Load(),
-		LastUnixNano: m.ckptLastUnix.Load(),
+		Count:         fulls + deltas,
+		Errors:        m.ckptErrors.Load(),
+		LastBytes:     m.ckptLastBytes.Load(),
+		LastUnixNano:  m.ckptLastUnix.Load(),
+		Full:          fulls,
+		Deltas:        deltas,
+		ChainDepth:    m.ckptChainDepth.Load(),
+		ChunksWritten: m.ckptChunksWritten.Load(),
+		ChunksDeduped: m.ckptChunksDeduped.Load(),
+		DedupeRatio:   m.ckptDedupRatio.Load(),
 	}
 	replies := make([]chan ShardStats, len(s.shards))
 	s.statsMu.Lock()

@@ -69,6 +69,7 @@ type shardMsg struct {
 	req    *pending
 	snap   chan<- ShardStats       // non-nil = stats request
 	state  chan<- shardStateMsg    // non-nil = checkpoint capture request
+	plan   *deltaPlan              // with state: delta-mode capture directive
 	pstat  chan<- *predstat.Report // non-nil = predictability report request
 	pstatN int                     // ranking size for pstat requests
 	// ctx and sentNs carry the request's trace identity into the shard:
@@ -78,10 +79,12 @@ type shardMsg struct {
 	sentNs int64
 }
 
-// shardStateMsg is one shard's reply to a checkpoint capture.
+// shardStateMsg is one shard's reply to a checkpoint capture: st for a
+// v1 full capture, delta for a delta-mode (chunked) capture.
 type shardStateMsg struct {
-	st  snapshot.ShardState
-	err error
+	st    snapshot.ShardState
+	delta *deltaShardState
+	err   error
 }
 
 // shard owns one partition of predictor state. All access happens on the
@@ -118,6 +121,10 @@ type shard struct {
 	// tracer receives this shard's request spans on lane id (single
 	// writer: the shard goroutine).
 	tracer *otrace.Recorder
+	// dirtyTrack mirrors Config.DeltaCheckpoints: the bank stamps per-PC
+	// dirty bits for chunk-granular delta captures, re-enabled whenever
+	// the bank is rebuilt (restore).
+	dirtyTrack bool
 }
 
 func newShard(id int, facs []core.NamedFactory, depth int) *shard {
@@ -153,7 +160,11 @@ func (sh *shard) run() {
 			continue
 		}
 		if msg.state != nil {
-			msg.state <- sh.captureState()
+			if msg.plan != nil {
+				msg.state <- sh.captureDelta(msg.plan)
+			} else {
+				msg.state <- sh.captureState()
+			}
 			continue
 		}
 		if msg.pstat != nil {
@@ -348,6 +359,9 @@ func (sh *shard) restore(st snapshot.ShardState, facs []core.NamedFactory, nshar
 	}
 	sh.preds, sh.acc, sh.pcs, sh.events = preds, acc, pcs, st.Events
 	sh.bank = core.NewBank(preds...)
+	if sh.dirtyTrack {
+		sh.bank.SetDirtyTracking(true)
+	}
 	sh.ewmaReady = false // the EWMA reseeds from live traffic, not history
 	if sh.pstat != nil {
 		// Predictability estimates describe observed live traffic, which a
@@ -414,6 +428,19 @@ type CkptStats struct {
 	Errors       uint64 `json:"errors"`
 	LastBytes    int64  `json:"last_bytes,omitempty"`
 	LastUnixNano int64  `json:"last_unixnano,omitempty"`
+	// Full and Deltas split Count by checkpoint kind (delta mode only —
+	// v1 checkpoints all count as full).
+	Full   uint64 `json:"full"`
+	Deltas uint64 `json:"deltas"`
+	// ChainDepth is the live chain's delta links past its full root (0
+	// right after a full).
+	ChainDepth int64 `json:"chain_depth"`
+	// ChunksWritten / ChunksDeduped count chunks stored inline versus
+	// stored as content-hash references, over the server's lifetime;
+	// DedupeRatio is the most recent checkpoint's deduped fraction.
+	ChunksWritten uint64  `json:"chunks_written,omitempty"`
+	ChunksDeduped uint64  `json:"chunks_deduped,omitempty"`
+	DedupeRatio   float64 `json:"dedupe_ratio,omitempty"`
 }
 
 // Snapshot is the whole server's aggregated view plus the per-shard
